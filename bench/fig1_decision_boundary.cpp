@@ -1,0 +1,109 @@
+// Fig. 1 reproduction: decision-boundary shift under memristance drift.
+//
+// A small MLP is trained on the two-moons binary task; the decision boundary
+// is rasterized over a grid for increasing drift sigma.  The bench prints
+// ASCII boundary plots (the paper's scatter plots) and a table of accuracy
+// plus boundary displacement (fraction of grid cells whose predicted class
+// changed vs the clean model).
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "data/toy.hpp"
+#include "fault/evaluator.hpp"
+#include "fault/injector.hpp"
+#include "models/zoo.hpp"
+#include "nn/trainer.hpp"
+#include "tensor/ops.hpp"
+#include "utils/table.hpp"
+
+namespace {
+
+using namespace bayesft;
+
+constexpr std::size_t kGrid = 40;
+
+/// Predicted class over a [-1.8, 2.8] x [-1.3, 1.8] grid.
+std::vector<int> rasterize(nn::Module& model) {
+    Tensor grid({kGrid * kGrid, 2});
+    for (std::size_t gy = 0; gy < kGrid; ++gy) {
+        for (std::size_t gx = 0; gx < kGrid; ++gx) {
+            grid(gy * kGrid + gx, 0) =
+                -1.8F + 4.6F * static_cast<float>(gx) / (kGrid - 1);
+            grid(gy * kGrid + gx, 1) =
+                -1.3F + 3.1F * static_cast<float>(gy) / (kGrid - 1);
+        }
+    }
+    const Tensor logits = nn::predict_logits(model, grid);
+    const auto pred = argmax_rows(logits);
+    return {pred.begin(), pred.end()};
+}
+
+std::string ascii_boundary(const std::vector<int>& cells) {
+    std::string art;
+    for (std::size_t gy = 0; gy < kGrid; gy += 2) {  // halve vertical res
+        for (std::size_t gx = 0; gx < kGrid; ++gx) {
+            art += cells[gy * kGrid + gx] == 0 ? '.' : '#';
+        }
+        art += '\n';
+    }
+    return art;
+}
+
+void run_fig1(benchmark::State& state) {
+    Rng rng(7);
+    const data::Dataset moons = data::make_moons(
+        bayesft::bench::default_sample_count(400), 0.08, rng);
+
+    models::MlpOptions options;
+    options.input_features = 2;
+    options.hidden = 24;
+    options.hidden_layers = 2;
+    options.classes = 2;
+    models::ModelHandle model = models::make_mlp(options, rng);
+    nn::TrainConfig train_config;
+    train_config.epochs = bayesft::bench::quick_mode() ? 5 : 25;
+    nn::train_classifier(*model.net, moons.images, moons.labels, train_config,
+                         rng);
+
+    const std::vector<int> clean_cells = rasterize(*model.net);
+    ResultTable table("Fig. 1: decision boundary shift vs drift (two moons)",
+                      {"sigma", "accuracy %", "boundary shift %"});
+    for (double sigma : {0.0, 0.5, 1.0, 1.5}) {
+        const fault::LogNormalDrift drift(sigma);
+        Rng drift_rng(99);
+        fault::WeightSnapshot snapshot(*model.net);
+        fault::inject(*model.net, drift, drift_rng);
+        const std::vector<int> cells = rasterize(*model.net);
+        const double acc =
+            nn::evaluate_accuracy(*model.net, moons.images, moons.labels);
+        std::size_t moved = 0;
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (cells[i] != clean_cells[i]) ++moved;
+        }
+        const double shift =
+            100.0 * static_cast<double>(moved) / cells.size();
+        table.add_row({sigma, acc * 100.0, shift});
+        std::cout << "-- sigma = " << sigma << " --\n"
+                  << ascii_boundary(cells) << "\n";
+        state.counters["acc@s" + format_double(sigma, 1)] = acc * 100.0;
+        state.counters["shift@s" + format_double(sigma, 1)] = shift;
+        // snapshot restores the clean weights at scope exit
+    }
+    std::cout << table << std::endl;
+    table.save_csv("fig1_decision_boundary.csv");
+}
+
+void BM_Fig1DecisionBoundary(benchmark::State& state) {
+    for (auto _ : state) {
+        run_fig1(state);
+    }
+}
+BENCHMARK(BM_Fig1DecisionBoundary)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+BAYESFT_BENCH_MAIN()

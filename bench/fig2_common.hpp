@@ -1,0 +1,73 @@
+#pragma once
+// Shared runner for the four Fig. 2 ablation panels: train a set of MLP
+// variants identically on synthetic digits, sweep the drift sigma, and
+// report one accuracy curve per variant.
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "data/digits.hpp"
+#include "fault/evaluator.hpp"
+#include "models/zoo.hpp"
+#include "nn/trainer.hpp"
+#include "utils/table.hpp"
+
+namespace bayesft::bench {
+
+struct Variant {
+    std::string name;
+    std::function<models::ModelHandle(Rng&)> make;
+};
+
+/// Trains every variant on the same digit task and prints / registers the
+/// accuracy-vs-sigma table named `title`.
+inline void run_ablation(benchmark::State& state, const std::string& title,
+                         const std::string& csv_name,
+                         const std::vector<Variant>& variants) {
+    Rng data_rng(11);
+    data::DigitConfig digit_config;
+    digit_config.samples = default_sample_count(1200);
+    digit_config.image_size = 16;
+    const data::Dataset full = data::synthetic_digits(digit_config, data_rng);
+    Rng split_rng(12);
+    const data::TrainTestSplit parts = data::split(full, 0.25, split_rng);
+
+    const std::vector<double> sigmas{0.0, 0.3, 0.6, 0.9, 1.2, 1.5};
+    const std::size_t mc_samples = quick_mode() ? 2 : 5;
+
+    std::vector<std::string> columns{"sigma"};
+    std::vector<std::vector<double>> curves;
+    for (const Variant& variant : variants) {
+        Rng rng(1000 + curves.size());
+        models::ModelHandle model = variant.make(rng);
+        nn::TrainConfig train_config;
+        train_config.epochs = quick_mode() ? 3 : 10;
+        nn::train_classifier(*model.net, parts.train.images,
+                             parts.train.labels, train_config, rng);
+        Rng eval_rng(2000 + curves.size());
+        curves.push_back(fault::sigma_sweep(*model.net, parts.test.images,
+                                            parts.test.labels, sigmas,
+                                            mc_samples, eval_rng));
+        columns.push_back(variant.name);
+        for (std::size_t i = 0; i < sigmas.size(); ++i) {
+            state.counters[variant.name + "@s" + format_double(sigmas[i], 1)] =
+                curves.back()[i] * 100.0;
+        }
+    }
+
+    ResultTable table(title, columns);
+    for (std::size_t i = 0; i < sigmas.size(); ++i) {
+        std::vector<double> row{sigmas[i]};
+        for (const auto& curve : curves) row.push_back(curve[i] * 100.0);
+        table.add_row(row);
+    }
+    std::cout << "\n" << table << std::endl;
+    table.save_csv(csv_name);
+}
+
+}  // namespace bayesft::bench

@@ -1,0 +1,28 @@
+#pragma once
+// Shared runner for the Fig. 3 panels: one task (dataset + model family),
+// all enabled methods (ERM / FTNA / ReRAM-V / AWP / BayesFT), accuracy
+// swept over sigma in [0, 1.5].
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench_common.hpp"
+#include "core/experiment.hpp"
+
+namespace bayesft::bench {
+
+/// Runs one Fig. 3 panel and reports table + counters.
+inline void run_fig3_panel(benchmark::State& state, const std::string& title,
+                           const std::string& csv_name,
+                           const core::ModelFactory& factory,
+                           const data::Dataset& train_set,
+                           const data::Dataset& test_set,
+                           std::size_t num_classes,
+                           core::ExperimentConfig config) {
+    const core::ExperimentResult result = core::run_classification_experiment(
+        factory, train_set, test_set, num_classes, config);
+    report_experiment(state, result, title, csv_name);
+}
+
+}  // namespace bayesft::bench

@@ -1,0 +1,131 @@
+// Micro-benchmarks of the numeric substrates: matmul, conv forward/backward,
+// GP fit/posterior scaling, drift injection throughput.  These are classic
+// google-benchmark timing loops (no figure attached) used to track the
+// performance of the kernels everything else is built on.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bayesopt/gp.hpp"
+#include "fault/drift.hpp"
+#include "nn/conv.hpp"
+#include "tensor/ops.hpp"
+#include "utils/rng.hpp"
+
+namespace {
+
+using namespace bayesft;
+
+void BM_Matmul(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(1);
+    const Tensor a = Tensor::randn({n, n}, rng);
+    const Tensor b = Tensor::randn({n, n}, rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(matmul(a, b));
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128)->Complexity();
+
+void BM_MatmulTransposedVariants(benchmark::State& state) {
+    Rng rng(2);
+    const Tensor a = Tensor::randn({64, 64}, rng);
+    const Tensor b = Tensor::randn({64, 64}, rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(matmul_tn(a, b));
+        benchmark::DoNotOptimize(matmul_nt(a, b));
+    }
+}
+BENCHMARK(BM_MatmulTransposedVariants);
+
+void BM_ConvForward(benchmark::State& state) {
+    const auto channels = static_cast<std::size_t>(state.range(0));
+    Rng rng(3);
+    nn::Conv2d conv(channels, channels * 2, 3, 1, 1, rng);
+    const Tensor input = Tensor::randn({8, channels, 16, 16}, rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(conv.forward(input));
+    }
+}
+BENCHMARK(BM_ConvForward)->Arg(4)->Arg(16);
+
+void BM_ConvBackward(benchmark::State& state) {
+    Rng rng(4);
+    nn::Conv2d conv(8, 16, 3, 1, 1, rng);
+    const Tensor input = Tensor::randn({8, 8, 16, 16}, rng);
+    const Tensor out = conv.forward(input);
+    const Tensor grad = Tensor::randn(out.shape(), rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(conv.backward(grad));
+    }
+}
+BENCHMARK(BM_ConvBackward);
+
+void BM_Im2Col(benchmark::State& state) {
+    Rng rng(5);
+    const Tensor image = Tensor::randn({16, 32, 32}, rng);
+    ConvGeometry g{16, 32, 32, 3, 3, 1, 1};
+    Tensor cols({16 * 9, g.out_h() * g.out_w()});
+    for (auto _ : state) {
+        im2col(image.data(), g, cols.data());
+        benchmark::DoNotOptimize(cols.data());
+    }
+}
+BENCHMARK(BM_Im2Col);
+
+void BM_GpFit(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(6);
+    std::vector<bayesopt::Point> xs;
+    std::vector<double> ys;
+    for (std::size_t i = 0; i < n; ++i) {
+        xs.push_back({rng.uniform(), rng.uniform(), rng.uniform()});
+        ys.push_back(rng.normal());
+    }
+    bayesopt::GaussianProcess gp(
+        std::make_shared<bayesopt::ArdSquaredExponential>(3, 4.0), 1e-4);
+    for (auto _ : state) {
+        gp.fit(xs, ys);
+        benchmark::DoNotOptimize(gp.observation_count());
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_GpFit)->Arg(8)->Arg(32)->Arg(128)->Complexity();
+
+void BM_GpPosterior(benchmark::State& state) {
+    Rng rng(7);
+    std::vector<bayesopt::Point> xs;
+    std::vector<double> ys;
+    for (std::size_t i = 0; i < 64; ++i) {
+        xs.push_back({rng.uniform(), rng.uniform(), rng.uniform()});
+        ys.push_back(rng.normal());
+    }
+    bayesopt::GaussianProcess gp(
+        std::make_shared<bayesopt::ArdSquaredExponential>(3, 4.0), 1e-4);
+    gp.fit(xs, ys);
+    const bayesopt::Point query{0.5, 0.5, 0.5};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(gp.posterior(query));
+    }
+}
+BENCHMARK(BM_GpPosterior);
+
+void BM_DriftInjection(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(8);
+    std::vector<float> weights(n, 1.0F);
+    const fault::LogNormalDrift drift(0.5);
+    for (auto _ : state) {
+        drift.apply(weights, rng);
+        benchmark::DoNotOptimize(weights.data());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(n));
+}
+BENCHMARK(BM_DriftInjection)->Arg(1 << 10)->Arg(1 << 16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,121 @@
+// Extension example: plugging a custom drift distribution into the
+// framework (paper Sec. II-B: "our methodology can be seamlessly extended
+// to other possible weight drifting distributions").
+//
+// Implements a temperature-dependent drift model — log-normal scale noise
+// whose sigma grows with die temperature, plus a small stuck-at-zero cell
+// probability — and evaluates a trained classifier against it, alongside
+// the built-in models.
+//
+// Build & run:  ./build/examples/custom_drift
+
+#include <cmath>
+#include <iostream>
+#include <memory>
+#include <sstream>
+
+#include "core/baselines.hpp"
+#include "data/digits.hpp"
+#include "fault/drift.hpp"
+#include "fault/evaluator.hpp"
+#include "models/zoo.hpp"
+#include "utils/logging.hpp"
+#include "utils/table.hpp"
+
+namespace {
+
+using namespace bayesft;
+
+/// Arrhenius-flavoured thermal drift: sigma(T) = sigma25 * exp(k (T - 25)),
+/// composed with dead cells appearing above 85C.
+class ThermalDrift : public fault::DriftModel {
+public:
+    ThermalDrift(double sigma_at_25c, double temperature_c)
+        : sigma_(sigma_at_25c * std::exp(0.02 * (temperature_c - 25.0))),
+          dead_cell_probability_(
+              temperature_c > 85.0 ? 0.01 * (temperature_c - 85.0) / 10.0
+                                   : 0.0),
+          temperature_c_(temperature_c) {}
+
+    void apply(std::span<float> weights, Rng& rng) const override {
+        for (float& w : weights) {
+            if (dead_cell_probability_ > 0.0 &&
+                rng.bernoulli(dead_cell_probability_)) {
+                w = 0.0F;
+                continue;
+            }
+            w *= static_cast<float>(rng.log_normal(0.0, sigma_));
+        }
+    }
+
+    std::string describe() const override {
+        std::ostringstream os;
+        os << "ThermalDrift(T=" << temperature_c_ << "C, sigma=" << sigma_
+           << ", dead=" << dead_cell_probability_ << ")";
+        return os.str();
+    }
+
+private:
+    double sigma_;
+    double dead_cell_probability_;
+    double temperature_c_;
+};
+
+}  // namespace
+
+int main() {
+    using namespace bayesft;
+    set_log_level(LogLevel::Warn);
+
+    Rng rng(51);
+    data::DigitConfig digit_config;
+    digit_config.samples = 800;
+    digit_config.image_size = 16;
+    const data::Dataset digits = data::synthetic_digits(digit_config, rng);
+    Rng split_rng(52);
+    const data::TrainTestSplit parts = data::split(digits, 0.25, split_rng);
+
+    models::MlpOptions options;
+    options.input_features = 256;
+    options.hidden = 64;
+    models::ModelHandle model = models::make_mlp(options, rng);
+    model.set_dropout_rates({0.3, 0.3});  // a robust configuration
+    nn::TrainConfig train_config;
+    train_config.epochs = 10;
+    nn::train_classifier(*model.net, parts.train.images, parts.train.labels,
+                         train_config, rng);
+
+    // The evaluator only sees the DriftModel interface — any distribution
+    // plugs in without touching the rest of the pipeline.
+    std::vector<std::unique_ptr<fault::DriftModel>> drifts;
+    drifts.push_back(std::make_unique<fault::LogNormalDrift>(0.5));
+    drifts.push_back(std::make_unique<fault::GaussianAdditiveDrift>(0.1));
+    drifts.push_back(std::make_unique<fault::UniformScaleDrift>(0.5));
+    drifts.push_back(std::make_unique<fault::StuckAtZeroDrift>(0.1));
+    drifts.push_back(std::make_unique<fault::SignFlipDrift>(0.02));
+    drifts.push_back(std::make_unique<ThermalDrift>(0.3, 25.0));
+    drifts.push_back(std::make_unique<ThermalDrift>(0.3, 75.0));
+    drifts.push_back(std::make_unique<ThermalDrift>(0.3, 105.0));
+    {
+        // Composition: scale noise followed by dead cells.
+        std::vector<std::unique_ptr<fault::DriftModel>> stages;
+        stages.push_back(std::make_unique<fault::LogNormalDrift>(0.3));
+        stages.push_back(std::make_unique<fault::StuckAtZeroDrift>(0.05));
+        drifts.push_back(
+            std::make_unique<fault::ComposedDrift>(std::move(stages)));
+    }
+
+    ResultTable table("Accuracy under different drift distributions "
+                      "(MLP + dropout 0.3, 6 MC samples)",
+                      {"drift model", "mean %", "std %"});
+    for (const auto& drift : drifts) {
+        const auto report = fault::evaluate_under_drift(
+            *model.net, parts.test.images, parts.test.labels, *drift, 6,
+            rng);
+        table.add_text_row({drift->describe(),
+                            format_double(report.mean_accuracy * 100.0, 1),
+                            format_double(report.std_accuracy * 100.0, 1)});
+    }
+    std::cout << table;
+    return 0;
+}

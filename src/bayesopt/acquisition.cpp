@@ -1,0 +1,72 @@
+#include "bayesopt/acquisition.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <sstream>
+#include <stdexcept>
+
+namespace bayesft::bayesopt {
+
+namespace {
+
+double standard_normal_pdf(double z) {
+    return std::exp(-0.5 * z * z) / std::sqrt(2.0 * std::numbers::pi);
+}
+
+double standard_normal_cdf(double z) {
+    return 0.5 * (1.0 + std::erf(z / std::numbers::sqrt2));
+}
+
+}  // namespace
+
+double PosteriorMean::score(const Posterior& posterior, double) const {
+    return posterior.mean;
+}
+
+ExpectedImprovement::ExpectedImprovement(double xi) : xi_(xi) {
+    if (!(xi >= 0.0)) {
+        throw std::invalid_argument("ExpectedImprovement: xi must be >= 0");
+    }
+}
+
+double ExpectedImprovement::score(const Posterior& posterior,
+                                  double best_observed) const {
+    const double stddev = std::sqrt(posterior.variance);
+    const double improvement = posterior.mean - best_observed - xi_;
+    if (stddev <= 1e-12) return std::max(0.0, improvement);
+    const double z = improvement / stddev;
+    return improvement * standard_normal_cdf(z) +
+           stddev * standard_normal_pdf(z);
+}
+
+std::string ExpectedImprovement::describe() const {
+    std::ostringstream os;
+    os << "EI(xi=" << xi_ << ")";
+    return os.str();
+}
+
+UpperConfidenceBound::UpperConfidenceBound(double beta) : beta_(beta) {
+    if (!(beta >= 0.0)) {
+        throw std::invalid_argument("UpperConfidenceBound: beta must be >= 0");
+    }
+}
+
+double UpperConfidenceBound::score(const Posterior& posterior, double) const {
+    return posterior.mean + beta_ * std::sqrt(posterior.variance);
+}
+
+std::string UpperConfidenceBound::describe() const {
+    std::ostringstream os;
+    os << "UCB(beta=" << beta_ << ")";
+    return os.str();
+}
+
+std::unique_ptr<Acquisition> make_acquisition(const std::string& kind) {
+    if (kind == "posterior_mean") return std::make_unique<PosteriorMean>();
+    if (kind == "ei") return std::make_unique<ExpectedImprovement>();
+    if (kind == "ucb") return std::make_unique<UpperConfidenceBound>();
+    throw std::invalid_argument("make_acquisition: unknown kind '" + kind +
+                                "'");
+}
+
+}  // namespace bayesft::bayesopt

@@ -1,0 +1,139 @@
+#include "bayesopt/bayesopt.hpp"
+
+#include "bayesopt/design.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace bayesft::bayesopt {
+
+BoxBounds BoxBounds::uniform(std::size_t dims, double lo, double hi) {
+    BoxBounds b;
+    b.lower.assign(dims, lo);
+    b.upper.assign(dims, hi);
+    b.validate();
+    return b;
+}
+
+void BoxBounds::validate() const {
+    if (lower.empty() || lower.size() != upper.size()) {
+        throw std::invalid_argument("BoxBounds: malformed bounds");
+    }
+    for (std::size_t i = 0; i < lower.size(); ++i) {
+        if (!(lower[i] < upper[i])) {
+            throw std::invalid_argument("BoxBounds: lower >= upper at dim " +
+                                        std::to_string(i));
+        }
+    }
+}
+
+void BoxBounds::clamp(Point& p) const {
+    if (p.size() != lower.size()) {
+        throw std::invalid_argument("BoxBounds::clamp: dimension mismatch");
+    }
+    for (std::size_t i = 0; i < p.size(); ++i) {
+        p[i] = std::clamp(p[i], lower[i], upper[i]);
+    }
+}
+
+Point BoxBounds::sample(Rng& rng) const {
+    Point p(lower.size());
+    for (std::size_t i = 0; i < p.size(); ++i) {
+        p[i] = rng.uniform(lower[i], upper[i]);
+    }
+    return p;
+}
+
+BayesOpt::BayesOpt(BoxBounds bounds, std::shared_ptr<const Kernel> kernel,
+                   std::unique_ptr<Acquisition> acquisition,
+                   BayesOptConfig config, Rng rng)
+    : bounds_(std::move(bounds)),
+      acquisition_(std::move(acquisition)),
+      config_(config),
+      rng_(rng),
+      gp_(std::move(kernel), config.noise_variance) {
+    bounds_.validate();
+    if (!acquisition_) throw std::invalid_argument("BayesOpt: null acquisition");
+    if (config_.candidates == 0) {
+        throw std::invalid_argument("BayesOpt: need at least one candidate");
+    }
+    if (config_.latin_hypercube_init && config_.initial_random_trials > 0) {
+        initial_plan_ =
+            latin_hypercube(config_.initial_random_trials, bounds_, rng_);
+    }
+}
+
+Point BayesOpt::suggest() {
+    if (trials_.size() < config_.initial_random_trials || !gp_.fitted()) {
+        if (initial_used_ < initial_plan_.size()) {
+            return initial_plan_[initial_used_++];
+        }
+        return bounds_.sample(rng_);
+    }
+    return maximize_acquisition();
+}
+
+Point BayesOpt::maximize_acquisition() {
+    const double incumbent = best() ? best()->y
+                                    : -std::numeric_limits<double>::infinity();
+
+    std::vector<Point> pool;
+    pool.reserve(config_.candidates + config_.local_candidates);
+    for (std::size_t i = 0; i < config_.candidates; ++i) {
+        pool.push_back(bounds_.sample(rng_));
+    }
+    if (best()) {
+        for (std::size_t i = 0; i < config_.local_candidates; ++i) {
+            Point p = best()->x;
+            for (std::size_t d = 0; d < p.size(); ++d) {
+                const double edge = bounds_.upper[d] - bounds_.lower[d];
+                p[d] += rng_.normal(0.0,
+                                    config_.local_sigma_fraction * edge);
+            }
+            bounds_.clamp(p);
+            pool.push_back(std::move(p));
+        }
+    }
+
+    double best_score = -std::numeric_limits<double>::infinity();
+    const Point* best_point = &pool.front();
+    for (const Point& p : pool) {
+        const double score = acquisition_->score(gp_.posterior(p), incumbent);
+        if (score > best_score) {
+            best_score = score;
+            best_point = &p;
+        }
+    }
+    return *best_point;
+}
+
+void BayesOpt::observe(Point x, double y) {
+    if (x.size() != bounds_.dims()) {
+        throw std::invalid_argument("BayesOpt::observe: dimension mismatch");
+    }
+    if (!std::isfinite(y)) {
+        throw std::invalid_argument("BayesOpt::observe: non-finite objective");
+    }
+    trials_.push_back(Trial{std::move(x), y});
+    std::vector<Point> xs;
+    std::vector<double> ys;
+    xs.reserve(trials_.size());
+    ys.reserve(trials_.size());
+    for (const Trial& t : trials_) {
+        xs.push_back(t.x);
+        ys.push_back(t.y);
+    }
+    gp_.fit(std::move(xs), std::move(ys));
+}
+
+std::optional<Trial> BayesOpt::best() const {
+    if (trials_.empty()) return std::nullopt;
+    const auto it = std::max_element(
+        trials_.begin(), trials_.end(),
+        [](const Trial& a, const Trial& b) { return a.y < b.y; });
+    return *it;
+}
+
+}  // namespace bayesft::bayesopt

@@ -1,0 +1,92 @@
+#pragma once
+// The Bayesian-optimization driver: maintains the trial history, refits the
+// GP surrogate after each observation, and proposes the next candidate by
+// maximizing the acquisition over a box-bounded search space using dense
+// random candidates plus local refinement around the incumbent (the
+// objective has no gradient in alpha, per paper Sec. III-B).
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "bayesopt/acquisition.hpp"
+#include "bayesopt/gp.hpp"
+#include "utils/rng.hpp"
+
+namespace bayesft::bayesopt {
+
+/// Axis-aligned box bounds for the search space.
+struct BoxBounds {
+    std::vector<double> lower;
+    std::vector<double> upper;
+
+    /// Uniform [lo, hi]^dims box.
+    static BoxBounds uniform(std::size_t dims, double lo, double hi);
+
+    std::size_t dims() const { return lower.size(); }
+    /// Throws std::invalid_argument if malformed (empty, mismatched sizes,
+    /// or lower >= upper anywhere).
+    void validate() const;
+    /// Clamps `p` into the box, in place.
+    void clamp(Point& p) const;
+    /// Uniform random point inside the box.
+    Point sample(Rng& rng) const;
+};
+
+/// One completed trial.
+struct Trial {
+    Point x;
+    double y = 0.0;
+};
+
+/// Configuration of the proposal step.
+struct BayesOptConfig {
+    /// Trials drawn before the surrogate is trusted.
+    std::size_t initial_random_trials = 4;
+    /// Draw the initial trials from a Latin hypercube (space-filling)
+    /// instead of i.i.d. uniform.
+    bool latin_hypercube_init = true;
+    /// Random candidates scored per suggest() call.
+    std::size_t candidates = 512;
+    /// Local Gaussian perturbations of the incumbent added to the pool.
+    std::size_t local_candidates = 128;
+    /// Stddev of local perturbations, relative to each box edge length.
+    double local_sigma_fraction = 0.1;
+    /// Observation noise variance handed to the GP.
+    double noise_variance = 1e-4;
+};
+
+/// Maximizes an expensive black-box function over a box.
+class BayesOpt {
+public:
+    BayesOpt(BoxBounds bounds, std::shared_ptr<const Kernel> kernel,
+             std::unique_ptr<Acquisition> acquisition, BayesOptConfig config,
+             Rng rng);
+
+    /// Proposes the next point to evaluate.
+    Point suggest();
+
+    /// Records an observed objective value for `x` and refits the GP.
+    void observe(Point x, double y);
+
+    /// Incumbent (best observed) trial; nullopt before any observation.
+    std::optional<Trial> best() const;
+
+    const std::vector<Trial>& trials() const { return trials_; }
+    const GaussianProcess& surrogate() const { return gp_; }
+    const BoxBounds& bounds() const { return bounds_; }
+
+private:
+    Point maximize_acquisition();
+
+    BoxBounds bounds_;
+    std::unique_ptr<Acquisition> acquisition_;
+    BayesOptConfig config_;
+    Rng rng_;
+    GaussianProcess gp_;
+    std::vector<Trial> trials_;
+    std::vector<Point> initial_plan_;  // Latin hypercube initial design
+    std::size_t initial_used_ = 0;
+};
+
+}  // namespace bayesft::bayesopt

@@ -1,0 +1,61 @@
+#include "bayesopt/design.hpp"
+
+#include <limits>
+#include <memory>
+#include <stdexcept>
+
+#include "bayesopt/gp.hpp"
+
+namespace bayesft::bayesopt {
+
+std::vector<Point> latin_hypercube(std::size_t n, const BoxBounds& bounds,
+                                   Rng& rng) {
+    bounds.validate();
+    if (n == 0) {
+        throw std::invalid_argument("latin_hypercube: n must be > 0");
+    }
+    const std::size_t dims = bounds.dims();
+    std::vector<Point> points(n, Point(dims));
+    for (std::size_t d = 0; d < dims; ++d) {
+        const auto strata = rng.permutation(n);
+        const double edge = bounds.upper[d] - bounds.lower[d];
+        for (std::size_t i = 0; i < n; ++i) {
+            // Uniform jitter inside the assigned stratum.
+            const double u =
+                (static_cast<double>(strata[i]) + rng.uniform()) /
+                static_cast<double>(n);
+            points[i][d] = bounds.lower[d] + edge * u;
+        }
+    }
+    return points;
+}
+
+double select_inverse_scale(const std::vector<Point>& xs,
+                            const std::vector<double>& ys,
+                            const std::vector<double>& candidates,
+                            double noise_variance) {
+    if (candidates.empty()) {
+        throw std::invalid_argument("select_inverse_scale: no candidates");
+    }
+    if (xs.size() < 2 || xs.size() != ys.size()) {
+        throw std::invalid_argument(
+            "select_inverse_scale: need >= 2 observations");
+    }
+    const std::size_t dims = xs.front().size();
+    double best_scale = candidates.front();
+    double best_lml = -std::numeric_limits<double>::infinity();
+    for (double scale : candidates) {
+        GaussianProcess gp(
+            std::make_shared<ArdSquaredExponential>(dims, scale),
+            noise_variance);
+        gp.fit(xs, ys);
+        const double lml = gp.log_marginal_likelihood();
+        if (lml > best_lml) {
+            best_lml = lml;
+            best_scale = scale;
+        }
+    }
+    return best_scale;
+}
+
+}  // namespace bayesft::bayesopt

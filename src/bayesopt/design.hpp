@@ -1,0 +1,33 @@
+#pragma once
+// Experimental-design utilities for the BO loop:
+//   - Latin hypercube sampling for the initial trials (space-filling
+//     coverage of the alpha box, better than i.i.d. uniform at tiny
+//     budgets), and
+//   - kernel hyperparameter selection by log marginal likelihood (the
+//     paper's Eq. 9 kernel has free parameters k_0..k_d; this picks the
+//     isotropic inverse length scale from a candidate grid).
+
+#include <vector>
+
+#include "bayesopt/bayesopt.hpp"
+#include "bayesopt/kernel.hpp"
+#include "utils/rng.hpp"
+
+namespace bayesft::bayesopt {
+
+/// `n` points covering `bounds` with one sample per axis stratum
+/// (classic Latin hypercube: each dimension's strata are permuted
+/// independently).
+std::vector<Point> latin_hypercube(std::size_t n, const BoxBounds& bounds,
+                                   Rng& rng);
+
+/// Fits a GP with an isotropic ARD-SE kernel for every candidate inverse
+/// length scale and returns the candidate with the highest log marginal
+/// likelihood on (xs, ys).  Requires non-empty candidates and >= 2
+/// observations; throws std::invalid_argument otherwise.
+double select_inverse_scale(const std::vector<Point>& xs,
+                            const std::vector<double>& ys,
+                            const std::vector<double>& candidates,
+                            double noise_variance = 1e-4);
+
+}  // namespace bayesft::bayesopt

@@ -1,0 +1,77 @@
+#include "bayesopt/gp.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace bayesft::bayesopt {
+
+GaussianProcess::GaussianProcess(std::shared_ptr<const Kernel> kernel,
+                                 double noise_variance)
+    : kernel_(std::move(kernel)), noise_variance_(noise_variance) {
+    if (!kernel_) throw std::invalid_argument("GaussianProcess: null kernel");
+    if (!(noise_variance >= 0.0)) {
+        throw std::invalid_argument("GaussianProcess: negative noise");
+    }
+}
+
+void GaussianProcess::fit(std::vector<Point> xs, std::vector<double> ys) {
+    if (xs.empty() || xs.size() != ys.size()) {
+        throw std::invalid_argument("GaussianProcess::fit: bad data sizes");
+    }
+    const std::size_t dims = xs.front().size();
+    for (const Point& x : xs) {
+        if (x.size() != dims) {
+            throw std::invalid_argument(
+                "GaussianProcess::fit: inconsistent dimensions");
+        }
+    }
+    xs_ = std::move(xs);
+    ys_ = std::move(ys);
+
+    y_mean_ = 0.0;
+    for (double y : ys_) y_mean_ += y;
+    y_mean_ /= static_cast<double>(ys_.size());
+
+    linalg::Matrix k = kernel_->gram(xs_);
+    k.add_diagonal(noise_variance_);
+    chol_ = linalg::cholesky_with_jitter(std::move(k));
+
+    linalg::Vector centered(ys_.size());
+    for (std::size_t i = 0; i < ys_.size(); ++i) {
+        centered[i] = ys_[i] - y_mean_;
+    }
+    alpha_ = linalg::cholesky_solve(chol_, centered);
+}
+
+Posterior GaussianProcess::posterior(const Point& x) const {
+    if (!fitted()) {
+        throw std::logic_error("GaussianProcess::posterior: not fitted");
+    }
+    const linalg::Vector kx = kernel_->cross(x, xs_);
+    Posterior post;
+    post.mean = y_mean_ + linalg::dot(kx, alpha_);
+    // sigma2 = k(x,x) - v^T v with v = L^-1 kx.
+    const linalg::Vector v = linalg::solve_lower(chol_, kx);
+    const double prior_var = (*kernel_)(x, x);
+    post.variance = std::max(0.0, prior_var - linalg::dot(v, v));
+    return post;
+}
+
+double GaussianProcess::log_marginal_likelihood() const {
+    if (!fitted()) {
+        throw std::logic_error(
+            "GaussianProcess::log_marginal_likelihood: not fitted");
+    }
+    linalg::Vector centered(ys_.size());
+    for (std::size_t i = 0; i < ys_.size(); ++i) {
+        centered[i] = ys_[i] - y_mean_;
+    }
+    const double fit_term = -0.5 * linalg::dot(centered, alpha_);
+    const double det_term = -0.5 * linalg::log_det_from_cholesky(chol_);
+    const double norm_term = -0.5 * static_cast<double>(ys_.size()) *
+                             std::log(2.0 * std::numbers::pi);
+    return fit_term + det_term + norm_term;
+}
+
+}  // namespace bayesft::bayesopt

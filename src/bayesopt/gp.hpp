@@ -1,0 +1,62 @@
+#pragma once
+// Gaussian-process regression surrogate (paper Eq. 5-8).
+//
+// Posterior for a zero-mean GP prior with kernel kappa and observation
+// noise sigma_n^2:
+//   mu(x)     = k(x, X) (K + sigma_n^2 I)^-1 y
+//   sigma2(x) = k(x, x) - k(x, X) (K + sigma_n^2 I)^-1 k(X, x)
+// computed via a Cholesky factorization held across queries.  Targets are
+// internally centered on their mean so the zero-mean prior is reasonable.
+
+#include <memory>
+#include <vector>
+
+#include "bayesopt/kernel.hpp"
+#include "linalg/matrix.hpp"
+
+namespace bayesft::bayesopt {
+
+/// Posterior mean and variance at one query point.
+struct Posterior {
+    double mean = 0.0;
+    double variance = 0.0;
+};
+
+/// Exact GP regression with a fixed kernel.
+class GaussianProcess {
+public:
+    /// `noise_variance` is the observation noise sigma_n^2 (> 0 keeps the
+    /// Gram matrix well conditioned; MC-estimated objectives are noisy
+    /// anyway, see Eq. 4).
+    GaussianProcess(std::shared_ptr<const Kernel> kernel,
+                    double noise_variance = 1e-6);
+
+    /// Fits (refactorizes) on the full trial history.
+    /// Requires xs.size() == ys.size() > 0 and consistent dimensions.
+    void fit(std::vector<Point> xs, std::vector<double> ys);
+
+    /// True once fit() has been called with at least one observation.
+    bool fitted() const { return !xs_.empty(); }
+    std::size_t observation_count() const { return xs_.size(); }
+
+    /// Posterior at `x`; throws std::logic_error if not fitted.
+    Posterior posterior(const Point& x) const;
+
+    /// Log marginal likelihood of the fitted data (for hyperparameter
+    /// comparison): -1/2 y^T K^-1 y - 1/2 log|K| - n/2 log(2 pi).
+    double log_marginal_likelihood() const;
+
+    const std::vector<Point>& xs() const { return xs_; }
+    const std::vector<double>& ys() const { return ys_; }
+
+private:
+    std::shared_ptr<const Kernel> kernel_;
+    double noise_variance_;
+    std::vector<Point> xs_;
+    std::vector<double> ys_;
+    double y_mean_ = 0.0;
+    linalg::Matrix chol_;     // lower Cholesky factor of K + sigma_n^2 I
+    linalg::Vector alpha_;    // (K + sigma_n^2 I)^-1 (y - mean)
+};
+
+}  // namespace bayesft::bayesopt

@@ -1,0 +1,100 @@
+#include "bayesopt/kernel.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace bayesft::bayesopt {
+
+linalg::Matrix Kernel::gram(const std::vector<Point>& xs) const {
+    const std::size_t n = xs.size();
+    linalg::Matrix k(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j <= i; ++j) {
+            const double v = (*this)(xs[i], xs[j]);
+            k(i, j) = v;
+            k(j, i) = v;
+        }
+    }
+    return k;
+}
+
+linalg::Vector Kernel::cross(const Point& x,
+                             const std::vector<Point>& xs) const {
+    linalg::Vector v(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) v[i] = (*this)(x, xs[i]);
+    return v;
+}
+
+ArdSquaredExponential::ArdSquaredExponential(
+    std::vector<double> inverse_length_scales, double amplitude)
+    : inv_scales_(std::move(inverse_length_scales)), amplitude_(amplitude) {
+    if (inv_scales_.empty()) {
+        throw std::invalid_argument("ArdSquaredExponential: empty scales");
+    }
+    for (double k : inv_scales_) {
+        if (!(k > 0.0)) {
+            throw std::invalid_argument(
+                "ArdSquaredExponential: inverse length scales must be > 0");
+        }
+    }
+    if (!(amplitude > 0.0)) {
+        throw std::invalid_argument(
+            "ArdSquaredExponential: amplitude must be > 0");
+    }
+}
+
+ArdSquaredExponential::ArdSquaredExponential(std::size_t dims,
+                                             double inv_scale,
+                                             double amplitude)
+    : ArdSquaredExponential(std::vector<double>(dims, inv_scale), amplitude) {}
+
+double ArdSquaredExponential::operator()(const Point& a,
+                                         const Point& b) const {
+    if (a.size() != inv_scales_.size() || b.size() != inv_scales_.size()) {
+        throw std::invalid_argument(
+            "ArdSquaredExponential: dimension mismatch");
+    }
+    double exponent = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        exponent += inv_scales_[i] * d * d;
+    }
+    return amplitude_ * std::exp(-exponent);
+}
+
+std::string ArdSquaredExponential::describe() const {
+    std::ostringstream os;
+    os << "ARD-SE(d=" << inv_scales_.size() << ", k0=" << amplitude_ << ")";
+    return os.str();
+}
+
+Matern52::Matern52(double length_scale, double amplitude)
+    : length_scale_(length_scale), amplitude_(amplitude) {
+    if (!(length_scale > 0.0) || !(amplitude > 0.0)) {
+        throw std::invalid_argument("Matern52: parameters must be > 0");
+    }
+}
+
+double Matern52::operator()(const Point& a, const Point& b) const {
+    if (a.size() != b.size()) {
+        throw std::invalid_argument("Matern52: dimension mismatch");
+    }
+    double sq = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        sq += d * d;
+    }
+    const double r = std::sqrt(sq) / length_scale_;
+    const double sqrt5_r = std::sqrt(5.0) * r;
+    return amplitude_ * (1.0 + sqrt5_r + 5.0 / 3.0 * r * r) *
+           std::exp(-sqrt5_r);
+}
+
+std::string Matern52::describe() const {
+    std::ostringstream os;
+    os << "Matern52(l=" << length_scale_ << ", k0=" << amplitude_ << ")";
+    return os.str();
+}
+
+}  // namespace bayesft::bayesopt

@@ -1,0 +1,74 @@
+#pragma once
+// Covariance kernels for the Gaussian-process surrogate.
+//
+// The paper (Eq. 9) uses kappa(a, b) = k0 * exp(-sum_i k_i (a_i - b_i)^2),
+// i.e. a squared-exponential kernel with per-dimension inverse length
+// scales (ARD).  Matern-5/2 is provided as an alternative for the ablation.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace bayesft::bayesopt {
+
+using Point = std::vector<double>;
+
+/// Positive-definite covariance function over R^d.
+class Kernel {
+public:
+    virtual ~Kernel() = default;
+    Kernel() = default;
+    Kernel(const Kernel&) = delete;
+    Kernel& operator=(const Kernel&) = delete;
+
+    virtual double operator()(const Point& a, const Point& b) const = 0;
+    virtual std::string describe() const = 0;
+
+    /// Gram matrix K[i][j] = k(xs[i], xs[j]).
+    linalg::Matrix gram(const std::vector<Point>& xs) const;
+
+    /// Cross-covariance vector k(x, xs[i]).
+    linalg::Vector cross(const Point& x, const std::vector<Point>& xs) const;
+};
+
+/// Paper Eq. 9: k0 * exp(-sum_i k_i (a_i - b_i)^2).
+class ArdSquaredExponential : public Kernel {
+public:
+    /// `inverse_length_scales` are the k_i (one per input dimension);
+    /// `amplitude` is k0.  All must be positive.
+    ArdSquaredExponential(std::vector<double> inverse_length_scales,
+                          double amplitude = 1.0);
+
+    /// Isotropic convenience: all k_i = inv_scale.
+    ArdSquaredExponential(std::size_t dims, double inv_scale,
+                          double amplitude = 1.0);
+
+    double operator()(const Point& a, const Point& b) const override;
+    std::string describe() const override;
+
+    const std::vector<double>& inverse_length_scales() const {
+        return inv_scales_;
+    }
+    double amplitude() const { return amplitude_; }
+
+private:
+    std::vector<double> inv_scales_;
+    double amplitude_;
+};
+
+/// Matern-5/2 kernel with a single length scale (ablation alternative).
+class Matern52 : public Kernel {
+public:
+    explicit Matern52(double length_scale, double amplitude = 1.0);
+
+    double operator()(const Point& a, const Point& b) const override;
+    std::string describe() const override;
+
+private:
+    double length_scale_;
+    double amplitude_;
+};
+
+}  // namespace bayesft::bayesopt

@@ -1,0 +1,94 @@
+#pragma once
+// The four baselines the paper compares against (Sec. IV):
+//   ERM      — plain empirical risk minimization.
+//   ReRAM-V  — per-device diagnose-and-retrain (Chen et al. 2017): adapts
+//              the weights to one observed drift pattern; generalizes poorly
+//              to the fresh drift of the next device/moment.
+//   AWP      — adversarial weight perturbation training (Wu et al. 2020).
+//   FTNA     — fault-tolerant architecture via error-correction output
+//              coding (Liu et al. 2019): the classifier emits a binary code
+//              decoded by minimum Hamming distance against a codebook.
+
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "fault/drift.hpp"
+#include "models/zoo.hpp"
+#include "nn/trainer.hpp"
+
+namespace bayesft::core {
+
+// ---------------------------------------------------------------- ERM ----
+
+/// Plain training with all dropout rates at zero.
+void train_erm(models::ModelHandle& model, const data::Dataset& train_set,
+               const nn::TrainConfig& config, Rng& rng);
+
+// ----------------------------------------------------------- ReRAM-V ----
+
+/// ReRAM-V settings.
+struct ReRamVConfig {
+    nn::TrainConfig pretrain;
+    /// Fine-tuning epochs after diagnosing the device's drift pattern.
+    std::size_t adapt_epochs = 2;
+    /// Drift level of the diagnosed device.
+    double device_sigma = 0.3;
+};
+
+/// Pretrains, then simulates the diagnose-and-retrain cycle: applies one
+/// concrete drift realization (the "device") and fine-tunes on it.  The
+/// resulting weights compensate that pattern only; evaluation under fresh
+/// drift shows the scalability problem the paper describes.
+void train_reram_v(models::ModelHandle& model, const data::Dataset& train_set,
+                   const ReRamVConfig& config, Rng& rng);
+
+// --------------------------------------------------------------- AWP ----
+
+/// AWP settings.
+struct AwpConfig {
+    nn::TrainConfig train;
+    /// Relative adversarial step: ||delta_w|| = gamma * ||w|| per tensor.
+    double gamma = 0.02;
+};
+
+/// Adversarial weight perturbation training: each step first ascends the
+/// loss in weight space (layer-normalized step of size gamma), computes the
+/// gradient at the perturbed point, restores the weights and descends with
+/// that gradient.
+void train_awp(models::ModelHandle& model, const data::Dataset& train_set,
+               const AwpConfig& config, Rng& rng);
+
+// -------------------------------------------------------------- FTNA ----
+
+/// FTNA error-correction output coding.
+///
+/// The wrapped model must have `code_bits` outputs (construct the zoo model
+/// with classes == code_bits).  Codewords are random balanced binary codes,
+/// one per class, drawn once at construction.
+class FtnaClassifier {
+public:
+    FtnaClassifier(models::ModelHandle model, std::size_t num_classes,
+                   std::size_t code_bits, Rng& rng);
+
+    /// Trains the code-emitting network with elementwise BCE on codewords.
+    void train(const data::Dataset& train_set, const nn::TrainConfig& config,
+               Rng& rng);
+
+    /// Accuracy by minimum-distance decoding of the emitted codes.
+    double evaluate_accuracy(const Tensor& images,
+                             const std::vector<int>& labels);
+
+    nn::Module& network() { return *model_.net; }
+    models::ModelHandle& handle() { return model_; }
+    const std::vector<std::vector<float>>& codebook() const {
+        return codebook_;
+    }
+
+private:
+    models::ModelHandle model_;
+    std::size_t num_classes_;
+    std::size_t code_bits_;
+    std::vector<std::vector<float>> codebook_;  // [classes][bits] in {0,1}
+};
+
+}  // namespace bayesft::core

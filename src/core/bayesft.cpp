@@ -1,0 +1,104 @@
+#include "core/bayesft.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "utils/logging.hpp"
+
+namespace bayesft::core {
+
+namespace {
+
+/// Shared loop body: proposes alpha (via `propose`), installs it, trains
+/// theta for E epochs, scores the drift utility, and reports back.
+BayesFTResult run_search(
+    models::ModelHandle& model, const data::Dataset& train_set,
+    const data::Dataset& validation_set, const BayesFTConfig& config,
+    Rng& rng, bool use_gp) {
+    if (model.dropout_sites.empty()) {
+        throw std::invalid_argument(
+            "bayesft_search: model has no dropout sites to search over");
+    }
+    if (config.iterations == 0) {
+        throw std::invalid_argument("bayesft_search: zero iterations");
+    }
+    if (!(config.max_dropout_rate > 0.0) || config.max_dropout_rate >= 1.0) {
+        throw std::invalid_argument(
+            "bayesft_search: max_dropout_rate must be in (0, 1)");
+    }
+    const std::size_t dims = model.dropout_sites.size();
+
+    auto bounds =
+        bayesopt::BoxBounds::uniform(dims, 0.0, config.max_dropout_rate);
+    auto kernel = std::make_shared<bayesopt::ArdSquaredExponential>(
+        dims, config.kernel_inverse_scale);
+    bayesopt::BayesOpt bo(bounds, kernel,
+                          bayesopt::make_acquisition(config.acquisition),
+                          config.bo, rng.split());
+
+    nn::TrainConfig epoch_config = config.train;
+    epoch_config.epochs = config.epochs_per_iteration;
+
+    if (config.warmup_epochs > 0) {
+        // Warm-up at alpha = 0 so theta starts the search trainable.
+        model.set_dropout_rates(std::vector<double>(dims, 0.0));
+        nn::TrainConfig warmup = config.train;
+        warmup.epochs = config.warmup_epochs;
+        nn::train_classifier(*model.net, train_set.images, train_set.labels,
+                             warmup, rng);
+    }
+
+    BayesFTResult result;
+    for (std::size_t t = 0; t < config.iterations; ++t) {
+        const bayesopt::Point alpha =
+            use_gp ? bo.suggest() : bounds.sample(rng);
+        model.set_dropout_rates(alpha);
+
+        // Alg. 1 lines 5-7: continue training theta under the candidate
+        // dropout configuration.
+        nn::train_classifier(*model.net, train_set.images, train_set.labels,
+                             epoch_config, rng);
+
+        // Eq. 4: Monte-Carlo drift-marginalized utility on held-out data.
+        const double utility =
+            drift_utility(*model.net, validation_set.images,
+                          validation_set.labels, config.objective, rng);
+        bo.observe(alpha, utility);
+        log_debug() << "BayesFT iter " << t << " utility " << utility;
+    }
+
+    const auto best = bo.best();
+    result.best_alpha = best->x;
+    result.best_utility = best->y;
+    result.trials = bo.trials();
+
+    // Install the winner and fine-tune theta under it.
+    model.set_dropout_rates(result.best_alpha);
+    if (config.final_epochs > 0) {
+        nn::TrainConfig final_config = config.train;
+        final_config.epochs = config.final_epochs;
+        nn::train_classifier(*model.net, train_set.images, train_set.labels,
+                             final_config, rng);
+    }
+    return result;
+}
+
+}  // namespace
+
+BayesFTResult bayesft_search(models::ModelHandle& model,
+                             const data::Dataset& train_set,
+                             const data::Dataset& validation_set,
+                             const BayesFTConfig& config, Rng& rng) {
+    return run_search(model, train_set, validation_set, config, rng,
+                      /*use_gp=*/true);
+}
+
+BayesFTResult random_search(models::ModelHandle& model,
+                            const data::Dataset& train_set,
+                            const data::Dataset& validation_set,
+                            const BayesFTConfig& config, Rng& rng) {
+    return run_search(model, train_set, validation_set, config, rng,
+                      /*use_gp=*/false);
+}
+
+}  // namespace bayesft::core

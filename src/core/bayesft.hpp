@@ -1,0 +1,69 @@
+#pragma once
+// BayesFT (paper Algorithm 1): alternating optimization of network weights
+// theta (SGD) and per-layer dropout rates alpha (Bayesian optimization with
+// a GP surrogate over the drift-marginalized utility).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bayesopt/bayesopt.hpp"
+#include "core/objective.hpp"
+#include "data/dataset.hpp"
+#include "models/zoo.hpp"
+#include "nn/trainer.hpp"
+
+namespace bayesft::core {
+
+/// Configuration of the full search.
+struct BayesFTConfig {
+    /// Outer iterations t (each = E training epochs + one BO update).
+    std::size_t iterations = 8;
+    /// E: epochs of SGD on theta per outer iteration (Alg. 1 lines 5-7).
+    std::size_t epochs_per_iteration = 1;
+    /// Inner SGD settings for theta.
+    nn::TrainConfig train;
+    /// Monte-Carlo utility settings (Eq. 4).
+    ObjectiveConfig objective;
+    /// Acquisition rule: "posterior_mean" (paper), "ei" or "ucb".
+    std::string acquisition = "posterior_mean";
+    /// Kernel inverse length scales k_i of Eq. 9 (isotropic).
+    double kernel_inverse_scale = 4.0;
+    /// GP/BO proposal settings.
+    bayesopt::BayesOptConfig bo;
+    /// Upper bound for the per-layer dropout rate (strictly < 1).
+    double max_dropout_rate = 0.6;
+    /// Epochs trained with all-zero dropout before the search starts, so
+    /// fragile architectures (deep convnets, spatial transformers) reach a
+    /// trainable region before aggressive candidate rates are applied.
+    std::size_t warmup_epochs = 2;
+    /// Extra fine-tuning epochs after the best alpha is installed.
+    std::size_t final_epochs = 3;
+};
+
+/// Outcome of a search.
+struct BayesFTResult {
+    std::vector<double> best_alpha;
+    double best_utility = 0.0;
+    std::vector<bayesopt::Trial> trials;  ///< full BO history
+};
+
+/// Runs Algorithm 1 on `model` in place: on return the model holds the
+/// trained weights with the best-found dropout rates installed.
+///
+/// `train_set` drives the SGD steps; `validation_set` scores the
+/// drift-marginalized utility (held out from training, so the search does
+/// not overfit alpha to training noise).
+BayesFTResult bayesft_search(models::ModelHandle& model,
+                             const data::Dataset& train_set,
+                             const data::Dataset& validation_set,
+                             const BayesFTConfig& config, Rng& rng);
+
+/// Random-search ablation: identical protocol but alpha_t is sampled
+/// uniformly instead of by the GP acquisition (for ablation benches).
+BayesFTResult random_search(models::ModelHandle& model,
+                            const data::Dataset& train_set,
+                            const data::Dataset& validation_set,
+                            const BayesFTConfig& config, Rng& rng);
+
+}  // namespace bayesft::core

@@ -1,0 +1,121 @@
+#include "core/experiment.hpp"
+
+#include <stdexcept>
+
+#include "fault/evaluator.hpp"
+#include "utils/logging.hpp"
+
+namespace bayesft::core {
+
+ResultTable ExperimentResult::to_table(const std::string& title) const {
+    std::vector<std::string> columns{"sigma"};
+    for (const MethodCurve& curve : curves) columns.push_back(curve.method);
+    ResultTable table(title, columns);
+    for (std::size_t i = 0; i < sigmas.size(); ++i) {
+        std::vector<double> row{sigmas[i]};
+        for (const MethodCurve& curve : curves) {
+            row.push_back(curve.accuracy[i] * 100.0);
+        }
+        table.add_row(row);
+    }
+    return table;
+}
+
+namespace {
+
+/// Sigma sweep with a custom accuracy metric (standard or FTNA decode).
+std::vector<double> sweep(
+    nn::Module& net, const std::vector<double>& sigmas,
+    std::size_t eval_samples, Rng& rng,
+    const std::function<double(nn::Module&)>& metric) {
+    std::vector<double> curve;
+    curve.reserve(sigmas.size());
+    for (double sigma : sigmas) {
+        const fault::LogNormalDrift drift(sigma);
+        curve.push_back(fault::evaluate_metric_under_drift(
+                            net, drift, eval_samples, rng, metric)
+                            .mean_accuracy);
+    }
+    return curve;
+}
+
+}  // namespace
+
+ExperimentResult run_classification_experiment(
+    const ModelFactory& factory, const data::Dataset& train_set,
+    const data::Dataset& test_set, std::size_t num_classes,
+    const ExperimentConfig& config) {
+    if (!factory) {
+        throw std::invalid_argument("run_classification_experiment: no factory");
+    }
+    ExperimentResult result;
+    result.sigmas = config.sigmas;
+
+    auto standard_metric = [&](nn::Module& m) {
+        return nn::evaluate_accuracy(m, test_set.images, test_set.labels);
+    };
+
+    if (config.methods.erm) {
+        Rng rng(config.seed + 1);
+        models::ModelHandle model = factory(num_classes, rng);
+        log_info() << "[experiment] training ERM / " << model.name;
+        train_erm(model, train_set, config.train, rng);
+        result.curves.push_back(
+            {"ERM", sweep(*model.net, config.sigmas, config.eval_samples, rng,
+                          standard_metric)});
+    }
+    if (config.methods.ftna) {
+        Rng rng(config.seed + 2);
+        models::ModelHandle model = factory(config.ftna_code_bits, rng);
+        log_info() << "[experiment] training FTNA / " << model.name;
+        FtnaClassifier ftna(std::move(model), num_classes,
+                            config.ftna_code_bits, rng);
+        ftna.train(train_set, config.train, rng);
+        auto ftna_metric = [&](nn::Module&) {
+            return ftna.evaluate_accuracy(test_set.images, test_set.labels);
+        };
+        result.curves.push_back(
+            {"FTNA", sweep(ftna.network(), config.sigmas, config.eval_samples,
+                           rng, ftna_metric)});
+    }
+    if (config.methods.reram_v) {
+        Rng rng(config.seed + 3);
+        models::ModelHandle model = factory(num_classes, rng);
+        log_info() << "[experiment] training ReRAM-V / " << model.name;
+        ReRamVConfig reram = config.reram_v;
+        reram.pretrain = config.train;
+        train_reram_v(model, train_set, reram, rng);
+        result.curves.push_back(
+            {"ReRAM-V", sweep(*model.net, config.sigmas, config.eval_samples,
+                              rng, standard_metric)});
+    }
+    if (config.methods.awp) {
+        Rng rng(config.seed + 4);
+        models::ModelHandle model = factory(num_classes, rng);
+        log_info() << "[experiment] training AWP / " << model.name;
+        AwpConfig awp = config.awp;
+        awp.train = config.train;
+        train_awp(model, train_set, awp, rng);
+        result.curves.push_back(
+            {"AWP", sweep(*model.net, config.sigmas, config.eval_samples, rng,
+                          standard_metric)});
+    }
+    if (config.methods.bayesft) {
+        Rng rng(config.seed + 5);
+        models::ModelHandle model = factory(num_classes, rng);
+        log_info() << "[experiment] running BayesFT search / " << model.name;
+        // Hold out part of the training set for the search's utility.
+        Rng split_rng(config.seed + 6);
+        const data::TrainTestSplit inner =
+            data::split(train_set, 0.25, split_rng);
+        const BayesFTResult search = bayesft_search(
+            model, inner.train, inner.test, config.bayesft, rng);
+        result.bayesft_alpha = search.best_alpha;
+        result.curves.push_back(
+            {"BayesFT", sweep(*model.net, config.sigmas, config.eval_samples,
+                              rng, standard_metric)});
+    }
+    return result;
+}
+
+}  // namespace bayesft::core

@@ -1,0 +1,76 @@
+#pragma once
+// High-level experiment harness: trains every method on one task and sweeps
+// the drift level sigma, producing exactly the curves of the paper's
+// Fig. 3.  All fig3_* benches are thin wrappers over this.
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/baselines.hpp"
+#include "core/bayesft.hpp"
+#include "data/dataset.hpp"
+#include "models/zoo.hpp"
+#include "utils/table.hpp"
+
+namespace bayesft::core {
+
+/// Builds a fresh model with `output_units` outputs (classes for standard
+/// methods, code bits for FTNA).
+using ModelFactory =
+    std::function<models::ModelHandle(std::size_t output_units, Rng& rng)>;
+
+/// Which methods to run (FTNA/ReRAM-V/AWP can be disabled per figure, e.g.
+/// Fig. 3(i) has no FTNA because error-correction coding does not transfer).
+struct MethodSet {
+    bool erm = true;
+    bool ftna = true;
+    bool reram_v = true;
+    bool awp = true;
+    bool bayesft = true;
+};
+
+/// Full experiment configuration.
+struct ExperimentConfig {
+    /// Drift sweep of the x-axis (paper: 0 to 1.5 step 0.3).
+    std::vector<double> sigmas{0.0, 0.3, 0.6, 0.9, 1.2, 1.5};
+    /// Monte-Carlo samples per sigma point at evaluation time.
+    std::size_t eval_samples = 5;
+    /// Baseline training settings.
+    nn::TrainConfig train;
+    /// BayesFT search settings.
+    BayesFTConfig bayesft;
+    /// ReRAM-V / AWP / FTNA settings.
+    ReRamVConfig reram_v;
+    AwpConfig awp;
+    std::size_t ftna_code_bits = 16;
+    MethodSet methods;
+    std::uint64_t seed = 42;
+};
+
+/// One method's accuracy-vs-sigma curve.
+struct MethodCurve {
+    std::string method;
+    std::vector<double> accuracy;  ///< aligned with ExperimentConfig::sigmas
+};
+
+/// Result of a full experiment.
+struct ExperimentResult {
+    std::vector<double> sigmas;
+    std::vector<MethodCurve> curves;
+    std::vector<double> bayesft_alpha;  ///< best found dropout rates
+
+    /// Renders a Fig. 3-style table (rows = sigma, columns = methods,
+    /// cells = accuracy %).
+    ResultTable to_table(const std::string& title) const;
+};
+
+/// Runs every enabled method on the task defined by (factory, data).
+ExperimentResult run_classification_experiment(const ModelFactory& factory,
+                                               const data::Dataset& train_set,
+                                               const data::Dataset& test_set,
+                                               std::size_t num_classes,
+                                               const ExperimentConfig& config);
+
+}  // namespace bayesft::core

@@ -1,0 +1,33 @@
+#include "core/objective.hpp"
+
+#include <stdexcept>
+
+#include "nn/trainer.hpp"
+
+namespace bayesft::core {
+
+double drift_utility(nn::Module& model, const Tensor& images,
+                     const std::vector<int>& labels,
+                     const ObjectiveConfig& config, Rng& rng) {
+    if (config.sigmas.empty() || config.mc_samples == 0) {
+        throw std::invalid_argument("drift_utility: empty configuration");
+    }
+    double total = 0.0;
+    for (double sigma : config.sigmas) {
+        const fault::LogNormalDrift drift(sigma);
+        const auto report = fault::evaluate_metric_under_drift(
+            model, drift, config.mc_samples, rng, [&](nn::Module& m) {
+                switch (config.metric) {
+                    case ObjectiveMetric::kAccuracy:
+                        return nn::evaluate_accuracy(m, images, labels);
+                    case ObjectiveMetric::kNegLoss:
+                        return -nn::evaluate_loss(m, images, labels);
+                }
+                throw std::logic_error("drift_utility: bad metric");
+            });
+        total += report.mean_accuracy;
+    }
+    return total / static_cast<double>(config.sigmas.size());
+}
+
+}  // namespace bayesft::core

@@ -1,0 +1,37 @@
+#pragma once
+// The drift-marginalized architecture objective u(alpha, theta)
+// (paper Eq. 3-4): the expected quality of a network under memristance
+// drift, estimated by Monte-Carlo sampling of drift realizations.
+
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "fault/evaluator.hpp"
+#include "models/zoo.hpp"
+
+namespace bayesft::core {
+
+/// What to average over drift samples.
+enum class ObjectiveMetric {
+    kAccuracy,  ///< mean classification accuracy (monotone proxy of -loss)
+    kNegLoss,   ///< -E[cross-entropy] exactly as Eq. 3
+};
+
+/// Configuration of the Monte-Carlo utility estimate.
+struct ObjectiveConfig {
+    /// Drift levels marginalized over (the search trains robustness across
+    /// this set; evaluation later sweeps a finer sigma grid).
+    std::vector<double> sigmas{0.3, 0.6, 0.9};
+    /// Monte-Carlo samples T per sigma (Eq. 4).
+    std::size_t mc_samples = 4;
+    ObjectiveMetric metric = ObjectiveMetric::kAccuracy;
+};
+
+/// Estimates u(alpha, theta) for the model's *current* weights: perturb with
+/// LogNormalDrift(sigma) for each configured sigma, score on (images,
+/// labels), restore, and average everything.
+double drift_utility(nn::Module& model, const Tensor& images,
+                     const std::vector<int>& labels,
+                     const ObjectiveConfig& config, Rng& rng);
+
+}  // namespace bayesft::core

@@ -1,0 +1,64 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bayesft::data {
+
+Dataset take_rows(const Dataset& full, const std::vector<std::size_t>& rows) {
+    if (full.size() == 0) {
+        throw std::invalid_argument("take_rows: empty dataset");
+    }
+    const std::size_t row_size = full.images.size() / full.images.dim(0);
+    std::vector<std::size_t> shape = full.images.shape();
+    shape[0] = rows.size();
+    Dataset out;
+    out.images = Tensor(shape);
+    out.labels.reserve(rows.size());
+    out.num_classes = full.num_classes;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const std::size_t src = rows[i];
+        if (src >= full.size()) {
+            throw std::out_of_range("take_rows: row index out of range");
+        }
+        std::copy_n(full.images.data() + src * row_size, row_size,
+                    out.images.data() + i * row_size);
+        out.labels.push_back(full.labels[src]);
+    }
+    return out;
+}
+
+TrainTestSplit split(const Dataset& full, double test_fraction, Rng& rng) {
+    if (!(test_fraction > 0.0) || !(test_fraction < 1.0)) {
+        throw std::invalid_argument("split: test_fraction must be in (0, 1)");
+    }
+    const std::size_t n = full.size();
+    if (n < 2) throw std::invalid_argument("split: need at least 2 samples");
+    const auto perm = rng.permutation(n);
+    std::size_t test_count =
+        static_cast<std::size_t>(test_fraction * static_cast<double>(n));
+    test_count = std::clamp<std::size_t>(test_count, 1, n - 1);
+
+    std::vector<std::size_t> test_rows(perm.begin(),
+                                       perm.begin() + test_count);
+    std::vector<std::size_t> train_rows(perm.begin() + test_count,
+                                        perm.end());
+    TrainTestSplit result;
+    result.train = take_rows(full, train_rows);
+    result.test = take_rows(full, test_rows);
+    return result;
+}
+
+std::vector<std::size_t> class_histogram(const Dataset& dataset) {
+    std::vector<std::size_t> counts(dataset.num_classes, 0);
+    for (int label : dataset.labels) {
+        if (label < 0 ||
+            static_cast<std::size_t>(label) >= dataset.num_classes) {
+            throw std::out_of_range("class_histogram: label out of range");
+        }
+        ++counts[static_cast<std::size_t>(label)];
+    }
+    return counts;
+}
+
+}  // namespace bayesft::data

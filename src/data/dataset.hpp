@@ -1,0 +1,37 @@
+#pragma once
+// Dataset containers and generic helpers shared by all synthetic generators.
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "utils/rng.hpp"
+
+namespace bayesft::data {
+
+/// A labeled classification dataset: images [N, ...] + integer labels.
+struct Dataset {
+    Tensor images;
+    std::vector<int> labels;
+    std::size_t num_classes = 0;
+
+    std::size_t size() const { return labels.size(); }
+};
+
+/// A train/test pair.
+struct TrainTestSplit {
+    Dataset train;
+    Dataset test;
+};
+
+/// Randomly splits `full` into train/test with `test_fraction` of rows held
+/// out.  Throws std::invalid_argument for degenerate fractions or an empty
+/// dataset.
+TrainTestSplit split(const Dataset& full, double test_fraction, Rng& rng);
+
+/// Selects the given rows into a new dataset (utility for splits/subsets).
+Dataset take_rows(const Dataset& full, const std::vector<std::size_t>& rows);
+
+/// Per-class sample counts (sanity checks / class balance tests).
+std::vector<std::size_t> class_histogram(const Dataset& dataset);
+
+}  // namespace bayesft::data

@@ -1,0 +1,116 @@
+#include "data/digits.hpp"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+#include <string_view>
+
+namespace bayesft::data {
+
+namespace {
+
+// 5x7 digit font; '#' marks ink.
+constexpr std::array<std::array<std::string_view, 7>, 10> kGlyphs{{
+    {" ### ", "#   #", "#  ##", "# # #", "##  #", "#   #", " ### "},  // 0
+    {"  #  ", " ##  ", "  #  ", "  #  ", "  #  ", "  #  ", " ### "},  // 1
+    {" ### ", "#   #", "    #", "   # ", "  #  ", " #   ", "#####"},  // 2
+    {" ### ", "#   #", "    #", "  ## ", "    #", "#   #", " ### "},  // 3
+    {"   # ", "  ## ", " # # ", "#  # ", "#####", "   # ", "   # "},  // 4
+    {"#####", "#    ", "#### ", "    #", "    #", "#   #", " ### "},  // 5
+    {" ### ", "#    ", "#    ", "#### ", "#   #", "#   #", " ### "},  // 6
+    {"#####", "    #", "   # ", "  #  ", "  #  ", "  #  ", "  #  "},  // 7
+    {" ### ", "#   #", "#   #", " ### ", "#   #", "#   #", " ### "},  // 8
+    {" ### ", "#   #", "#   #", " ####", "    #", "    #", " ### "},  // 9
+}};
+
+constexpr std::size_t kGlyphW = 5;
+constexpr std::size_t kGlyphH = 7;
+
+/// Continuous glyph lookup with bilinear interpolation; coordinates in
+/// glyph units, out-of-bounds reads as background (0).
+float glyph_sample(int digit, double gy, double gx) {
+    auto ink = [&](std::ptrdiff_t r, std::ptrdiff_t c) -> float {
+        if (r < 0 || c < 0 || r >= static_cast<std::ptrdiff_t>(kGlyphH) ||
+            c >= static_cast<std::ptrdiff_t>(kGlyphW)) {
+            return 0.0F;
+        }
+        return kGlyphs[static_cast<std::size_t>(digit)]
+                      [static_cast<std::size_t>(r)]
+                      [static_cast<std::size_t>(c)] == '#'
+                   ? 1.0F
+                   : 0.0F;
+    };
+    const auto r0 = static_cast<std::ptrdiff_t>(std::floor(gy));
+    const auto c0 = static_cast<std::ptrdiff_t>(std::floor(gx));
+    const float wy = static_cast<float>(gy - static_cast<double>(r0));
+    const float wx = static_cast<float>(gx - static_cast<double>(c0));
+    return (1.0F - wy) * ((1.0F - wx) * ink(r0, c0) + wx * ink(r0, c0 + 1)) +
+           wy * ((1.0F - wx) * ink(r0 + 1, c0) + wx * ink(r0 + 1, c0 + 1));
+}
+
+}  // namespace
+
+Tensor render_digit(int digit, std::size_t image_size, double shift_x,
+                    double shift_y, double rotation, double scale) {
+    if (digit < 0 || digit > 9) {
+        throw std::invalid_argument("render_digit: digit must be 0..9");
+    }
+    if (image_size < 8) {
+        throw std::invalid_argument("render_digit: image_size too small");
+    }
+    Tensor img({image_size, image_size});
+    const double cx = static_cast<double>(image_size) / 2.0;
+    const double cy = static_cast<double>(image_size) / 2.0;
+    const double cos_r = std::cos(rotation);
+    const double sin_r = std::sin(rotation);
+    // Pixels per glyph cell: the glyph occupies ~70% of the image at scale 1.
+    const double cell =
+        0.7 * static_cast<double>(image_size) / static_cast<double>(kGlyphH) *
+        scale;
+    for (std::size_t y = 0; y < image_size; ++y) {
+        for (std::size_t x = 0; x < image_size; ++x) {
+            // Inverse map: image pixel -> centered -> unrotate -> glyph grid.
+            const double px =
+                static_cast<double>(x) - cx - shift_x * image_size;
+            const double py =
+                static_cast<double>(y) - cy - shift_y * image_size;
+            const double ux = cos_r * px + sin_r * py;
+            const double uy = -sin_r * px + cos_r * py;
+            const double gx = ux / cell + static_cast<double>(kGlyphW) / 2.0;
+            const double gy = uy / cell + static_cast<double>(kGlyphH) / 2.0;
+            img(y, x) = glyph_sample(digit, gy - 0.5, gx - 0.5);
+        }
+    }
+    return img;
+}
+
+Dataset synthetic_digits(const DigitConfig& config, Rng& rng) {
+    if (config.samples < 10) {
+        throw std::invalid_argument("synthetic_digits: need >= 10 samples");
+    }
+    const std::size_t s = config.image_size;
+    Dataset d;
+    d.images = Tensor({config.samples, 1, s, s});
+    d.labels.resize(config.samples);
+    d.num_classes = 10;
+    for (std::size_t i = 0; i < config.samples; ++i) {
+        const int digit = static_cast<int>(i % 10);
+        const Tensor glyph = render_digit(
+            digit, s, rng.uniform(-config.max_shift, config.max_shift),
+            rng.uniform(-config.max_shift, config.max_shift),
+            rng.uniform(-config.max_rotation, config.max_rotation),
+            rng.uniform(config.min_scale, config.max_scale));
+        const auto intensity = static_cast<float>(rng.uniform(0.7, 1.0));
+        float* dst = d.images.data() + i * s * s;
+        for (std::size_t p = 0; p < s * s; ++p) {
+            const float noisy =
+                glyph[p] * intensity +
+                static_cast<float>(rng.normal(0.0, config.noise));
+            dst[p] = std::min(1.0F, std::max(0.0F, noisy));
+        }
+        d.labels[i] = digit;
+    }
+    return d;
+}
+
+}  // namespace bayesft::data

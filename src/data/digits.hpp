@@ -1,0 +1,33 @@
+#pragma once
+// Synthetic handwritten-digit substitute for MNIST (offline environment —
+// see DESIGN.md section 2).  Digits are rendered from a 5x7 glyph font
+// through a random affine transform (shift / scale / rotation / shear),
+// with stroke-intensity jitter and additive pixel noise, giving a 10-class
+// problem with MNIST-like difficulty ordering for small models.
+
+#include "data/dataset.hpp"
+
+namespace bayesft::data {
+
+/// Generation knobs for the digit renderer.
+struct DigitConfig {
+    std::size_t samples = 2000;
+    std::size_t image_size = 16;  ///< square side; MNIST uses 28
+    /// Translation as a fraction of image size.  MNIST digits are centered,
+    /// so the default jitter is small; large shifts make the task MLP-hard.
+    double max_shift = 0.06;
+    double max_rotation = 0.2;  ///< radians
+    double min_scale = 0.8;
+    double max_scale = 1.1;
+    double noise = 0.08;          ///< additive Gaussian pixel noise stddev
+};
+
+/// Renders a balanced 10-class digit dataset, images [N, 1, S, S] in [0, 1].
+Dataset synthetic_digits(const DigitConfig& config, Rng& rng);
+
+/// Renders a single digit glyph (exposed for tests/visualization):
+/// an [S, S] tensor for `digit` in 0..9 with the given transform.
+Tensor render_digit(int digit, std::size_t image_size, double shift_x,
+                    double shift_y, double rotation, double scale);
+
+}  // namespace bayesft::data

@@ -1,0 +1,136 @@
+#include "data/objects.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace bayesft::data {
+
+namespace {
+
+struct Rgb {
+    float r = 0.0F;
+    float g = 0.0F;
+    float b = 0.0F;
+};
+
+Rgb random_color(Rng& rng, double min_brightness) {
+    Rgb c;
+    c.r = static_cast<float>(rng.uniform(min_brightness, 1.0));
+    c.g = static_cast<float>(rng.uniform(min_brightness, 1.0));
+    c.b = static_cast<float>(rng.uniform(min_brightness, 1.0));
+    return c;
+}
+
+/// Foreground coverage in [0,1] for a pixel, per class geometry.
+float coverage(ObjectClass cls, double y, double x, double cx, double cy,
+               double radius, int phase) {
+    const double dx = x - cx;
+    const double dy = y - cy;
+    const double dist = std::sqrt(dx * dx + dy * dy);
+    switch (cls) {
+        case ObjectClass::kCircle:
+            return dist <= radius ? 1.0F : 0.0F;
+        case ObjectClass::kSquare:
+            return (std::abs(dx) <= radius * 0.85 &&
+                    std::abs(dy) <= radius * 0.85)
+                       ? 1.0F
+                       : 0.0F;
+        case ObjectClass::kTriangle: {
+            // Upward triangle: inside if below the two slanted edges.
+            const double h = radius * 1.6;
+            const double ty = dy + h / 2.0;
+            if (ty < 0.0 || ty > h) return 0.0F;
+            const double half_width = radius * (ty / h);
+            return std::abs(dx) <= half_width ? 1.0F : 0.0F;
+        }
+        case ObjectClass::kRing:
+            return (dist <= radius && dist >= radius * 0.55) ? 1.0F : 0.0F;
+        case ObjectClass::kCross:
+            return (std::abs(dx) <= radius * 0.3 ||
+                    std::abs(dy) <= radius * 0.3) &&
+                           dist <= radius * 1.3
+                       ? 1.0F
+                       : 0.0F;
+        case ObjectClass::kHorizontalStripes:
+            return (static_cast<int>(y / 2.0) + phase) % 2 == 0 ? 1.0F : 0.0F;
+        case ObjectClass::kVerticalStripes:
+            return (static_cast<int>(x / 2.0) + phase) % 2 == 0 ? 1.0F : 0.0F;
+        case ObjectClass::kCheckerboard:
+            return ((static_cast<int>(y / 2.0) + static_cast<int>(x / 2.0) +
+                     phase) %
+                    2) == 0
+                       ? 1.0F
+                       : 0.0F;
+        case ObjectClass::kDiagonalGradient:
+            return static_cast<float>((x + y) /
+                                      (2.0 * (cx + cy)));  // smooth ramp
+        case ObjectClass::kDotGrid: {
+            const double gx = std::fmod(x + phase, 4.0) - 2.0;
+            const double gy = std::fmod(y + phase, 4.0) - 2.0;
+            return (gx * gx + gy * gy) <= 1.2 ? 1.0F : 0.0F;
+        }
+    }
+    return 0.0F;
+}
+
+}  // namespace
+
+Tensor render_object(ObjectClass cls, std::size_t image_size, Rng& rng,
+                     double noise) {
+    if (image_size < 8) {
+        throw std::invalid_argument("render_object: image_size too small");
+    }
+    const std::size_t s = image_size;
+    Tensor img({3, s, s});
+    const Rgb fg = random_color(rng, 0.55);
+    const Rgb bg = random_color(rng, 0.0);
+    const double cx =
+        static_cast<double>(s) / 2.0 + rng.uniform(-2.0, 2.0);
+    const double cy =
+        static_cast<double>(s) / 2.0 + rng.uniform(-2.0, 2.0);
+    const double radius = static_cast<double>(s) * rng.uniform(0.25, 0.38);
+    const int phase = static_cast<int>(rng.uniform_int(std::uint64_t{4}));
+    for (std::size_t y = 0; y < s; ++y) {
+        for (std::size_t x = 0; x < s; ++x) {
+            const float a =
+                coverage(cls, static_cast<double>(y), static_cast<double>(x),
+                         cx, cy, radius, phase);
+            const float r = a * fg.r + (1.0F - a) * bg.r * 0.4F;
+            const float g = a * fg.g + (1.0F - a) * bg.g * 0.4F;
+            const float b = a * fg.b + (1.0F - a) * bg.b * 0.4F;
+            auto put = [&](std::size_t ch, float v) {
+                const float noisy =
+                    v + static_cast<float>(rng.normal(0.0, noise));
+                img(ch, y, x) = std::min(1.0F, std::max(0.0F, noisy));
+            };
+            put(0, r);
+            put(1, g);
+            put(2, b);
+        }
+    }
+    return img;
+}
+
+Dataset synthetic_objects(const ObjectConfig& config, Rng& rng) {
+    if (config.samples < 10) {
+        throw std::invalid_argument("synthetic_objects: need >= 10 samples");
+    }
+    const std::size_t s = config.image_size;
+    Dataset d;
+    d.images = Tensor({config.samples, 3, s, s});
+    d.labels.resize(config.samples);
+    d.num_classes = 10;
+    const std::size_t image_scalars = 3 * s * s;
+    for (std::size_t i = 0; i < config.samples; ++i) {
+        const int label = static_cast<int>(i % 10);
+        const Tensor img = render_object(static_cast<ObjectClass>(label), s,
+                                         rng, config.noise);
+        std::copy_n(img.data(), image_scalars,
+                    d.images.data() + i * image_scalars);
+        d.labels[i] = label;
+    }
+    return d;
+}
+
+}  // namespace bayesft::data

@@ -1,0 +1,125 @@
+#include "data/pedestrians.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace bayesft::data {
+
+namespace {
+
+/// Samples the placement box of a pedestrian without drawing it, so overlap
+/// rejection can happen before any pixels change.
+detect::Box sample_placement(std::size_t s, Rng& rng) {
+    const double height = rng.uniform(0.35, 0.55) * static_cast<double>(s);
+    const double width = height * rng.uniform(0.30, 0.42);
+    const double x = rng.uniform(1.0, static_cast<double>(s) - width - 1.0);
+    const double y = rng.uniform(1.0, static_cast<double>(s) - height - 1.0);
+    return detect::Box{x, y, x + width, y + height};
+}
+
+/// Draws one pedestrian (head ellipse + body rectangle) into `box`.
+void draw_pedestrian(Tensor& img, std::size_t s, const detect::Box& box,
+                     Rng& rng) {
+    const double x = box.x1, y = box.y1;
+    const double width = box.width(), height = box.height();
+
+    // Pedestrians are darker than the background, with slight color cast.
+    const float shade = static_cast<float>(rng.uniform(0.05, 0.25));
+    const float cast_r = shade + static_cast<float>(rng.uniform(0.0, 0.1));
+    const float cast_g = shade;
+    const float cast_b = shade + static_cast<float>(rng.uniform(0.0, 0.1));
+
+    const double head_radius = width * 0.45;
+    const double head_cx = x + width / 2.0;
+    const double head_cy = y + head_radius;
+    const double body_top = y + 2.0 * head_radius;
+
+    for (std::size_t py = 0; py < s; ++py) {
+        for (std::size_t px = 0; px < s; ++px) {
+            const double fx = static_cast<double>(px) + 0.5;
+            const double fy = static_cast<double>(py) + 0.5;
+            const double hdx = fx - head_cx;
+            const double hdy = fy - head_cy;
+            const bool in_head =
+                (hdx * hdx + hdy * hdy) <= head_radius * head_radius;
+            const bool in_body = fx >= x + width * 0.15 &&
+                                 fx <= x + width * 0.85 && fy >= body_top &&
+                                 fy <= y + height;
+            if (in_head || in_body) {
+                img(0, py, px) = cast_r;
+                img(1, py, px) = cast_g;
+                img(2, py, px) = cast_b;
+            }
+        }
+    }
+}
+
+}  // namespace
+
+DetectionDataset synthetic_pedestrians(const PedestrianConfig& config,
+                                       Rng& rng) {
+    if (config.samples == 0) {
+        throw std::invalid_argument("synthetic_pedestrians: zero samples");
+    }
+    if (config.min_pedestrians == 0 ||
+        config.min_pedestrians > config.max_pedestrians) {
+        throw std::invalid_argument(
+            "synthetic_pedestrians: bad pedestrian count range");
+    }
+    if (config.image_size < 16) {
+        throw std::invalid_argument("synthetic_pedestrians: image too small");
+    }
+    const std::size_t s = config.image_size;
+    DetectionDataset d;
+    d.images = Tensor({config.samples, 3, s, s});
+    d.boxes.resize(config.samples);
+    const std::size_t image_scalars = 3 * s * s;
+    for (std::size_t i = 0; i < config.samples; ++i) {
+        Tensor img({3, s, s});
+        // Textured bright background: vertical gradient + noise.
+        const float base = static_cast<float>(rng.uniform(0.55, 0.8));
+        for (std::size_t py = 0; py < s; ++py) {
+            const float row_shade =
+                base + 0.15F * static_cast<float>(py) /
+                           static_cast<float>(s);
+            for (std::size_t px = 0; px < s; ++px) {
+                for (std::size_t ch = 0; ch < 3; ++ch) {
+                    img(ch, py, px) =
+                        row_shade +
+                        static_cast<float>(rng.normal(0.0, 0.03));
+                }
+            }
+        }
+        const std::size_t count =
+            config.min_pedestrians +
+            rng.uniform_int(config.max_pedestrians - config.min_pedestrians +
+                            1);
+        for (std::size_t p = 0; p < count; ++p) {
+            const detect::Box box = sample_placement(s, rng);
+            // Reject heavy overlap with already-placed pedestrians so boxes
+            // stay unambiguous ground truth (the figure is only drawn if
+            // its box is accepted).
+            bool overlapping = false;
+            for (const detect::Box& other : d.boxes[i]) {
+                if (detect::iou(box, other) > 0.3) {
+                    overlapping = true;
+                    break;
+                }
+            }
+            if (overlapping) continue;
+            draw_pedestrian(img, s, box, rng);
+            d.boxes[i].push_back(box);
+        }
+        for (float& v : img.values()) {
+            v = std::clamp(
+                v + static_cast<float>(rng.normal(0.0, config.noise)), 0.0F,
+                1.0F);
+        }
+        std::copy_n(img.data(), image_scalars,
+                    d.images.data() + i * image_scalars);
+    }
+    return d;
+}
+
+}  // namespace bayesft::data

@@ -1,0 +1,35 @@
+#pragma once
+// Synthetic pedestrian-detection scenes substituting for PennFudanPed
+// (see DESIGN.md section 2).  Each scene contains 1-3 pedestrian-like
+// figures (elliptical head + rectangular body) over a textured background,
+// with ground-truth boxes for mAP evaluation.
+
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "detect/box.hpp"
+
+namespace bayesft::data {
+
+/// A detection dataset: scenes plus per-scene ground-truth boxes.
+struct DetectionDataset {
+    Tensor images;                               // [N, 3, S, S]
+    std::vector<std::vector<detect::Box>> boxes;  // per image
+
+    std::size_t size() const { return boxes.size(); }
+};
+
+/// Generation knobs for the pedestrian scene renderer.
+struct PedestrianConfig {
+    std::size_t samples = 400;
+    std::size_t image_size = 32;
+    std::size_t min_pedestrians = 1;
+    std::size_t max_pedestrians = 3;
+    double noise = 0.04;
+};
+
+/// Renders scenes with ground truth.
+DetectionDataset synthetic_pedestrians(const PedestrianConfig& config,
+                                       Rng& rng);
+
+}  // namespace bayesft::data

@@ -1,0 +1,85 @@
+#include "data/toy.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace bayesft::data {
+
+namespace {
+
+void check_samples(std::size_t samples, const char* who) {
+    if (samples < 2) {
+        throw std::invalid_argument(std::string(who) + ": need >= 2 samples");
+    }
+}
+
+}  // namespace
+
+Dataset make_moons(std::size_t samples, double noise, Rng& rng) {
+    check_samples(samples, "make_moons");
+    Dataset d;
+    d.images = Tensor({samples, 2});
+    d.labels.resize(samples);
+    d.num_classes = 2;
+    for (std::size_t i = 0; i < samples; ++i) {
+        const int label = static_cast<int>(i % 2);
+        const double t = rng.uniform(0.0, std::numbers::pi);
+        double x;
+        double y;
+        if (label == 0) {
+            x = std::cos(t);
+            y = std::sin(t);
+        } else {
+            x = 1.0 - std::cos(t);
+            y = 0.5 - std::sin(t);
+        }
+        d.images(i, 0) = static_cast<float>(x + rng.normal(0.0, noise));
+        d.images(i, 1) = static_cast<float>(y + rng.normal(0.0, noise));
+        d.labels[i] = label;
+    }
+    return d;
+}
+
+Dataset make_blobs(std::size_t samples, std::size_t classes, double spread,
+                   double stddev, Rng& rng) {
+    check_samples(samples, "make_blobs");
+    if (classes < 2) throw std::invalid_argument("make_blobs: classes < 2");
+    Dataset d;
+    d.images = Tensor({samples, 2});
+    d.labels.resize(samples);
+    d.num_classes = classes;
+    for (std::size_t i = 0; i < samples; ++i) {
+        const auto label = static_cast<int>(i % classes);
+        const double angle = 2.0 * std::numbers::pi *
+                             static_cast<double>(label) /
+                             static_cast<double>(classes);
+        d.images(i, 0) = static_cast<float>(spread * std::cos(angle) +
+                                            rng.normal(0.0, stddev));
+        d.images(i, 1) = static_cast<float>(spread * std::sin(angle) +
+                                            rng.normal(0.0, stddev));
+        d.labels[i] = label;
+    }
+    return d;
+}
+
+Dataset make_circles(std::size_t samples, double noise, Rng& rng) {
+    check_samples(samples, "make_circles");
+    Dataset d;
+    d.images = Tensor({samples, 2});
+    d.labels.resize(samples);
+    d.num_classes = 2;
+    for (std::size_t i = 0; i < samples; ++i) {
+        const int label = static_cast<int>(i % 2);
+        const double radius = label == 0 ? 1.0 : 0.5;
+        const double t = rng.uniform(0.0, 2.0 * std::numbers::pi);
+        d.images(i, 0) = static_cast<float>(radius * std::cos(t) +
+                                            rng.normal(0.0, noise));
+        d.images(i, 1) = static_cast<float>(radius * std::sin(t) +
+                                            rng.normal(0.0, noise));
+        d.labels[i] = label;
+    }
+    return d;
+}
+
+}  // namespace bayesft::data

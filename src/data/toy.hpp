@@ -1,0 +1,21 @@
+#pragma once
+// Low-dimensional toy datasets (paper Fig. 1 uses a scikit-learn-style
+// binary classification problem to visualize decision-boundary shift).
+
+#include "data/dataset.hpp"
+
+namespace bayesft::data {
+
+/// Two interleaving half-moons (binary), features [N, 2] with i.i.d.
+/// Gaussian `noise` added to both coordinates.
+Dataset make_moons(std::size_t samples, double noise, Rng& rng);
+
+/// Isotropic Gaussian blobs, one per class, centers on a circle of radius
+/// `spread`, per-class stddev `stddev`.
+Dataset make_blobs(std::size_t samples, std::size_t classes, double spread,
+                   double stddev, Rng& rng);
+
+/// Concentric circles (binary): inner radius 0.5, outer radius 1, plus noise.
+Dataset make_circles(std::size_t samples, double noise, Rng& rng);
+
+}  // namespace bayesft::data

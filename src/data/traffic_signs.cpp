@@ -1,0 +1,161 @@
+#include "data/traffic_signs.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace bayesft::data {
+
+namespace {
+
+// Class id decomposition: 5 plate shapes x 3 border colors x 4 glyphs = 60
+// combinations; GTSRB's 43 classes use ids 0..42 of that product space.
+constexpr int kShapes = 5;
+constexpr int kColors = 3;
+
+struct Rgb {
+    float r = 0.0F;
+    float g = 0.0F;
+    float b = 0.0F;
+};
+
+constexpr Rgb kBorderColors[kColors] = {
+    {0.85F, 0.10F, 0.10F},  // red
+    {0.10F, 0.20F, 0.85F},  // blue
+    {0.90F, 0.80F, 0.10F},  // yellow
+};
+
+/// Signed "inside-ness" of the plate in canonical coordinates (u, v) in
+/// [-1, 1]: returns a value > 0 inside, scaled so ~0.25 from the rim is
+/// deep interior.
+double plate_inside(int shape, double u, double v) {
+    switch (shape) {
+        case 0:  // circle
+            return 0.9 - std::sqrt(u * u + v * v);
+        case 1: {  // triangle (point up)
+            const double top = 0.85;
+            if (v > top) return top - v;
+            const double limit = 0.95 * (v + 0.9) / 1.8;
+            return limit - std::abs(u);
+        }
+        case 2: {  // triangle (point down)
+            const double bottom = -0.85;
+            if (v < bottom) return v - bottom;
+            const double limit = 0.95 * (0.9 - v) / 1.8;
+            return limit - std::abs(u);
+        }
+        case 3:  // diamond
+            return 0.9 - (std::abs(u) + std::abs(v));
+        case 4:  // octagon-ish rounded square
+            return 0.85 - std::max(std::max(std::abs(u), std::abs(v)),
+                                   (std::abs(u) + std::abs(v)) / 1.3);
+        default:
+            throw std::logic_error("plate_inside: bad shape");
+    }
+}
+
+/// Inner glyph coverage (dark ink on the plate interior).
+float glyph_cover(int glyph, double u, double v) {
+    switch (glyph) {
+        case 0:  // none
+            return 0.0F;
+        case 1:  // horizontal bar
+            return (std::abs(v) < 0.18 && std::abs(u) < 0.5) ? 1.0F : 0.0F;
+        case 2:  // central dot
+            return (u * u + v * v) < 0.08 ? 1.0F : 0.0F;
+        case 3:  // vertical bar
+            return (std::abs(u) < 0.18 && std::abs(v) < 0.5) ? 1.0F : 0.0F;
+        default:
+            throw std::logic_error("glyph_cover: bad glyph");
+    }
+}
+
+}  // namespace
+
+Tensor render_traffic_sign(int class_id, std::size_t image_size,
+                           double shift_x, double shift_y, double rotation,
+                           double scale) {
+    if (class_id < 0 || class_id >= kShapes * kColors * 4) {
+        throw std::invalid_argument("render_traffic_sign: class out of range");
+    }
+    if (image_size < 8) {
+        throw std::invalid_argument("render_traffic_sign: image too small");
+    }
+    const int shape = class_id % kShapes;
+    const int color = (class_id / kShapes) % kColors;
+    const int glyph = class_id / (kShapes * kColors);
+    const Rgb border = kBorderColors[color];
+
+    const std::size_t s = image_size;
+    Tensor img({3, s, s});
+    const double half = static_cast<double>(s) / 2.0;
+    const double cos_r = std::cos(rotation);
+    const double sin_r = std::sin(rotation);
+    for (std::size_t y = 0; y < s; ++y) {
+        for (std::size_t x = 0; x < s; ++x) {
+            // Inverse affine into canonical [-1, 1]^2 coordinates.
+            const double px =
+                (static_cast<double>(x) - half - shift_x * s) / (half * scale);
+            const double py =
+                (static_cast<double>(y) - half - shift_y * s) / (half * scale);
+            const double u = cos_r * px + sin_r * py;
+            const double v = -sin_r * px + cos_r * py;
+
+            const double inside = plate_inside(shape, u, v);
+            Rgb pix{0.12F, 0.12F, 0.12F};  // dark background
+            if (inside > 0.0) {
+                if (inside < 0.22) {
+                    pix = border;  // rim
+                } else {
+                    pix = {0.92F, 0.92F, 0.92F};  // plate interior
+                    const float ink = glyph_cover(glyph, u, v);
+                    pix.r = pix.r * (1.0F - ink) + 0.05F * ink;
+                    pix.g = pix.g * (1.0F - ink) + 0.05F * ink;
+                    pix.b = pix.b * (1.0F - ink) + 0.05F * ink;
+                }
+            }
+            img(0, y, x) = pix.r;
+            img(1, y, x) = pix.g;
+            img(2, y, x) = pix.b;
+        }
+    }
+    return img;
+}
+
+Dataset synthetic_traffic_signs(const TrafficSignConfig& config, Rng& rng) {
+    if (config.num_classes == 0 ||
+        config.num_classes > static_cast<std::size_t>(kShapes * kColors * 4)) {
+        throw std::invalid_argument(
+            "synthetic_traffic_signs: num_classes out of range");
+    }
+    if (config.samples < config.num_classes) {
+        throw std::invalid_argument(
+            "synthetic_traffic_signs: need >= one sample per class");
+    }
+    const std::size_t s = config.image_size;
+    Dataset d;
+    d.images = Tensor({config.samples, 3, s, s});
+    d.labels.resize(config.samples);
+    d.num_classes = config.num_classes;
+    const std::size_t image_scalars = 3 * s * s;
+    for (std::size_t i = 0; i < config.samples; ++i) {
+        const int label = static_cast<int>(i % config.num_classes);
+        Tensor img = render_traffic_sign(
+            label, s, rng.uniform(-config.max_shift, config.max_shift),
+            rng.uniform(-config.max_shift, config.max_shift),
+            rng.uniform(-config.max_rotation, config.max_rotation),
+            rng.uniform(config.min_scale, config.max_scale));
+        // Additive sensor noise, clamped to [0, 1].
+        for (float& v : img.values()) {
+            v = std::clamp(
+                v + static_cast<float>(rng.normal(0.0, config.noise)), 0.0F,
+                1.0F);
+        }
+        std::copy_n(img.data(), image_scalars,
+                    d.images.data() + i * image_scalars);
+        d.labels[i] = label;
+    }
+    return d;
+}
+
+}  // namespace bayesft::data

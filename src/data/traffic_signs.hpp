@@ -1,0 +1,33 @@
+#pragma once
+// Synthetic 43-class traffic-sign dataset substituting for GTSRB
+// (see DESIGN.md section 2).  Each class is a unique combination of plate
+// shape, border color and inner glyph; images get random affine jitter so
+// the spatial-transformer front-end of the classifier has real work to do
+// (paper Fig. 3(i)).
+
+#include "data/dataset.hpp"
+
+namespace bayesft::data {
+
+/// Generation knobs for the traffic-sign renderer.
+struct TrafficSignConfig {
+    std::size_t samples = 4300;
+    std::size_t image_size = 16;
+    std::size_t num_classes = 43;  ///< GTSRB has 43
+    double max_shift = 0.12;       ///< fraction of image size
+    double max_rotation = 0.3;     ///< radians
+    double min_scale = 0.75;
+    double max_scale = 1.15;
+    double noise = 0.05;
+};
+
+/// Renders a balanced dataset, images [N, 3, S, S] in [0, 1].
+Dataset synthetic_traffic_signs(const TrafficSignConfig& config, Rng& rng);
+
+/// Renders one canonical (un-jittered) sign [3, S, S] for a class id
+/// (exposed for tests).
+Tensor render_traffic_sign(int class_id, std::size_t image_size,
+                           double shift_x, double shift_y, double rotation,
+                           double scale);
+
+}  // namespace bayesft::data

@@ -1,0 +1,121 @@
+#include "detect/box.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bayesft::detect {
+
+double Box::area() const {
+    if (!valid()) return 0.0;
+    return width() * height();
+}
+
+double iou(const Box& a, const Box& b) {
+    if (!a.valid() || !b.valid()) return 0.0;
+    const double ix1 = std::max(a.x1, b.x1);
+    const double iy1 = std::max(a.y1, b.y1);
+    const double ix2 = std::min(a.x2, b.x2);
+    const double iy2 = std::min(a.y2, b.y2);
+    if (ix2 <= ix1 || iy2 <= iy1) return 0.0;
+    const double inter = (ix2 - ix1) * (iy2 - iy1);
+    return inter / (a.area() + b.area() - inter);
+}
+
+std::vector<Detection> nms(std::vector<Detection> detections,
+                           double iou_threshold) {
+    if (iou_threshold < 0.0 || iou_threshold > 1.0) {
+        throw std::invalid_argument("nms: threshold must be in [0, 1]");
+    }
+    std::sort(detections.begin(), detections.end(),
+              [](const Detection& a, const Detection& b) {
+                  return a.score > b.score;
+              });
+    std::vector<Detection> kept;
+    for (const Detection& candidate : detections) {
+        bool suppressed = false;
+        for (const Detection& winner : kept) {
+            if (iou(candidate.box, winner.box) > iou_threshold) {
+                suppressed = true;
+                break;
+            }
+        }
+        if (!suppressed) kept.push_back(candidate);
+    }
+    return kept;
+}
+
+double average_precision(
+    const std::vector<std::vector<Detection>>& detections_per_image,
+    const std::vector<std::vector<Box>>& ground_truth_per_image,
+    double iou_threshold) {
+    if (detections_per_image.size() != ground_truth_per_image.size()) {
+        throw std::invalid_argument("average_precision: image count mismatch");
+    }
+    std::size_t total_gt = 0;
+    for (const auto& gts : ground_truth_per_image) total_gt += gts.size();
+    if (total_gt == 0) return 0.0;
+
+    // Flatten detections with their image index, sort by descending score.
+    struct Flat {
+        double score;
+        std::size_t image;
+        const Box* box;
+    };
+    std::vector<Flat> flat;
+    for (std::size_t img = 0; img < detections_per_image.size(); ++img) {
+        for (const Detection& det : detections_per_image[img]) {
+            flat.push_back({det.score, img, &det.box});
+        }
+    }
+    std::sort(flat.begin(), flat.end(),
+              [](const Flat& a, const Flat& b) { return a.score > b.score; });
+
+    // Greedy matching: each ground-truth box may be claimed once.
+    std::vector<std::vector<bool>> claimed;
+    claimed.reserve(ground_truth_per_image.size());
+    for (const auto& gts : ground_truth_per_image) {
+        claimed.emplace_back(gts.size(), false);
+    }
+
+    std::vector<double> precision;
+    std::vector<double> recall;
+    std::size_t tp = 0, fp = 0;
+    for (const Flat& det : flat) {
+        const auto& gts = ground_truth_per_image[det.image];
+        double best_iou = 0.0;
+        std::size_t best_idx = gts.size();
+        for (std::size_t g = 0; g < gts.size(); ++g) {
+            if (claimed[det.image][g]) continue;
+            const double overlap = iou(*det.box, gts[g]);
+            if (overlap > best_iou) {
+                best_iou = overlap;
+                best_idx = g;
+            }
+        }
+        if (best_idx < gts.size() && best_iou >= iou_threshold) {
+            claimed[det.image][best_idx] = true;
+            ++tp;
+        } else {
+            ++fp;
+        }
+        precision.push_back(static_cast<double>(tp) /
+                            static_cast<double>(tp + fp));
+        recall.push_back(static_cast<double>(tp) /
+                         static_cast<double>(total_gt));
+    }
+    if (precision.empty()) return 0.0;
+
+    // Monotone-decreasing precision envelope, then exact area under PR.
+    for (std::size_t i = precision.size() - 1; i-- > 0;) {
+        precision[i] = std::max(precision[i], precision[i + 1]);
+    }
+    double ap = 0.0;
+    double prev_recall = 0.0;
+    for (std::size_t i = 0; i < precision.size(); ++i) {
+        ap += (recall[i] - prev_recall) * precision[i];
+        prev_recall = recall[i];
+    }
+    return ap;
+}
+
+}  // namespace bayesft::detect

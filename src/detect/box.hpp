@@ -1,0 +1,47 @@
+#pragma once
+// Axis-aligned bounding boxes, IoU, and non-maximum suppression — the
+// geometric substrate of the object-detection experiments (paper Fig. 3(j),
+// Fig. 4).
+
+#include <vector>
+
+namespace bayesft::detect {
+
+/// Axis-aligned box in pixel coordinates, [x1, x2) x [y1, y2).
+struct Box {
+    double x1 = 0.0;
+    double y1 = 0.0;
+    double x2 = 0.0;
+    double y2 = 0.0;
+
+    double width() const { return x2 - x1; }
+    double height() const { return y2 - y1; }
+    double area() const;
+    bool valid() const { return x2 > x1 && y2 > y1; }
+};
+
+/// A scored detection.
+struct Detection {
+    Box box;
+    double score = 0.0;
+};
+
+/// Intersection-over-union of two boxes (0 for degenerate boxes).
+double iou(const Box& a, const Box& b);
+
+/// Greedy non-maximum suppression: keeps highest-scoring detections,
+/// discarding any with IoU > `iou_threshold` against an already-kept one.
+/// Input order does not matter; output is sorted by descending score.
+std::vector<Detection> nms(std::vector<Detection> detections,
+                           double iou_threshold);
+
+/// Average precision at a single IoU threshold (Pascal-VOC style, exact
+/// area under the interpolated precision-recall curve).
+/// `detections_per_image[i]` are the scored predictions of image i;
+/// `ground_truth_per_image[i]` the true boxes of image i.
+double average_precision(
+    const std::vector<std::vector<Detection>>& detections_per_image,
+    const std::vector<std::vector<Box>>& ground_truth_per_image,
+    double iou_threshold = 0.5);
+
+}  // namespace bayesft::detect

@@ -1,0 +1,113 @@
+#include "detect/render.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace bayesft::detect {
+
+namespace {
+
+void require_chw(const Tensor& image) {
+    if (image.rank() != 3 || image.dim(0) != 3) {
+        throw std::invalid_argument("render: expected [3, H, W] image, got " +
+                                    shape_to_string(image.shape()));
+    }
+}
+
+bool on_box_edge(const Box& box, std::size_t x, std::size_t y) {
+    const double fx = static_cast<double>(x);
+    const double fy = static_cast<double>(y);
+    const bool x_in = fx >= box.x1 - 0.5 && fx <= box.x2 + 0.5;
+    const bool y_in = fy >= box.y1 - 0.5 && fy <= box.y2 + 0.5;
+    const bool x_edge = std::abs(fx - box.x1) < 0.5 ||
+                        std::abs(fx - box.x2) < 0.5;
+    const bool y_edge = std::abs(fy - box.y1) < 0.5 ||
+                        std::abs(fy - box.y2) < 0.5;
+    return (x_edge && y_in) || (y_edge && x_in);
+}
+
+}  // namespace
+
+std::string render_ascii(const Tensor& image,
+                         const std::vector<Detection>& detections,
+                         const std::vector<Box>& ground_truth) {
+    require_chw(image);
+    const std::size_t h = image.dim(1), w = image.dim(2);
+    // Ramp avoids '#' and '+', which mark detection / truth boxes.
+    static constexpr char kRamp[] = " .,:-~=oa@";
+    constexpr std::size_t kRampLen = sizeof(kRamp) - 2;
+    std::ostringstream os;
+    for (std::size_t y = 0; y < h; ++y) {
+        for (std::size_t x = 0; x < w; ++x) {
+            char ch = 0;
+            for (const Detection& det : detections) {
+                if (on_box_edge(det.box, x, y)) {
+                    ch = '#';
+                    break;
+                }
+            }
+            if (ch == 0) {
+                for (const Box& gt : ground_truth) {
+                    if (on_box_edge(gt, x, y)) {
+                        ch = '+';
+                        break;
+                    }
+                }
+            }
+            if (ch == 0) {
+                const float lum = (image(0, y, x) + image(1, y, x) +
+                                   image(2, y, x)) /
+                                  3.0F;
+                const auto idx = static_cast<std::size_t>(
+                    std::clamp(lum, 0.0F, 1.0F) *
+                    static_cast<float>(kRampLen));
+                ch = kRamp[idx];
+            }
+            os << ch;
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+void write_ppm(const std::string& path, const Tensor& image,
+               const std::vector<Detection>& detections,
+               const std::vector<Box>& ground_truth) {
+    require_chw(image);
+    const std::size_t h = image.dim(1), w = image.dim(2);
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw std::runtime_error("write_ppm: cannot open " + path);
+    out << "P6\n" << w << " " << h << "\n255\n";
+    for (std::size_t y = 0; y < h; ++y) {
+        for (std::size_t x = 0; x < w; ++x) {
+            float r = image(0, y, x), g = image(1, y, x), b = image(2, y, x);
+            for (const Box& gt : ground_truth) {
+                if (on_box_edge(gt, x, y)) {
+                    r = 0.0F;
+                    g = 1.0F;
+                    b = 0.0F;
+                }
+            }
+            for (const Detection& det : detections) {
+                if (on_box_edge(det.box, x, y)) {
+                    r = 1.0F;
+                    g = 0.0F;
+                    b = 0.0F;
+                }
+            }
+            auto quantize = [](float v) {
+                return static_cast<unsigned char>(
+                    std::clamp(v, 0.0F, 1.0F) * 255.0F);
+            };
+            const unsigned char pixel[3] = {quantize(r), quantize(g),
+                                            quantize(b)};
+            out.write(reinterpret_cast<const char*>(pixel), 3);
+        }
+    }
+    if (!out) throw std::runtime_error("write_ppm: write failed " + path);
+}
+
+}  // namespace bayesft::detect

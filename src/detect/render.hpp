@@ -1,0 +1,25 @@
+#pragma once
+// Scene rendering for the Fig. 4 qualitative comparison: draws detection
+// boxes over a scene as ASCII art (for terminal output) or PPM (for files).
+
+#include <string>
+#include <vector>
+
+#include "detect/box.hpp"
+#include "tensor/tensor.hpp"
+
+namespace bayesft::detect {
+
+/// ASCII rendering of one [3, S, S] scene: luminance ramp " .:-=+*#%@",
+/// detection boxes drawn with '#' edges, ground truth with '+' edges.
+std::string render_ascii(const Tensor& image,
+                         const std::vector<Detection>& detections,
+                         const std::vector<Box>& ground_truth);
+
+/// Writes a [3, S, S] scene as a binary PPM with red detection boxes and
+/// green ground-truth boxes.  Throws std::runtime_error on I/O failure.
+void write_ppm(const std::string& path, const Tensor& image,
+               const std::vector<Detection>& detections,
+               const std::vector<Box>& ground_truth);
+
+}  // namespace bayesft::detect

@@ -1,0 +1,137 @@
+#include "fault/drift.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace bayesft::fault {
+
+namespace {
+
+void check_nonneg(double v, const char* who) {
+    if (!(v >= 0.0)) {
+        throw std::invalid_argument(std::string(who) +
+                                    ": parameter must be >= 0, got " +
+                                    std::to_string(v));
+    }
+}
+
+void check_probability(double p, const char* who) {
+    if (!(p >= 0.0) || p > 1.0) {
+        throw std::invalid_argument(std::string(who) +
+                                    ": probability must be in [0, 1], got " +
+                                    std::to_string(p));
+    }
+}
+
+}  // namespace
+
+LogNormalDrift::LogNormalDrift(double sigma) : sigma_(sigma) {
+    check_nonneg(sigma, "LogNormalDrift");
+}
+
+void LogNormalDrift::apply(std::span<float> weights, Rng& rng) const {
+    if (sigma_ == 0.0) return;
+    for (float& w : weights) {
+        w *= static_cast<float>(rng.log_normal(0.0, sigma_));
+    }
+}
+
+std::string LogNormalDrift::describe() const {
+    std::ostringstream os;
+    os << "LogNormal(sigma=" << sigma_ << ")";
+    return os.str();
+}
+
+GaussianAdditiveDrift::GaussianAdditiveDrift(double sigma) : sigma_(sigma) {
+    check_nonneg(sigma, "GaussianAdditiveDrift");
+}
+
+void GaussianAdditiveDrift::apply(std::span<float> weights, Rng& rng) const {
+    if (sigma_ == 0.0) return;
+    for (float& w : weights) {
+        w += static_cast<float>(rng.normal(0.0, sigma_));
+    }
+}
+
+std::string GaussianAdditiveDrift::describe() const {
+    std::ostringstream os;
+    os << "GaussianAdditive(sigma=" << sigma_ << ")";
+    return os.str();
+}
+
+UniformScaleDrift::UniformScaleDrift(double delta) : delta_(delta) {
+    check_nonneg(delta, "UniformScaleDrift");
+}
+
+void UniformScaleDrift::apply(std::span<float> weights, Rng& rng) const {
+    if (delta_ == 0.0) return;
+    for (float& w : weights) {
+        w *= static_cast<float>(rng.uniform(1.0 - delta_, 1.0 + delta_));
+    }
+}
+
+std::string UniformScaleDrift::describe() const {
+    std::ostringstream os;
+    os << "UniformScale(delta=" << delta_ << ")";
+    return os.str();
+}
+
+StuckAtZeroDrift::StuckAtZeroDrift(double probability)
+    : probability_(probability) {
+    check_probability(probability, "StuckAtZeroDrift");
+}
+
+void StuckAtZeroDrift::apply(std::span<float> weights, Rng& rng) const {
+    if (probability_ == 0.0) return;
+    for (float& w : weights) {
+        if (rng.bernoulli(probability_)) w = 0.0F;
+    }
+}
+
+std::string StuckAtZeroDrift::describe() const {
+    std::ostringstream os;
+    os << "StuckAtZero(p=" << probability_ << ")";
+    return os.str();
+}
+
+SignFlipDrift::SignFlipDrift(double probability) : probability_(probability) {
+    check_probability(probability, "SignFlipDrift");
+}
+
+void SignFlipDrift::apply(std::span<float> weights, Rng& rng) const {
+    if (probability_ == 0.0) return;
+    for (float& w : weights) {
+        if (rng.bernoulli(probability_)) w = -w;
+    }
+}
+
+std::string SignFlipDrift::describe() const {
+    std::ostringstream os;
+    os << "SignFlip(p=" << probability_ << ")";
+    return os.str();
+}
+
+ComposedDrift::ComposedDrift(std::vector<std::unique_ptr<DriftModel>> stages)
+    : stages_(std::move(stages)) {
+    for (const auto& stage : stages_) {
+        if (!stage) throw std::invalid_argument("ComposedDrift: null stage");
+    }
+}
+
+void ComposedDrift::apply(std::span<float> weights, Rng& rng) const {
+    for (const auto& stage : stages_) stage->apply(weights, rng);
+}
+
+std::string ComposedDrift::describe() const {
+    std::ostringstream os;
+    os << "Composed(";
+    for (std::size_t i = 0; i < stages_.size(); ++i) {
+        if (i != 0) os << " -> ";
+        os << stages_[i]->describe();
+    }
+    os << ")";
+    return os.str();
+}
+
+}  // namespace bayesft::fault

@@ -1,0 +1,117 @@
+#pragma once
+// Memristance drift models (paper Sec. II-B).
+//
+// The paper's model (Eq. 1) multiplies every ReRAM-resident weight by a
+// log-normal factor: theta' = theta * exp(lambda), lambda ~ N(0, sigma^2).
+// The interface is deliberately distribution-agnostic — the paper remarks
+// that the methodology "can be seamlessly extended to other possible weight
+// drifting distributions", so alternative models are first-class here.
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "utils/rng.hpp"
+
+namespace bayesft::fault {
+
+/// A stochastic perturbation applied in place to a flat weight buffer.
+class DriftModel {
+public:
+    virtual ~DriftModel() = default;
+    DriftModel() = default;
+    DriftModel(const DriftModel&) = delete;
+    DriftModel& operator=(const DriftModel&) = delete;
+
+    /// Perturbs `weights` in place using randomness from `rng`.
+    virtual void apply(std::span<float> weights, Rng& rng) const = 0;
+
+    /// Human-readable description, e.g. "LogNormal(sigma=0.3)".
+    virtual std::string describe() const = 0;
+};
+
+/// Eq. 1: w <- w * exp(N(0, sigma^2)).  sigma = 0 is the identity.
+class LogNormalDrift : public DriftModel {
+public:
+    explicit LogNormalDrift(double sigma);
+
+    void apply(std::span<float> weights, Rng& rng) const override;
+    std::string describe() const override;
+
+    double sigma() const { return sigma_; }
+
+private:
+    double sigma_;
+};
+
+/// Additive Gaussian noise: w <- w + N(0, sigma^2) (process-variation style).
+class GaussianAdditiveDrift : public DriftModel {
+public:
+    explicit GaussianAdditiveDrift(double sigma);
+
+    void apply(std::span<float> weights, Rng& rng) const override;
+    std::string describe() const override;
+
+    double sigma() const { return sigma_; }
+
+private:
+    double sigma_;
+};
+
+/// Uniform multiplicative scaling: w <- w * U[1-delta, 1+delta].
+class UniformScaleDrift : public DriftModel {
+public:
+    explicit UniformScaleDrift(double delta);
+
+    void apply(std::span<float> weights, Rng& rng) const override;
+    std::string describe() const override;
+
+    double delta() const { return delta_; }
+
+private:
+    double delta_;
+};
+
+/// Hard faults: each cell independently sticks at zero with probability p
+/// (models dead memristor cells / open circuits).
+class StuckAtZeroDrift : public DriftModel {
+public:
+    explicit StuckAtZeroDrift(double probability);
+
+    void apply(std::span<float> weights, Rng& rng) const override;
+    std::string describe() const override;
+
+    double probability() const { return probability_; }
+
+private:
+    double probability_;
+};
+
+/// Sign-flip faults: each cell flips sign with probability p (models
+/// mis-programmed polarity).
+class SignFlipDrift : public DriftModel {
+public:
+    explicit SignFlipDrift(double probability);
+
+    void apply(std::span<float> weights, Rng& rng) const override;
+    std::string describe() const override;
+
+    double probability() const { return probability_; }
+
+private:
+    double probability_;
+};
+
+/// Composition: applies each child model in sequence.
+class ComposedDrift : public DriftModel {
+public:
+    explicit ComposedDrift(std::vector<std::unique_ptr<DriftModel>> stages);
+
+    void apply(std::span<float> weights, Rng& rng) const override;
+    std::string describe() const override;
+
+private:
+    std::vector<std::unique_ptr<DriftModel>> stages_;
+};
+
+}  // namespace bayesft::fault

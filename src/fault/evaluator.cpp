@@ -1,0 +1,82 @@
+#include "fault/evaluator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/trainer.hpp"
+
+namespace bayesft::fault {
+
+namespace {
+
+RobustnessReport summarize(std::vector<double> samples) {
+    if (samples.empty()) {
+        throw std::invalid_argument("RobustnessReport: no samples");
+    }
+    RobustnessReport report;
+    double sum = 0.0;
+    for (double s : samples) sum += s;
+    report.mean_accuracy = sum / static_cast<double>(samples.size());
+    double var = 0.0;
+    for (double s : samples) {
+        const double d = s - report.mean_accuracy;
+        var += d * d;
+    }
+    report.std_accuracy =
+        std::sqrt(var / static_cast<double>(samples.size()));
+    report.min_accuracy = *std::min_element(samples.begin(), samples.end());
+    report.max_accuracy = *std::max_element(samples.begin(), samples.end());
+    report.samples = std::move(samples);
+    return report;
+}
+
+}  // namespace
+
+RobustnessReport evaluate_metric_under_drift(
+    nn::Module& model, const DriftModel& drift, std::size_t num_samples,
+    Rng& rng, const std::function<double(nn::Module&)>& metric) {
+    if (num_samples == 0) {
+        throw std::invalid_argument("evaluate_metric_under_drift: T == 0");
+    }
+    if (!metric) {
+        throw std::invalid_argument("evaluate_metric_under_drift: no metric");
+    }
+    std::vector<double> samples;
+    samples.reserve(num_samples);
+    for (std::size_t t = 0; t < num_samples; ++t) {
+        WeightSnapshot snapshot(model);
+        inject(model, drift, rng);
+        samples.push_back(metric(model));
+        // snapshot destructor restores the clean weights
+    }
+    return summarize(std::move(samples));
+}
+
+RobustnessReport evaluate_under_drift(nn::Module& model, const Tensor& images,
+                                      const std::vector<int>& labels,
+                                      const DriftModel& drift,
+                                      std::size_t num_samples, Rng& rng) {
+    return evaluate_metric_under_drift(
+        model, drift, num_samples, rng, [&](nn::Module& m) {
+            return nn::evaluate_accuracy(m, images, labels);
+        });
+}
+
+std::vector<double> sigma_sweep(nn::Module& model, const Tensor& images,
+                                const std::vector<int>& labels,
+                                const std::vector<double>& sigmas,
+                                std::size_t num_samples, Rng& rng) {
+    std::vector<double> means;
+    means.reserve(sigmas.size());
+    for (double sigma : sigmas) {
+        const LogNormalDrift drift(sigma);
+        means.push_back(
+            evaluate_under_drift(model, images, labels, drift, num_samples,
+                                 rng)
+                .mean_accuracy);
+    }
+    return means;
+}
+
+}  // namespace bayesft::fault

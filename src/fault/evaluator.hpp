@@ -1,0 +1,48 @@
+#pragma once
+// Monte-Carlo robustness evaluation (paper Eq. 3-4).
+//
+// The drift-marginalized utility u(alpha, theta) = -E[loss] is intractable;
+// it is estimated by T independent drift samples: perturb, evaluate on the
+// held-out set, restore, average.
+
+#include <functional>
+#include <vector>
+
+#include "fault/drift.hpp"
+#include "fault/injector.hpp"
+#include "nn/module.hpp"
+
+namespace bayesft::fault {
+
+/// Summary statistics of a Monte-Carlo robustness evaluation.
+struct RobustnessReport {
+    double mean_accuracy = 0.0;
+    double std_accuracy = 0.0;
+    double min_accuracy = 0.0;
+    double max_accuracy = 0.0;
+    std::vector<double> samples;  // per-drift-sample accuracy
+};
+
+/// Estimates classification accuracy of `model` on (images, labels) under
+/// `drift`, averaged over `num_samples` independent drift realizations.
+/// Weights are restored after every sample (strong exception safety via
+/// WeightSnapshot).
+RobustnessReport evaluate_under_drift(nn::Module& model, const Tensor& images,
+                                      const std::vector<int>& labels,
+                                      const DriftModel& drift,
+                                      std::size_t num_samples, Rng& rng);
+
+/// Generic variant: `metric` maps the perturbed model to any scalar score
+/// (e.g. mAP for detection).  Same perturb-score-restore discipline.
+RobustnessReport evaluate_metric_under_drift(
+    nn::Module& model, const DriftModel& drift, std::size_t num_samples,
+    Rng& rng, const std::function<double(nn::Module&)>& metric);
+
+/// Sweeps a sigma grid with LogNormalDrift, returning mean accuracy per
+/// sigma.  This is the x-axis of every accuracy figure in the paper.
+std::vector<double> sigma_sweep(nn::Module& model, const Tensor& images,
+                                const std::vector<int>& labels,
+                                const std::vector<double>& sigmas,
+                                std::size_t num_samples, Rng& rng);
+
+}  // namespace bayesft::fault

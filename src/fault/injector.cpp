@@ -1,0 +1,34 @@
+#include "fault/injector.hpp"
+
+namespace bayesft::fault {
+
+WeightSnapshot::WeightSnapshot(nn::Module& model) {
+    for (nn::Parameter* p : model.parameters()) {
+        if (!p->driftable) continue;
+        params_.push_back(p);
+        saved_.push_back(p->value);
+    }
+}
+
+WeightSnapshot::~WeightSnapshot() { restore(); }
+
+void WeightSnapshot::restore() {
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+        params_[i]->value = saved_[i];
+    }
+}
+
+std::size_t WeightSnapshot::scalar_count() const {
+    std::size_t total = 0;
+    for (const Tensor& t : saved_) total += t.size();
+    return total;
+}
+
+void inject(nn::Module& model, const DriftModel& drift, Rng& rng) {
+    for (nn::Parameter* p : model.parameters()) {
+        if (!p->driftable) continue;
+        drift.apply(p->value.values(), rng);
+    }
+}
+
+}  // namespace bayesft::fault

@@ -1,0 +1,45 @@
+#pragma once
+// Fault injection into live models.
+//
+// `WeightSnapshot` is the RAII workhorse: it copies all driftable parameter
+// values on construction and restores them on destruction (or on demand),
+// so a Monte-Carlo evaluation loop can perturb-evaluate-restore safely even
+// when an exception escapes the evaluation.
+
+#include <vector>
+
+#include "fault/drift.hpp"
+#include "nn/module.hpp"
+
+namespace bayesft::fault {
+
+/// RAII snapshot of a model's driftable parameters.
+class WeightSnapshot {
+public:
+    /// Captures the current values of all driftable parameters of `model`.
+    /// The model must outlive the snapshot.
+    explicit WeightSnapshot(nn::Module& model);
+
+    /// Restores captured values into the model.
+    ~WeightSnapshot();
+
+    WeightSnapshot(const WeightSnapshot&) = delete;
+    WeightSnapshot& operator=(const WeightSnapshot&) = delete;
+
+    /// Restores captured values now (also happens automatically at scope
+    /// exit; calling repeatedly is harmless).
+    void restore();
+
+    /// Total number of scalars captured.
+    std::size_t scalar_count() const;
+
+private:
+    std::vector<nn::Parameter*> params_;
+    std::vector<Tensor> saved_;
+};
+
+/// Applies `drift` once to every driftable parameter of `model`, in place.
+/// Use together with WeightSnapshot to make the perturbation reversible.
+void inject(nn::Module& model, const DriftModel& drift, Rng& rng);
+
+}  // namespace bayesft::fault

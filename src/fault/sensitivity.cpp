@@ -1,0 +1,52 @@
+#include "fault/sensitivity.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "nn/trainer.hpp"
+
+namespace bayesft::fault {
+
+std::vector<ParameterSensitivity> per_parameter_sensitivity(
+    nn::Module& model, const Tensor& images, const std::vector<int>& labels,
+    const DriftModel& drift, std::size_t num_samples, Rng& rng) {
+    if (num_samples == 0) {
+        throw std::invalid_argument("per_parameter_sensitivity: T == 0");
+    }
+    const double clean = nn::evaluate_accuracy(model, images, labels);
+    const auto params = model.parameters();
+
+    std::vector<ParameterSensitivity> records;
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        nn::Parameter* p = params[i];
+        if (!p->driftable) continue;
+        ParameterSensitivity record;
+        record.name = p->name;
+        record.index = i;
+        record.scalar_count = p->value.size();
+        record.clean_accuracy = clean;
+
+        double total = 0.0;
+        for (std::size_t t = 0; t < num_samples; ++t) {
+            const Tensor saved = p->value;
+            drift.apply(p->value.values(), rng);
+            total += nn::evaluate_accuracy(model, images, labels);
+            p->value = saved;
+        }
+        record.drifted_accuracy = total / static_cast<double>(num_samples);
+        records.push_back(std::move(record));
+    }
+    return records;
+}
+
+std::vector<ParameterSensitivity> rank_by_drop(
+    std::vector<ParameterSensitivity> records) {
+    std::sort(records.begin(), records.end(),
+              [](const ParameterSensitivity& a,
+                 const ParameterSensitivity& b) {
+                  return a.accuracy_drop() > b.accuracy_drop();
+              });
+    return records;
+}
+
+}  // namespace bayesft::fault

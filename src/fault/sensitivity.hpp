@@ -1,0 +1,44 @@
+#pragma once
+// Per-parameter drift sensitivity analysis.
+//
+// The paper's Sec. III-A asks *which architectural components* make a
+// network fragile under drift; this tool answers the runtime twin of that
+// question: *which parameter tensors* hurt most when they drift.  Each
+// parameter tensor is drifted alone (all others held clean) and the
+// accuracy drop is recorded — the profile identifies the "Achilles' heel"
+// layers (e.g. normalization affine parameters, output heads).
+
+#include <string>
+#include <vector>
+
+#include "fault/drift.hpp"
+#include "nn/module.hpp"
+
+namespace bayesft::fault {
+
+/// Sensitivity record for one parameter tensor.
+struct ParameterSensitivity {
+    std::string name;          ///< Parameter::name (e.g. "weight")
+    std::size_t index = 0;     ///< position in Module::parameters()
+    std::size_t scalar_count = 0;
+    double clean_accuracy = 0.0;
+    double drifted_accuracy = 0.0;  ///< mean over MC samples
+
+    double accuracy_drop() const {
+        return clean_accuracy - drifted_accuracy;
+    }
+};
+
+/// Drifts each driftable parameter tensor of `model` in isolation with
+/// `drift` (num_samples Monte-Carlo realizations each; weights restored
+/// after every sample) and measures accuracy on (images, labels).
+/// Results are returned in parameter order.
+std::vector<ParameterSensitivity> per_parameter_sensitivity(
+    nn::Module& model, const Tensor& images, const std::vector<int>& labels,
+    const DriftModel& drift, std::size_t num_samples, Rng& rng);
+
+/// Same records sorted by descending accuracy drop (worst first).
+std::vector<ParameterSensitivity> rank_by_drop(
+    std::vector<ParameterSensitivity> records);
+
+}  // namespace bayesft::fault

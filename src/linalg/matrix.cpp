@@ -1,0 +1,163 @@
+#include "linalg/matrix.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace bayesft::linalg {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, std::vector<double> values)
+    : rows_(rows), cols_(cols), data_(std::move(values)) {
+    if (data_.size() != rows * cols) {
+        throw std::invalid_argument("Matrix: value count mismatch");
+    }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+    return m;
+}
+
+Matrix Matrix::transposed() const {
+    Matrix t(cols_, rows_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        for (std::size_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+    }
+    return t;
+}
+
+void Matrix::add_diagonal(double scale) {
+    if (rows_ != cols_) {
+        throw std::invalid_argument("Matrix::add_diagonal: not square");
+    }
+    for (std::size_t i = 0; i < rows_; ++i) (*this)(i, i) += scale;
+}
+
+std::string Matrix::to_string() const {
+    std::ostringstream os;
+    os << "Matrix(" << rows_ << "x" << cols_ << ")";
+    return os.str();
+}
+
+Matrix operator*(const Matrix& a, const Matrix& b) {
+    if (a.cols() != b.rows()) {
+        throw std::invalid_argument("Matrix multiply: dimension mismatch");
+    }
+    Matrix c(a.rows(), b.cols());
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        for (std::size_t k = 0; k < a.cols(); ++k) {
+            const double av = a(i, k);
+            if (av == 0.0) continue;
+            for (std::size_t j = 0; j < b.cols(); ++j) {
+                c(i, j) += av * b(k, j);
+            }
+        }
+    }
+    return c;
+}
+
+Vector operator*(const Matrix& a, const Vector& x) {
+    if (a.cols() != x.size()) {
+        throw std::invalid_argument("Matrix-vector multiply: dimension mismatch");
+    }
+    Vector y(a.rows(), 0.0);
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        double acc = 0.0;
+        for (std::size_t j = 0; j < a.cols(); ++j) acc += a(i, j) * x[j];
+        y[i] = acc;
+    }
+    return y;
+}
+
+double dot(const Vector& a, const Vector& b) {
+    if (a.size() != b.size()) {
+        throw std::invalid_argument("dot: size mismatch");
+    }
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+    return acc;
+}
+
+double norm(const Vector& a) { return std::sqrt(dot(a, a)); }
+
+Matrix cholesky(const Matrix& a) {
+    if (a.rows() != a.cols()) {
+        throw std::invalid_argument("cholesky: matrix not square");
+    }
+    const std::size_t n = a.rows();
+    Matrix l(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j <= i; ++j) {
+            double acc = a(i, j);
+            for (std::size_t k = 0; k < j; ++k) acc -= l(i, k) * l(j, k);
+            if (i == j) {
+                if (acc <= 0.0 || !std::isfinite(acc)) {
+                    throw std::runtime_error(
+                        "cholesky: matrix not positive definite at pivot " +
+                        std::to_string(i));
+                }
+                l(i, j) = std::sqrt(acc);
+            } else {
+                l(i, j) = acc / l(j, j);
+            }
+        }
+    }
+    return l;
+}
+
+Matrix cholesky_with_jitter(Matrix a, double initial_jitter, int max_tries) {
+    double jitter = initial_jitter;
+    for (int attempt = 0; attempt < max_tries; ++attempt) {
+        try {
+            return cholesky(a);
+        } catch (const std::runtime_error&) {
+            a.add_diagonal(jitter);
+            jitter *= 10.0;
+        }
+    }
+    return cholesky(a);  // Last attempt: let the failure propagate.
+}
+
+Vector solve_lower(const Matrix& l, const Vector& b) {
+    const std::size_t n = l.rows();
+    if (l.cols() != n || b.size() != n) {
+        throw std::invalid_argument("solve_lower: dimension mismatch");
+    }
+    Vector y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double acc = b[i];
+        for (std::size_t k = 0; k < i; ++k) acc -= l(i, k) * y[k];
+        y[i] = acc / l(i, i);
+    }
+    return y;
+}
+
+Vector solve_lower_transposed(const Matrix& l, const Vector& y) {
+    const std::size_t n = l.rows();
+    if (l.cols() != n || y.size() != n) {
+        throw std::invalid_argument("solve_lower_transposed: dimension mismatch");
+    }
+    Vector x(n);
+    for (std::size_t ii = n; ii-- > 0;) {
+        double acc = y[ii];
+        for (std::size_t k = ii + 1; k < n; ++k) acc -= l(k, ii) * x[k];
+        x[ii] = acc / l(ii, ii);
+    }
+    return x;
+}
+
+Vector cholesky_solve(const Matrix& l, const Vector& b) {
+    return solve_lower_transposed(l, solve_lower(l, b));
+}
+
+double log_det_from_cholesky(const Matrix& l) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < l.rows(); ++i) acc += std::log(l(i, i));
+    return 2.0 * acc;
+}
+
+}  // namespace bayesft::linalg

@@ -1,0 +1,82 @@
+#pragma once
+// Small dense double-precision linear algebra for the Gaussian-process
+// surrogate: the GP needs Cholesky factorization of kernel matrices,
+// triangular solves, and log-determinants (for the marginal likelihood).
+// Double precision is used here (unlike the float NN stack) because kernel
+// matrices from clustered Bayesian-optimization trials are ill-conditioned.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace bayesft::linalg {
+
+using Vector = std::vector<double>;
+
+/// Dense row-major double matrix with value semantics.
+class Matrix {
+public:
+    Matrix() = default;
+    Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+    Matrix(std::size_t rows, std::size_t cols, std::vector<double> values);
+
+    static Matrix identity(std::size_t n);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    bool empty() const { return data_.empty(); }
+
+    double& operator()(std::size_t i, std::size_t j) {
+        return data_[i * cols_ + j];
+    }
+    double operator()(std::size_t i, std::size_t j) const {
+        return data_[i * cols_ + j];
+    }
+
+    double* data() { return data_.data(); }
+    const double* data() const { return data_.data(); }
+
+    Matrix transposed() const;
+
+    /// this += scale * I (diagonal jitter; matrix must be square).
+    void add_diagonal(double scale);
+
+    std::string to_string() const;
+
+private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+Matrix operator*(const Matrix& a, const Matrix& b);
+Vector operator*(const Matrix& a, const Vector& x);
+
+/// Inner product of two equal-length vectors.
+double dot(const Vector& a, const Vector& b);
+
+/// Euclidean norm.
+double norm(const Vector& a);
+
+/// Lower-triangular Cholesky factor L with A = L L^T.
+/// Throws std::runtime_error if A is not positive definite.
+Matrix cholesky(const Matrix& a);
+
+/// Cholesky with escalating diagonal jitter (up to `max_tries` powers of 10
+/// starting at `initial_jitter`).  Returns the factor of (A + jitter*I).
+Matrix cholesky_with_jitter(Matrix a, double initial_jitter = 1e-10,
+                            int max_tries = 10);
+
+/// Solves L y = b for lower-triangular L.
+Vector solve_lower(const Matrix& l, const Vector& b);
+
+/// Solves L^T x = y for lower-triangular L.
+Vector solve_lower_transposed(const Matrix& l, const Vector& y);
+
+/// Solves A x = b via the given Cholesky factor L of A.
+Vector cholesky_solve(const Matrix& l, const Vector& b);
+
+/// log det(A) = 2 * sum(log diag(L)) from the Cholesky factor L.
+double log_det_from_cholesky(const Matrix& l);
+
+}  // namespace bayesft::linalg

@@ -1,0 +1,328 @@
+#include "models/zoo.hpp"
+
+#include <stdexcept>
+
+#include "nn/activations.hpp"
+#include "nn/conv.hpp"
+#include "nn/linear.hpp"
+#include "nn/norm.hpp"
+#include "nn/residual.hpp"
+#include "nn/stn.hpp"
+
+namespace bayesft::models {
+
+void ModelHandle::set_dropout_rates(const std::vector<double>& alpha) {
+    if (alpha.size() != dropout_sites.size()) {
+        throw std::invalid_argument(
+            "ModelHandle::set_dropout_rates: expected " +
+            std::to_string(dropout_sites.size()) + " rates, got " +
+            std::to_string(alpha.size()));
+    }
+    for (std::size_t i = 0; i < alpha.size(); ++i) {
+        dropout_sites[i]->set_rate(alpha[i]);
+    }
+}
+
+std::vector<double> ModelHandle::dropout_rates() const {
+    std::vector<double> rates;
+    rates.reserve(dropout_sites.size());
+    for (const nn::Dropout* site : dropout_sites) {
+        rates.push_back(site->rate());
+    }
+    return rates;
+}
+
+namespace {
+
+/// Norm layer for `channels`, or nullptr for NormKind::kNone.
+std::unique_ptr<nn::Module> make_norm(NormKind kind, std::size_t channels) {
+    switch (kind) {
+        case NormKind::kNone:
+            return nullptr;
+        case NormKind::kBatch:
+            return std::make_unique<nn::BatchNorm>(channels);
+        case NormKind::kLayer:
+            return std::make_unique<nn::LayerNorm>(channels);
+        case NormKind::kInstance:
+            return std::make_unique<nn::InstanceNorm>(channels);
+        case NormKind::kGroup:
+            return std::make_unique<nn::GroupNorm>(
+                channels % 4 == 0 ? 4 : 1, channels);
+    }
+    throw std::invalid_argument("make_norm: bad kind");
+}
+
+/// Appends a searchable dropout site to `seq` and registers its handle.
+void add_site(nn::Sequential& seq, ModelHandle& handle, Rng& rng,
+              double rate = 0.0) {
+    handle.dropout_sites.push_back(
+        seq.emplace<nn::Dropout>(rate, rng.split()()));
+}
+
+/// Conv + optional norm + ReLU convenience used by the conv families.
+void add_conv_relu(nn::Sequential& seq, std::size_t in, std::size_t out,
+                   std::size_t kernel, std::size_t stride, std::size_t pad,
+                   NormKind norm, Rng& rng) {
+    seq.emplace<nn::Conv2d>(in, out, kernel, stride, pad, rng);
+    if (auto n = make_norm(norm, out)) seq.add(std::move(n));
+    seq.emplace<nn::ReLU>();
+}
+
+/// A post-activation basic residual block with a dropout site between the
+/// two convolutions.  Output activation (ReLU) is appended by the caller.
+std::unique_ptr<nn::Module> make_basic_block(std::size_t in, std::size_t out,
+                                             std::size_t stride,
+                                             NormKind norm, Rng& rng,
+                                             ModelHandle& handle) {
+    auto main = std::make_unique<nn::Sequential>();
+    main->emplace<nn::Conv2d>(in, out, 3, stride, 1, rng);
+    if (auto n = make_norm(norm, out)) main->add(std::move(n));
+    main->emplace<nn::ReLU>();
+    handle.dropout_sites.push_back(
+        main->emplace<nn::Dropout>(0.0, rng.split()()));
+    main->emplace<nn::Conv2d>(out, out, 3, 1, 1, rng);
+    if (auto n = make_norm(norm, out)) main->add(std::move(n));
+
+    std::unique_ptr<nn::Module> shortcut;
+    if (in != out || stride != 1) {
+        auto sc = std::make_unique<nn::Sequential>();
+        sc->emplace<nn::Conv2d>(in, out, 1, stride, 0, rng);
+        if (auto n = make_norm(norm, out)) sc->add(std::move(n));
+        shortcut = std::move(sc);
+    }
+    return std::make_unique<nn::Residual>(std::move(main),
+                                          std::move(shortcut));
+}
+
+/// A pre-activation residual block (He et al. 2016): norm/act precede each
+/// conv; the shortcut is untouched identity (or a 1x1 conv on downsample).
+std::unique_ptr<nn::Module> make_preact_block(std::size_t in, std::size_t out,
+                                              std::size_t stride,
+                                              NormKind norm, Rng& rng,
+                                              ModelHandle& handle) {
+    auto main = std::make_unique<nn::Sequential>();
+    if (auto n = make_norm(norm, in)) main->add(std::move(n));
+    main->emplace<nn::ReLU>();
+    main->emplace<nn::Conv2d>(in, out, 3, stride, 1, rng);
+    if (auto n = make_norm(norm, out)) main->add(std::move(n));
+    main->emplace<nn::ReLU>();
+    handle.dropout_sites.push_back(
+        main->emplace<nn::Dropout>(0.0, rng.split()()));
+    main->emplace<nn::Conv2d>(out, out, 3, 1, 1, rng);
+
+    std::unique_ptr<nn::Module> shortcut;
+    if (in != out || stride != 1) {
+        auto sc = std::make_unique<nn::Sequential>();
+        sc->emplace<nn::Conv2d>(in, out, 1, stride, 0, rng);
+        shortcut = std::move(sc);
+    }
+    return std::make_unique<nn::Residual>(std::move(main),
+                                          std::move(shortcut));
+}
+
+}  // namespace
+
+ModelHandle make_mlp(const MlpOptions& options, Rng& rng) {
+    if (options.hidden_layers == 0) {
+        throw std::invalid_argument("make_mlp: need at least one hidden layer");
+    }
+    ModelHandle handle;
+    handle.name = "MLP-" + std::to_string(options.hidden_layers + 1) + "layer";
+    auto seq = std::make_unique<nn::Sequential>();
+    seq->emplace<nn::Flatten>();
+    std::size_t width = options.input_features;
+    for (std::size_t i = 0; i < options.hidden_layers; ++i) {
+        seq->emplace<nn::Linear>(width, options.hidden, rng);
+        if (auto n = make_norm(options.norm, options.hidden)) {
+            seq->add(std::move(n));
+        }
+        seq->add(nn::make_activation(options.activation));
+        switch (options.dropout) {
+            case DropoutKind::kNone:
+                break;
+            case DropoutKind::kStandard:
+                handle.dropout_sites.push_back(seq->emplace<nn::Dropout>(
+                    options.initial_dropout_rate, rng.split()()));
+                break;
+            case DropoutKind::kAlpha:
+                // Alpha dropout has a fixed rate (Fig. 2(a) ablation only) —
+                // it is not registered as a searchable site.
+                seq->emplace<nn::AlphaDropout>(options.initial_dropout_rate,
+                                               rng.split()());
+                break;
+        }
+        width = options.hidden;
+    }
+    seq->emplace<nn::Linear>(width, options.classes, rng);
+    handle.net = std::move(seq);
+    return handle;
+}
+
+ModelHandle make_lenet5(std::size_t in_channels, std::size_t image_size,
+                        std::size_t classes, Rng& rng) {
+    if (image_size % 4 != 0 || image_size < 8) {
+        throw std::invalid_argument("make_lenet5: image_size must be 4k >= 8");
+    }
+    ModelHandle handle;
+    handle.name = "LeNet5";
+    auto seq = std::make_unique<nn::Sequential>();
+    seq->emplace<nn::Conv2d>(in_channels, 6, 5, 1, 2, rng);
+    seq->emplace<nn::ReLU>();
+    seq->emplace<nn::AvgPool2d>(2);
+    add_site(*seq, handle, rng);
+    seq->emplace<nn::Conv2d>(6, 16, 3, 1, 1, rng);
+    seq->emplace<nn::ReLU>();
+    seq->emplace<nn::AvgPool2d>(2);
+    add_site(*seq, handle, rng);
+    seq->emplace<nn::Flatten>();
+    const std::size_t flat = 16 * (image_size / 4) * (image_size / 4);
+    seq->emplace<nn::Linear>(flat, 64, rng);
+    seq->emplace<nn::ReLU>();
+    add_site(*seq, handle, rng);
+    seq->emplace<nn::Linear>(64, 32, rng);
+    seq->emplace<nn::ReLU>();
+    add_site(*seq, handle, rng);
+    seq->emplace<nn::Linear>(32, classes, rng);
+    handle.net = std::move(seq);
+    return handle;
+}
+
+ModelHandle make_alexnet_s(std::size_t classes, Rng& rng) {
+    ModelHandle handle;
+    handle.name = "AlexNet-S";
+    auto seq = std::make_unique<nn::Sequential>();
+    add_conv_relu(*seq, 3, 16, 3, 1, 1, NormKind::kNone, rng);  // 16x16
+    seq->emplace<nn::MaxPool2d>(2);                             // 8x8
+    add_site(*seq, handle, rng);
+    add_conv_relu(*seq, 16, 32, 3, 1, 1, NormKind::kNone, rng);
+    seq->emplace<nn::MaxPool2d>(2);  // 4x4
+    add_site(*seq, handle, rng);
+    add_conv_relu(*seq, 32, 48, 3, 1, 1, NormKind::kNone, rng);
+    add_site(*seq, handle, rng);
+    add_conv_relu(*seq, 48, 32, 3, 1, 1, NormKind::kNone, rng);
+    seq->emplace<nn::MaxPool2d>(2);  // 2x2
+    add_site(*seq, handle, rng);
+    seq->emplace<nn::Flatten>();
+    seq->emplace<nn::Linear>(32 * 2 * 2, 64, rng);
+    seq->emplace<nn::ReLU>();
+    add_site(*seq, handle, rng);
+    seq->emplace<nn::Linear>(64, classes, rng);
+    handle.net = std::move(seq);
+    return handle;
+}
+
+ModelHandle make_vgg11_s(std::size_t classes, Rng& rng) {
+    ModelHandle handle;
+    handle.name = "VGG11-S";
+    auto seq = std::make_unique<nn::Sequential>();
+    struct Stage {
+        std::size_t in;
+        std::size_t out;
+        bool pool;
+    };
+    // Scaled VGG-11 plan: 6 convs, 4 pools (16x16 -> 1x1).
+    const Stage stages[] = {{3, 8, true},    {8, 16, true},
+                            {16, 32, false}, {32, 32, true},
+                            {32, 64, false}, {64, 64, true}};
+    for (const Stage& st : stages) {
+        add_conv_relu(*seq, st.in, st.out, 3, 1, 1, NormKind::kNone, rng);
+        if (st.pool) seq->emplace<nn::MaxPool2d>(2);
+        add_site(*seq, handle, rng);
+    }
+    seq->emplace<nn::Flatten>();  // 64 * 1 * 1
+    seq->emplace<nn::Linear>(64, 64, rng);
+    seq->emplace<nn::ReLU>();
+    add_site(*seq, handle, rng);
+    seq->emplace<nn::Linear>(64, classes, rng);
+    handle.net = std::move(seq);
+    return handle;
+}
+
+ModelHandle make_resnet18_s(std::size_t classes, Rng& rng, NormKind norm) {
+    ModelHandle handle;
+    handle.name = "ResNet18-S";
+    auto seq = std::make_unique<nn::Sequential>();
+    add_conv_relu(*seq, 3, 16, 3, 1, 1, norm, rng);  // stem, 16x16
+    add_site(*seq, handle, rng);
+    const struct {
+        std::size_t in, out, stride;
+    } blocks[] = {{16, 16, 1}, {16, 16, 1}, {16, 32, 2},
+                  {32, 32, 1}, {32, 64, 2}, {64, 64, 1}};
+    for (const auto& b : blocks) {
+        seq->add(make_basic_block(b.in, b.out, b.stride, norm, rng, handle));
+        seq->emplace<nn::ReLU>();
+    }
+    seq->emplace<nn::GlobalAvgPool>();
+    add_site(*seq, handle, rng);
+    seq->emplace<nn::Linear>(64, classes, rng);
+    handle.net = std::move(seq);
+    return handle;
+}
+
+ModelHandle make_preact_resnet_s(std::size_t blocks_per_stage,
+                                 std::size_t classes, Rng& rng,
+                                 NormKind norm) {
+    if (blocks_per_stage == 0) {
+        throw std::invalid_argument("make_preact_resnet_s: zero blocks");
+    }
+    ModelHandle handle;
+    handle.name = "PreActResNet-S" +
+                  std::to_string(2 + 6 * blocks_per_stage);  // conv count
+    auto seq = std::make_unique<nn::Sequential>();
+    seq->emplace<nn::Conv2d>(3, 16, 3, 1, 1, rng);  // stem (no act: preact)
+    add_site(*seq, handle, rng);
+    const std::size_t widths[] = {16, 32, 64};
+    std::size_t in = 16;
+    for (std::size_t stage = 0; stage < 3; ++stage) {
+        const std::size_t out = widths[stage];
+        for (std::size_t b = 0; b < blocks_per_stage; ++b) {
+            const std::size_t stride = (stage > 0 && b == 0) ? 2 : 1;
+            seq->add(make_preact_block(in, out, stride, norm, rng, handle));
+            in = out;
+        }
+    }
+    if (auto n = make_norm(norm, in)) seq->add(std::move(n));
+    seq->emplace<nn::ReLU>();
+    seq->emplace<nn::GlobalAvgPool>();
+    add_site(*seq, handle, rng);
+    seq->emplace<nn::Linear>(in, classes, rng);
+    handle.net = std::move(seq);
+    return handle;
+}
+
+ModelHandle make_stn_classifier(std::size_t classes, Rng& rng) {
+    ModelHandle handle;
+    handle.name = "STN-lite";
+
+    // Localization net: [N, 3, 16, 16] -> [N, 6] affine parameters,
+    // initialized to the identity transform (zero weights, identity bias).
+    auto loc = std::make_unique<nn::Sequential>();
+    loc->emplace<nn::Conv2d>(3, 8, 3, 2, 1, rng);  // 8x8
+    loc->emplace<nn::ReLU>();
+    loc->emplace<nn::Conv2d>(8, 8, 3, 2, 1, rng);  // 4x4
+    loc->emplace<nn::ReLU>();
+    loc->emplace<nn::Flatten>();
+    loc->emplace<nn::Linear>(8 * 4 * 4, 32, rng);
+    loc->emplace<nn::ReLU>();
+    auto* head = loc->emplace<nn::Linear>(32, 6, rng);
+    head->weight().value.fill(0.0F);
+    head->bias().value = Tensor({6}, {1.0F, 0.0F, 0.0F, 0.0F, 1.0F, 0.0F});
+
+    auto seq = std::make_unique<nn::Sequential>();
+    seq->emplace<nn::SpatialTransformer>(std::move(loc));
+    add_conv_relu(*seq, 3, 16, 3, 1, 1, NormKind::kNone, rng);
+    seq->emplace<nn::MaxPool2d>(2);  // 8x8
+    add_site(*seq, handle, rng);
+    add_conv_relu(*seq, 16, 32, 3, 1, 1, NormKind::kNone, rng);
+    seq->emplace<nn::MaxPool2d>(2);  // 4x4
+    add_site(*seq, handle, rng);
+    seq->emplace<nn::Flatten>();
+    seq->emplace<nn::Linear>(32 * 4 * 4, 64, rng);
+    seq->emplace<nn::ReLU>();
+    add_site(*seq, handle, rng);
+    seq->emplace<nn::Linear>(64, classes, rng);
+    handle.net = std::move(seq);
+    return handle;
+}
+
+}  // namespace bayesft::models

@@ -1,0 +1,82 @@
+#pragma once
+// The model zoo: every architecture evaluated in the paper's Fig. 2 and
+// Fig. 3, scaled for CPU training on 16x16 synthetic datasets (DESIGN.md
+// section 2 documents the scaling).
+//
+// Every factory returns a ModelHandle whose `dropout_sites` are the
+// BayesFT search space: one runtime-adjustable Dropout layer per DNN layer
+// (except the output layer), inserted exactly as Sec. III-B prescribes.
+// With all rates at 0 the dropout layers are identities, so the same
+// handle serves as the ERM baseline.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/dropout.hpp"
+#include "nn/module.hpp"
+#include "utils/rng.hpp"
+
+namespace bayesft::models {
+
+/// An instantiated network plus handles to its searchable dropout layers.
+struct ModelHandle {
+    std::unique_ptr<nn::Module> net;
+    std::vector<nn::Dropout*> dropout_sites;
+    std::string name;
+
+    /// Installs a per-site dropout-rate vector alpha (size must match).
+    void set_dropout_rates(const std::vector<double>& alpha);
+    /// Current rates, in site order.
+    std::vector<double> dropout_rates() const;
+};
+
+/// Normalization choice for the Fig. 2(b) ablation.
+enum class NormKind { kNone, kBatch, kLayer, kInstance, kGroup };
+
+/// Dropout flavour for the Fig. 2(a) ablation.
+enum class DropoutKind { kNone, kStandard, kAlpha };
+
+/// Options for the MLP family (Fig. 2 ablations, Fig. 3(a), Fig. 3(i)).
+struct MlpOptions {
+    std::size_t input_features = 256;
+    std::size_t hidden = 64;
+    std::size_t hidden_layers = 2;  ///< 3-layer MLP == 2 hidden + output
+    std::size_t classes = 10;
+    std::string activation = "relu";
+    NormKind norm = NormKind::kNone;
+    DropoutKind dropout = DropoutKind::kStandard;
+    double initial_dropout_rate = 0.0;
+};
+
+/// Multi-layer perceptron over flattened inputs [N, F] (a Flatten layer is
+/// prepended, so NCHW images can be fed directly).
+ModelHandle make_mlp(const MlpOptions& options, Rng& rng);
+
+/// LeNet-5-style convnet for [N, 1, 16, 16] digits (Fig. 3(b)).
+ModelHandle make_lenet5(std::size_t in_channels, std::size_t image_size,
+                        std::size_t classes, Rng& rng);
+
+/// AlexNet-S: scaled AlexNet for [N, 3, 16, 16] (Fig. 3(c)).
+ModelHandle make_alexnet_s(std::size_t classes, Rng& rng);
+
+/// VGG11-S: scaled VGG-11 for [N, 3, 16, 16] (Fig. 3(e)).
+ModelHandle make_vgg11_s(std::size_t classes, Rng& rng);
+
+/// ResNet18-S: scaled post-activation ResNet for [N, 3, 16, 16]
+/// (Fig. 3(d)).  `norm` defaults to batch norm as in torchvision.
+ModelHandle make_resnet18_s(std::size_t classes, Rng& rng,
+                            NormKind norm = NormKind::kBatch);
+
+/// PreAct-ResNet-S with `blocks_per_stage` pre-activation blocks in each of
+/// three stages (16/32/64 channels).  Depth substitutes for Fig. 3(f)-(h):
+/// 1 -> "PreAct-18", 2 -> "PreAct-50", 4 -> "PreAct-152" scaling.
+ModelHandle make_preact_resnet_s(std::size_t blocks_per_stage,
+                                 std::size_t classes, Rng& rng,
+                                 NormKind norm = NormKind::kBatch);
+
+/// Spatial-transformer classifier for [N, 3, 16, 16] traffic signs
+/// (Fig. 3(i)): STN front-end + small convnet.
+ModelHandle make_stn_classifier(std::size_t classes, Rng& rng);
+
+}  // namespace bayesft::models

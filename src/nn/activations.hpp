@@ -1,0 +1,93 @@
+#pragma once
+// Elementwise activation functions.  The paper's Fig. 2(d) ablation compares
+// ReLU, Leaky ReLU, ELU and GELU; all four are implemented here with exact
+// analytic derivatives.
+
+#include "nn/module.hpp"
+
+namespace bayesft::nn {
+
+/// Common base: caches the forward input for the backward pass.
+class Activation : public Module {
+public:
+    Tensor forward(const Tensor& input) final;
+    Tensor backward(const Tensor& grad_output) final;
+
+protected:
+    /// f(x), applied elementwise.
+    virtual float apply(float x) const = 0;
+    /// f'(x), applied elementwise.
+    virtual float derivative(float x) const = 0;
+
+private:
+    Tensor cached_input_;
+};
+
+class ReLU : public Activation {
+public:
+    std::string name() const override { return "ReLU"; }
+
+protected:
+    float apply(float x) const override;
+    float derivative(float x) const override;
+};
+
+class LeakyReLU : public Activation {
+public:
+    explicit LeakyReLU(float negative_slope = 0.01F);
+    std::string name() const override;
+
+protected:
+    float apply(float x) const override;
+    float derivative(float x) const override;
+
+private:
+    float slope_;
+};
+
+class ELU : public Activation {
+public:
+    explicit ELU(float alpha = 1.0F);
+    std::string name() const override;
+
+protected:
+    float apply(float x) const override;
+    float derivative(float x) const override;
+
+private:
+    float alpha_;
+};
+
+/// Exact GELU: x * Phi(x) with Phi the standard normal CDF (erf-based).
+class GELU : public Activation {
+public:
+    std::string name() const override { return "GELU"; }
+
+protected:
+    float apply(float x) const override;
+    float derivative(float x) const override;
+};
+
+class Sigmoid : public Activation {
+public:
+    std::string name() const override { return "Sigmoid"; }
+
+protected:
+    float apply(float x) const override;
+    float derivative(float x) const override;
+};
+
+class Tanh : public Activation {
+public:
+    std::string name() const override { return "Tanh"; }
+
+protected:
+    float apply(float x) const override;
+    float derivative(float x) const override;
+};
+
+/// Names usable from configuration strings: "relu", "leaky_relu", "elu",
+/// "gelu", "sigmoid", "tanh".  Throws std::invalid_argument on unknown names.
+std::unique_ptr<Module> make_activation(const std::string& kind);
+
+}  // namespace bayesft::nn

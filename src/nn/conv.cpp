@@ -1,0 +1,310 @@
+#include "nn/conv.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "nn/init.hpp"
+
+namespace bayesft::nn {
+
+namespace {
+
+void require_nchw(const Tensor& t, const char* who) {
+    if (t.rank() != 4) {
+        throw std::invalid_argument(std::string(who) +
+                                    ": expected [N, C, H, W], got " +
+                                    shape_to_string(t.shape()));
+    }
+}
+
+}  // namespace
+
+Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel, std::size_t stride, std::size_t pad,
+               Rng& rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      weight_("weight",
+              he_normal({out_channels, in_channels * kernel * kernel},
+                        in_channels * kernel * kernel, rng)),
+      bias_("bias", Tensor::zeros({out_channels})) {
+    if (in_channels == 0 || out_channels == 0 || kernel == 0 || stride == 0) {
+        throw std::invalid_argument("Conv2d: zero extent");
+    }
+}
+
+ConvGeometry Conv2d::geometry_for(const Tensor& input) const {
+    ConvGeometry g;
+    g.channels = in_channels_;
+    g.in_h = input.dim(2);
+    g.in_w = input.dim(3);
+    g.kernel_h = kernel_;
+    g.kernel_w = kernel_;
+    g.stride = stride_;
+    g.pad = pad_;
+    g.validate();
+    return g;
+}
+
+Tensor Conv2d::forward(const Tensor& input) {
+    require_nchw(input, "Conv2d");
+    if (input.dim(1) != in_channels_) {
+        throw std::invalid_argument("Conv2d: channel mismatch, got " +
+                                    shape_to_string(input.shape()));
+    }
+    cached_input_ = input;
+    const ConvGeometry g = geometry_for(input);
+    const std::size_t n = input.dim(0);
+    const std::size_t oh = g.out_h(), ow = g.out_w();
+    const std::size_t patch = in_channels_ * kernel_ * kernel_;
+    const std::size_t positions = oh * ow;
+
+    Tensor output({n, out_channels_, oh, ow});
+    Tensor cols({patch, positions});
+    const std::size_t image_stride = in_channels_ * g.in_h * g.in_w;
+    for (std::size_t s = 0; s < n; ++s) {
+        im2col(input.data() + s * image_stride, g, cols.data());
+        Tensor result = matmul(weight_.value, cols);  // [OC, positions]
+        float* dst = output.data() + s * out_channels_ * positions;
+        const float* src = result.data();
+        for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+            const float b = bias_.value[oc];
+            for (std::size_t p = 0; p < positions; ++p) {
+                dst[oc * positions + p] = src[oc * positions + p] + b;
+            }
+        }
+    }
+    return output;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+    require_nchw(grad_output, "Conv2d::backward");
+    const ConvGeometry g = geometry_for(cached_input_);
+    const std::size_t n = cached_input_.dim(0);
+    const std::size_t oh = g.out_h(), ow = g.out_w();
+    const std::size_t positions = oh * ow;
+    const std::size_t patch = in_channels_ * kernel_ * kernel_;
+    if (grad_output.dim(0) != n || grad_output.dim(1) != out_channels_ ||
+        grad_output.dim(2) != oh || grad_output.dim(3) != ow) {
+        throw std::invalid_argument("Conv2d::backward: bad grad shape " +
+                                    shape_to_string(grad_output.shape()));
+    }
+
+    Tensor grad_input(cached_input_.shape());
+    Tensor cols({patch, positions});
+    const std::size_t image_stride = in_channels_ * g.in_h * g.in_w;
+    for (std::size_t s = 0; s < n; ++s) {
+        // Recompute the unfolded input (cheaper than caching N copies).
+        im2col(cached_input_.data() + s * image_stride, g, cols.data());
+        Tensor grad_slice(
+            {out_channels_, positions},
+            std::vector<float>(
+                grad_output.data() + s * out_channels_ * positions,
+                grad_output.data() + (s + 1) * out_channels_ * positions));
+        // dW += G @ cols^T
+        weight_.grad.add_(matmul_nt(grad_slice, cols));
+        // db += row sums of G
+        for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+            const float* row = grad_slice.data() + oc * positions;
+            double acc = 0.0;
+            for (std::size_t p = 0; p < positions; ++p) acc += row[p];
+            bias_.grad[oc] += static_cast<float>(acc);
+        }
+        // dcols = W^T @ G, folded back into the input gradient.
+        Tensor grad_cols = matmul_tn(weight_.value, grad_slice);
+        col2im(grad_cols.data(), g, grad_input.data() + s * image_stride);
+    }
+    return grad_input;
+}
+
+void Conv2d::collect_parameters(std::vector<Parameter*>& out) {
+    out.push_back(&weight_);
+    out.push_back(&bias_);
+}
+
+std::string Conv2d::name() const {
+    std::ostringstream os;
+    os << "Conv2d(" << in_channels_ << "->" << out_channels_ << ", k"
+       << kernel_ << ", s" << stride_ << ", p" << pad_ << ")";
+    return os.str();
+}
+
+MaxPool2d::MaxPool2d(std::size_t kernel, std::size_t stride)
+    : kernel_(kernel), stride_(stride == 0 ? kernel : stride) {
+    if (kernel == 0) throw std::invalid_argument("MaxPool2d: zero kernel");
+}
+
+Tensor MaxPool2d::forward(const Tensor& input) {
+    require_nchw(input, "MaxPool2d");
+    const std::size_t n = input.dim(0), c = input.dim(1);
+    const std::size_t h = input.dim(2), w = input.dim(3);
+    if (h < kernel_ || w < kernel_) {
+        throw std::invalid_argument("MaxPool2d: input smaller than window");
+    }
+    const std::size_t oh = (h - kernel_) / stride_ + 1;
+    const std::size_t ow = (w - kernel_) / stride_ + 1;
+    input_shape_ = input.shape();
+    Tensor output({n, c, oh, ow});
+    argmax_.assign(output.size(), 0);
+    for (std::size_t s = 0; s < n; ++s) {
+        for (std::size_t ch = 0; ch < c; ++ch) {
+            const float* plane = input.data() + (s * c + ch) * h * w;
+            for (std::size_t oy = 0; oy < oh; ++oy) {
+                for (std::size_t ox = 0; ox < ow; ++ox) {
+                    float best = -std::numeric_limits<float>::infinity();
+                    std::size_t best_idx = 0;
+                    for (std::size_t ky = 0; ky < kernel_; ++ky) {
+                        for (std::size_t kx = 0; kx < kernel_; ++kx) {
+                            const std::size_t iy = oy * stride_ + ky;
+                            const std::size_t ix = ox * stride_ + kx;
+                            const float v = plane[iy * w + ix];
+                            if (v > best) {
+                                best = v;
+                                best_idx = iy * w + ix;
+                            }
+                        }
+                    }
+                    const std::size_t out_idx =
+                        ((s * c + ch) * oh + oy) * ow + ox;
+                    output[out_idx] = best;
+                    argmax_[out_idx] = (s * c + ch) * h * w + best_idx;
+                }
+            }
+        }
+    }
+    return output;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_output) {
+    if (grad_output.size() != argmax_.size()) {
+        throw std::invalid_argument("MaxPool2d::backward: bad grad size");
+    }
+    Tensor grad_input(input_shape_);
+    for (std::size_t i = 0; i < argmax_.size(); ++i) {
+        grad_input[argmax_[i]] += grad_output[i];
+    }
+    return grad_input;
+}
+
+std::string MaxPool2d::name() const {
+    std::ostringstream os;
+    os << "MaxPool2d(k" << kernel_ << ", s" << stride_ << ")";
+    return os.str();
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& input) {
+    require_nchw(input, "GlobalAvgPool");
+    input_shape_ = input.shape();
+    const std::size_t n = input.dim(0), c = input.dim(1);
+    const std::size_t spatial = input.dim(2) * input.dim(3);
+    Tensor output({n, c});
+    for (std::size_t s = 0; s < n; ++s) {
+        for (std::size_t ch = 0; ch < c; ++ch) {
+            const float* plane = input.data() + (s * c + ch) * spatial;
+            double acc = 0.0;
+            for (std::size_t p = 0; p < spatial; ++p) acc += plane[p];
+            output(s, ch) = static_cast<float>(acc / spatial);
+        }
+    }
+    return output;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_output) {
+    const std::size_t n = input_shape_[0], c = input_shape_[1];
+    const std::size_t spatial = input_shape_[2] * input_shape_[3];
+    if (grad_output.rank() != 2 || grad_output.dim(0) != n ||
+        grad_output.dim(1) != c) {
+        throw std::invalid_argument("GlobalAvgPool::backward: bad grad shape");
+    }
+    Tensor grad_input(input_shape_);
+    const float inv = 1.0F / static_cast<float>(spatial);
+    for (std::size_t s = 0; s < n; ++s) {
+        for (std::size_t ch = 0; ch < c; ++ch) {
+            const float g = grad_output(s, ch) * inv;
+            float* plane = grad_input.data() + (s * c + ch) * spatial;
+            for (std::size_t p = 0; p < spatial; ++p) plane[p] = g;
+        }
+    }
+    return grad_input;
+}
+
+AvgPool2d::AvgPool2d(std::size_t kernel, std::size_t stride)
+    : kernel_(kernel), stride_(stride == 0 ? kernel : stride) {
+    if (kernel == 0) throw std::invalid_argument("AvgPool2d: zero kernel");
+}
+
+Tensor AvgPool2d::forward(const Tensor& input) {
+    require_nchw(input, "AvgPool2d");
+    const std::size_t n = input.dim(0), c = input.dim(1);
+    const std::size_t h = input.dim(2), w = input.dim(3);
+    if (h < kernel_ || w < kernel_) {
+        throw std::invalid_argument("AvgPool2d: input smaller than window");
+    }
+    const std::size_t oh = (h - kernel_) / stride_ + 1;
+    const std::size_t ow = (w - kernel_) / stride_ + 1;
+    input_shape_ = input.shape();
+    Tensor output({n, c, oh, ow});
+    const float inv = 1.0F / static_cast<float>(kernel_ * kernel_);
+    for (std::size_t s = 0; s < n; ++s) {
+        for (std::size_t ch = 0; ch < c; ++ch) {
+            const float* plane = input.data() + (s * c + ch) * h * w;
+            for (std::size_t oy = 0; oy < oh; ++oy) {
+                for (std::size_t ox = 0; ox < ow; ++ox) {
+                    double acc = 0.0;
+                    for (std::size_t ky = 0; ky < kernel_; ++ky) {
+                        for (std::size_t kx = 0; kx < kernel_; ++kx) {
+                            acc += plane[(oy * stride_ + ky) * w +
+                                         (ox * stride_ + kx)];
+                        }
+                    }
+                    output(s, ch, oy, ox) = static_cast<float>(acc) * inv;
+                }
+            }
+        }
+    }
+    return output;
+}
+
+Tensor AvgPool2d::backward(const Tensor& grad_output) {
+    const std::size_t n = input_shape_[0], c = input_shape_[1];
+    const std::size_t h = input_shape_[2], w = input_shape_[3];
+    const std::size_t oh = (h - kernel_) / stride_ + 1;
+    const std::size_t ow = (w - kernel_) / stride_ + 1;
+    if (grad_output.rank() != 4 || grad_output.dim(0) != n ||
+        grad_output.dim(1) != c || grad_output.dim(2) != oh ||
+        grad_output.dim(3) != ow) {
+        throw std::invalid_argument("AvgPool2d::backward: bad grad shape");
+    }
+    Tensor grad_input(input_shape_);
+    const float inv = 1.0F / static_cast<float>(kernel_ * kernel_);
+    for (std::size_t s = 0; s < n; ++s) {
+        for (std::size_t ch = 0; ch < c; ++ch) {
+            float* plane = grad_input.data() + (s * c + ch) * h * w;
+            for (std::size_t oy = 0; oy < oh; ++oy) {
+                for (std::size_t ox = 0; ox < ow; ++ox) {
+                    const float g = grad_output(s, ch, oy, ox) * inv;
+                    for (std::size_t ky = 0; ky < kernel_; ++ky) {
+                        for (std::size_t kx = 0; kx < kernel_; ++kx) {
+                            plane[(oy * stride_ + ky) * w +
+                                  (ox * stride_ + kx)] += g;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return grad_input;
+}
+
+std::string AvgPool2d::name() const {
+    std::ostringstream os;
+    os << "AvgPool2d(k" << kernel_ << ", s" << stride_ << ")";
+    return os.str();
+}
+
+}  // namespace bayesft::nn

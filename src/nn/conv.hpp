@@ -1,0 +1,81 @@
+#pragma once
+// Convolution and pooling layers for [N, C, H, W] tensors.
+
+#include "nn/module.hpp"
+#include "tensor/ops.hpp"
+#include "utils/rng.hpp"
+
+namespace bayesft::nn {
+
+/// 2-d convolution via im2col + matrix product.
+/// Weight layout: [out_channels, in_channels * kh * kw]; bias: [out_channels].
+class Conv2d : public Module {
+public:
+    Conv2d(std::size_t in_channels, std::size_t out_channels,
+           std::size_t kernel, std::size_t stride, std::size_t pad, Rng& rng);
+
+    Tensor forward(const Tensor& input) override;
+    Tensor backward(const Tensor& grad_output) override;
+    void collect_parameters(std::vector<Parameter*>& out) override;
+    std::string name() const override;
+
+    Parameter& weight() { return weight_; }
+    Parameter& bias() { return bias_; }
+    std::size_t out_channels() const { return out_channels_; }
+
+private:
+    ConvGeometry geometry_for(const Tensor& input) const;
+
+    std::size_t in_channels_;
+    std::size_t out_channels_;
+    std::size_t kernel_;
+    std::size_t stride_;
+    std::size_t pad_;
+    Parameter weight_;
+    Parameter bias_;
+    Tensor cached_input_;
+};
+
+/// Max pooling with square window; stores argmax indices for backward.
+class MaxPool2d : public Module {
+public:
+    explicit MaxPool2d(std::size_t kernel, std::size_t stride = 0);
+
+    Tensor forward(const Tensor& input) override;
+    Tensor backward(const Tensor& grad_output) override;
+    std::string name() const override;
+
+private:
+    std::size_t kernel_;
+    std::size_t stride_;
+    std::vector<std::size_t> input_shape_;
+    std::vector<std::size_t> argmax_;  // flat input index per output element
+};
+
+/// Global average pooling: [N, C, H, W] -> [N, C].
+class GlobalAvgPool : public Module {
+public:
+    Tensor forward(const Tensor& input) override;
+    Tensor backward(const Tensor& grad_output) override;
+    std::string name() const override { return "GlobalAvgPool"; }
+
+private:
+    std::vector<std::size_t> input_shape_;
+};
+
+/// Average pooling with square window (used by LeNet-style models).
+class AvgPool2d : public Module {
+public:
+    explicit AvgPool2d(std::size_t kernel, std::size_t stride = 0);
+
+    Tensor forward(const Tensor& input) override;
+    Tensor backward(const Tensor& grad_output) override;
+    std::string name() const override;
+
+private:
+    std::size_t kernel_;
+    std::size_t stride_;
+    std::vector<std::size_t> input_shape_;
+};
+
+}  // namespace bayesft::nn

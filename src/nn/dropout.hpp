@@ -1,0 +1,57 @@
+#pragma once
+// Dropout layers — the architectural component BayesFT searches over.
+//
+// The key property used by the search (Sec. III-B) is that the dropout rate
+// is a *runtime-adjustable* knob: `set_rate` lets the BayesFT loop install a
+// candidate alpha vector into a model without rebuilding it.
+
+#include "nn/module.hpp"
+#include "utils/rng.hpp"
+
+namespace bayesft::nn {
+
+/// Standard (inverted) dropout: during training each element is zeroed with
+/// probability `rate` and survivors are scaled by 1/(1-rate) so that the
+/// expected activation is unchanged.  Identity in eval mode.
+class Dropout : public Module {
+public:
+    /// `seed` makes mask sampling reproducible per layer.
+    explicit Dropout(double rate, std::uint64_t seed = 0x5EEDULL);
+
+    Tensor forward(const Tensor& input) override;
+    Tensor backward(const Tensor& grad_output) override;
+    std::string name() const override;
+
+    double rate() const { return rate_; }
+    /// Sets the drop probability; throws std::invalid_argument outside [0,1).
+    void set_rate(double rate);
+
+private:
+    double rate_;
+    Rng rng_;
+    Tensor mask_;  // scaled keep mask from the last training forward
+};
+
+/// Alpha dropout [Klambauer et al. 2017]: dropped units are set to the
+/// SELU saturation value alpha' and the output is affinely rescaled to keep
+/// zero mean / unit variance.  The paper's Fig. 2(a) compares it to plain
+/// dropout and finds no significant benefit.
+class AlphaDropout : public Module {
+public:
+    explicit AlphaDropout(double rate, std::uint64_t seed = 0xA1FAULL);
+
+    Tensor forward(const Tensor& input) override;
+    Tensor backward(const Tensor& grad_output) override;
+    std::string name() const override;
+
+    double rate() const { return rate_; }
+    void set_rate(double rate);
+
+private:
+    double rate_;
+    Rng rng_;
+    Tensor mask_;  // 1 for kept positions, 0 for dropped
+    float scale_a_ = 1.0F;
+};
+
+}  // namespace bayesft::nn

@@ -1,0 +1,23 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bayesft::nn {
+
+Tensor xavier_uniform(std::vector<std::size_t> shape, std::size_t fan_in,
+                      std::size_t fan_out, Rng& rng) {
+    if (fan_in + fan_out == 0) {
+        throw std::invalid_argument("xavier_uniform: zero fan");
+    }
+    const float bound = std::sqrt(6.0F / static_cast<float>(fan_in + fan_out));
+    return Tensor::uniform(std::move(shape), rng, -bound, bound);
+}
+
+Tensor he_normal(std::vector<std::size_t> shape, std::size_t fan_in, Rng& rng) {
+    if (fan_in == 0) throw std::invalid_argument("he_normal: zero fan_in");
+    const float stddev = std::sqrt(2.0F / static_cast<float>(fan_in));
+    return Tensor::randn(std::move(shape), rng, stddev);
+}
+
+}  // namespace bayesft::nn

@@ -1,0 +1,18 @@
+#pragma once
+// Weight initialization schemes.  Algorithm 1 in the paper initializes theta
+// with Xavier initialization [Glorot & Bengio 2010]; He initialization is
+// provided for the ReLU-heavy convolutional models.
+
+#include "tensor/tensor.hpp"
+#include "utils/rng.hpp"
+
+namespace bayesft::nn {
+
+/// Xavier/Glorot uniform: U[-a, a] with a = sqrt(6 / (fan_in + fan_out)).
+Tensor xavier_uniform(std::vector<std::size_t> shape, std::size_t fan_in,
+                      std::size_t fan_out, Rng& rng);
+
+/// He/Kaiming normal: N(0, 2 / fan_in).
+Tensor he_normal(std::vector<std::size_t> shape, std::size_t fan_in, Rng& rng);
+
+}  // namespace bayesft::nn

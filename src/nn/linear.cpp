@@ -1,0 +1,69 @@
+#include "nn/linear.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "nn/init.hpp"
+#include "tensor/ops.hpp"
+
+namespace bayesft::nn {
+
+Linear::Linear(std::size_t in_features, std::size_t out_features, Rng& rng)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weight_("weight", xavier_uniform({out_features, in_features}, in_features,
+                                       out_features, rng)),
+      bias_("bias", Tensor::zeros({out_features})) {
+    if (in_features == 0 || out_features == 0) {
+        throw std::invalid_argument("Linear: zero feature count");
+    }
+}
+
+Tensor Linear::forward(const Tensor& input) {
+    if (input.rank() != 2 || input.dim(1) != in_features_) {
+        throw std::invalid_argument("Linear: expected [N, " +
+                                    std::to_string(in_features_) + "], got " +
+                                    shape_to_string(input.shape()));
+    }
+    cached_input_ = input;
+    Tensor out = matmul_nt(input, weight_.value);  // [N, out]
+    const std::size_t n = out.dim(0);
+    for (std::size_t i = 0; i < n; ++i) {
+        float* row = out.data() + i * out_features_;
+        for (std::size_t j = 0; j < out_features_; ++j) {
+            row[j] += bias_.value[j];
+        }
+    }
+    return out;
+}
+
+Tensor Linear::backward(const Tensor& grad_output) {
+    if (grad_output.rank() != 2 || grad_output.dim(1) != out_features_ ||
+        grad_output.dim(0) != cached_input_.dim(0)) {
+        throw std::invalid_argument("Linear::backward: bad grad shape " +
+                                    shape_to_string(grad_output.shape()));
+    }
+    // dW = dY^T X ; db = column sums of dY ; dX = dY W.
+    weight_.grad.add_(matmul_tn(grad_output, cached_input_));
+    const std::size_t n = grad_output.dim(0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const float* row = grad_output.data() + i * out_features_;
+        for (std::size_t j = 0; j < out_features_; ++j) {
+            bias_.grad[j] += row[j];
+        }
+    }
+    return matmul(grad_output, weight_.value);
+}
+
+void Linear::collect_parameters(std::vector<Parameter*>& out) {
+    out.push_back(&weight_);
+    out.push_back(&bias_);
+}
+
+std::string Linear::name() const {
+    std::ostringstream os;
+    os << "Linear(" << in_features_ << "->" << out_features_ << ")";
+    return os.str();
+}
+
+}  // namespace bayesft::nn

@@ -1,0 +1,33 @@
+#pragma once
+// Fully-connected layer.
+
+#include "nn/module.hpp"
+#include "utils/rng.hpp"
+
+namespace bayesft::nn {
+
+/// y = x W^T + b for x:[N, in], W:[out, in], b:[out].
+class Linear : public Module {
+public:
+    /// Xavier-uniform initialized weights, zero bias.
+    Linear(std::size_t in_features, std::size_t out_features, Rng& rng);
+
+    Tensor forward(const Tensor& input) override;
+    Tensor backward(const Tensor& grad_output) override;
+    void collect_parameters(std::vector<Parameter*>& out) override;
+    std::string name() const override;
+
+    std::size_t in_features() const { return in_features_; }
+    std::size_t out_features() const { return out_features_; }
+    Parameter& weight() { return weight_; }
+    Parameter& bias() { return bias_; }
+
+private:
+    std::size_t in_features_;
+    std::size_t out_features_;
+    Parameter weight_;
+    Parameter bias_;
+    Tensor cached_input_;
+};
+
+}  // namespace bayesft::nn

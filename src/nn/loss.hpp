@@ -1,0 +1,31 @@
+#pragma once
+// Loss functions.  Each returns the scalar loss and the gradient w.r.t. the
+// predictions, ready to feed into Module::backward.
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace bayesft::nn {
+
+/// Scalar loss value plus gradient w.r.t. the prediction tensor.
+struct LossResult {
+    double value = 0.0;
+    Tensor grad;
+};
+
+/// Mean cross-entropy of logits [N, K] against integer labels (size N).
+/// Gradient is (softmax - onehot) / N.
+LossResult cross_entropy(const Tensor& logits, const std::vector<int>& labels);
+
+/// Mean binary cross-entropy with logits, elementwise against targets of the
+/// same shape (targets in [0, 1]).  Used by the FTNA error-correction head
+/// and the detector's confidence channel.
+LossResult bce_with_logits(const Tensor& logits, const Tensor& targets);
+
+/// Mean squared error, elementwise, optionally with a per-element weight
+/// mask of the same shape (pass an empty tensor for uniform weights).
+LossResult mse(const Tensor& pred, const Tensor& target,
+               const Tensor& weights = Tensor());
+
+}  // namespace bayesft::nn

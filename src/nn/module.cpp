@@ -1,0 +1,76 @@
+#include "nn/module.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace bayesft::nn {
+
+void Module::collect_parameters(std::vector<Parameter*>&) {}
+
+void Module::collect_buffers(std::vector<Tensor*>&) {}
+
+std::vector<Tensor*> Module::buffers() {
+    std::vector<Tensor*> out;
+    collect_buffers(out);
+    return out;
+}
+
+std::vector<Parameter*> Module::parameters() {
+    std::vector<Parameter*> out;
+    collect_parameters(out);
+    return out;
+}
+
+std::size_t Module::parameter_count() {
+    std::size_t total = 0;
+    for (const Parameter* p : parameters()) total += p->value.size();
+    return total;
+}
+
+Tensor Sequential::forward(const Tensor& input) {
+    Tensor current = input;
+    for (auto& child : children_) current = child->forward(current);
+    return current;
+}
+
+Tensor Sequential::backward(const Tensor& grad_output) {
+    Tensor current = grad_output;
+    for (auto it = children_.rbegin(); it != children_.rend(); ++it) {
+        current = (*it)->backward(current);
+    }
+    return current;
+}
+
+void Sequential::collect_parameters(std::vector<Parameter*>& out) {
+    for (auto& child : children_) child->collect_parameters(out);
+}
+
+void Sequential::collect_buffers(std::vector<Tensor*>& out) {
+    for (auto& child : children_) child->collect_buffers(out);
+}
+
+void Sequential::set_training(bool training) {
+    training_ = training;
+    for (auto& child : children_) child->set_training(training);
+}
+
+std::string Sequential::name() const {
+    std::ostringstream os;
+    os << "Sequential(" << children_.size() << " layers)";
+    return os.str();
+}
+
+Tensor Flatten::forward(const Tensor& input) {
+    if (input.rank() < 2) {
+        throw std::invalid_argument("Flatten: expected rank >= 2, got " +
+                                    shape_to_string(input.shape()));
+    }
+    input_shape_ = input.shape();
+    return input.reshaped({input.dim(0), 0});
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+    return grad_output.reshaped(input_shape_);
+}
+
+}  // namespace bayesft::nn

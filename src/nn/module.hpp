@@ -1,0 +1,135 @@
+#pragma once
+// Module framework: every layer implements forward/backward with explicit,
+// analytically derived gradients (verified against finite differences in
+// tests/).  The design mirrors the classic modular-NN decomposition the
+// paper's Sec. II-A describes: f = f1 o f2 o ... o fK.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace bayesft::nn {
+
+/// A learnable tensor with its gradient accumulator.
+///
+/// `driftable` marks parameters that live in ReRAM cells and are therefore
+/// subject to memristance drift (Eq. 1).  All weights/biases/affine-norm
+/// parameters are driftable; bookkeeping state (running statistics) is not
+/// a Parameter at all.
+struct Parameter {
+    std::string name;
+    Tensor value;
+    Tensor grad;
+    bool driftable = true;
+
+    Parameter(std::string n, Tensor v, bool drift = true)
+        : name(std::move(n)),
+          value(std::move(v)),
+          grad(Tensor::zeros(value.shape())),
+          driftable(drift) {}
+};
+
+/// Base class for all layers.
+///
+/// Contract: `backward` must be called after `forward` with a gradient of
+/// the same shape as the most recent forward output; it accumulates into
+/// the parameters' `grad` fields and returns the gradient w.r.t. the input.
+class Module {
+public:
+    virtual ~Module() = default;
+    Module() = default;
+    Module(const Module&) = delete;
+    Module& operator=(const Module&) = delete;
+
+    /// Computes the layer output; caches whatever backward needs.
+    virtual Tensor forward(const Tensor& input) = 0;
+
+    /// Propagates gradients; accumulates parameter grads.
+    virtual Tensor backward(const Tensor& grad_output) = 0;
+
+    /// Appends raw (non-owning) pointers to this module's parameters.
+    virtual void collect_parameters(std::vector<Parameter*>& out);
+
+    /// Appends pointers to non-learnable persistent state (e.g. batch-norm
+    /// running statistics).  Buffers are serialized with checkpoints but
+    /// are never drifted or optimized.  Containers must recurse.
+    virtual void collect_buffers(std::vector<Tensor*>& out);
+
+    /// Convenience wrapper over collect_parameters.
+    std::vector<Parameter*> parameters();
+
+    /// Convenience wrapper over collect_buffers.
+    std::vector<Tensor*> buffers();
+
+    /// Total number of scalar learnable values.
+    std::size_t parameter_count();
+
+    /// Switches train/eval behaviour (dropout, batch-norm statistics).
+    /// Containers must override to recurse into children.
+    virtual void set_training(bool training) { training_ = training; }
+    bool training() const { return training_; }
+
+    /// Short human-readable layer name, e.g. "Linear(64->10)".
+    virtual std::string name() const = 0;
+
+protected:
+    bool training_ = true;
+};
+
+/// Ordered container running children front-to-back (and back-to-front for
+/// gradients).  Owns its children.
+class Sequential : public Module {
+public:
+    Sequential() = default;
+
+    /// Appends a child and returns a non-owning typed pointer to it, so
+    /// callers can keep handles to e.g. Dropout layers for rate updates.
+    template <typename M>
+    M* add(std::unique_ptr<M> child) {
+        M* raw = child.get();
+        children_.push_back(std::move(child));
+        return raw;
+    }
+
+    /// Constructs the child in place.
+    template <typename M, typename... Args>
+    M* emplace(Args&&... args) {
+        return add(std::make_unique<M>(std::forward<Args>(args)...));
+    }
+
+    Tensor forward(const Tensor& input) override;
+    Tensor backward(const Tensor& grad_output) override;
+    void collect_parameters(std::vector<Parameter*>& out) override;
+    void collect_buffers(std::vector<Tensor*>& out) override;
+    void set_training(bool training) override;
+    std::string name() const override;
+
+    std::size_t child_count() const { return children_.size(); }
+    Module& child(std::size_t i) { return *children_.at(i); }
+
+private:
+    std::vector<std::unique_ptr<Module>> children_;
+};
+
+/// Reshapes [N, C, H, W] (or any rank >= 2) to [N, rest].
+class Flatten : public Module {
+public:
+    Tensor forward(const Tensor& input) override;
+    Tensor backward(const Tensor& grad_output) override;
+    std::string name() const override { return "Flatten"; }
+
+private:
+    std::vector<std::size_t> input_shape_;
+};
+
+/// Identity layer (useful as a stand-in for disabled blocks).
+class Identity : public Module {
+public:
+    Tensor forward(const Tensor& input) override { return input; }
+    Tensor backward(const Tensor& grad_output) override { return grad_output; }
+    std::string name() const override { return "Identity"; }
+};
+
+}  // namespace bayesft::nn

@@ -1,0 +1,51 @@
+#include "nn/residual.hpp"
+
+#include <stdexcept>
+
+namespace bayesft::nn {
+
+Residual::Residual(std::unique_ptr<Module> main_branch,
+                   std::unique_ptr<Module> shortcut)
+    : main_(std::move(main_branch)),
+      shortcut_(shortcut ? std::move(shortcut)
+                         : std::make_unique<Identity>()) {
+    if (!main_) throw std::invalid_argument("Residual: null main branch");
+}
+
+Tensor Residual::forward(const Tensor& input) {
+    Tensor main_out = main_->forward(input);
+    Tensor short_out = shortcut_->forward(input);
+    if (main_out.shape() != short_out.shape()) {
+        throw std::invalid_argument(
+            "Residual: branch shape mismatch " +
+            shape_to_string(main_out.shape()) + " vs " +
+            shape_to_string(short_out.shape()));
+    }
+    return main_out.add_(short_out);
+}
+
+Tensor Residual::backward(const Tensor& grad_output) {
+    Tensor grad_main = main_->backward(grad_output);
+    Tensor grad_short = shortcut_->backward(grad_output);
+    return grad_main.add_(grad_short);
+}
+
+void Residual::collect_parameters(std::vector<Parameter*>& out) {
+    main_->collect_parameters(out);
+    shortcut_->collect_parameters(out);
+}
+
+void Residual::collect_buffers(std::vector<Tensor*>& out) {
+    main_->collect_buffers(out);
+    shortcut_->collect_buffers(out);
+}
+
+void Residual::set_training(bool training) {
+    training_ = training;
+    main_->set_training(training);
+    shortcut_->set_training(training);
+}
+
+std::string Residual::name() const { return "Residual"; }
+
+}  // namespace bayesft::nn

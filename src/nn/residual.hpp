@@ -1,0 +1,33 @@
+#pragma once
+// Residual composition: out = main(x) + shortcut(x).  Used by the ResNet /
+// PreAct-ResNet families in the model zoo (paper Fig. 3(d), (f)-(h)).
+
+#include <memory>
+
+#include "nn/module.hpp"
+
+namespace bayesft::nn {
+
+/// Two-branch residual sum.  Owns both branches; the shortcut defaults to
+/// Identity.  Both branches must produce outputs of identical shape.
+class Residual : public Module {
+public:
+    explicit Residual(std::unique_ptr<Module> main_branch,
+                      std::unique_ptr<Module> shortcut = nullptr);
+
+    Tensor forward(const Tensor& input) override;
+    Tensor backward(const Tensor& grad_output) override;
+    void collect_parameters(std::vector<Parameter*>& out) override;
+    void collect_buffers(std::vector<Tensor*>& out) override;
+    void set_training(bool training) override;
+    std::string name() const override;
+
+    Module& main_branch() { return *main_; }
+    Module& shortcut() { return *shortcut_; }
+
+private:
+    std::unique_ptr<Module> main_;
+    std::unique_ptr<Module> shortcut_;
+};
+
+}  // namespace bayesft::nn

@@ -1,0 +1,142 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace bayesft::nn {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0xBA7E5F70;  // "BayesFT" checkpoint
+constexpr std::uint32_t kVersion = 2;  // v2 adds module buffers
+
+void write_u32(std::ostream& out, std::uint32_t value) {
+    out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+void write_u64(std::ostream& out, std::uint64_t value) {
+    out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+void write_string(std::ostream& out, const std::string& s) {
+    write_u64(out, s.size());
+    out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::uint32_t read_u32(std::istream& in) {
+    std::uint32_t value = 0;
+    in.read(reinterpret_cast<char*>(&value), sizeof(value));
+    return value;
+}
+
+std::uint64_t read_u64(std::istream& in) {
+    std::uint64_t value = 0;
+    in.read(reinterpret_cast<char*>(&value), sizeof(value));
+    return value;
+}
+
+std::string read_string(std::istream& in) {
+    const std::uint64_t size = read_u64(in);
+    if (size > (1ULL << 20)) {
+        throw std::runtime_error("load_parameters: implausible string size");
+    }
+    std::string s(size, '\0');
+    in.read(s.data(), static_cast<std::streamsize>(size));
+    return s;
+}
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+    throw std::runtime_error(what + ": " + path);
+}
+
+}  // namespace
+
+void save_parameters(Module& model, const std::string& path) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) fail("save_parameters: cannot open", path);
+    const auto params = model.parameters();
+    write_u32(out, kMagic);
+    write_u32(out, kVersion);
+    write_u64(out, params.size());
+    for (const Parameter* p : params) {
+        write_string(out, p->name);
+        write_u64(out, p->value.rank());
+        for (std::size_t d = 0; d < p->value.rank(); ++d) {
+            write_u64(out, p->value.dim(d));
+        }
+        out.write(reinterpret_cast<const char*>(p->value.data()),
+                  static_cast<std::streamsize>(p->value.size() *
+                                               sizeof(float)));
+    }
+    // Non-learnable persistent state (e.g. batch-norm running statistics):
+    // without it an eval-mode restore of a normalized model is wrong.
+    const auto buffers = model.buffers();
+    write_u64(out, buffers.size());
+    for (const Tensor* b : buffers) {
+        write_u64(out, b->rank());
+        for (std::size_t d = 0; d < b->rank(); ++d) {
+            write_u64(out, b->dim(d));
+        }
+        out.write(reinterpret_cast<const char*>(b->data()),
+                  static_cast<std::streamsize>(b->size() * sizeof(float)));
+    }
+    if (!out) fail("save_parameters: write failed", path);
+}
+
+void load_parameters(Module& model, const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) fail("load_parameters: cannot open", path);
+    if (read_u32(in) != kMagic) {
+        fail("load_parameters: bad magic (not a BayesFT checkpoint)", path);
+    }
+    if (read_u32(in) != kVersion) {
+        fail("load_parameters: unsupported checkpoint version", path);
+    }
+    const auto params = model.parameters();
+    const std::uint64_t count = read_u64(in);
+    if (count != params.size()) {
+        fail("load_parameters: parameter count mismatch", path);
+    }
+    for (Parameter* p : params) {
+        const std::string name = read_string(in);
+        if (name != p->name) {
+            fail("load_parameters: parameter name mismatch ('" + name +
+                     "' vs '" + p->name + "')",
+                 path);
+        }
+        const std::uint64_t rank = read_u64(in);
+        std::vector<std::size_t> shape(rank);
+        for (std::uint64_t d = 0; d < rank; ++d) {
+            shape[d] = static_cast<std::size_t>(read_u64(in));
+        }
+        if (shape != p->value.shape()) {
+            fail("load_parameters: shape mismatch for '" + p->name + "'",
+                 path);
+        }
+        in.read(reinterpret_cast<char*>(p->value.data()),
+                static_cast<std::streamsize>(p->value.size() *
+                                             sizeof(float)));
+        if (!in) fail("load_parameters: truncated payload", path);
+    }
+    const auto buffers = model.buffers();
+    const std::uint64_t buffer_count = read_u64(in);
+    if (buffer_count != buffers.size()) {
+        fail("load_parameters: buffer count mismatch", path);
+    }
+    for (Tensor* b : buffers) {
+        const std::uint64_t rank = read_u64(in);
+        std::vector<std::size_t> shape(rank);
+        for (std::uint64_t d = 0; d < rank; ++d) {
+            shape[d] = static_cast<std::size_t>(read_u64(in));
+        }
+        if (shape != b->shape()) {
+            fail("load_parameters: buffer shape mismatch", path);
+        }
+        in.read(reinterpret_cast<char*>(b->data()),
+                static_cast<std::streamsize>(b->size() * sizeof(float)));
+        if (!in) fail("load_parameters: truncated buffer payload", path);
+    }
+}
+
+}  // namespace bayesft::nn

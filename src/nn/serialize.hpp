@@ -1,0 +1,24 @@
+#pragma once
+// Model weight serialization.  The paper's deployment story is "train
+// off-line on GPU servers, then deploy on ReRAM devices" — which needs a
+// way to persist a trained theta.  The format is a small self-describing
+// binary: magic, parameter count, then per parameter its name, shape and
+// raw float payload.  Loading verifies names and shapes so a checkpoint
+// can only be restored into a structurally identical model.
+
+#include <string>
+
+#include "nn/module.hpp"
+
+namespace bayesft::nn {
+
+/// Writes all parameters of `model` to `path`.
+/// Throws std::runtime_error on I/O failure.
+void save_parameters(Module& model, const std::string& path);
+
+/// Restores parameters saved by save_parameters into `model`.
+/// Throws std::runtime_error on I/O failure or if the checkpoint does not
+/// structurally match the model (parameter count, names, or shapes).
+void load_parameters(Module& model, const std::string& path);
+
+}  // namespace bayesft::nn

@@ -1,0 +1,238 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace bayesft {
+
+namespace {
+
+void require_rank2(const Tensor& t, const char* who) {
+    if (t.rank() != 2) {
+        throw std::invalid_argument(std::string(who) + ": expected rank-2, got " +
+                                    shape_to_string(t.shape()));
+    }
+}
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+    require_rank2(a, "matmul(a)");
+    require_rank2(b, "matmul(b)");
+    const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+    if (b.dim(0) != k) {
+        throw std::invalid_argument("matmul: inner dims " +
+                                    shape_to_string(a.shape()) + " x " +
+                                    shape_to_string(b.shape()));
+    }
+    Tensor c({m, n});
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* pc = c.data();
+    // i-k-j order: the inner loop streams both B's row and C's row.
+    for (std::size_t i = 0; i < m; ++i) {
+        float* crow = pc + i * n;
+        for (std::size_t kk = 0; kk < k; ++kk) {
+            const float aval = pa[i * k + kk];
+            if (aval == 0.0F) continue;
+            const float* brow = pb + kk * n;
+            for (std::size_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+        }
+    }
+    return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+    require_rank2(a, "matmul_tn(a)");
+    require_rank2(b, "matmul_tn(b)");
+    const std::size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+    if (b.dim(0) != k) {
+        throw std::invalid_argument("matmul_tn: inner dims " +
+                                    shape_to_string(a.shape()) + " x " +
+                                    shape_to_string(b.shape()));
+    }
+    Tensor c({m, n});
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* pc = c.data();
+    for (std::size_t kk = 0; kk < k; ++kk) {
+        const float* arow = pa + kk * m;
+        const float* brow = pb + kk * n;
+        for (std::size_t i = 0; i < m; ++i) {
+            const float aval = arow[i];
+            if (aval == 0.0F) continue;
+            float* crow = pc + i * n;
+            for (std::size_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+        }
+    }
+    return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+    require_rank2(a, "matmul_nt(a)");
+    require_rank2(b, "matmul_nt(b)");
+    const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+    if (b.dim(1) != k) {
+        throw std::invalid_argument("matmul_nt: inner dims " +
+                                    shape_to_string(a.shape()) + " x " +
+                                    shape_to_string(b.shape()));
+    }
+    Tensor c({m, n});
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* pc = c.data();
+    for (std::size_t i = 0; i < m; ++i) {
+        const float* arow = pa + i * k;
+        float* crow = pc + i * n;
+        for (std::size_t j = 0; j < n; ++j) {
+            const float* brow = pb + j * k;
+            double acc = 0.0;
+            for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+            crow[j] = static_cast<float>(acc);
+        }
+    }
+    return c;
+}
+
+Tensor transpose(const Tensor& a) {
+    require_rank2(a, "transpose");
+    const std::size_t m = a.dim(0), n = a.dim(1);
+    Tensor t({n, m});
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < n; ++j) t(j, i) = a(i, j);
+    }
+    return t;
+}
+
+void ConvGeometry::validate() const {
+    if (channels == 0 || in_h == 0 || in_w == 0 || kernel_h == 0 ||
+        kernel_w == 0 || stride == 0) {
+        throw std::invalid_argument("ConvGeometry: zero extent");
+    }
+    if (in_h + 2 * pad < kernel_h || in_w + 2 * pad < kernel_w) {
+        throw std::invalid_argument("ConvGeometry: kernel larger than padded input");
+    }
+}
+
+void im2col(const float* image, const ConvGeometry& g, float* out) {
+    const std::size_t oh = g.out_h(), ow = g.out_w();
+    const std::size_t cols = oh * ow;
+    std::size_t row = 0;
+    for (std::size_t c = 0; c < g.channels; ++c) {
+        const float* plane = image + c * g.in_h * g.in_w;
+        for (std::size_t ky = 0; ky < g.kernel_h; ++ky) {
+            for (std::size_t kx = 0; kx < g.kernel_w; ++kx, ++row) {
+                float* dst = out + row * cols;
+                for (std::size_t oy = 0; oy < oh; ++oy) {
+                    // Signed because padding can place the window off-image.
+                    const std::ptrdiff_t iy =
+                        static_cast<std::ptrdiff_t>(oy * g.stride + ky) -
+                        static_cast<std::ptrdiff_t>(g.pad);
+                    const bool y_ok =
+                        iy >= 0 && iy < static_cast<std::ptrdiff_t>(g.in_h);
+                    for (std::size_t ox = 0; ox < ow; ++ox) {
+                        const std::ptrdiff_t ix =
+                            static_cast<std::ptrdiff_t>(ox * g.stride + kx) -
+                            static_cast<std::ptrdiff_t>(g.pad);
+                        const bool x_ok =
+                            ix >= 0 && ix < static_cast<std::ptrdiff_t>(g.in_w);
+                        dst[oy * ow + ox] =
+                            (y_ok && x_ok)
+                                ? plane[static_cast<std::size_t>(iy) * g.in_w +
+                                        static_cast<std::size_t>(ix)]
+                                : 0.0F;
+                    }
+                }
+            }
+        }
+    }
+}
+
+void col2im(const float* cols_mat, const ConvGeometry& g, float* image_grad) {
+    const std::size_t oh = g.out_h(), ow = g.out_w();
+    const std::size_t cols = oh * ow;
+    std::size_t row = 0;
+    for (std::size_t c = 0; c < g.channels; ++c) {
+        float* plane = image_grad + c * g.in_h * g.in_w;
+        for (std::size_t ky = 0; ky < g.kernel_h; ++ky) {
+            for (std::size_t kx = 0; kx < g.kernel_w; ++kx, ++row) {
+                const float* src = cols_mat + row * cols;
+                for (std::size_t oy = 0; oy < oh; ++oy) {
+                    const std::ptrdiff_t iy =
+                        static_cast<std::ptrdiff_t>(oy * g.stride + ky) -
+                        static_cast<std::ptrdiff_t>(g.pad);
+                    if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(g.in_h)) {
+                        continue;
+                    }
+                    for (std::size_t ox = 0; ox < ow; ++ox) {
+                        const std::ptrdiff_t ix =
+                            static_cast<std::ptrdiff_t>(ox * g.stride + kx) -
+                            static_cast<std::ptrdiff_t>(g.pad);
+                        if (ix < 0 ||
+                            ix >= static_cast<std::ptrdiff_t>(g.in_w)) {
+                            continue;
+                        }
+                        plane[static_cast<std::size_t>(iy) * g.in_w +
+                              static_cast<std::size_t>(ix)] +=
+                            src[oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+}
+
+std::vector<std::size_t> argmax_rows(const Tensor& logits) {
+    require_rank2(logits, "argmax_rows");
+    const std::size_t n = logits.dim(0), f = logits.dim(1);
+    if (f == 0) throw std::invalid_argument("argmax_rows: zero-width rows");
+    std::vector<std::size_t> out(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const float* row = logits.data() + i * f;
+        out[i] = static_cast<std::size_t>(
+            std::max_element(row, row + f) - row);
+    }
+    return out;
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+    Tensor out = log_softmax_rows(logits);
+    for (float& v : out.values()) v = std::exp(v);
+    return out;
+}
+
+Tensor log_softmax_rows(const Tensor& logits) {
+    require_rank2(logits, "log_softmax_rows");
+    const std::size_t n = logits.dim(0), f = logits.dim(1);
+    Tensor out({n, f});
+    for (std::size_t i = 0; i < n; ++i) {
+        const float* row = logits.data() + i * f;
+        float* dst = out.data() + i * f;
+        const float row_max = *std::max_element(row, row + f);
+        double denom = 0.0;
+        for (std::size_t j = 0; j < f; ++j) {
+            denom += std::exp(static_cast<double>(row[j] - row_max));
+        }
+        const float log_denom = static_cast<float>(std::log(denom));
+        for (std::size_t j = 0; j < f; ++j) {
+            dst[j] = row[j] - row_max - log_denom;
+        }
+    }
+    return out;
+}
+
+double accuracy(const Tensor& logits, const std::vector<int>& labels) {
+    if (logits.dim(0) != labels.size()) {
+        throw std::invalid_argument("accuracy: batch size mismatch");
+    }
+    if (labels.empty()) return 0.0;
+    const auto pred = argmax_rows(logits);
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        if (pred[i] == static_cast<std::size_t>(labels[i])) ++hits;
+    }
+    return static_cast<double>(hits) / static_cast<double>(labels.size());
+}
+
+}  // namespace bayesft

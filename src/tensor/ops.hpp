@@ -1,0 +1,66 @@
+#pragma once
+// Structured tensor operations: matrix products, transposes, im2col/col2im
+// (the workhorses behind Conv2d), and row-wise reductions used by losses and
+// accuracy computation.
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace bayesft {
+
+/// C = A @ B for A:[m,k], B:[k,n] -> C:[m,n].
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// C = A^T @ B for A:[k,m], B:[k,n] -> C:[m,n] (no explicit transpose).
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+
+/// C = A @ B^T for A:[m,k], B:[n,k] -> C:[m,n] (no explicit transpose).
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+/// Transposed copy of a 2-d tensor.
+Tensor transpose(const Tensor& a);
+
+/// Geometry of a 2-d convolution / pooling window sweep.
+struct ConvGeometry {
+    std::size_t channels = 0;
+    std::size_t in_h = 0;
+    std::size_t in_w = 0;
+    std::size_t kernel_h = 0;
+    std::size_t kernel_w = 0;
+    std::size_t stride = 1;
+    std::size_t pad = 0;
+
+    std::size_t out_h() const {
+        return (in_h + 2 * pad - kernel_h) / stride + 1;
+    }
+    std::size_t out_w() const {
+        return (in_w + 2 * pad - kernel_w) / stride + 1;
+    }
+    /// Throws std::invalid_argument if the window does not fit.
+    void validate() const;
+};
+
+/// Unfolds one image [C,H,W] (given as a flat pointer) into a matrix
+/// [C*kh*kw, out_h*out_w].  Out-of-bounds (padding) positions read as 0.
+/// `out` must have out_rows() x out_cols() elements.
+void im2col(const float* image, const ConvGeometry& g, float* out);
+
+/// Adjoint of im2col: folds the column matrix back, accumulating into
+/// `image_grad` (which must be pre-zeroed by the caller when appropriate).
+void col2im(const float* cols, const ConvGeometry& g, float* image_grad);
+
+/// Rows of a [N, F] tensor: index of the max entry per row.
+std::vector<std::size_t> argmax_rows(const Tensor& logits);
+
+/// Row-wise softmax of a [N, F] tensor (numerically stabilized).
+Tensor softmax_rows(const Tensor& logits);
+
+/// Row-wise log-softmax of a [N, F] tensor.
+Tensor log_softmax_rows(const Tensor& logits);
+
+/// Classification accuracy of logits [N, K] against labels (size N), in [0,1].
+double accuracy(const Tensor& logits, const std::vector<int>& labels);
+
+}  // namespace bayesft

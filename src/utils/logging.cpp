@@ -1,0 +1,38 @@
+#include "utils/logging.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace bayesft {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::Info)};
+
+const char* level_name(LogLevel level) {
+    switch (level) {
+        case LogLevel::Debug: return "DEBUG";
+        case LogLevel::Info: return "INFO ";
+        case LogLevel::Warn: return "WARN ";
+        case LogLevel::Error: return "ERROR";
+        case LogLevel::Off: return "OFF  ";
+    }
+    return "?????";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) {
+    g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+    return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void log_message(LogLevel level, const std::string& message) {
+    if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) {
+        return;
+    }
+    std::cerr << "[" << level_name(level) << "] " << message << "\n";
+}
+
+}  // namespace bayesft

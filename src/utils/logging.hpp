@@ -1,0 +1,48 @@
+#pragma once
+// Minimal leveled logging.  Experiments are long-running; progress lines are
+// emitted at Info level and can be silenced globally (tests set Error).
+
+#include <sstream>
+#include <string>
+
+namespace bayesft {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Sets the global minimum level that will be emitted.
+void set_log_level(LogLevel level);
+
+/// Current global minimum level.
+LogLevel log_level();
+
+/// Emits `message` to stderr if `level` >= the global level.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogLine {
+public:
+    explicit LogLine(LogLevel level) : level_(level) {}
+    ~LogLine() { log_message(level_, stream_.str()); }
+    LogLine(const LogLine&) = delete;
+    LogLine& operator=(const LogLine&) = delete;
+
+    template <typename T>
+    LogLine& operator<<(const T& value) {
+        stream_ << value;
+        return *this;
+    }
+
+private:
+    LogLevel level_;
+    std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+inline detail::LogLine log_debug() { return detail::LogLine(LogLevel::Debug); }
+inline detail::LogLine log_info() { return detail::LogLine(LogLevel::Info); }
+inline detail::LogLine log_warn() { return detail::LogLine(LogLevel::Warn); }
+inline detail::LogLine log_error() { return detail::LogLine(LogLevel::Error); }
+
+}  // namespace bayesft

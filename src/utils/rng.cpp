@@ -1,0 +1,112 @@
+#include "utils/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace bayesft {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+    x += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+    std::uint64_t s = seed;
+    for (auto& lane : state_) lane = splitmix64(s);
+    // Avoid the all-zero state, which is a fixed point of xoshiro.
+    if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
+        state_[0] = 1;
+    }
+}
+
+Rng::result_type Rng::operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double Rng::uniform() {
+    // 53-bit mantissa of the raw draw, mapped to [0, 1).
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+    return lo + (hi - lo) * uniform();
+}
+
+double Rng::normal() {
+    if (has_cached_normal_) {
+        has_cached_normal_ = false;
+        return cached_normal_;
+    }
+    // Box-Muller; u1 is nudged away from zero so log() is finite.
+    double u1 = uniform();
+    if (u1 <= 0.0) u1 = 0x1.0p-53;
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double angle = 2.0 * std::numbers::pi * u2;
+    cached_normal_ = r * std::sin(angle);
+    has_cached_normal_ = true;
+    return r * std::cos(angle);
+}
+
+double Rng::normal(double mean, double stddev) {
+    return mean + stddev * normal();
+}
+
+double Rng::log_normal(double mu, double sigma) {
+    return std::exp(normal(mu, sigma));
+}
+
+std::uint64_t Rng::uniform_int(std::uint64_t n) {
+    if (n == 0) throw std::invalid_argument("Rng::uniform_int: n must be > 0");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = max() - max() % n;
+    std::uint64_t draw = (*this)();
+    while (draw >= limit) draw = (*this)();
+    return draw % n;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+    if (lo > hi) throw std::invalid_argument("Rng::uniform_int: lo > hi");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(uniform_int(span));
+}
+
+bool Rng::bernoulli(double p) {
+    return uniform() < p;
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+    std::vector<std::size_t> perm(n);
+    for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+    for (std::size_t i = n; i > 1; --i) {
+        const std::size_t j = uniform_int(i);
+        std::swap(perm[i - 1], perm[j]);
+    }
+    return perm;
+}
+
+Rng Rng::split() {
+    return Rng((*this)());
+}
+
+}  // namespace bayesft

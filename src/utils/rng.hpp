@@ -1,0 +1,68 @@
+#pragma once
+// Deterministic random number generation for all stochastic components.
+//
+// Every stochastic component in this library (weight init, dropout masks,
+// drift sampling, dataset synthesis, Bayesian-optimization candidates) takes
+// an explicit `Rng&` so experiments are reproducible bit-for-bit for a fixed
+// seed.  The engine is xoshiro256**, a small, fast, high-quality generator.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace bayesft {
+
+/// xoshiro256** pseudo-random generator with convenience distributions.
+///
+/// Satisfies UniformRandomBitGenerator so it can also be handed to
+/// standard-library facilities (e.g. std::shuffle).
+class Rng {
+public:
+    using result_type = std::uint64_t;
+
+    /// Seeds the four 64-bit lanes from `seed` via splitmix64.
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~static_cast<result_type>(0); }
+
+    /// Next raw 64-bit value.
+    result_type operator()();
+
+    /// Uniform double in [0, 1).
+    double uniform();
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi);
+
+    /// Standard normal via Box-Muller (cached second variate).
+    double normal();
+
+    /// Normal with the given mean and standard deviation.
+    double normal(double mean, double stddev);
+
+    /// Log-normal: exp(N(mu, sigma^2)).  This is the paper's Eq. (1) factor.
+    double log_normal(double mu, double sigma);
+
+    /// Uniform integer in [0, n), n > 0.
+    std::uint64_t uniform_int(std::uint64_t n);
+
+    /// Uniform integer in [lo, hi] inclusive.
+    std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+    /// Bernoulli draw with probability `p` of true.
+    bool bernoulli(double p);
+
+    /// Fisher-Yates shuffle of an index permutation [0, n).
+    std::vector<std::size_t> permutation(std::size_t n);
+
+    /// Derives an independent child generator (for parallel-safe streams).
+    Rng split();
+
+private:
+    std::array<std::uint64_t, 4> state_{};
+    double cached_normal_ = 0.0;
+    bool has_cached_normal_ = false;
+};
+
+}  // namespace bayesft

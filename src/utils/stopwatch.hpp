@@ -1,0 +1,30 @@
+#pragma once
+// Wall-clock stopwatch used by the trainer and bench harnesses.
+
+#include <chrono>
+
+namespace bayesft {
+
+/// Monotonic stopwatch; starts running on construction.
+class Stopwatch {
+public:
+    Stopwatch() : start_(clock::now()) {}
+
+    /// Restarts the clock.
+    void reset() { start_ = clock::now(); }
+
+    /// Elapsed seconds since construction or last reset().
+    double seconds() const {
+        const auto delta = clock::now() - start_;
+        return std::chrono::duration<double>(delta).count();
+    }
+
+    /// Elapsed milliseconds.
+    double millis() const { return seconds() * 1e3; }
+
+private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+}  // namespace bayesft

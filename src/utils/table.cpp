@@ -1,0 +1,130 @@
+#include "utils/table.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace bayesft {
+
+std::string format_double(double value, int digits) {
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(digits);
+    os << value;
+    return os.str();
+}
+
+ResultTable::ResultTable(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+    if (columns_.empty()) {
+        throw std::invalid_argument("ResultTable: need at least one column");
+    }
+}
+
+void ResultTable::add_row(const std::vector<double>& cells) {
+    std::vector<std::string> text;
+    text.reserve(cells.size());
+    for (double v : cells) text.push_back(format_double(v, precision_));
+    add_text_row(text);
+}
+
+void ResultTable::add_text_row(const std::vector<std::string>& cells) {
+    if (cells.size() != columns_.size()) {
+        throw std::invalid_argument("ResultTable: row width " +
+                                    std::to_string(cells.size()) +
+                                    " != column count " +
+                                    std::to_string(columns_.size()));
+    }
+    rows_.push_back(cells);
+}
+
+const std::string& ResultTable::cell(std::size_t row, std::size_t col) const {
+    if (row >= rows_.size() || col >= columns_.size()) {
+        throw std::out_of_range("ResultTable::cell: index out of range");
+    }
+    return rows_[row][col];
+}
+
+void ResultTable::set_precision(int digits) {
+    if (digits < 0 || digits > 17) {
+        throw std::invalid_argument("ResultTable: precision out of range");
+    }
+    precision_ = digits;
+}
+
+std::string ResultTable::to_text() const {
+    std::vector<std::size_t> widths(columns_.size());
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+        widths[c] = columns_[c].size();
+        for (const auto& row : rows_) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+    std::ostringstream os;
+    os << "== " << title_ << " ==\n";
+    auto emit_row = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c != 0) os << " | ";
+            os << cells[c];
+            for (std::size_t pad = cells[c].size(); pad < widths[c]; ++pad) {
+                os << ' ';
+            }
+        }
+        os << '\n';
+    };
+    emit_row(columns_);
+    std::size_t total = columns_.size() > 0 ? 3 * (columns_.size() - 1) : 0;
+    for (auto w : widths) total += w;
+    os << std::string(total, '-') << '\n';
+    for (const auto& row : rows_) emit_row(row);
+    return os.str();
+}
+
+std::string ResultTable::to_csv() const {
+    auto quote = [](const std::string& s) {
+        if (s.find(',') == std::string::npos &&
+            s.find('"') == std::string::npos) {
+            return s;
+        }
+        std::string out = "\"";
+        for (char ch : s) {
+            if (ch == '"') out += "\"\"";
+            else out += ch;
+        }
+        out += '"';
+        return out;
+    };
+    std::ostringstream os;
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+        if (c != 0) os << ',';
+        os << quote(columns_[c]);
+    }
+    os << '\n';
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c != 0) os << ',';
+            os << quote(row[c]);
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+void ResultTable::save_csv(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) {
+        throw std::runtime_error("ResultTable::save_csv: cannot open " + path);
+    }
+    out << to_csv();
+    if (!out) {
+        throw std::runtime_error("ResultTable::save_csv: write failed " + path);
+    }
+}
+
+std::ostream& operator<<(std::ostream& os, const ResultTable& t) {
+    return os << t.to_text();
+}
+
+}  // namespace bayesft

@@ -1,0 +1,57 @@
+#pragma once
+// Result tables: the bench harness prints every reproduced figure as a
+// fixed-width text table (series = methods, rows = sigma values) and can
+// also emit CSV for plotting.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bayesft {
+
+/// A column-oriented results table, e.g.
+///   sigma | ERM | FTNA | ReRAM-V | AWP | BayesFT
+/// Rows are added one at a time; all rows must match the header width.
+class ResultTable {
+public:
+    ResultTable(std::string title, std::vector<std::string> columns);
+
+    /// Appends a row of numeric cells; throws if the width mismatches.
+    void add_row(const std::vector<double>& cells);
+
+    /// Appends a row of preformatted cells; throws if the width mismatches.
+    void add_text_row(const std::vector<std::string>& cells);
+
+    const std::string& title() const { return title_; }
+    const std::vector<std::string>& columns() const { return columns_; }
+    std::size_t row_count() const { return rows_.size(); }
+
+    /// Cell accessor (numeric rows render with `precision` decimals).
+    const std::string& cell(std::size_t row, std::size_t col) const;
+
+    /// Renders an aligned text table.
+    std::string to_text() const;
+
+    /// Renders RFC-4180-ish CSV (cells containing commas are quoted).
+    std::string to_csv() const;
+
+    /// Writes `to_csv()` to `path`; throws std::runtime_error on I/O failure.
+    void save_csv(const std::string& path) const;
+
+    /// Streams `to_text()`.
+    friend std::ostream& operator<<(std::ostream& os, const ResultTable& t);
+
+    /// Number of decimals used when formatting numeric cells (default 2).
+    void set_precision(int digits);
+
+private:
+    std::string title_;
+    std::vector<std::string> columns_;
+    std::vector<std::vector<std::string>> rows_;
+    int precision_ = 2;
+};
+
+/// Formats `value` with `digits` decimals (helper shared with benches).
+std::string format_double(double value, int digits);
+
+}  // namespace bayesft

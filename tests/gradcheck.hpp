@@ -1,0 +1,106 @@
+#pragma once
+// Finite-difference gradient checking used by the layer tests: every layer's
+// analytic backward is validated against central differences on a random
+// linear functional of the output, for both the input gradient and every
+// parameter gradient.
+
+#include <cmath>
+#include <string>
+
+#include "nn/module.hpp"
+#include "tensor/tensor.hpp"
+#include "utils/rng.hpp"
+
+namespace bayesft::testing {
+
+struct GradCheckResult {
+    bool ok = true;
+    std::string detail;  // first offending entry, if any
+    std::size_t mismatches = 0;
+    std::size_t total = 0;
+
+    /// Fraction of checked entries that disagreed.  Piecewise-smooth layers
+    /// (bilinear samplers, max pools) legitimately produce a few finite-
+    /// difference outliers at derivative kinks.
+    double mismatch_fraction() const {
+        return total == 0 ? 0.0
+                          : static_cast<double>(mismatches) /
+                                static_cast<double>(total);
+    }
+};
+
+/// Scalar functional L(out) = sum_i c_i * out_i for fixed random c.
+inline double functional(const Tensor& out, const Tensor& coeffs) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        acc += static_cast<double>(out[i]) * coeffs[i];
+    }
+    return acc;
+}
+
+/// Checks d L / d input and d L / d params of `module` at `input`.
+/// `eps` balances truncation against float rounding; tolerance is
+/// max(abs_tol, rel_tol * |numeric|).
+inline GradCheckResult gradcheck(nn::Module& module, const Tensor& input,
+                                 Rng& rng, float eps = 5e-3F,
+                                 float abs_tol = 2e-2F,
+                                 float rel_tol = 5e-2F) {
+    GradCheckResult result;
+    module.set_training(true);
+
+    Tensor probe = module.forward(input);
+    const Tensor coeffs = Tensor::randn(probe.shape(), rng);
+
+    // Analytic gradients.
+    for (nn::Parameter* p : module.parameters()) p->grad.fill(0.0F);
+    Tensor out = module.forward(input);
+    const Tensor grad_input = module.backward(coeffs);
+
+    auto check_entry = [&](float analytic, double numeric,
+                           const std::string& where) {
+        ++result.total;
+        const double tol =
+            std::max(static_cast<double>(abs_tol),
+                     static_cast<double>(rel_tol) * std::abs(numeric));
+        if (std::abs(static_cast<double>(analytic) - numeric) > tol) {
+            result.ok = false;
+            ++result.mismatches;
+            if (result.detail.empty()) {
+                result.detail = where + ": analytic " +
+                                std::to_string(analytic) + " vs numeric " +
+                                std::to_string(numeric);
+            }
+        }
+    };
+
+    // Input gradient via central differences.
+    Tensor x = input;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const float saved = x[i];
+        x[i] = saved + eps;
+        const double plus = functional(module.forward(x), coeffs);
+        x[i] = saved - eps;
+        const double minus = functional(module.forward(x), coeffs);
+        x[i] = saved;
+        check_entry(grad_input[i], (plus - minus) / (2.0 * eps),
+                    "input[" + std::to_string(i) + "]");
+    }
+
+    // Parameter gradients.
+    for (nn::Parameter* p : module.parameters()) {
+        for (std::size_t i = 0; i < p->value.size(); ++i) {
+            const float saved = p->value[i];
+            p->value[i] = saved + eps;
+            const double plus = functional(module.forward(input), coeffs);
+            p->value[i] = saved - eps;
+            const double minus = functional(module.forward(input), coeffs);
+            p->value[i] = saved;
+            check_entry(p->grad[i], (plus - minus) / (2.0 * eps),
+                        p->name + "[" + std::to_string(i) + "]");
+        }
+    }
+    (void)out;
+    return result;
+}
+
+}  // namespace bayesft::testing

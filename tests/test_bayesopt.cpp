@@ -1,0 +1,272 @@
+// Bayesian optimization: kernel properties, GP posterior correctness,
+// acquisition behaviour, and end-to-end optimization of known functions.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "bayesopt/acquisition.hpp"
+#include "bayesopt/bayesopt.hpp"
+#include "bayesopt/gp.hpp"
+#include "bayesopt/kernel.hpp"
+#include "linalg/matrix.hpp"
+
+namespace bayesft::bayesopt {
+namespace {
+
+TEST(Kernel, SquaredExponentialSelfCovarianceIsAmplitude) {
+    ArdSquaredExponential k(2, 1.0, 3.0);
+    EXPECT_DOUBLE_EQ(k({0.5, 0.5}, {0.5, 0.5}), 3.0);
+}
+
+TEST(Kernel, SquaredExponentialSymmetryAndDecay) {
+    ArdSquaredExponential k(2, 2.0);
+    const Point a{0.1, 0.9};
+    const Point b{0.8, 0.2};
+    EXPECT_DOUBLE_EQ(k(a, b), k(b, a));
+    EXPECT_LT(k(a, b), k(a, a));
+    EXPECT_GT(k(a, b), 0.0);
+}
+
+TEST(Kernel, ArdScalesWeightDimensionsDifferently) {
+    // Large inverse scale in dim 0 makes distance in dim 0 matter more.
+    ArdSquaredExponential k(std::vector<double>{10.0, 0.1});
+    const double move_dim0 = k({0.0, 0.0}, {0.5, 0.0});
+    const double move_dim1 = k({0.0, 0.0}, {0.0, 0.5});
+    EXPECT_LT(move_dim0, move_dim1);
+}
+
+TEST(Kernel, ExactFormOfPaperEquation9) {
+    // kappa(a, b) = k0 exp(-sum k_i (a_i - b_i)^2).
+    ArdSquaredExponential k(std::vector<double>{2.0, 3.0}, 1.5);
+    const Point a{0.1, 0.4};
+    const Point b{0.3, 0.0};
+    const double expected =
+        1.5 * std::exp(-(2.0 * 0.04 + 3.0 * 0.16));
+    EXPECT_NEAR(k(a, b), expected, 1e-12);
+}
+
+TEST(Kernel, GramMatrixIsPsd) {
+    Rng rng(1);
+    ArdSquaredExponential k(3, 1.0);
+    std::vector<Point> xs;
+    for (int i = 0; i < 12; ++i) {
+        xs.push_back({rng.uniform(), rng.uniform(), rng.uniform()});
+    }
+    linalg::Matrix gram = k.gram(xs);
+    gram.add_diagonal(1e-9);
+    EXPECT_NO_THROW(linalg::cholesky(gram));  // PSD + jitter factorizes
+}
+
+TEST(Kernel, RejectsBadParameters) {
+    EXPECT_THROW(ArdSquaredExponential(2, 0.0), std::invalid_argument);
+    EXPECT_THROW(ArdSquaredExponential(2, 1.0, -1.0), std::invalid_argument);
+    EXPECT_THROW(ArdSquaredExponential(std::vector<double>{}),
+                 std::invalid_argument);
+    EXPECT_THROW(Matern52(0.0), std::invalid_argument);
+}
+
+TEST(Kernel, Matern52BasicProperties) {
+    Matern52 k(0.5, 2.0);
+    EXPECT_DOUBLE_EQ(k({0.3}, {0.3}), 2.0);
+    EXPECT_LT(k({0.0}, {1.0}), k({0.0}, {0.1}));
+}
+
+TEST(Gp, InterpolatesTrainingPointsWithLowNoise) {
+    auto kernel = std::make_shared<ArdSquaredExponential>(1, 5.0);
+    GaussianProcess gp(kernel, 1e-8);
+    gp.fit({{0.1}, {0.5}, {0.9}}, {1.0, -2.0, 3.0});
+    EXPECT_NEAR(gp.posterior({0.1}).mean, 1.0, 1e-3);
+    EXPECT_NEAR(gp.posterior({0.5}).mean, -2.0, 1e-3);
+    EXPECT_NEAR(gp.posterior({0.9}).mean, 3.0, 1e-3);
+}
+
+TEST(Gp, VarianceSmallAtDataLargeFarAway) {
+    auto kernel = std::make_shared<ArdSquaredExponential>(1, 20.0);
+    GaussianProcess gp(kernel, 1e-8);
+    gp.fit({{0.5}}, {0.0});
+    EXPECT_LT(gp.posterior({0.5}).variance, 1e-6);
+    // Far from data the posterior reverts to the prior variance k(x, x) = 1.
+    EXPECT_NEAR(gp.posterior({5.0}).variance, 1.0, 1e-3);
+}
+
+TEST(Gp, SinglePointClosedForm) {
+    // With one observation (x0, y0): mu(x) = ybar + k(x,x0)/(k0+noise) *
+    // (y0 - ybar), and centering makes ybar = y0, so mu(x) == y0 everywhere.
+    auto kernel = std::make_shared<ArdSquaredExponential>(1, 1.0);
+    GaussianProcess gp(kernel, 0.01);
+    gp.fit({{0.3}}, {2.5});
+    EXPECT_NEAR(gp.posterior({0.3}).mean, 2.5, 1e-9);
+    EXPECT_NEAR(gp.posterior({0.9}).mean, 2.5, 1e-9);
+}
+
+TEST(Gp, PosteriorMeanSmoothlyBlends) {
+    auto kernel = std::make_shared<ArdSquaredExponential>(1, 10.0);
+    GaussianProcess gp(kernel, 1e-6);
+    gp.fit({{0.0}, {1.0}}, {0.0, 1.0});
+    const double mid = gp.posterior({0.5}).mean;
+    EXPECT_GT(mid, 0.2);
+    EXPECT_LT(mid, 0.8);
+}
+
+TEST(Gp, LogMarginalLikelihoodPrefersBetterFit) {
+    // Data drawn from a smooth function: a kernel with a sane length scale
+    // should have higher marginal likelihood than a wildly mismatched one.
+    std::vector<Point> xs;
+    std::vector<double> ys;
+    for (int i = 0; i <= 10; ++i) {
+        const double x = i / 10.0;
+        xs.push_back({x});
+        ys.push_back(std::sin(3.0 * x));
+    }
+    GaussianProcess good(std::make_shared<ArdSquaredExponential>(1, 3.0),
+                         1e-4);
+    GaussianProcess bad(std::make_shared<ArdSquaredExponential>(1, 1e4),
+                        1e-4);
+    good.fit(xs, ys);
+    bad.fit(xs, ys);
+    EXPECT_GT(good.log_marginal_likelihood(), bad.log_marginal_likelihood());
+}
+
+TEST(Gp, ErrorsOnMisuse) {
+    auto kernel = std::make_shared<ArdSquaredExponential>(1, 1.0);
+    GaussianProcess gp(kernel, 1e-6);
+    EXPECT_THROW(gp.posterior({0.5}), std::logic_error);
+    EXPECT_THROW(gp.fit({}, {}), std::invalid_argument);
+    EXPECT_THROW(gp.fit({{0.1}}, {1.0, 2.0}), std::invalid_argument);
+    EXPECT_THROW(gp.fit({{0.1}, {0.1, 0.2}}, {1.0, 2.0}),
+                 std::invalid_argument);
+}
+
+TEST(Acquisition, PosteriorMeanIgnoresVariance) {
+    PosteriorMean acq;
+    EXPECT_DOUBLE_EQ(acq.score({1.5, 100.0}, 0.0), 1.5);
+}
+
+TEST(Acquisition, ExpectedImprovementZeroWhenCertainBelowIncumbent) {
+    ExpectedImprovement acq(0.0);
+    EXPECT_DOUBLE_EQ(acq.score({0.5, 0.0}, 1.0), 0.0);
+    EXPECT_GT(acq.score({0.5, 1.0}, 1.0), 0.0);  // uncertainty adds hope
+}
+
+TEST(Acquisition, ExpectedImprovementIncreasesWithMean) {
+    ExpectedImprovement acq;
+    EXPECT_GT(acq.score({2.0, 1.0}, 1.0), acq.score({1.5, 1.0}, 1.0));
+}
+
+TEST(Acquisition, UcbTradesOffMeanAndVariance) {
+    UpperConfidenceBound acq(2.0);
+    EXPECT_DOUBLE_EQ(acq.score({1.0, 4.0}, 0.0), 1.0 + 2.0 * 2.0);
+}
+
+TEST(Acquisition, FactoryAndValidation) {
+    EXPECT_NE(make_acquisition("posterior_mean"), nullptr);
+    EXPECT_NE(make_acquisition("ei"), nullptr);
+    EXPECT_NE(make_acquisition("ucb"), nullptr);
+    EXPECT_THROW(make_acquisition("thompson"), std::invalid_argument);
+    EXPECT_THROW(ExpectedImprovement(-1.0), std::invalid_argument);
+}
+
+TEST(BoxBounds, ValidationAndSampling) {
+    BoxBounds bounds = BoxBounds::uniform(3, 0.0, 1.0);
+    Rng rng(2);
+    const Point p = bounds.sample(rng);
+    EXPECT_EQ(p.size(), 3U);
+    for (double v : p) {
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+    Point q{-1.0, 0.5, 2.0};
+    bounds.clamp(q);
+    EXPECT_DOUBLE_EQ(q[0], 0.0);
+    EXPECT_DOUBLE_EQ(q[2], 1.0);
+
+    BoxBounds bad;
+    bad.lower = {0.0};
+    bad.upper = {0.0};
+    EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+double quadratic_peak(const Point& p) {
+    // Max 1.0 at (0.7, 0.3).
+    const double dx = p[0] - 0.7;
+    const double dy = p[1] - 0.3;
+    return 1.0 - (dx * dx + dy * dy);
+}
+
+TEST(BayesOpt, FindsQuadraticMaximum) {
+    BayesOptConfig config;
+    config.initial_random_trials = 5;
+    BayesOpt bo(BoxBounds::uniform(2, 0.0, 1.0),
+                std::make_shared<ArdSquaredExponential>(2, 4.0),
+                std::make_unique<UpperConfidenceBound>(1.5), config, Rng(3));
+    for (int i = 0; i < 30; ++i) {
+        const Point x = bo.suggest();
+        bo.observe(x, quadratic_peak(x));
+    }
+    const auto best = bo.best();
+    ASSERT_TRUE(best.has_value());
+    EXPECT_GT(best->y, 0.97);
+    EXPECT_NEAR(best->x[0], 0.7, 0.15);
+    EXPECT_NEAR(best->x[1], 0.3, 0.15);
+}
+
+TEST(BayesOpt, BeatsRandomSearchOnBudget) {
+    // Average over a few seeds: after the same number of evaluations the
+    // GP-guided search should reach a higher incumbent than uniform random.
+    double bo_total = 0.0, random_total = 0.0;
+    for (std::uint64_t seed = 0; seed < 5; ++seed) {
+        BayesOptConfig config;
+        config.initial_random_trials = 4;
+        BayesOpt bo(BoxBounds::uniform(2, 0.0, 1.0),
+                    std::make_shared<ArdSquaredExponential>(2, 4.0),
+                    std::make_unique<ExpectedImprovement>(), config,
+                    Rng(seed * 7 + 1));
+        Rng random_rng(seed * 13 + 5);
+        const BoxBounds bounds = BoxBounds::uniform(2, 0.0, 1.0);
+        double random_best = -1e9;
+        for (int i = 0; i < 20; ++i) {
+            const Point x = bo.suggest();
+            bo.observe(x, quadratic_peak(x));
+            random_best =
+                std::max(random_best, quadratic_peak(bounds.sample(random_rng)));
+        }
+        bo_total += bo.best()->y;
+        random_total += random_best;
+    }
+    EXPECT_GE(bo_total, random_total);
+}
+
+TEST(BayesOpt, ObserveValidatesInput) {
+    BayesOptConfig config;
+    BayesOpt bo(BoxBounds::uniform(2, 0.0, 1.0),
+                std::make_shared<ArdSquaredExponential>(2, 1.0),
+                std::make_unique<PosteriorMean>(), config, Rng(4));
+    EXPECT_THROW(bo.observe({0.5}, 1.0), std::invalid_argument);
+    EXPECT_THROW(bo.observe({0.5, 0.5},
+                            std::numeric_limits<double>::quiet_NaN()),
+                 std::invalid_argument);
+    EXPECT_FALSE(bo.best().has_value());
+}
+
+TEST(BayesOpt, SuggestStaysInBounds) {
+    BayesOptConfig config;
+    config.initial_random_trials = 2;
+    BayesOpt bo(BoxBounds::uniform(3, 0.2, 0.8),
+                std::make_shared<ArdSquaredExponential>(3, 1.0),
+                std::make_unique<PosteriorMean>(), config, Rng(5));
+    for (int i = 0; i < 10; ++i) {
+        const Point x = bo.suggest();
+        for (double v : x) {
+            EXPECT_GE(v, 0.2);
+            EXPECT_LE(v, 0.8);
+        }
+        bo.observe(x, static_cast<double>(i % 3));
+    }
+    EXPECT_EQ(bo.trials().size(), 10U);
+    EXPECT_TRUE(bo.surrogate().fitted());
+}
+
+}  // namespace
+}  // namespace bayesft::bayesopt

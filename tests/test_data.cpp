@@ -1,0 +1,303 @@
+// Synthetic dataset generators: shapes, value ranges, class balance,
+// separability, and split semantics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "data/digits.hpp"
+#include "data/objects.hpp"
+#include "data/pedestrians.hpp"
+#include "data/toy.hpp"
+#include "data/traffic_signs.hpp"
+
+namespace bayesft::data {
+namespace {
+
+TEST(Split, PartitionsWithoutOverlapOrLoss) {
+    Rng rng(1);
+    Dataset full;
+    full.images = Tensor({100, 2});
+    for (std::size_t i = 0; i < 100; ++i) {
+        full.images(i, 0) = static_cast<float>(i);  // unique marker
+        full.labels.push_back(static_cast<int>(i % 4));
+    }
+    full.num_classes = 4;
+    const TrainTestSplit s = split(full, 0.3, rng);
+    EXPECT_EQ(s.test.size(), 30U);
+    EXPECT_EQ(s.train.size(), 70U);
+    std::set<float> markers;
+    for (std::size_t i = 0; i < 70; ++i) markers.insert(s.train.images(i, 0));
+    for (std::size_t i = 0; i < 30; ++i) markers.insert(s.test.images(i, 0));
+    EXPECT_EQ(markers.size(), 100U);  // disjoint and exhaustive
+}
+
+TEST(Split, RejectsDegenerateFractions) {
+    Rng rng(2);
+    Dataset full;
+    full.images = Tensor({10, 1});
+    full.labels.assign(10, 0);
+    full.num_classes = 1;
+    EXPECT_THROW(split(full, 0.0, rng), std::invalid_argument);
+    EXPECT_THROW(split(full, 1.0, rng), std::invalid_argument);
+}
+
+TEST(TakeRows, ExtractsAndValidates) {
+    Dataset full;
+    full.images = Tensor({3, 2}, std::vector<float>{0, 1, 2, 3, 4, 5});
+    full.labels = {7, 8, 9};
+    full.num_classes = 10;
+    const Dataset sub = take_rows(full, {2, 0});
+    EXPECT_EQ(sub.labels, (std::vector<int>{9, 7}));
+    EXPECT_FLOAT_EQ(sub.images(0, 0), 4.0F);
+    EXPECT_THROW(take_rows(full, {5}), std::out_of_range);
+}
+
+TEST(ClassHistogram, CountsAndValidates) {
+    Dataset d;
+    d.images = Tensor({4, 1});
+    d.labels = {0, 1, 1, 2};
+    d.num_classes = 3;
+    EXPECT_EQ(class_histogram(d), (std::vector<std::size_t>{1, 2, 1}));
+    d.labels[0] = 5;
+    EXPECT_THROW(class_histogram(d), std::out_of_range);
+}
+
+TEST(Moons, ShapeBalanceAndSpread) {
+    Rng rng(3);
+    const Dataset moons = make_moons(200, 0.05, rng);
+    EXPECT_EQ(moons.size(), 200U);
+    EXPECT_EQ(moons.num_classes, 2U);
+    const auto hist = class_histogram(moons);
+    EXPECT_EQ(hist[0], 100U);
+    EXPECT_EQ(hist[1], 100U);
+    // Points fall inside the canonical moons bounding box (with noise slack).
+    EXPECT_GT(moons.images.min(), -2.0F);
+    EXPECT_LT(moons.images.max(), 3.0F);
+}
+
+TEST(Blobs, ClassesAreWellSeparatedForSmallStddev) {
+    Rng rng(4);
+    const Dataset blobs = make_blobs(300, 3, 5.0, 0.1, rng);
+    // Per-class centroids should be far apart relative to spread.
+    std::vector<double> cx(3, 0.0), cy(3, 0.0), count(3, 0.0);
+    for (std::size_t i = 0; i < blobs.size(); ++i) {
+        const auto c = static_cast<std::size_t>(blobs.labels[i]);
+        cx[c] += blobs.images(i, 0);
+        cy[c] += blobs.images(i, 1);
+        count[c] += 1.0;
+    }
+    for (std::size_t c = 0; c < 3; ++c) {
+        cx[c] /= count[c];
+        cy[c] /= count[c];
+    }
+    const double d01 = std::hypot(cx[0] - cx[1], cy[0] - cy[1]);
+    EXPECT_GT(d01, 4.0);
+}
+
+TEST(Circles, RadiiSeparateClasses) {
+    Rng rng(5);
+    const Dataset circles = make_circles(200, 0.02, rng);
+    for (std::size_t i = 0; i < circles.size(); ++i) {
+        const double r = std::hypot(circles.images(i, 0),
+                                    circles.images(i, 1));
+        if (circles.labels[i] == 0) {
+            EXPECT_NEAR(r, 1.0, 0.15);
+        } else {
+            EXPECT_NEAR(r, 0.5, 0.15);
+        }
+    }
+}
+
+TEST(Digits, DatasetShapeAndRange) {
+    Rng rng(6);
+    DigitConfig config;
+    config.samples = 100;
+    config.image_size = 16;
+    const Dataset digits = synthetic_digits(config, rng);
+    EXPECT_EQ(digits.images.shape(),
+              (std::vector<std::size_t>{100, 1, 16, 16}));
+    EXPECT_EQ(digits.num_classes, 10U);
+    EXPECT_GE(digits.images.min(), 0.0F);
+    EXPECT_LE(digits.images.max(), 1.0F);
+    const auto hist = class_histogram(digits);
+    for (std::size_t c = 0; c < 10; ++c) EXPECT_EQ(hist[c], 10U);
+}
+
+TEST(Digits, GlyphsAreDistinctAcrossClasses) {
+    // Canonical renders of different digits must differ substantially more
+    // than two jittered renders of the same digit.
+    const Tensor zero = render_digit(0, 16, 0, 0, 0, 1.0);
+    const Tensor one = render_digit(1, 16, 0, 0, 0, 1.0);
+    const Tensor zero_again = render_digit(0, 16, 0.02, 0.02, 0.05, 1.0);
+    Tensor inter = zero;
+    inter.sub_(one);
+    Tensor intra = zero;
+    intra.sub_(zero_again);
+    EXPECT_GT(inter.squared_norm(), 2.0F * intra.squared_norm());
+}
+
+TEST(Digits, RenderValidatesArguments) {
+    EXPECT_THROW(render_digit(10, 16, 0, 0, 0, 1.0), std::invalid_argument);
+    EXPECT_THROW(render_digit(-1, 16, 0, 0, 0, 1.0), std::invalid_argument);
+    EXPECT_THROW(render_digit(3, 4, 0, 0, 0, 1.0), std::invalid_argument);
+}
+
+TEST(Digits, HasInk) {
+    const Tensor img = render_digit(8, 16, 0, 0, 0, 1.0);
+    EXPECT_GT(img.sum(), 5.0F);   // some ink
+    EXPECT_LT(img.mean(), 0.8F);  // mostly background
+}
+
+TEST(Objects, DatasetShapeBalanceRange) {
+    Rng rng(7);
+    ObjectConfig config;
+    config.samples = 50;
+    config.image_size = 16;
+    const Dataset objects = synthetic_objects(config, rng);
+    EXPECT_EQ(objects.images.shape(),
+              (std::vector<std::size_t>{50, 3, 16, 16}));
+    EXPECT_EQ(objects.num_classes, 10U);
+    EXPECT_GE(objects.images.min(), 0.0F);
+    EXPECT_LE(objects.images.max(), 1.0F);
+    const auto hist = class_histogram(objects);
+    for (auto count : hist) EXPECT_EQ(count, 5U);
+}
+
+TEST(Objects, StripeClassesDiffer) {
+    Rng rng(8);
+    const Tensor h = render_object(ObjectClass::kHorizontalStripes, 16, rng,
+                                   0.0);
+    const Tensor v = render_object(ObjectClass::kVerticalStripes, 16, rng,
+                                   0.0);
+    Tensor diff = h;
+    diff.sub_(v);
+    EXPECT_GT(diff.squared_norm(), 1.0F);
+}
+
+TEST(TrafficSigns, DatasetCovers43Classes) {
+    Rng rng(9);
+    TrafficSignConfig config;
+    config.samples = 86;
+    const Dataset signs = synthetic_traffic_signs(config, rng);
+    EXPECT_EQ(signs.num_classes, 43U);
+    const auto hist = class_histogram(signs);
+    for (auto count : hist) EXPECT_EQ(count, 2U);
+    EXPECT_GE(signs.images.min(), 0.0F);
+    EXPECT_LE(signs.images.max(), 1.0F);
+}
+
+TEST(TrafficSigns, ClassesAreVisuallyDistinct) {
+    // Different class id => different canonical render.
+    const Tensor a = render_traffic_sign(0, 16, 0, 0, 0, 1.0);
+    const Tensor b = render_traffic_sign(1, 16, 0, 0, 0, 1.0);
+    const Tensor c = render_traffic_sign(5, 16, 0, 0, 0, 1.0);  // color change
+    Tensor shape_diff = a;
+    shape_diff.sub_(b);
+    Tensor color_diff = a;
+    color_diff.sub_(c);
+    EXPECT_GT(shape_diff.squared_norm(), 0.5F);
+    EXPECT_GT(color_diff.squared_norm(), 0.5F);
+}
+
+TEST(TrafficSigns, ValidatesArguments) {
+    EXPECT_THROW(render_traffic_sign(-1, 16, 0, 0, 0, 1.0),
+                 std::invalid_argument);
+    EXPECT_THROW(render_traffic_sign(60, 16, 0, 0, 0, 1.0),
+                 std::invalid_argument);
+    Rng rng(10);
+    TrafficSignConfig config;
+    config.num_classes = 100;
+    EXPECT_THROW(synthetic_traffic_signs(config, rng), std::invalid_argument);
+}
+
+TEST(Pedestrians, ScenesHaveBoxesInBounds) {
+    Rng rng(11);
+    PedestrianConfig config;
+    config.samples = 30;
+    config.image_size = 32;
+    const DetectionDataset scenes = synthetic_pedestrians(config, rng);
+    EXPECT_EQ(scenes.size(), 30U);
+    EXPECT_EQ(scenes.images.shape(),
+              (std::vector<std::size_t>{30, 3, 32, 32}));
+    std::size_t total_boxes = 0;
+    for (const auto& boxes : scenes.boxes) {
+        EXPECT_GE(boxes.size(), 1U);
+        EXPECT_LE(boxes.size(), 3U);
+        total_boxes += boxes.size();
+        for (const auto& box : boxes) {
+            EXPECT_TRUE(box.valid());
+            EXPECT_GE(box.x1, 0.0);
+            EXPECT_GE(box.y1, 0.0);
+            EXPECT_LE(box.x2, 32.0);
+            EXPECT_LE(box.y2, 32.0);
+            // Pedestrians are taller than wide.
+            EXPECT_GT(box.height(), box.width());
+        }
+    }
+    EXPECT_GT(total_boxes, 30U);  // some scenes have > 1 pedestrian
+}
+
+TEST(Pedestrians, GroundTruthBoxesDoNotOverlapHeavily) {
+    Rng rng(12);
+    PedestrianConfig config;
+    config.samples = 50;
+    const DetectionDataset scenes = synthetic_pedestrians(config, rng);
+    for (const auto& boxes : scenes.boxes) {
+        for (std::size_t i = 0; i < boxes.size(); ++i) {
+            for (std::size_t j = i + 1; j < boxes.size(); ++j) {
+                EXPECT_LE(detect::iou(boxes[i], boxes[j]), 0.3);
+            }
+        }
+    }
+}
+
+TEST(Pedestrians, FiguresAreDarkerThanBackground) {
+    Rng rng(13);
+    PedestrianConfig config;
+    config.samples = 5;
+    config.noise = 0.0;
+    const DetectionDataset scenes = synthetic_pedestrians(config, rng);
+    // Mean luminance inside the first box should be below the scene mean.
+    const auto& box = scenes.boxes[0][0];
+    double inside = 0.0;
+    std::size_t count = 0;
+    for (std::size_t y = static_cast<std::size_t>(box.y1);
+         y < static_cast<std::size_t>(box.y2); ++y) {
+        for (std::size_t x = static_cast<std::size_t>(box.x1);
+             x < static_cast<std::size_t>(box.x2); ++x) {
+            inside += scenes.images(0, 1, y, x);
+            ++count;
+        }
+    }
+    inside /= static_cast<double>(count);
+    double scene_mean = 0.0;
+    for (std::size_t i = 0; i < 3 * 32 * 32; ++i) {
+        scene_mean += scenes.images[i];
+    }
+    scene_mean /= (3.0 * 32 * 32);
+    EXPECT_LT(inside, scene_mean);
+}
+
+TEST(Pedestrians, ConfigValidation) {
+    Rng rng(14);
+    PedestrianConfig config;
+    config.min_pedestrians = 3;
+    config.max_pedestrians = 1;
+    EXPECT_THROW(synthetic_pedestrians(config, rng), std::invalid_argument);
+}
+
+TEST(Generators, DeterministicForFixedSeed) {
+    DigitConfig config;
+    config.samples = 20;
+    Rng rng_a(99);
+    Rng rng_b(99);
+    const Dataset a = synthetic_digits(config, rng_a);
+    const Dataset b = synthetic_digits(config, rng_b);
+    EXPECT_TRUE(a.images.equals(b.images));
+    EXPECT_EQ(a.labels, b.labels);
+}
+
+}  // namespace
+}  // namespace bayesft::data

@@ -1,0 +1,194 @@
+// Detection substrate: IoU, NMS, average precision, target encoding, and a
+// short end-to-end detector training run.
+
+#include <gtest/gtest.h>
+
+#include "data/pedestrians.hpp"
+#include "detect/box.hpp"
+#include "detect/detector.hpp"
+#include "detect/render.hpp"
+
+namespace bayesft::detect {
+namespace {
+
+TEST(Box, AreaAndValidity) {
+    const Box box{1.0, 2.0, 4.0, 6.0};
+    EXPECT_DOUBLE_EQ(box.area(), 12.0);
+    EXPECT_TRUE(box.valid());
+    const Box degenerate{3.0, 3.0, 3.0, 5.0};
+    EXPECT_FALSE(degenerate.valid());
+    EXPECT_DOUBLE_EQ(degenerate.area(), 0.0);
+}
+
+TEST(Iou, KnownValues) {
+    const Box a{0, 0, 2, 2};
+    EXPECT_DOUBLE_EQ(iou(a, a), 1.0);
+    const Box disjoint{3, 3, 5, 5};
+    EXPECT_DOUBLE_EQ(iou(a, disjoint), 0.0);
+    // Half-overlapping unit squares: inter 2, union 6.
+    const Box shifted{1, 0, 3, 2};
+    EXPECT_DOUBLE_EQ(iou(a, shifted), 2.0 / 6.0);
+}
+
+TEST(Iou, TouchingBoxesHaveZeroIou) {
+    const Box a{0, 0, 2, 2};
+    const Box touching{2, 0, 4, 2};
+    EXPECT_DOUBLE_EQ(iou(a, touching), 0.0);
+}
+
+TEST(Nms, SuppressesOverlappingLowerScores) {
+    std::vector<Detection> dets{
+        {{0, 0, 10, 10}, 0.9},
+        {{1, 1, 11, 11}, 0.8},   // heavy overlap with the first
+        {{20, 20, 30, 30}, 0.7},  // disjoint
+    };
+    const auto kept = nms(dets, 0.5);
+    ASSERT_EQ(kept.size(), 2U);
+    EXPECT_DOUBLE_EQ(kept[0].score, 0.9);
+    EXPECT_DOUBLE_EQ(kept[1].score, 0.7);
+}
+
+TEST(Nms, KeepsAllWhenDisjointAndSorts) {
+    std::vector<Detection> dets{
+        {{0, 0, 2, 2}, 0.3},
+        {{10, 10, 12, 12}, 0.9},
+    };
+    const auto kept = nms(dets, 0.5);
+    ASSERT_EQ(kept.size(), 2U);
+    EXPECT_DOUBLE_EQ(kept[0].score, 0.9);  // sorted descending
+    EXPECT_THROW(nms(dets, 1.5), std::invalid_argument);
+}
+
+TEST(AveragePrecision, PerfectDetectionsScoreOne) {
+    const std::vector<std::vector<Box>> gt{{{0, 0, 10, 10}},
+                                           {{5, 5, 15, 15}}};
+    const std::vector<std::vector<Detection>> dets{
+        {{{0, 0, 10, 10}, 0.9}},
+        {{{5, 5, 15, 15}, 0.8}},
+    };
+    EXPECT_DOUBLE_EQ(average_precision(dets, gt, 0.5), 1.0);
+}
+
+TEST(AveragePrecision, MissedObjectsLowerRecall) {
+    const std::vector<std::vector<Box>> gt{
+        {{0, 0, 10, 10}, {20, 20, 30, 30}}};
+    const std::vector<std::vector<Detection>> dets{
+        {{{0, 0, 10, 10}, 0.9}}};  // finds one of two
+    EXPECT_DOUBLE_EQ(average_precision(dets, gt, 0.5), 0.5);
+}
+
+TEST(AveragePrecision, FalsePositivesLowerPrecision) {
+    const std::vector<std::vector<Box>> gt{{{0, 0, 10, 10}}};
+    const std::vector<std::vector<Detection>> dets{{
+        {{0, 0, 10, 10}, 0.9},     // true positive first
+        {{50, 50, 60, 60}, 0.8},   // false positive after
+    }};
+    // AP = 1.0: the TP is ranked first so the PR curve reaches recall 1 at
+    // precision 1 before the FP appears.
+    EXPECT_DOUBLE_EQ(average_precision(dets, gt, 0.5), 1.0);
+
+    const std::vector<std::vector<Detection>> reversed{{
+        {{50, 50, 60, 60}, 0.95},  // false positive ranked first
+        {{0, 0, 10, 10}, 0.9},
+    }};
+    EXPECT_DOUBLE_EQ(average_precision(reversed, gt, 0.5), 0.5);
+}
+
+TEST(AveragePrecision, DuplicateDetectionsCountOnce) {
+    const std::vector<std::vector<Box>> gt{{{0, 0, 10, 10}}};
+    const std::vector<std::vector<Detection>> dets{{
+        {{0, 0, 10, 10}, 0.9},
+        {{0, 0, 10, 10}, 0.8},  // duplicate match: second is FP
+    }};
+    EXPECT_DOUBLE_EQ(average_precision(dets, gt, 0.5), 1.0);
+}
+
+TEST(AveragePrecision, EmptyCasesAreSafe) {
+    EXPECT_DOUBLE_EQ(average_precision({}, {}, 0.5), 0.0);
+    EXPECT_DOUBLE_EQ(average_precision({{}}, {{{0, 0, 1, 1}}}, 0.5), 0.0);
+    EXPECT_THROW(average_precision({{}}, {}, 0.5), std::invalid_argument);
+}
+
+TEST(GridDetector, ValidatesConfig) {
+    Rng rng(1);
+    GridDetectorConfig config;
+    config.image_size = 30;  // not grid * 8
+    EXPECT_THROW(GridDetector(config, rng), std::invalid_argument);
+}
+
+TEST(GridDetector, NetworkOutputShapeAndRange) {
+    Rng rng(2);
+    GridDetectorConfig config;
+    GridDetector detector(config, rng);
+    const Tensor out =
+        detector.network().forward(Tensor::zeros({2, 3, 32, 32}));
+    EXPECT_EQ(out.shape(), (std::vector<std::size_t>{2, 5, 4, 4}));
+    EXPECT_GE(out.min(), 0.0F);  // sigmoid head
+    EXPECT_LE(out.max(), 1.0F);
+    EXPECT_EQ(detector.dropout_sites().size(), 3U);
+}
+
+TEST(GridDetector, EncodeTargetsPlacesObjectInCorrectCell) {
+    Rng rng(3);
+    GridDetectorConfig config;  // 32 px, 4x4 grid, 8 px cells
+    GridDetector detector(config, rng);
+    // Box centered at (12, 20) -> cell (gx=1, gy=2).
+    const std::vector<std::vector<Box>> boxes{{{8, 16, 16, 24}}};
+    const auto targets = detector.encode_targets(boxes);
+    EXPECT_FLOAT_EQ(targets.values(0, 0, 2, 1), 1.0F);   // confidence
+    EXPECT_FLOAT_EQ(targets.values(0, 1, 2, 1), 0.5F);   // cx offset
+    EXPECT_FLOAT_EQ(targets.values(0, 2, 2, 1), 0.5F);   // cy offset
+    EXPECT_FLOAT_EQ(targets.values(0, 3, 2, 1), 0.25F);  // w / image
+    EXPECT_FLOAT_EQ(targets.weights(0, 0, 2, 1), 1.0F);
+    EXPECT_FLOAT_EQ(targets.weights(0, 1, 2, 1),
+                    static_cast<float>(config.lambda_coord));
+    // Empty cell: only the down-weighted confidence matters.
+    EXPECT_FLOAT_EQ(targets.weights(0, 0, 0, 0),
+                    static_cast<float>(config.lambda_noobj));
+    EXPECT_FLOAT_EQ(targets.weights(0, 1, 0, 0), 0.0F);
+}
+
+TEST(GridDetector, LearnsToDetectSyntheticPedestrians) {
+    Rng rng(4);
+    data::PedestrianConfig data_config;
+    data_config.samples = 60;
+    const auto scenes = data::synthetic_pedestrians(data_config, rng);
+
+    GridDetectorConfig config;
+    GridDetector detector(config, rng);
+    DetectorTrainConfig train_config;
+    train_config.epochs = 40;
+    const double final_loss =
+        detector.train(scenes.images, scenes.boxes, train_config, rng);
+    EXPECT_LT(final_loss, 0.05);
+    const double map = detector.evaluate_map(scenes.images, scenes.boxes);
+    EXPECT_GT(map, 0.5);  // training-set mAP after a short run
+}
+
+TEST(Render, AsciiHasExpectedDimensions) {
+    const Tensor image = Tensor::full({3, 8, 8}, 0.5F);
+    const std::string art = render_ascii(image, {}, {});
+    std::size_t lines = 0;
+    for (char c : art) {
+        if (c == '\n') ++lines;
+    }
+    EXPECT_EQ(lines, 8U);
+    EXPECT_EQ(art.size(), 8U * 9U);  // 8 chars + newline per row
+}
+
+TEST(Render, BoxesAppearInAscii) {
+    const Tensor image = Tensor::zeros({3, 8, 8});
+    const std::vector<Detection> dets{{{1, 1, 5, 5}, 0.9}};
+    const std::vector<Box> gt{{2, 2, 6, 6}};
+    const std::string art = render_ascii(image, dets, gt);
+    EXPECT_NE(art.find('#'), std::string::npos);  // detection edges
+    EXPECT_NE(art.find('+'), std::string::npos);  // ground-truth edges
+}
+
+TEST(Render, RejectsNonRgbImages) {
+    EXPECT_THROW(render_ascii(Tensor::zeros({1, 8, 8}), {}, {}),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bayesft::detect

@@ -1,0 +1,219 @@
+// Model zoo: forward/backward shape correctness for every architecture,
+// dropout-site bookkeeping, and trainability smoke checks.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "models/zoo.hpp"
+#include "nn/loss.hpp"
+#include "tensor/ops.hpp"
+
+namespace bayesft::models {
+namespace {
+
+struct ZooCase {
+    std::string name;
+    std::function<ModelHandle(Rng&)> make;
+    std::vector<std::size_t> input_shape;
+    std::size_t outputs;
+};
+
+class ZooShapes : public ::testing::TestWithParam<ZooCase> {};
+
+TEST_P(ZooShapes, ForwardBackwardRoundTrip) {
+    const ZooCase& zoo_case = GetParam();
+    Rng rng(7);
+    ModelHandle model = zoo_case.make(rng);
+    ASSERT_NE(model.net, nullptr);
+    EXPECT_FALSE(model.dropout_sites.empty()) << zoo_case.name;
+    EXPECT_GT(model.net->parameter_count(), 0U);
+
+    const Tensor input = Tensor::randn(zoo_case.input_shape, rng, 0.5F);
+    const Tensor logits = model.net->forward(input);
+    ASSERT_EQ(logits.rank(), 2U);
+    EXPECT_EQ(logits.dim(0), zoo_case.input_shape[0]);
+    EXPECT_EQ(logits.dim(1), zoo_case.outputs);
+    for (std::size_t i = 0; i < logits.size(); ++i) {
+        EXPECT_TRUE(std::isfinite(logits[i])) << zoo_case.name;
+    }
+
+    // One full backward pass with a real loss gradient.
+    std::vector<int> labels(zoo_case.input_shape[0], 0);
+    const nn::LossResult loss = nn::cross_entropy(logits, labels);
+    const Tensor grad_input = model.net->backward(loss.grad);
+    EXPECT_EQ(grad_input.shape(), input.shape());
+    for (std::size_t i = 0; i < grad_input.size(); ++i) {
+        EXPECT_TRUE(std::isfinite(grad_input[i])) << zoo_case.name;
+    }
+}
+
+std::vector<ZooCase> zoo_cases() {
+    std::vector<ZooCase> cases;
+    cases.push_back({"Mlp3Layer",
+                     [](Rng& rng) {
+                         MlpOptions options;
+                         options.input_features = 256;
+                         return make_mlp(options, rng);
+                     },
+                     {4, 1, 16, 16},
+                     10});
+    cases.push_back({"MlpWithBatchNorm",
+                     [](Rng& rng) {
+                         MlpOptions options;
+                         options.input_features = 64;
+                         options.norm = NormKind::kBatch;
+                         return make_mlp(options, rng);
+                     },
+                     {4, 64},
+                     10});
+    cases.push_back({"MlpGelu",
+                     [](Rng& rng) {
+                         MlpOptions options;
+                         options.input_features = 64;
+                         options.activation = "gelu";
+                         return make_mlp(options, rng);
+                     },
+                     {4, 64},
+                     10});
+    cases.push_back({"LeNet5",
+                     [](Rng& rng) { return make_lenet5(1, 16, 10, rng); },
+                     {4, 1, 16, 16},
+                     10});
+    cases.push_back({"AlexNetS",
+                     [](Rng& rng) { return make_alexnet_s(10, rng); },
+                     {2, 3, 16, 16},
+                     10});
+    cases.push_back({"Vgg11S",
+                     [](Rng& rng) { return make_vgg11_s(10, rng); },
+                     {2, 3, 16, 16},
+                     10});
+    cases.push_back({"ResNet18S",
+                     [](Rng& rng) { return make_resnet18_s(10, rng); },
+                     {2, 3, 16, 16},
+                     10});
+    cases.push_back({"ResNet18SNoNorm",
+                     [](Rng& rng) {
+                         return make_resnet18_s(10, rng, NormKind::kNone);
+                     },
+                     {2, 3, 16, 16},
+                     10});
+    cases.push_back({"PreActS1",
+                     [](Rng& rng) {
+                         return make_preact_resnet_s(1, 10, rng);
+                     },
+                     {2, 3, 16, 16},
+                     10});
+    cases.push_back({"PreActS2",
+                     [](Rng& rng) {
+                         return make_preact_resnet_s(2, 10, rng);
+                     },
+                     {2, 3, 16, 16},
+                     10});
+    cases.push_back({"StnClassifier",
+                     [](Rng& rng) { return make_stn_classifier(43, rng); },
+                     {2, 3, 16, 16},
+                     43});
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ZooShapes,
+                         ::testing::ValuesIn(zoo_cases()),
+                         [](const auto& info) { return info.param.name; });
+
+TEST(ModelHandle, SetDropoutRatesInstallsAndValidates) {
+    Rng rng(1);
+    MlpOptions options;
+    options.input_features = 16;
+    options.hidden_layers = 3;
+    ModelHandle model = make_mlp(options, rng);
+    ASSERT_EQ(model.dropout_sites.size(), 3U);
+    model.set_dropout_rates({0.1, 0.2, 0.3});
+    EXPECT_EQ(model.dropout_rates(), (std::vector<double>{0.1, 0.2, 0.3}));
+    EXPECT_THROW(model.set_dropout_rates({0.1}), std::invalid_argument);
+    EXPECT_THROW(model.set_dropout_rates({0.1, 0.2, 1.5}),
+                 std::invalid_argument);
+}
+
+TEST(Mlp, HiddenLayerCountControlsDepth) {
+    Rng rng(2);
+    MlpOptions shallow;
+    shallow.input_features = 16;
+    shallow.hidden_layers = 1;
+    MlpOptions deep = shallow;
+    deep.hidden_layers = 5;
+    const auto shallow_params = make_mlp(shallow, rng).net->parameter_count();
+    const auto deep_params = make_mlp(deep, rng).net->parameter_count();
+    EXPECT_GT(deep_params, shallow_params);
+    EXPECT_EQ(make_mlp(deep, rng).dropout_sites.size(), 5U);
+}
+
+TEST(Mlp, AlphaDropoutVariantHasNoSearchSites) {
+    Rng rng(3);
+    MlpOptions options;
+    options.input_features = 16;
+    options.dropout = DropoutKind::kAlpha;
+    options.initial_dropout_rate = 0.2;
+    const ModelHandle model = make_mlp(options, rng);
+    EXPECT_TRUE(model.dropout_sites.empty());
+}
+
+TEST(Mlp, NoDropoutVariant) {
+    Rng rng(4);
+    MlpOptions options;
+    options.input_features = 16;
+    options.dropout = DropoutKind::kNone;
+    EXPECT_TRUE(make_mlp(options, rng).dropout_sites.empty());
+}
+
+TEST(PreAct, DeeperVariantsHaveMoreParameters) {
+    Rng rng(5);
+    const auto p1 = make_preact_resnet_s(1, 10, rng).net->parameter_count();
+    const auto p2 = make_preact_resnet_s(2, 10, rng).net->parameter_count();
+    const auto p4 = make_preact_resnet_s(4, 10, rng).net->parameter_count();
+    EXPECT_LT(p1, p2);
+    EXPECT_LT(p2, p4);
+}
+
+TEST(PreAct, DropoutSitesScaleWithDepth) {
+    Rng rng(6);
+    const auto s1 = make_preact_resnet_s(1, 10, rng).dropout_sites.size();
+    const auto s2 = make_preact_resnet_s(2, 10, rng).dropout_sites.size();
+    EXPECT_EQ(s2 - s1, 3U);  // one extra block (and site) per stage
+}
+
+TEST(Stn, IdentityInitializationPreservesInputEarly) {
+    // At initialization the STN head outputs the identity transform, so the
+    // transformer stage must be a no-op (weights were zeroed, bias set).
+    Rng rng(7);
+    ModelHandle model = make_stn_classifier(43, rng);
+    model.net->set_training(false);
+    const Tensor input = Tensor::randn({1, 3, 16, 16}, rng);
+    // Can't peek inside Sequential easily; instead check determinism and
+    // finiteness of the full forward (identity warp keeps values bounded).
+    const Tensor out = model.net->forward(input);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        EXPECT_TRUE(std::isfinite(out[i]));
+    }
+}
+
+TEST(Zoo, DropoutRatesDefaultToZero) {
+    Rng rng(8);
+    const ModelHandle model = make_alexnet_s(10, rng);
+    for (double rate : model.dropout_rates()) {
+        EXPECT_DOUBLE_EQ(rate, 0.0);
+    }
+}
+
+TEST(Zoo, InvalidConfigurationsThrow) {
+    Rng rng(9);
+    MlpOptions zero_layers;
+    zero_layers.hidden_layers = 0;
+    EXPECT_THROW(make_mlp(zero_layers, rng), std::invalid_argument);
+    EXPECT_THROW(make_lenet5(1, 6, 10, rng), std::invalid_argument);
+    EXPECT_THROW(make_preact_resnet_s(0, 10, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bayesft::models

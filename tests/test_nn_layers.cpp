@@ -1,0 +1,336 @@
+// Layer correctness: shapes, known values, and — the core property — exact
+// agreement between every layer's analytic backward pass and central finite
+// differences (parameterized over the whole layer family).
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "gradcheck.hpp"
+#include "nn/activations.hpp"
+#include "nn/conv.hpp"
+#include "nn/linear.hpp"
+#include "nn/module.hpp"
+#include "nn/norm.hpp"
+#include "nn/residual.hpp"
+#include "tensor/ops.hpp"
+
+namespace bayesft::nn {
+namespace {
+
+using bayesft::testing::gradcheck;
+
+// ---------------------------------------------------------------------
+// Parameterized gradient checks across the layer family.
+// ---------------------------------------------------------------------
+
+struct LayerCase {
+    std::string name;
+    std::function<std::unique_ptr<Module>(Rng&)> make;
+    std::vector<std::size_t> input_shape;
+};
+
+class LayerGradCheck : public ::testing::TestWithParam<LayerCase> {};
+
+TEST_P(LayerGradCheck, AnalyticBackwardMatchesFiniteDifferences) {
+    const LayerCase& layer_case = GetParam();
+    Rng rng(99);
+    auto module = layer_case.make(rng);
+    const Tensor input = Tensor::randn(layer_case.input_shape, rng);
+    const auto result = gradcheck(*module, input, rng);
+    EXPECT_TRUE(result.ok) << layer_case.name << ": " << result.detail;
+}
+
+std::vector<LayerCase> layer_cases() {
+    std::vector<LayerCase> cases;
+    cases.push_back({"Linear",
+                     [](Rng& rng) {
+                         return std::make_unique<Linear>(6, 4, rng);
+                     },
+                     {3, 6}});
+    cases.push_back({"Conv2dNoPad",
+                     [](Rng& rng) {
+                         return std::make_unique<Conv2d>(2, 3, 3, 1, 0, rng);
+                     },
+                     {2, 2, 5, 5}});
+    cases.push_back({"Conv2dPadded",
+                     [](Rng& rng) {
+                         return std::make_unique<Conv2d>(2, 3, 3, 1, 1, rng);
+                     },
+                     {2, 2, 4, 4}});
+    cases.push_back({"Conv2dStrided",
+                     [](Rng& rng) {
+                         return std::make_unique<Conv2d>(1, 2, 3, 2, 1, rng);
+                     },
+                     {2, 1, 6, 6}});
+    cases.push_back({"Conv2d1x1",
+                     [](Rng& rng) {
+                         return std::make_unique<Conv2d>(3, 2, 1, 1, 0, rng);
+                     },
+                     {2, 3, 4, 4}});
+    cases.push_back({"MaxPool2d",
+                     [](Rng&) { return std::make_unique<MaxPool2d>(2); },
+                     {2, 2, 4, 4}});
+    cases.push_back({"AvgPool2d",
+                     [](Rng&) { return std::make_unique<AvgPool2d>(2); },
+                     {2, 2, 4, 4}});
+    cases.push_back({"GlobalAvgPool",
+                     [](Rng&) { return std::make_unique<GlobalAvgPool>(); },
+                     {2, 3, 4, 4}});
+    cases.push_back({"Flatten",
+                     [](Rng&) { return std::make_unique<Flatten>(); },
+                     {2, 2, 3, 3}});
+    cases.push_back({"ReLU",
+                     [](Rng&) { return std::make_unique<ReLU>(); },
+                     {4, 7}});
+    cases.push_back({"LeakyReLU",
+                     [](Rng&) { return std::make_unique<LeakyReLU>(0.1F); },
+                     {4, 7}});
+    cases.push_back({"ELU",
+                     [](Rng&) { return std::make_unique<ELU>(); },
+                     {4, 7}});
+    cases.push_back({"GELU",
+                     [](Rng&) { return std::make_unique<GELU>(); },
+                     {4, 7}});
+    cases.push_back({"Sigmoid",
+                     [](Rng&) { return std::make_unique<Sigmoid>(); },
+                     {4, 7}});
+    cases.push_back({"Tanh",
+                     [](Rng&) { return std::make_unique<Tanh>(); },
+                     {4, 7}});
+    cases.push_back({"BatchNorm2d",
+                     [](Rng&) { return std::make_unique<BatchNorm>(3); },
+                     {4, 3, 3, 3}});
+    cases.push_back({"BatchNorm1d",
+                     [](Rng&) { return std::make_unique<BatchNorm>(5); },
+                     {6, 5}});
+    cases.push_back({"LayerNorm",
+                     [](Rng&) { return std::make_unique<LayerNorm>(4); },
+                     {3, 4, 2, 2}});
+    cases.push_back({"InstanceNorm",
+                     [](Rng&) { return std::make_unique<InstanceNorm>(3); },
+                     {2, 3, 4, 4}});
+    cases.push_back({"GroupNorm",
+                     [](Rng&) { return std::make_unique<GroupNorm>(2, 4); },
+                     {2, 4, 3, 3}});
+    cases.push_back(
+        {"ResidualIdentity",
+         [](Rng& rng) {
+             auto main = std::make_unique<Sequential>();
+             main->emplace<Linear>(5, 5, rng);
+             main->emplace<Tanh>();
+             return std::make_unique<Residual>(std::move(main));
+         },
+         {3, 5}});
+    cases.push_back(
+        {"ResidualProjection",
+         [](Rng& rng) {
+             auto main = std::make_unique<Sequential>();
+             main->emplace<Linear>(5, 4, rng);
+             auto shortcut = std::make_unique<Sequential>();
+             shortcut->emplace<Linear>(5, 4, rng);
+             return std::make_unique<Residual>(std::move(main),
+                                               std::move(shortcut));
+         },
+         {3, 5}});
+    cases.push_back(
+        {"SmallMlpStack",
+         [](Rng& rng) {
+             auto seq = std::make_unique<Sequential>();
+             seq->emplace<Linear>(6, 8, rng);
+             seq->emplace<GELU>();
+             seq->emplace<Linear>(8, 3, rng);
+             return seq;
+         },
+         {2, 6}});
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLayers, LayerGradCheck,
+                         ::testing::ValuesIn(layer_cases()),
+                         [](const auto& info) { return info.param.name; });
+
+// ---------------------------------------------------------------------
+// Targeted behaviour tests.
+// ---------------------------------------------------------------------
+
+TEST(Linear, OutputShapeAndBias) {
+    Rng rng(1);
+    Linear layer(3, 2, rng);
+    layer.bias().value = Tensor({2}, {1.0F, -1.0F});
+    layer.weight().value.fill(0.0F);
+    const Tensor out = layer.forward(Tensor::zeros({4, 3}));
+    EXPECT_EQ(out.shape(), (std::vector<std::size_t>{4, 2}));
+    EXPECT_FLOAT_EQ(out(0, 0), 1.0F);
+    EXPECT_FLOAT_EQ(out(3, 1), -1.0F);
+}
+
+TEST(Linear, RejectsWrongInputWidth) {
+    Rng rng(1);
+    Linear layer(3, 2, rng);
+    EXPECT_THROW(layer.forward(Tensor::zeros({4, 5})), std::invalid_argument);
+}
+
+TEST(Conv2d, MatchesDirectConvolution) {
+    Rng rng(2);
+    Conv2d conv(1, 1, 3, 1, 0, rng);
+    conv.weight().value.fill(1.0F);  // box filter
+    conv.bias().value.fill(0.0F);
+    Tensor input = Tensor::ones({1, 1, 4, 4});
+    const Tensor out = conv.forward(input);
+    EXPECT_EQ(out.shape(), (std::vector<std::size_t>{1, 1, 2, 2}));
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        EXPECT_FLOAT_EQ(out[i], 9.0F);  // 3x3 window of ones
+    }
+}
+
+TEST(Conv2d, ChannelMismatchThrows) {
+    Rng rng(3);
+    Conv2d conv(3, 4, 3, 1, 1, rng);
+    EXPECT_THROW(conv.forward(Tensor::zeros({1, 2, 8, 8})),
+                 std::invalid_argument);
+}
+
+TEST(MaxPool2d, SelectsMaximaAndRoutesGradient) {
+    MaxPool2d pool(2);
+    Tensor input({1, 1, 2, 2}, std::vector<float>{1, 5, 3, 2});
+    const Tensor out = pool.forward(input);
+    EXPECT_FLOAT_EQ(out[0], 5.0F);
+    const Tensor grad = pool.backward(Tensor::ones({1, 1, 1, 1}));
+    EXPECT_FLOAT_EQ(grad[0], 0.0F);
+    EXPECT_FLOAT_EQ(grad[1], 1.0F);  // gradient flows only to the argmax
+}
+
+TEST(GlobalAvgPool, AveragesSpatially) {
+    GlobalAvgPool pool;
+    Tensor input({1, 2, 2, 2},
+                 std::vector<float>{1, 2, 3, 4, 10, 20, 30, 40});
+    const Tensor out = pool.forward(input);
+    EXPECT_FLOAT_EQ(out(0, 0), 2.5F);
+    EXPECT_FLOAT_EQ(out(0, 1), 25.0F);
+}
+
+TEST(BatchNorm, NormalizesTrainingBatch) {
+    BatchNorm bn(2);
+    Rng rng(4);
+    const Tensor input = Tensor::randn({64, 2}, rng, 3.0F);
+    bn.set_training(true);
+    const Tensor out = bn.forward(input);
+    // Each channel should be ~zero-mean unit-variance.
+    for (std::size_t c = 0; c < 2; ++c) {
+        double mean = 0.0, var = 0.0;
+        for (std::size_t i = 0; i < 64; ++i) mean += out(i, c);
+        mean /= 64.0;
+        for (std::size_t i = 0; i < 64; ++i) {
+            var += (out(i, c) - mean) * (out(i, c) - mean);
+        }
+        var /= 64.0;
+        EXPECT_NEAR(mean, 0.0, 1e-4);
+        EXPECT_NEAR(var, 1.0, 1e-3);
+    }
+}
+
+TEST(BatchNorm, EvalUsesRunningStatistics) {
+    BatchNorm bn(1);
+    Rng rng(5);
+    bn.set_training(true);
+    for (int i = 0; i < 50; ++i) {
+        Tensor batch = Tensor::randn({32, 1}, rng, 2.0F);
+        batch.add_scalar_(10.0F);
+        bn.forward(batch);
+    }
+    EXPECT_NEAR(bn.running_mean()[0], 10.0F, 0.5F);
+    EXPECT_NEAR(bn.running_var()[0], 4.0F, 1.0F);
+    bn.set_training(false);
+    // A constant eval input equal to the running mean maps to ~beta (0).
+    const Tensor out = bn.forward(Tensor::full({4, 1}, 10.0F));
+    EXPECT_NEAR(out[0], 0.0F, 0.3F);
+}
+
+TEST(GroupNorm, RequiresDivisibleChannels) {
+    EXPECT_THROW(GroupNorm(3, 4), std::invalid_argument);
+    EXPECT_NO_THROW(GroupNorm(2, 4));
+}
+
+TEST(GroupNorm, NormalizesPerSample) {
+    GroupNorm gn(1, 3);  // LayerNorm behaviour
+    Rng rng(6);
+    Tensor input = Tensor::randn({2, 3, 4, 4}, rng, 5.0F);
+    input.add_scalar_(7.0F);
+    const Tensor out = gn.forward(input);
+    // Each sample slab should be ~zero-mean.
+    for (std::size_t nidx = 0; nidx < 2; ++nidx) {
+        double mean = 0.0;
+        for (std::size_t i = 0; i < 3 * 16; ++i) {
+            mean += out[nidx * 3 * 16 + i];
+        }
+        EXPECT_NEAR(mean / (3 * 16), 0.0, 1e-4);
+    }
+}
+
+TEST(Sequential, ForwardComposesChildren) {
+    Rng rng(7);
+    Sequential seq;
+    auto* l1 = seq.emplace<Linear>(4, 8, rng);
+    seq.emplace<ReLU>();
+    auto* l2 = seq.emplace<Linear>(8, 2, rng);
+    EXPECT_EQ(seq.child_count(), 3U);
+    EXPECT_NE(l1, nullptr);
+    EXPECT_NE(l2, nullptr);
+    const Tensor out = seq.forward(Tensor::zeros({5, 4}));
+    EXPECT_EQ(out.shape(), (std::vector<std::size_t>{5, 2}));
+}
+
+TEST(Sequential, CollectsAllParameters) {
+    Rng rng(8);
+    Sequential seq;
+    seq.emplace<Linear>(4, 8, rng);
+    seq.emplace<Linear>(8, 2, rng);
+    EXPECT_EQ(seq.parameters().size(), 4U);  // 2 layers x (W, b)
+    EXPECT_EQ(seq.parameter_count(), 4 * 8 + 8 + 8 * 2 + 2);
+}
+
+TEST(Sequential, TrainingFlagPropagates) {
+    Rng rng(9);
+    Sequential seq;
+    seq.emplace<Linear>(2, 2, rng);
+    seq.set_training(false);
+    EXPECT_FALSE(seq.training());
+    EXPECT_FALSE(seq.child(0).training());
+}
+
+TEST(Residual, AddsBranches) {
+    auto main = std::make_unique<Identity>();
+    Residual res(std::move(main));
+    Tensor input({1, 3}, std::vector<float>{1, 2, 3});
+    const Tensor out = res.forward(input);
+    EXPECT_FLOAT_EQ(out[0], 2.0F);  // identity + identity
+}
+
+TEST(Residual, MismatchedBranchesThrow) {
+    Rng rng(10);
+    auto main = std::make_unique<Sequential>();
+    main->emplace<Linear>(3, 4, rng);
+    Residual res(std::move(main));  // identity shortcut keeps width 3
+    EXPECT_THROW(res.forward(Tensor::zeros({1, 3})), std::invalid_argument);
+}
+
+TEST(Activations, FactoryKnowsAllNames) {
+    for (const char* name :
+         {"relu", "leaky_relu", "elu", "gelu", "sigmoid", "tanh"}) {
+        EXPECT_NE(make_activation(name), nullptr) << name;
+    }
+    EXPECT_THROW(make_activation("swishh"), std::invalid_argument);
+}
+
+TEST(Activations, GeluKnownValues) {
+    GELU gelu;
+    const Tensor out = gelu.forward(Tensor({3}, {0.0F, 100.0F, -100.0F}));
+    EXPECT_NEAR(out[0], 0.0F, 1e-6);
+    EXPECT_NEAR(out[1], 100.0F, 1e-3);
+    EXPECT_NEAR(out[2], 0.0F, 1e-3);
+}
+
+}  // namespace
+}  // namespace bayesft::nn

@@ -1,0 +1,144 @@
+// Loss functions: known values, finite-difference gradient checks, and
+// numerical-stability edge cases.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/loss.hpp"
+#include "utils/rng.hpp"
+
+namespace bayesft::nn {
+namespace {
+
+TEST(CrossEntropy, UniformLogitsGiveLogK) {
+    const Tensor logits = Tensor::zeros({2, 4});
+    const LossResult r = cross_entropy(logits, {0, 3});
+    EXPECT_NEAR(r.value, std::log(4.0), 1e-6);
+}
+
+TEST(CrossEntropy, ConfidentCorrectIsNearZero) {
+    Tensor logits({1, 3}, std::vector<float>{20.0F, 0.0F, 0.0F});
+    const LossResult r = cross_entropy(logits, {0});
+    EXPECT_LT(r.value, 1e-6);
+}
+
+TEST(CrossEntropy, GradientRowsSumToZero) {
+    Rng rng(1);
+    const Tensor logits = Tensor::randn({5, 7}, rng);
+    const LossResult r = cross_entropy(logits, {0, 1, 2, 3, 4});
+    for (std::size_t i = 0; i < 5; ++i) {
+        double row = 0.0;
+        for (std::size_t j = 0; j < 7; ++j) row += r.grad(i, j);
+        EXPECT_NEAR(row, 0.0, 1e-6);  // softmax-minus-onehot sums to zero
+    }
+}
+
+TEST(CrossEntropy, GradientMatchesFiniteDifferences) {
+    Rng rng(2);
+    Tensor logits = Tensor::randn({3, 4}, rng);
+    const std::vector<int> labels{1, 0, 3};
+    const LossResult analytic = cross_entropy(logits, labels);
+    const float eps = 1e-3F;
+    for (std::size_t i = 0; i < logits.size(); ++i) {
+        const float saved = logits[i];
+        logits[i] = saved + eps;
+        const double plus = cross_entropy(logits, labels).value;
+        logits[i] = saved - eps;
+        const double minus = cross_entropy(logits, labels).value;
+        logits[i] = saved;
+        EXPECT_NEAR(analytic.grad[i], (plus - minus) / (2.0 * eps), 1e-3);
+    }
+}
+
+TEST(CrossEntropy, RejectsBadLabels) {
+    const Tensor logits = Tensor::zeros({2, 3});
+    EXPECT_THROW(cross_entropy(logits, {0, 3}), std::invalid_argument);
+    EXPECT_THROW(cross_entropy(logits, {0, -1}), std::invalid_argument);
+    EXPECT_THROW(cross_entropy(logits, {0}), std::invalid_argument);
+}
+
+TEST(BceWithLogits, KnownValue) {
+    // z = 0, t = 0.5: loss = log 2 regardless of target symmetry.
+    const Tensor logits = Tensor::zeros({1, 1});
+    const Tensor targets = Tensor::full({1, 1}, 0.5F);
+    const LossResult r = bce_with_logits(logits, targets);
+    EXPECT_NEAR(r.value, std::log(2.0), 1e-6);
+}
+
+TEST(BceWithLogits, StableForExtremeLogits) {
+    Tensor logits({1, 2}, std::vector<float>{500.0F, -500.0F});
+    Tensor targets({1, 2}, std::vector<float>{1.0F, 0.0F});
+    const LossResult r = bce_with_logits(logits, targets);
+    EXPECT_TRUE(std::isfinite(r.value));
+    EXPECT_NEAR(r.value, 0.0, 1e-6);
+}
+
+TEST(BceWithLogits, GradientMatchesFiniteDifferences) {
+    Rng rng(3);
+    Tensor logits = Tensor::randn({2, 3}, rng);
+    const Tensor targets = Tensor::uniform({2, 3}, rng, 0.0F, 1.0F);
+    const LossResult analytic = bce_with_logits(logits, targets);
+    const float eps = 1e-3F;
+    for (std::size_t i = 0; i < logits.size(); ++i) {
+        const float saved = logits[i];
+        logits[i] = saved + eps;
+        const double plus = bce_with_logits(logits, targets).value;
+        logits[i] = saved - eps;
+        const double minus = bce_with_logits(logits, targets).value;
+        logits[i] = saved;
+        EXPECT_NEAR(analytic.grad[i], (plus - minus) / (2.0 * eps), 1e-3);
+    }
+}
+
+TEST(BceWithLogits, ShapeMismatchThrows) {
+    EXPECT_THROW(bce_with_logits(Tensor::zeros({1, 2}), Tensor::zeros({2, 1})),
+                 std::invalid_argument);
+}
+
+TEST(Mse, KnownValue) {
+    Tensor pred({2}, std::vector<float>{1.0F, 3.0F});
+    Tensor target({2}, std::vector<float>{0.0F, 0.0F});
+    const LossResult r = mse(pred, target);
+    EXPECT_NEAR(r.value, (1.0 + 9.0) / 2.0, 1e-6);
+}
+
+TEST(Mse, WeightsScaleContributions) {
+    Tensor pred({2}, std::vector<float>{1.0F, 1.0F});
+    Tensor target = Tensor::zeros({2});
+    Tensor weights({2}, std::vector<float>{0.0F, 2.0F});
+    const LossResult r = mse(pred, target, weights);
+    EXPECT_NEAR(r.value, 1.0, 1e-6);  // (0*1 + 2*1)/2
+    EXPECT_FLOAT_EQ(r.grad[0], 0.0F);
+    EXPECT_GT(r.grad[1], 0.0F);
+}
+
+TEST(Mse, GradientMatchesFiniteDifferences) {
+    Rng rng(4);
+    Tensor pred = Tensor::randn({3, 2}, rng);
+    const Tensor target = Tensor::randn({3, 2}, rng);
+    const Tensor weights = Tensor::uniform({3, 2}, rng, 0.0F, 2.0F);
+    const LossResult analytic = mse(pred, target, weights);
+    const float eps = 1e-3F;
+    for (std::size_t i = 0; i < pred.size(); ++i) {
+        const float saved = pred[i];
+        pred[i] = saved + eps;
+        const double plus = mse(pred, target, weights).value;
+        pred[i] = saved - eps;
+        const double minus = mse(pred, target, weights).value;
+        pred[i] = saved;
+        EXPECT_NEAR(analytic.grad[i], (plus - minus) / (2.0 * eps), 1e-3);
+    }
+}
+
+TEST(Mse, EmptyOrMismatchedThrow) {
+    EXPECT_THROW(mse(Tensor(), Tensor()), std::invalid_argument);
+    EXPECT_THROW(mse(Tensor::zeros({2}), Tensor::zeros({3})),
+                 std::invalid_argument);
+    EXPECT_THROW(mse(Tensor::zeros({2}), Tensor::zeros({2}),
+                     Tensor::zeros({3})),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bayesft::nn

@@ -1,0 +1,185 @@
+// Tests for structured tensor operations: matrix products, im2col/col2im,
+// and row-wise reductions.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "utils/rng.hpp"
+
+namespace bayesft {
+namespace {
+
+Tensor naive_matmul(const Tensor& a, const Tensor& b) {
+    const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+    Tensor c({m, n});
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            double acc = 0.0;
+            for (std::size_t kk = 0; kk < k; ++kk) {
+                acc += static_cast<double>(a(i, kk)) * b(kk, j);
+            }
+            c(i, j) = static_cast<float>(acc);
+        }
+    }
+    return c;
+}
+
+TEST(Ops, MatmulKnownValues) {
+    Tensor a({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+    Tensor b({3, 2}, std::vector<float>{7, 8, 9, 10, 11, 12});
+    const Tensor c = matmul(a, b);
+    EXPECT_FLOAT_EQ(c(0, 0), 58.0F);
+    EXPECT_FLOAT_EQ(c(0, 1), 64.0F);
+    EXPECT_FLOAT_EQ(c(1, 0), 139.0F);
+    EXPECT_FLOAT_EQ(c(1, 1), 154.0F);
+}
+
+TEST(Ops, MatmulMatchesNaiveOnRandom) {
+    Rng rng(1);
+    const Tensor a = Tensor::randn({7, 13}, rng);
+    const Tensor b = Tensor::randn({13, 5}, rng);
+    EXPECT_TRUE(matmul(a, b).allclose(naive_matmul(a, b), 1e-4F));
+}
+
+TEST(Ops, MatmulDimensionMismatchThrows) {
+    Tensor a({2, 3});
+    Tensor b({4, 2});
+    EXPECT_THROW(matmul(a, b), std::invalid_argument);
+    EXPECT_THROW(matmul(a, Tensor({3})), std::invalid_argument);
+}
+
+TEST(Ops, MatmulTnEqualsExplicitTranspose) {
+    Rng rng(2);
+    const Tensor a = Tensor::randn({6, 4}, rng);
+    const Tensor b = Tensor::randn({6, 5}, rng);
+    EXPECT_TRUE(matmul_tn(a, b).allclose(matmul(transpose(a), b), 1e-4F));
+}
+
+TEST(Ops, MatmulNtEqualsExplicitTranspose) {
+    Rng rng(3);
+    const Tensor a = Tensor::randn({6, 4}, rng);
+    const Tensor b = Tensor::randn({5, 4}, rng);
+    EXPECT_TRUE(matmul_nt(a, b).allclose(matmul(a, transpose(b)), 1e-4F));
+}
+
+TEST(Ops, TransposeInvolution) {
+    Rng rng(4);
+    const Tensor a = Tensor::randn({3, 7}, rng);
+    EXPECT_TRUE(transpose(transpose(a)).equals(a));
+}
+
+TEST(Ops, ConvGeometryOutputSize) {
+    ConvGeometry g{3, 16, 16, 3, 3, 1, 1};
+    EXPECT_EQ(g.out_h(), 16U);
+    EXPECT_EQ(g.out_w(), 16U);
+    ConvGeometry strided{3, 16, 16, 3, 3, 2, 1};
+    EXPECT_EQ(strided.out_h(), 8U);
+    ConvGeometry invalid{3, 2, 2, 5, 5, 1, 0};
+    EXPECT_THROW(invalid.validate(), std::invalid_argument);
+}
+
+TEST(Ops, Im2ColIdentityKernel) {
+    // 1x1 kernel, stride 1, no pad: im2col is the identity layout.
+    Rng rng(5);
+    const Tensor img = Tensor::randn({2, 4, 4}, rng);
+    ConvGeometry g{2, 4, 4, 1, 1, 1, 0};
+    Tensor cols({2, 16});
+    im2col(img.data(), g, cols.data());
+    for (std::size_t i = 0; i < img.size(); ++i) {
+        EXPECT_FLOAT_EQ(cols[i], img[i]);
+    }
+}
+
+TEST(Ops, Im2ColPaddingReadsZero) {
+    const Tensor img = Tensor::ones({1, 2, 2});
+    ConvGeometry g{1, 2, 2, 3, 3, 1, 1};
+    Tensor cols({9, 4});
+    im2col(img.data(), g, cols.data());
+    // Top-left output position, top-left kernel cell reads the padding.
+    EXPECT_FLOAT_EQ(cols(0, 0), 0.0F);
+    // Center kernel cell reads the image.
+    EXPECT_FLOAT_EQ(cols(4, 0), 1.0F);
+}
+
+TEST(Ops, Col2ImIsAdjointOfIm2Col) {
+    // <im2col(x), y> == <x, col2im(y)> for all x, y — the defining adjoint
+    // property that makes the convolution backward pass correct.
+    Rng rng(6);
+    ConvGeometry g{3, 6, 5, 3, 2, 2, 1};
+    const std::size_t rows = g.channels * g.kernel_h * g.kernel_w;
+    const std::size_t cols_n = g.out_h() * g.out_w();
+    const Tensor x = Tensor::randn({g.channels, g.in_h, g.in_w}, rng);
+    const Tensor y = Tensor::randn({rows, cols_n}, rng);
+
+    Tensor unfolded({rows, cols_n});
+    im2col(x.data(), g, unfolded.data());
+    Tensor folded({g.channels, g.in_h, g.in_w});
+    col2im(y.data(), g, folded.data());
+
+    double lhs = 0.0, rhs = 0.0;
+    for (std::size_t i = 0; i < unfolded.size(); ++i) {
+        lhs += static_cast<double>(unfolded[i]) * y[i];
+    }
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        rhs += static_cast<double>(x[i]) * folded[i];
+    }
+    EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(Ops, ArgmaxRows) {
+    Tensor t({2, 3}, std::vector<float>{1, 5, 2, 9, 0, 3});
+    const auto idx = argmax_rows(t);
+    EXPECT_EQ(idx[0], 1U);
+    EXPECT_EQ(idx[1], 0U);
+}
+
+TEST(Ops, SoftmaxRowsSumToOne) {
+    Rng rng(7);
+    const Tensor logits = Tensor::randn({5, 8}, rng, 3.0F);
+    const Tensor probs = softmax_rows(logits);
+    for (std::size_t i = 0; i < 5; ++i) {
+        double row_sum = 0.0;
+        for (std::size_t j = 0; j < 8; ++j) {
+            EXPECT_GE(probs(i, j), 0.0F);
+            row_sum += probs(i, j);
+        }
+        EXPECT_NEAR(row_sum, 1.0, 1e-5);
+    }
+}
+
+TEST(Ops, SoftmaxShiftInvariance) {
+    Tensor a({1, 3}, std::vector<float>{1, 2, 3});
+    Tensor b({1, 3}, std::vector<float>{101, 102, 103});
+    EXPECT_TRUE(softmax_rows(a).allclose(softmax_rows(b), 1e-5F));
+}
+
+TEST(Ops, SoftmaxHandlesLargeLogitsWithoutOverflow) {
+    Tensor t({1, 2}, std::vector<float>{1000.0F, 999.0F});
+    const Tensor p = softmax_rows(t);
+    EXPECT_TRUE(std::isfinite(p(0, 0)));
+    EXPECT_GT(p(0, 0), p(0, 1));
+}
+
+TEST(Ops, LogSoftmaxMatchesLogOfSoftmax) {
+    Rng rng(8);
+    const Tensor logits = Tensor::randn({3, 4}, rng);
+    const Tensor log_probs = log_softmax_rows(logits);
+    const Tensor probs = softmax_rows(logits);
+    for (std::size_t i = 0; i < log_probs.size(); ++i) {
+        EXPECT_NEAR(std::exp(log_probs[i]), probs[i], 1e-5);
+    }
+}
+
+TEST(Ops, AccuracyComputation) {
+    Tensor logits({3, 2}, std::vector<float>{0.9F, 0.1F,  // -> 0
+                                             0.2F, 0.8F,  // -> 1
+                                             0.6F, 0.4F});  // -> 0
+    EXPECT_DOUBLE_EQ(accuracy(logits, {0, 1, 1}), 2.0 / 3.0);
+    EXPECT_DOUBLE_EQ(accuracy(logits, {0, 1, 0}), 1.0);
+    EXPECT_THROW(accuracy(logits, {0, 1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bayesft

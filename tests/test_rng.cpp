@@ -1,0 +1,168 @@
+// Tests for the deterministic RNG substrate.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "utils/rng.hpp"
+
+namespace bayesft {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a(), b());
+    }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a() == b()) ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, NormalMomentsMatch) {
+    Rng rng(11);
+    const int n = 200000;
+    double sum = 0.0, sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sq += x * x;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.02);
+    EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, NormalWithParamsShiftsAndScales) {
+    Rng rng(13);
+    const int n = 100000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) sum += rng.normal(5.0, 0.5);
+    EXPECT_NEAR(sum / n, 5.0, 0.02);
+}
+
+TEST(Rng, LogNormalMedianNearOne) {
+    // Median of exp(N(0, sigma^2)) is exactly 1: half the factors shrink,
+    // half grow — the core property of the paper's Eq. 1 drift.
+    Rng rng(17);
+    const int n = 100000;
+    int above = 0;
+    for (int i = 0; i < n; ++i) {
+        if (rng.log_normal(0.0, 0.7) > 1.0) ++above;
+    }
+    EXPECT_NEAR(static_cast<double>(above) / n, 0.5, 0.01);
+}
+
+TEST(Rng, LogNormalMeanMatchesTheory) {
+    // E[exp(N(0, s^2))] = exp(s^2 / 2).
+    Rng rng(19);
+    const double sigma = 0.5;
+    const int n = 200000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) sum += rng.log_normal(0.0, sigma);
+    EXPECT_NEAR(sum / n, std::exp(sigma * sigma / 2.0), 0.01);
+}
+
+TEST(Rng, UniformIntInRange) {
+    Rng rng(23);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.uniform_int(std::uint64_t{10});
+        EXPECT_LT(v, 10U);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 10U);  // all values hit
+}
+
+TEST(Rng, UniformIntSignedRange) {
+    Rng rng(29);
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.uniform_int(std::int64_t{-5}, std::int64_t{5});
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+    }
+}
+
+TEST(Rng, UniformIntZeroThrows) {
+    Rng rng(1);
+    EXPECT_THROW(rng.uniform_int(std::uint64_t{0}), std::invalid_argument);
+}
+
+TEST(Rng, BernoulliFrequency) {
+    Rng rng(31);
+    const int n = 100000;
+    int hits = 0;
+    for (int i = 0; i < n; ++i) {
+        if (rng.bernoulli(0.3)) ++hits;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, PermutationIsValid) {
+    Rng rng(37);
+    const auto perm = rng.permutation(100);
+    std::set<std::size_t> seen(perm.begin(), perm.end());
+    EXPECT_EQ(seen.size(), 100U);
+    EXPECT_EQ(*seen.begin(), 0U);
+    EXPECT_EQ(*seen.rbegin(), 99U);
+}
+
+TEST(Rng, PermutationActuallyShuffles) {
+    Rng rng(41);
+    const auto perm = rng.permutation(50);
+    std::size_t fixed = 0;
+    for (std::size_t i = 0; i < perm.size(); ++i) {
+        if (perm[i] == i) ++fixed;
+    }
+    EXPECT_LT(fixed, 10U);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+    Rng parent(43);
+    Rng child = parent.split();
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (parent() == child()) ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, WorksWithStdShuffle) {
+    Rng rng(47);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    std::shuffle(v.begin(), v.end(), rng);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, (std::vector<int>{1, 2, 3, 4, 5, 6, 7, 8}));
+}
+
+}  // namespace
+}  // namespace bayesft
