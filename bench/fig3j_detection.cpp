@@ -66,9 +66,10 @@ double map_under_drift(detect::GridDetector& detector, const Tensor& images,
     const fault::LogNormalDrift drift(sigma);
     return fault::evaluate_metric_under_drift(
                detector.network(), drift, samples, rng,
-               [&](nn::Module&) {
-                   return detector.evaluate_map(images, boxes);
-               })
+               [&](nn::Module& m) {
+                   return detector.evaluate_map_with(m, images, boxes);
+               },
+               0)
         .mean_accuracy;
 }
 

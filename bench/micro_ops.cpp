@@ -1,131 +1,276 @@
-// Micro-benchmarks of the numeric substrates: matmul, conv forward/backward,
-// GP fit/posterior scaling, drift injection throughput.  These are classic
-// google-benchmark timing loops (no figure attached) used to track the
-// performance of the kernels everything else is built on.
+// Micro-benchmarks of the numeric substrates: blocked GEMM (including a
+// comparison against the seed's scalar i-k-j kernel), batched conv
+// forward/backward, GP fit, drift-injection throughput, and multi-threaded
+// Monte-Carlo drift evaluation scaling.
+//
+// Results are printed as a human-readable table AND emitted as
+// machine-readable JSON — one record per (op, shape, threads) with ns/iter
+// and GFLOP/s — so successive PRs can track a perf trajectory in
+// BENCH_*.json files.  Usage:
+//
+//   micro_ops [output.json]     (default: BENCH_micro_ops.json)
 
-#include <benchmark/benchmark.h>
-
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "bayesopt/gp.hpp"
+#include "data/toy.hpp"
 #include "fault/drift.hpp"
+#include "fault/evaluator.hpp"
+#include "nn/activations.hpp"
 #include "nn/conv.hpp"
+#include "nn/linear.hpp"
+#include "nn/trainer.hpp"
+#include "tensor/gemm.hpp"
 #include "tensor/ops.hpp"
+#include "utils/parallel.hpp"
 #include "utils/rng.hpp"
 
 namespace {
 
 using namespace bayesft;
 
-void BM_Matmul(benchmark::State& state) {
-    const auto n = static_cast<std::size_t>(state.range(0));
+struct Record {
+    std::string op;
+    std::string shape;
+    std::size_t threads = 1;
+    double ns_per_iter = 0.0;
+    double gflops = 0.0;  // 0 when FLOP count is not meaningful
+};
+
+std::vector<Record> g_records;
+
+/// Times `fn` adaptively: repeats until ~200ms of samples, reports the best
+/// iteration (least noisy on a shared machine).
+template <typename Fn>
+double time_ns(Fn&& fn, std::size_t min_iters = 3) {
+    using clock = std::chrono::steady_clock;
+    double best = 1e300;
+    double total = 0.0;
+    std::size_t iters = 0;
+    while (iters < min_iters || total < 2e8) {
+        const auto t0 = clock::now();
+        fn();
+        const auto t1 = clock::now();
+        const double ns =
+            std::chrono::duration<double, std::nano>(t1 - t0).count();
+        best = std::min(best, ns);
+        total += ns;
+        ++iters;
+        if (iters > 200) break;
+    }
+    return best;
+}
+
+void report(const std::string& op, const std::string& shape,
+            std::size_t threads, double ns, double flops) {
+    Record r;
+    r.op = op;
+    r.shape = shape;
+    r.threads = threads;
+    r.ns_per_iter = ns;
+    r.gflops = flops > 0.0 ? flops / ns : 0.0;  // FLOP/ns == GFLOP/s
+    g_records.push_back(r);
+    std::printf("%-28s %-16s threads=%-2zu %12.0f ns/iter %8.2f GFLOP/s\n",
+                op.c_str(), shape.c_str(), threads, ns, r.gflops);
+}
+
+/// The seed repository's scalar i-k-j matmul kernel, kept verbatim as the
+/// speedup baseline for the blocked kernel.
+Tensor seed_matmul(const Tensor& a, const Tensor& b) {
+    const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+    Tensor c({m, n});
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* pc = c.data();
+    for (std::size_t i = 0; i < m; ++i) {
+        float* crow = pc + i * n;
+        for (std::size_t kk = 0; kk < k; ++kk) {
+            const float aval = pa[i * k + kk];
+            if (aval == 0.0F) continue;
+            const float* brow = pb + kk * n;
+            for (std::size_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+        }
+    }
+    return c;
+}
+
+void bench_gemm() {
     Rng rng(1);
+    const std::size_t n = 256;
     const Tensor a = Tensor::randn({n, n}, rng);
     const Tensor b = Tensor::randn({n, n}, rng);
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(matmul(a, b));
-    }
-    state.SetComplexityN(state.range(0));
-}
-BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128)->Complexity();
+    const double flops = 2.0 * static_cast<double>(n) * n * n;
+    const std::string shape = "256x256x256";
 
-void BM_MatmulTransposedVariants(benchmark::State& state) {
-    Rng rng(2);
-    const Tensor a = Tensor::randn({64, 64}, rng);
-    const Tensor b = Tensor::randn({64, 64}, rng);
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(matmul_tn(a, b));
-        benchmark::DoNotOptimize(matmul_nt(a, b));
+    volatile float sink = 0.0F;
+    const double seed_ns = time_ns([&] {
+        Tensor c = seed_matmul(a, b);
+        sink = sink + c[0];
+    });
+    report("matmul_seed_ikj", shape, 1, seed_ns, flops);
+
+    // Single-threaded blocked kernel (direct call, bypassing the pool).
+    Tensor c({n, n});
+    const double blocked_ns = time_ns([&] {
+        c.fill(0.0F);
+        detail::gemm_block(a.data(), n, b.data(), n, c.data(), n, n, n, n);
+        sink = sink + c[0];
+    });
+    report("matmul_blocked_1t", shape, 1, blocked_ns, flops);
+    std::printf("  -> blocked vs seed single-thread speedup: %.2fx\n",
+                seed_ns / blocked_ns);
+
+    // Pool-parallel entry point the library actually uses.
+    const double pool_ns = time_ns([&] {
+        Tensor out = matmul(a, b);
+        sink = sink + out[0];
+    });
+    report("matmul", shape, parallel_thread_count(), pool_ns, flops);
+
+    for (const std::size_t dim : {64UL, 128UL, 512UL}) {
+        Rng r2(2);
+        const Tensor aa = Tensor::randn({dim, dim}, r2);
+        const Tensor bb = Tensor::randn({dim, dim}, r2);
+        const double f = 2.0 * static_cast<double>(dim) * dim * dim;
+        const double ns = time_ns([&] {
+            Tensor out = matmul(aa, bb);
+            sink = sink + out[0];
+        });
+        report("matmul",
+               std::to_string(dim) + "x" + std::to_string(dim) + "x" +
+                   std::to_string(dim),
+               parallel_thread_count(), ns, f);
     }
 }
-BENCHMARK(BM_MatmulTransposedVariants);
 
-void BM_ConvForward(benchmark::State& state) {
-    const auto channels = static_cast<std::size_t>(state.range(0));
+void bench_conv() {
     Rng rng(3);
-    nn::Conv2d conv(channels, channels * 2, 3, 1, 1, rng);
-    const Tensor input = Tensor::randn({8, channels, 16, 16}, rng);
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(conv.forward(input));
-    }
-}
-BENCHMARK(BM_ConvForward)->Arg(4)->Arg(16);
+    nn::Conv2d conv(16, 32, 3, 1, 1, rng);
+    const Tensor input = Tensor::randn({16, 16, 16, 16}, rng);
+    // FLOPs: 2 * N * OC * OH * OW * (IC * KH * KW)
+    const double flops = 2.0 * 16 * 32 * 16 * 16 * (16 * 9);
+    volatile float sink = 0.0F;
+    const double fwd_ns = time_ns([&] {
+        Tensor out = conv.forward(input);
+        sink = sink + out[0];
+    });
+    report("conv2d_forward", "n16c16->32k3s1p1x16", parallel_thread_count(),
+           fwd_ns, flops);
 
-void BM_ConvBackward(benchmark::State& state) {
-    Rng rng(4);
-    nn::Conv2d conv(8, 16, 3, 1, 1, rng);
-    const Tensor input = Tensor::randn({8, 8, 16, 16}, rng);
     const Tensor out = conv.forward(input);
     const Tensor grad = Tensor::randn(out.shape(), rng);
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(conv.backward(grad));
-    }
+    const double bwd_ns = time_ns([&] {
+        Tensor gin = conv.backward(grad);
+        sink = sink + gin[0];
+    });
+    report("conv2d_backward", "n16c16->32k3s1p1x16", parallel_thread_count(),
+           bwd_ns, 3.0 * flops);
 }
-BENCHMARK(BM_ConvBackward);
 
-void BM_Im2Col(benchmark::State& state) {
-    Rng rng(5);
-    const Tensor image = Tensor::randn({16, 32, 32}, rng);
-    ConvGeometry g{16, 32, 32, 3, 3, 1, 1};
-    Tensor cols({16 * 9, g.out_h() * g.out_w()});
-    for (auto _ : state) {
-        im2col(image.data(), g, cols.data());
-        benchmark::DoNotOptimize(cols.data());
-    }
-}
-BENCHMARK(BM_Im2Col);
-
-void BM_GpFit(benchmark::State& state) {
-    const auto n = static_cast<std::size_t>(state.range(0));
+void bench_gp() {
     Rng rng(6);
     std::vector<bayesopt::Point> xs;
     std::vector<double> ys;
-    for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t i = 0; i < 128; ++i) {
         xs.push_back({rng.uniform(), rng.uniform(), rng.uniform()});
         ys.push_back(rng.normal());
     }
     bayesopt::GaussianProcess gp(
         std::make_shared<bayesopt::ArdSquaredExponential>(3, 4.0), 1e-4);
-    for (auto _ : state) {
+    const double ns = time_ns([&] {
         gp.fit(xs, ys);
-        benchmark::DoNotOptimize(gp.observation_count());
-    }
-    state.SetComplexityN(state.range(0));
+    });
+    report("gp_fit", "n128d3", parallel_thread_count(), ns, 0.0);
 }
-BENCHMARK(BM_GpFit)->Arg(8)->Arg(32)->Arg(128)->Complexity();
 
-void BM_GpPosterior(benchmark::State& state) {
-    Rng rng(7);
-    std::vector<bayesopt::Point> xs;
-    std::vector<double> ys;
-    for (std::size_t i = 0; i < 64; ++i) {
-        xs.push_back({rng.uniform(), rng.uniform(), rng.uniform()});
-        ys.push_back(rng.normal());
-    }
-    bayesopt::GaussianProcess gp(
-        std::make_shared<bayesopt::ArdSquaredExponential>(3, 4.0), 1e-4);
-    gp.fit(xs, ys);
-    const bayesopt::Point query{0.5, 0.5, 0.5};
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(gp.posterior(query));
-    }
-}
-BENCHMARK(BM_GpPosterior);
-
-void BM_DriftInjection(benchmark::State& state) {
-    const auto n = static_cast<std::size_t>(state.range(0));
+void bench_drift_injection() {
     Rng rng(8);
-    std::vector<float> weights(n, 1.0F);
+    std::vector<float> weights(1 << 16, 1.0F);
     const fault::LogNormalDrift drift(0.5);
-    for (auto _ : state) {
+    volatile float sink = 0.0F;
+    const double ns = time_ns([&] {
         drift.apply(weights, rng);
-        benchmark::DoNotOptimize(weights.data());
-    }
-    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                            static_cast<int64_t>(n));
+        sink = sink + weights[0];
+    });
+    report("drift_injection", "65536", 1, ns, 0.0);
 }
-BENCHMARK(BM_DriftInjection)->Arg(1 << 10)->Arg(1 << 16);
+
+void bench_mc_evaluation() {
+    // Monte-Carlo drift evaluation: same seed at 1/2/4 threads must give
+    // identical reports, and wall time should scale down with real cores.
+    Rng rng(12);
+    auto blobs = data::make_blobs(512, 3, 4.0, 0.4, rng);
+    nn::Sequential model;
+    model.emplace<nn::Linear>(2, 64, rng);
+    model.emplace<nn::ReLU>();
+    model.emplace<nn::Linear>(64, 64, rng);
+    model.emplace<nn::ReLU>();
+    model.emplace<nn::Linear>(64, 3, rng);
+    model.set_training(false);
+    const fault::LogNormalDrift drift(0.4);
+    constexpr std::size_t kSamples = 16;
+
+    std::vector<double> reference;
+    for (const std::size_t threads : {1UL, 2UL, 4UL}) {
+        fault::RobustnessReport rep;
+        const double ns = time_ns(
+            [&] {
+                Rng inner(99);
+                rep = fault::evaluate_under_drift(model, blobs.images,
+                                                  blobs.labels, drift,
+                                                  kSamples, inner, threads);
+            },
+            2);
+        report("mc_drift_eval", "mlp64x2_T16", threads, ns, 0.0);
+        if (reference.empty()) {
+            reference = rep.samples;
+        } else if (rep.samples != reference) {
+            std::fprintf(stderr,
+                         "ERROR: thread-count-variant robustness report at "
+                         "%zu threads\n",
+                         threads);
+            std::exit(1);
+        }
+    }
+    std::printf(
+        "  -> reports bit-identical across 1/2/4 threads (pool width %zu)\n",
+        parallel_thread_count());
+}
+
+void write_json(const std::string& path) {
+    std::ofstream out(path);
+    out << "[\n";
+    for (std::size_t i = 0; i < g_records.size(); ++i) {
+        const Record& r = g_records[i];
+        out << "  {\"op\": \"" << r.op << "\", \"shape\": \"" << r.shape
+            << "\", \"threads\": " << r.threads << ", \"ns_per_iter\": "
+            << std::llround(r.ns_per_iter) << ", \"gflops\": " << r.gflops
+            << "}" << (i + 1 < g_records.size() ? "," : "") << "\n";
+    }
+    out << "]\n";
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    const std::string json_path =
+        argc > 1 ? argv[1] : std::string("BENCH_micro_ops.json");
+    std::printf("pool width: %zu threads (override with BAYESFT_NUM_THREADS)\n",
+                parallel_thread_count());
+    bench_gemm();
+    bench_conv();
+    bench_gp();
+    bench_drift_injection();
+    bench_mc_evaluation();
+    write_json(json_path);
+    std::cout << "wrote " << json_path << " (" << g_records.size()
+              << " records)\n";
+    return 0;
+}

@@ -50,9 +50,12 @@ int main() {
     for (double sigma : {0.0, 0.2, 0.4, 0.6, 0.8}) {
         const fault::LogNormalDrift drift(sigma);
         const auto report = fault::evaluate_metric_under_drift(
-            detector.network(), drift, 4, rng, [&](nn::Module&) {
-                return detector.evaluate_map(scenes.images, scenes.boxes);
-            });
+            detector.network(), drift, 4, rng,
+            [&](nn::Module& m) {
+                return detector.evaluate_map_with(m, scenes.images,
+                                                  scenes.boxes);
+            },
+            0);
         table.add_row({sigma, report.mean_accuracy * 100.0});
     }
     std::cout << table << '\n';

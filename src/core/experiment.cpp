@@ -24,16 +24,20 @@ ResultTable ExperimentResult::to_table(const std::string& title) const {
 namespace {
 
 /// Sigma sweep with a custom accuracy metric (standard or FTNA decode).
+/// `num_threads` follows the evaluate_metric_under_drift contract: pass 0
+/// (pool width) only for metrics that score the module they are handed.
 std::vector<double> sweep(
     nn::Module& net, const std::vector<double>& sigmas,
     std::size_t eval_samples, Rng& rng,
-    const std::function<double(nn::Module&)>& metric) {
+    const std::function<double(nn::Module&)>& metric,
+    std::size_t num_threads) {
     std::vector<double> curve;
     curve.reserve(sigmas.size());
     for (double sigma : sigmas) {
         const fault::LogNormalDrift drift(sigma);
         curve.push_back(fault::evaluate_metric_under_drift(
-                            net, drift, eval_samples, rng, metric)
+                            net, drift, eval_samples, rng, metric,
+                            num_threads)
                             .mean_accuracy);
     }
     return curve;
@@ -62,7 +66,7 @@ ExperimentResult run_classification_experiment(
         train_erm(model, train_set, config.train, rng);
         result.curves.push_back(
             {"ERM", sweep(*model.net, config.sigmas, config.eval_samples, rng,
-                          standard_metric)});
+                          standard_metric, 0)});
     }
     if (config.methods.ftna) {
         Rng rng(config.seed + 2);
@@ -76,7 +80,7 @@ ExperimentResult run_classification_experiment(
         };
         result.curves.push_back(
             {"FTNA", sweep(ftna.network(), config.sigmas, config.eval_samples,
-                           rng, ftna_metric)});
+                           rng, ftna_metric, 1)});
     }
     if (config.methods.reram_v) {
         Rng rng(config.seed + 3);
@@ -87,7 +91,7 @@ ExperimentResult run_classification_experiment(
         train_reram_v(model, train_set, reram, rng);
         result.curves.push_back(
             {"ReRAM-V", sweep(*model.net, config.sigmas, config.eval_samples,
-                              rng, standard_metric)});
+                              rng, standard_metric, 0)});
     }
     if (config.methods.awp) {
         Rng rng(config.seed + 4);
@@ -98,7 +102,7 @@ ExperimentResult run_classification_experiment(
         train_awp(model, train_set, awp, rng);
         result.curves.push_back(
             {"AWP", sweep(*model.net, config.sigmas, config.eval_samples, rng,
-                          standard_metric)});
+                          standard_metric, 0)});
     }
     if (config.methods.bayesft) {
         Rng rng(config.seed + 5);
@@ -113,7 +117,7 @@ ExperimentResult run_classification_experiment(
         result.bayesft_alpha = search.best_alpha;
         result.curves.push_back(
             {"BayesFT", sweep(*model.net, config.sigmas, config.eval_samples,
-                              rng, standard_metric)});
+                              rng, standard_metric, 0)});
     }
     return result;
 }

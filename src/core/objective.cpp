@@ -15,8 +15,11 @@ double drift_utility(nn::Module& model, const Tensor& images,
     double total = 0.0;
     for (double sigma : config.sigmas) {
         const fault::LogNormalDrift drift(sigma);
+        // The metric scores the module it is handed, so the Monte-Carlo loop
+        // can fan out over per-thread replicas (num_threads 0 = pool width).
         const auto report = fault::evaluate_metric_under_drift(
-            model, drift, config.mc_samples, rng, [&](nn::Module& m) {
+            model, drift, config.mc_samples, rng,
+            [&](nn::Module& m) {
                 switch (config.metric) {
                     case ObjectiveMetric::kAccuracy:
                         return nn::evaluate_accuracy(m, images, labels);
@@ -24,7 +27,8 @@ double drift_utility(nn::Module& model, const Tensor& images,
                         return -nn::evaluate_loss(m, images, labels);
                 }
                 throw std::logic_error("drift_utility: bad metric");
-            });
+            },
+            0);
         total += report.mean_accuracy;
     }
     return total / static_cast<double>(config.sigmas.size());

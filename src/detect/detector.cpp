@@ -138,10 +138,15 @@ double GridDetector::train(
 
 std::vector<std::vector<Detection>> GridDetector::detect(
     const Tensor& images) {
-    const bool was_training = net_->training();
-    net_->set_training(false);
-    const Tensor out = net_->forward(images);
-    net_->set_training(was_training);
+    return detect_with(*net_, images);
+}
+
+std::vector<std::vector<Detection>> GridDetector::detect_with(
+    nn::Module& net, const Tensor& images) const {
+    const bool was_training = net.training();
+    net.set_training(false);
+    const Tensor out = net.forward(images);
+    net.set_training(was_training);
 
     const std::size_t n = images.dim(0);
     const std::size_t g = config_.grid;
@@ -177,7 +182,13 @@ std::vector<std::vector<Detection>> GridDetector::detect(
 double GridDetector::evaluate_map(
     const Tensor& images,
     const std::vector<std::vector<Box>>& boxes_per_image) {
-    return average_precision(detect(images), boxes_per_image, 0.5);
+    return evaluate_map_with(*net_, images, boxes_per_image);
+}
+
+double GridDetector::evaluate_map_with(
+    nn::Module& net, const Tensor& images,
+    const std::vector<std::vector<Box>>& boxes_per_image) const {
+    return average_precision(detect_with(net, images), boxes_per_image, 0.5);
 }
 
 }  // namespace bayesft::detect

@@ -66,9 +66,21 @@ public:
     /// Runs the network and decodes scored, NMS-filtered detections.
     std::vector<std::vector<Detection>> detect(const Tensor& images);
 
+    /// Decodes detections from an arbitrary network with this detector's
+    /// configuration.  Lets drift-robustness metrics score the (replicated)
+    /// module they are handed instead of aliasing the owned network, which
+    /// makes them safe for parallel Monte-Carlo evaluation.
+    std::vector<std::vector<Detection>> detect_with(nn::Module& net,
+                                                    const Tensor& images) const;
+
     /// AP@0.5 on a labeled set (single class, so mAP == AP).
     double evaluate_map(const Tensor& images,
                         const std::vector<std::vector<Box>>& boxes_per_image);
+
+    /// AP@0.5 of an arbitrary network decoded with this configuration.
+    double evaluate_map_with(
+        nn::Module& net, const Tensor& images,
+        const std::vector<std::vector<Box>>& boxes_per_image) const;
 
 private:
     GridDetectorConfig config_;

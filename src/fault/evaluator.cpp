@@ -1,10 +1,13 @@
 #include "fault/evaluator.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 
 #include "nn/trainer.hpp"
+#include "utils/parallel.hpp"
 
 namespace bayesft::fault {
 
@@ -35,20 +38,52 @@ RobustnessReport summarize(std::vector<double> samples) {
 
 RobustnessReport evaluate_metric_under_drift(
     nn::Module& model, const DriftModel& drift, std::size_t num_samples,
-    Rng& rng, const std::function<double(nn::Module&)>& metric) {
+    Rng& rng, const std::function<double(nn::Module&)>& metric,
+    std::size_t num_threads) {
     if (num_samples == 0) {
         throw std::invalid_argument("evaluate_metric_under_drift: T == 0");
     }
     if (!metric) {
         throw std::invalid_argument("evaluate_metric_under_drift: no metric");
     }
-    std::vector<double> samples;
-    samples.reserve(num_samples);
-    for (std::size_t t = 0; t < num_samples; ++t) {
-        WeightSnapshot snapshot(model);
-        inject(model, drift, rng);
-        samples.push_back(metric(model));
-        // snapshot destructor restores the clean weights
+    // The parent generator advances exactly once regardless of thread count;
+    // sample t then draws from the pure fork `base.fork(t)`, which makes the
+    // per-sample vector invariant under any parallel schedule.
+    const Rng base = rng.split();
+    std::vector<double> samples(num_samples);
+
+    std::size_t threads =
+        num_threads == 0 ? parallel_thread_count() : num_threads;
+    threads = std::min(threads, num_samples);
+    std::unique_ptr<nn::Module> probe =
+        threads > 1 ? model.clone() : nullptr;
+
+    if (probe) {
+        // The capability-probe clone doubles as the first chunk's replica.
+        std::atomic<bool> probe_taken{false};
+        const std::size_t grain = (num_samples + threads - 1) / threads;
+        parallel_for(0, num_samples, grain,
+                     [&](std::size_t lo, std::size_t hi) {
+                         // One replica per chunk, perturbed and restored per
+                         // sample exactly like the serial loop.
+                         std::unique_ptr<nn::Module> replica =
+                             probe_taken.exchange(true) ? model.clone()
+                                                        : std::move(probe);
+                         for (std::size_t t = lo; t < hi; ++t) {
+                             Rng sample_rng = base.fork(t);
+                             WeightSnapshot snapshot(*replica);
+                             inject(*replica, drift, sample_rng);
+                             samples[t] = metric(*replica);
+                         }
+                     });
+    } else {
+        for (std::size_t t = 0; t < num_samples; ++t) {
+            Rng sample_rng = base.fork(t);
+            WeightSnapshot snapshot(model);
+            inject(model, drift, sample_rng);
+            samples[t] = metric(model);
+            // snapshot destructor restores the clean weights
+        }
     }
     return summarize(std::move(samples));
 }
@@ -56,11 +91,14 @@ RobustnessReport evaluate_metric_under_drift(
 RobustnessReport evaluate_under_drift(nn::Module& model, const Tensor& images,
                                       const std::vector<int>& labels,
                                       const DriftModel& drift,
-                                      std::size_t num_samples, Rng& rng) {
+                                      std::size_t num_samples, Rng& rng,
+                                      std::size_t num_threads) {
     return evaluate_metric_under_drift(
-        model, drift, num_samples, rng, [&](nn::Module& m) {
+        model, drift, num_samples, rng,
+        [&](nn::Module& m) {
             return nn::evaluate_accuracy(m, images, labels);
-        });
+        },
+        num_threads);
 }
 
 std::vector<double> sigma_sweep(nn::Module& model, const Tensor& images,

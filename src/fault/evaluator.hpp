@@ -27,16 +27,32 @@ struct RobustnessReport {
 /// `drift`, averaged over `num_samples` independent drift realizations.
 /// Weights are restored after every sample (strong exception safety via
 /// WeightSnapshot).
+///
+/// Monte-Carlo samples are distributed over the global thread pool using
+/// per-thread model replicas (Module::clone) and per-sample forked RNG
+/// streams, so the report — including the per-sample vector — is
+/// bit-identical for every `num_threads` value.  num_threads: 0 = pool
+/// width, 1 = serial in-place evaluation, N = at most N threads.
 RobustnessReport evaluate_under_drift(nn::Module& model, const Tensor& images,
                                       const std::vector<int>& labels,
                                       const DriftModel& drift,
-                                      std::size_t num_samples, Rng& rng);
+                                      std::size_t num_samples, Rng& rng,
+                                      std::size_t num_threads = 0);
 
 /// Generic variant: `metric` maps the perturbed model to any scalar score
-/// (e.g. mAP for detection).  Same perturb-score-restore discipline.
+/// (e.g. mAP for detection).  Same perturb-score-restore discipline and the
+/// same deterministic sample-parallel execution.
+///
+/// num_threads defaults to 1 (serial) because parallel execution evaluates
+/// `metric` concurrently on per-thread *replicas* of `model`: pass
+/// num_threads 0 (pool width) or > 1 only if `metric` scores the module it
+/// is handed (never a captured alias of `model`) and is safe to call
+/// concurrently.  Falls back to serial when the model has a layer without
+/// clone() support.
 RobustnessReport evaluate_metric_under_drift(
     nn::Module& model, const DriftModel& drift, std::size_t num_samples,
-    Rng& rng, const std::function<double(nn::Module&)>& metric);
+    Rng& rng, const std::function<double(nn::Module&)>& metric,
+    std::size_t num_threads = 1);
 
 /// Sweeps a sigma grid with LogNormalDrift, returning mean accuracy per
 /// sigma.  This is the x-axis of every accuracy figure in the paper.

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "tensor/gemm.hpp"
+
 namespace bayesft::linalg {
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
@@ -48,15 +50,8 @@ Matrix operator*(const Matrix& a, const Matrix& b) {
         throw std::invalid_argument("Matrix multiply: dimension mismatch");
     }
     Matrix c(a.rows(), b.cols());
-    for (std::size_t i = 0; i < a.rows(); ++i) {
-        for (std::size_t k = 0; k < a.cols(); ++k) {
-            const double av = a(i, k);
-            if (av == 0.0) continue;
-            for (std::size_t j = 0; j < b.cols(); ++j) {
-                c(i, j) += av * b(k, j);
-            }
-        }
-    }
+    detail::gemm_parallel(a.data(), a.cols(), b.data(), b.cols(), c.data(),
+                          c.cols(), a.rows(), a.cols(), b.cols());
     return c;
 }
 
@@ -110,11 +105,16 @@ Matrix cholesky(const Matrix& a) {
 }
 
 Matrix cholesky_with_jitter(Matrix a, double initial_jitter, int max_tries) {
+    // Each retry factors original + jitter*I, not the already-jittered
+    // matrix, so the effective regularization is exactly the current jitter
+    // level rather than a compounding sum of all previous levels.
+    const Matrix original = a;
     double jitter = initial_jitter;
     for (int attempt = 0; attempt < max_tries; ++attempt) {
         try {
             return cholesky(a);
         } catch (const std::runtime_error&) {
+            a = original;
             a.add_diagonal(jitter);
             jitter *= 10.0;
         }

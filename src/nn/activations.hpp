@@ -19,12 +19,21 @@ protected:
     /// f'(x), applied elementwise.
     virtual float derivative(float x) const = 0;
 
+    /// Helper for subclass clone(): carries the train/eval flag over.
+    std::unique_ptr<Module> copy_flags(std::unique_ptr<Activation> c) const {
+        c->training_ = training_;
+        return c;
+    }
+
 private:
     Tensor cached_input_;
 };
 
 class ReLU : public Activation {
 public:
+    std::unique_ptr<Module> clone() const override {
+        return copy_flags(std::make_unique<ReLU>());
+    }
     std::string name() const override { return "ReLU"; }
 
 protected:
@@ -35,6 +44,9 @@ protected:
 class LeakyReLU : public Activation {
 public:
     explicit LeakyReLU(float negative_slope = 0.01F);
+    std::unique_ptr<Module> clone() const override {
+        return copy_flags(std::make_unique<LeakyReLU>(slope_));
+    }
     std::string name() const override;
 
 protected:
@@ -48,6 +60,9 @@ private:
 class ELU : public Activation {
 public:
     explicit ELU(float alpha = 1.0F);
+    std::unique_ptr<Module> clone() const override {
+        return copy_flags(std::make_unique<ELU>(alpha_));
+    }
     std::string name() const override;
 
 protected:
@@ -61,6 +76,9 @@ private:
 /// Exact GELU: x * Phi(x) with Phi the standard normal CDF (erf-based).
 class GELU : public Activation {
 public:
+    std::unique_ptr<Module> clone() const override {
+        return copy_flags(std::make_unique<GELU>());
+    }
     std::string name() const override { return "GELU"; }
 
 protected:
@@ -70,6 +88,9 @@ protected:
 
 class Sigmoid : public Activation {
 public:
+    std::unique_ptr<Module> clone() const override {
+        return copy_flags(std::make_unique<Sigmoid>());
+    }
     std::string name() const override { return "Sigmoid"; }
 
 protected:
@@ -79,6 +100,9 @@ protected:
 
 class Tanh : public Activation {
 public:
+    std::unique_ptr<Module> clone() const override {
+        return copy_flags(std::make_unique<Tanh>());
+    }
     std::string name() const override { return "Tanh"; }
 
 protected:

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "nn/init.hpp"
+#include "utils/parallel.hpp"
 
 namespace bayesft::nn {
 
@@ -17,6 +18,20 @@ void require_nchw(const Tensor& t, const char* who) {
                                     ": expected [N, C, H, W], got " +
                                     shape_to_string(t.shape()));
     }
+}
+
+/// Samples per batched-GEMM group: bounds each scratch buffer near 32 MiB
+/// so deep layers on large eval batches don't balloon resident memory.
+std::size_t conv_group_size(std::size_t n, std::size_t patch,
+                            std::size_t positions) {
+    constexpr std::size_t kMaxScratchFloats = std::size_t{1} << 23;
+    const std::size_t per_sample = patch * positions;
+    if (per_sample == 0) return n;
+    return std::min(n, std::max<std::size_t>(1, kMaxScratchFloats / per_sample));
+}
+
+void ensure_size(std::vector<float>& buffer, std::size_t n) {
+    if (buffer.size() < n) buffer.resize(n);
 }
 
 }  // namespace
@@ -65,19 +80,40 @@ Tensor Conv2d::forward(const Tensor& input) {
     const std::size_t positions = oh * ow;
 
     Tensor output({n, out_channels_, oh, ow});
-    Tensor cols({patch, positions});
     const std::size_t image_stride = in_channels_ * g.in_h * g.in_w;
-    for (std::size_t s = 0; s < n; ++s) {
-        im2col(input.data() + s * image_stride, g, cols.data());
-        Tensor result = matmul(weight_.value, cols);  // [OC, positions]
-        float* dst = output.data() + s * out_channels_ * positions;
-        const float* src = result.data();
-        for (std::size_t oc = 0; oc < out_channels_; ++oc) {
-            const float b = bias_.value[oc];
-            for (std::size_t p = 0; p < positions; ++p) {
-                dst[oc * positions + p] = src[oc * positions + p] + b;
+    const std::size_t group = conv_group_size(n, patch, positions);
+    ensure_size(cols_scratch_, patch * group * positions);
+    ensure_size(gemm_scratch_, out_channels_ * group * positions);
+    for (std::size_t g0 = 0; g0 < n; g0 += group) {
+        const std::size_t gs = std::min(group, n - g0);
+        const std::size_t gp = gs * positions;
+        // Unfold the whole group into one [patch, gs*positions] matrix;
+        // sample s owns the column slice starting at s*positions.
+        parallel_for(0, gs, 1, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t s = lo; s < hi; ++s) {
+                im2col(input.data() + (g0 + s) * image_stride, g,
+                       cols_scratch_.data() + s * positions, gp);
             }
-        }
+        });
+        // One large GEMM for the group: [OC, patch] @ [patch, gs*positions].
+        std::fill_n(gemm_scratch_.data(), out_channels_ * gp, 0.0F);
+        gemm_accumulate(weight_.value.data(), cols_scratch_.data(),
+                        gemm_scratch_.data(), out_channels_, patch, gp);
+        // Scatter back to [N, OC, positions] layout, adding the bias.
+        parallel_for(0, gs, 1, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t s = lo; s < hi; ++s) {
+                for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+                    float* dst = output.data() +
+                                 ((g0 + s) * out_channels_ + oc) * positions;
+                    const float* src =
+                        gemm_scratch_.data() + oc * gp + s * positions;
+                    const float b = bias_.value[oc];
+                    for (std::size_t p = 0; p < positions; ++p) {
+                        dst[p] = src[p] + b;
+                    }
+                }
+            }
+        });
     }
     return output;
 }
@@ -96,28 +132,60 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
     }
 
     Tensor grad_input(cached_input_.shape());
-    Tensor cols({patch, positions});
     const std::size_t image_stride = in_channels_ * g.in_h * g.in_w;
-    for (std::size_t s = 0; s < n; ++s) {
+    const std::size_t group = conv_group_size(n, patch, positions);
+    ensure_size(cols_scratch_, patch * group * positions);
+    ensure_size(grad_scratch_, out_channels_ * group * positions);
+    ensure_size(colsT_scratch_, group * positions * patch);
+    // W^T once per call: the dcols GEMM streams contiguous rows of it.
+    Tensor wt({patch, out_channels_});
+    transpose_into(weight_.value.data(), out_channels_, patch, wt.data());
+    for (std::size_t g0 = 0; g0 < n; g0 += group) {
+        const std::size_t gs = std::min(group, n - g0);
+        const std::size_t gp = gs * positions;
         // Recompute the unfolded input (cheaper than caching N copies).
-        im2col(cached_input_.data() + s * image_stride, g, cols.data());
-        Tensor grad_slice(
-            {out_channels_, positions},
-            std::vector<float>(
-                grad_output.data() + s * out_channels_ * positions,
-                grad_output.data() + (s + 1) * out_channels_ * positions));
-        // dW += G @ cols^T
-        weight_.grad.add_(matmul_nt(grad_slice, cols));
-        // db += row sums of G
+        parallel_for(0, gs, 1, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t s = lo; s < hi; ++s) {
+                im2col(cached_input_.data() + (g0 + s) * image_stride, g,
+                       cols_scratch_.data() + s * positions, gp);
+            }
+        });
+        // Gather grad_output [N, OC, positions] into one [OC, gs*positions]
+        // slab matching the cols layout.
+        parallel_for(0, gs, 1, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t s = lo; s < hi; ++s) {
+                for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+                    const float* src =
+                        grad_output.data() +
+                        ((g0 + s) * out_channels_ + oc) * positions;
+                    std::copy_n(src, positions,
+                                grad_scratch_.data() + oc * gp +
+                                    s * positions);
+                }
+            }
+        });
+        // dW += G @ cols^T as one batched GEMM over the group.
+        transpose_into(cols_scratch_.data(), patch, gp, colsT_scratch_.data());
+        gemm_accumulate(grad_scratch_.data(), colsT_scratch_.data(),
+                        weight_.grad.data(), out_channels_, gp, patch);
+        // db += row sums of G.
         for (std::size_t oc = 0; oc < out_channels_; ++oc) {
-            const float* row = grad_slice.data() + oc * positions;
+            const float* row = grad_scratch_.data() + oc * gp;
             double acc = 0.0;
-            for (std::size_t p = 0; p < positions; ++p) acc += row[p];
+            for (std::size_t p = 0; p < gp; ++p) acc += row[p];
             bias_.grad[oc] += static_cast<float>(acc);
         }
-        // dcols = W^T @ G, folded back into the input gradient.
-        Tensor grad_cols = matmul_tn(weight_.value, grad_slice);
-        col2im(grad_cols.data(), g, grad_input.data() + s * image_stride);
+        // dcols = W^T @ G, folded back into the input gradient.  The cols
+        // buffer is dead after the dW product, so reuse it for dcols.
+        std::fill_n(cols_scratch_.data(), patch * gp, 0.0F);
+        gemm_accumulate(wt.data(), grad_scratch_.data(), cols_scratch_.data(),
+                        patch, out_channels_, gp);
+        parallel_for(0, gs, 1, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t s = lo; s < hi; ++s) {
+                col2im(cols_scratch_.data() + s * positions, g,
+                       grad_input.data() + (g0 + s) * image_stride, gp);
+            }
+        });
     }
     return grad_input;
 }
@@ -125,6 +193,21 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
 void Conv2d::collect_parameters(std::vector<Parameter*>& out) {
     out.push_back(&weight_);
     out.push_back(&bias_);
+}
+
+Conv2d::Conv2d(const Conv2d& other, CloneTag)
+    : in_channels_(other.in_channels_),
+      out_channels_(other.out_channels_),
+      kernel_(other.kernel_),
+      stride_(other.stride_),
+      pad_(other.pad_),
+      weight_(other.weight_),
+      bias_(other.bias_) {
+    training_ = other.training_;
+}
+
+std::unique_ptr<Module> Conv2d::clone() const {
+    return std::unique_ptr<Module>(new Conv2d(*this, CloneTag{}));
 }
 
 std::string Conv2d::name() const {
@@ -189,6 +272,12 @@ Tensor MaxPool2d::backward(const Tensor& grad_output) {
         grad_input[argmax_[i]] += grad_output[i];
     }
     return grad_input;
+}
+
+std::unique_ptr<Module> MaxPool2d::clone() const {
+    auto copy = std::make_unique<MaxPool2d>(kernel_, stride_);
+    copy->training_ = training_;
+    return copy;
 }
 
 std::string MaxPool2d::name() const {
@@ -299,6 +388,12 @@ Tensor AvgPool2d::backward(const Tensor& grad_output) {
         }
     }
     return grad_input;
+}
+
+std::unique_ptr<Module> AvgPool2d::clone() const {
+    auto copy = std::make_unique<AvgPool2d>(kernel_, stride_);
+    copy->training_ = training_;
+    return copy;
 }
 
 std::string AvgPool2d::name() const {

@@ -17,6 +17,7 @@ public:
     Tensor forward(const Tensor& input) override;
     Tensor backward(const Tensor& grad_output) override;
     void collect_parameters(std::vector<Parameter*>& out) override;
+    std::unique_ptr<Module> clone() const override;
     std::string name() const override;
 
     Parameter& weight() { return weight_; }
@@ -24,6 +25,11 @@ public:
     std::size_t out_channels() const { return out_channels_; }
 
 private:
+    /// Clone path: copies config and parameters without running the
+    /// (discarded) random weight initialization.
+    struct CloneTag {};
+    Conv2d(const Conv2d& other, CloneTag);
+
     ConvGeometry geometry_for(const Tensor& input) const;
 
     std::size_t in_channels_;
@@ -34,6 +40,12 @@ private:
     Parameter weight_;
     Parameter bias_;
     Tensor cached_input_;
+    // Persistent batched-im2col/GEMM scratch, grown on demand and reused
+    // across calls so the hot path allocates nothing per batch.
+    std::vector<float> cols_scratch_;    // [patch, group*positions]
+    std::vector<float> gemm_scratch_;    // [out_channels, group*positions]
+    std::vector<float> grad_scratch_;    // backward: grad slab [OC, group*P]
+    std::vector<float> colsT_scratch_;   // backward: cols^T [group*P, patch]
 };
 
 /// Max pooling with square window; stores argmax indices for backward.
@@ -43,6 +55,7 @@ public:
 
     Tensor forward(const Tensor& input) override;
     Tensor backward(const Tensor& grad_output) override;
+    std::unique_ptr<Module> clone() const override;
     std::string name() const override;
 
 private:
@@ -57,6 +70,9 @@ class GlobalAvgPool : public Module {
 public:
     Tensor forward(const Tensor& input) override;
     Tensor backward(const Tensor& grad_output) override;
+    std::unique_ptr<Module> clone() const override {
+        return std::make_unique<GlobalAvgPool>();
+    }
     std::string name() const override { return "GlobalAvgPool"; }
 
 private:
@@ -70,6 +86,7 @@ public:
 
     Tensor forward(const Tensor& input) override;
     Tensor backward(const Tensor& grad_output) override;
+    std::unique_ptr<Module> clone() const override;
     std::string name() const override;
 
 private:

@@ -62,6 +62,13 @@ Tensor Dropout::backward(const Tensor& grad_output) {
     return grad;
 }
 
+std::unique_ptr<Module> Dropout::clone() const {
+    auto copy = std::make_unique<Dropout>(rate_);
+    copy->rng_ = rng_;  // replicas draw the same mask stream
+    copy->training_ = training_;
+    return copy;
+}
+
 std::string Dropout::name() const {
     std::ostringstream os;
     os << "Dropout(" << rate_ << ")";
@@ -117,6 +124,13 @@ Tensor AlphaDropout::backward(const Tensor& grad_output) {
     grad.mul_(mask_);
     grad.mul_scalar_(scale_a_);
     return grad;
+}
+
+std::unique_ptr<Module> AlphaDropout::clone() const {
+    auto copy = std::make_unique<AlphaDropout>(rate_);
+    copy->rng_ = rng_;
+    copy->training_ = training_;
+    return copy;
 }
 
 std::string AlphaDropout::name() const {

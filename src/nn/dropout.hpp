@@ -20,6 +20,7 @@ public:
 
     Tensor forward(const Tensor& input) override;
     Tensor backward(const Tensor& grad_output) override;
+    std::unique_ptr<Module> clone() const override;
     std::string name() const override;
 
     double rate() const { return rate_; }
@@ -42,6 +43,7 @@ public:
 
     Tensor forward(const Tensor& input) override;
     Tensor backward(const Tensor& grad_output) override;
+    std::unique_ptr<Module> clone() const override;
     std::string name() const override;
 
     double rate() const { return rate_; }

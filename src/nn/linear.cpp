@@ -60,6 +60,18 @@ void Linear::collect_parameters(std::vector<Parameter*>& out) {
     out.push_back(&bias_);
 }
 
+Linear::Linear(const Linear& other, CloneTag)
+    : in_features_(other.in_features_),
+      out_features_(other.out_features_),
+      weight_(other.weight_),
+      bias_(other.bias_) {
+    training_ = other.training_;
+}
+
+std::unique_ptr<Module> Linear::clone() const {
+    return std::unique_ptr<Module>(new Linear(*this, CloneTag{}));
+}
+
 std::string Linear::name() const {
     std::ostringstream os;
     os << "Linear(" << in_features_ << "->" << out_features_ << ")";

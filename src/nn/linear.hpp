@@ -15,6 +15,7 @@ public:
     Tensor forward(const Tensor& input) override;
     Tensor backward(const Tensor& grad_output) override;
     void collect_parameters(std::vector<Parameter*>& out) override;
+    std::unique_ptr<Module> clone() const override;
     std::string name() const override;
 
     std::size_t in_features() const { return in_features_; }
@@ -23,6 +24,11 @@ public:
     Parameter& bias() { return bias_; }
 
 private:
+    /// Clone path: copies parameters without running the (discarded) random
+    /// weight initialization.
+    struct CloneTag {};
+    Linear(const Linear& other, CloneTag);
+
     std::size_t in_features_;
     std::size_t out_features_;
     Parameter weight_;

@@ -54,6 +54,17 @@ void Sequential::set_training(bool training) {
     for (auto& child : children_) child->set_training(training);
 }
 
+std::unique_ptr<Module> Sequential::clone() const {
+    auto copy = std::make_unique<Sequential>();
+    for (const auto& child : children_) {
+        std::unique_ptr<Module> child_copy = child->clone();
+        if (!child_copy) return nullptr;  // unreplicable child poisons the copy
+        copy->add(std::move(child_copy));
+    }
+    copy->training_ = training_;
+    return copy;
+}
+
 std::string Sequential::name() const {
     std::ostringstream os;
     os << "Sequential(" << children_.size() << " layers)";

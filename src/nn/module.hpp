@@ -49,6 +49,14 @@ public:
     /// Propagates gradients; accumulates parameter grads.
     virtual Tensor backward(const Tensor& grad_output) = 0;
 
+    /// Deep structural copy carrying the current parameter values, buffers
+    /// and train/eval flag (but no cached forward state).  Used to build
+    /// per-thread model replicas for parallel Monte-Carlo evaluation.
+    /// Returns nullptr for layers that do not support replication (the
+    /// default); containers propagate the nullptr so callers can fall back
+    /// to serial evaluation.
+    virtual std::unique_ptr<Module> clone() const { return nullptr; }
+
     /// Appends raw (non-owning) pointers to this module's parameters.
     virtual void collect_parameters(std::vector<Parameter*>& out);
 
@@ -104,6 +112,7 @@ public:
     void collect_parameters(std::vector<Parameter*>& out) override;
     void collect_buffers(std::vector<Tensor*>& out) override;
     void set_training(bool training) override;
+    std::unique_ptr<Module> clone() const override;
     std::string name() const override;
 
     std::size_t child_count() const { return children_.size(); }
@@ -118,6 +127,9 @@ class Flatten : public Module {
 public:
     Tensor forward(const Tensor& input) override;
     Tensor backward(const Tensor& grad_output) override;
+    std::unique_ptr<Module> clone() const override {
+        return std::make_unique<Flatten>();
+    }
     std::string name() const override { return "Flatten"; }
 
 private:
@@ -129,6 +141,9 @@ class Identity : public Module {
 public:
     Tensor forward(const Tensor& input) override { return input; }
     Tensor backward(const Tensor& grad_output) override { return grad_output; }
+    std::unique_ptr<Module> clone() const override {
+        return std::make_unique<Identity>();
+    }
     std::string name() const override { return "Identity"; }
 };
 

@@ -136,6 +136,12 @@ void GroupNorm::collect_parameters(std::vector<Parameter*>& out) {
     out.push_back(&beta_);
 }
 
+std::unique_ptr<Module> GroupNorm::clone() const {
+    auto copy = std::make_unique<GroupNorm>(num_groups_, channels_, eps_);
+    copy_norm_state_into(*copy);
+    return copy;
+}
+
 std::string GroupNorm::name() const {
     std::ostringstream os;
     os << "GroupNorm(g" << num_groups_ << ", c" << channels_ << ")";
@@ -287,6 +293,16 @@ void BatchNorm::collect_parameters(std::vector<Parameter*>& out) {
 void BatchNorm::collect_buffers(std::vector<Tensor*>& out) {
     out.push_back(&running_mean_);
     out.push_back(&running_var_);
+}
+
+std::unique_ptr<Module> BatchNorm::clone() const {
+    auto copy = std::make_unique<BatchNorm>(channels_, eps_, momentum_);
+    copy->gamma_.value = gamma_.value;
+    copy->beta_.value = beta_.value;
+    copy->running_mean_ = running_mean_;
+    copy->running_var_ = running_var_;
+    copy->training_ = training_;
+    return copy;
 }
 
 std::string BatchNorm::name() const {

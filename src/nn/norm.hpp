@@ -25,10 +25,21 @@ public:
     Tensor forward(const Tensor& input) override;
     Tensor backward(const Tensor& grad_output) override;
     void collect_parameters(std::vector<Parameter*>& out) override;
+    std::unique_ptr<Module> clone() const override;
     std::string name() const override;
 
     Parameter& gamma() { return gamma_; }
     Parameter& beta() { return beta_; }
+
+protected:
+    std::size_t channels() const { return channels_; }
+    float eps() const { return eps_; }
+    /// Copies affine parameters and the train/eval flag into a fresh norm.
+    void copy_norm_state_into(GroupNorm& dst) const {
+        dst.gamma_.value = gamma_.value;
+        dst.beta_.value = beta_.value;
+        dst.training_ = training_;
+    }
 
 private:
     std::size_t num_groups_;
@@ -47,6 +58,11 @@ class LayerNorm : public GroupNorm {
 public:
     explicit LayerNorm(std::size_t channels, float eps = 1e-5F)
         : GroupNorm(1, channels, eps) {}
+    std::unique_ptr<Module> clone() const override {
+        auto copy = std::make_unique<LayerNorm>(channels(), eps());
+        copy_norm_state_into(*copy);
+        return copy;
+    }
     std::string name() const override { return "LayerNorm"; }
 };
 
@@ -55,6 +71,11 @@ class InstanceNorm : public GroupNorm {
 public:
     explicit InstanceNorm(std::size_t channels, float eps = 1e-5F)
         : GroupNorm(channels, channels, eps) {}
+    std::unique_ptr<Module> clone() const override {
+        auto copy = std::make_unique<InstanceNorm>(channels(), eps());
+        copy_norm_state_into(*copy);
+        return copy;
+    }
     std::string name() const override { return "InstanceNorm"; }
 };
 
@@ -68,6 +89,7 @@ public:
     Tensor backward(const Tensor& grad_output) override;
     void collect_parameters(std::vector<Parameter*>& out) override;
     void collect_buffers(std::vector<Tensor*>& out) override;
+    std::unique_ptr<Module> clone() const override;
     std::string name() const override;
 
     Parameter& gamma() { return gamma_; }

@@ -46,6 +46,16 @@ void Residual::set_training(bool training) {
     shortcut_->set_training(training);
 }
 
+std::unique_ptr<Module> Residual::clone() const {
+    std::unique_ptr<Module> main_copy = main_->clone();
+    std::unique_ptr<Module> shortcut_copy = shortcut_->clone();
+    if (!main_copy || !shortcut_copy) return nullptr;
+    auto copy = std::make_unique<Residual>(std::move(main_copy),
+                                           std::move(shortcut_copy));
+    copy->training_ = training_;
+    return copy;
+}
+
 std::string Residual::name() const { return "Residual"; }
 
 }  // namespace bayesft::nn

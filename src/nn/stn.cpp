@@ -203,4 +203,12 @@ void SpatialTransformer::set_training(bool training) {
     loc_net_->set_training(training);
 }
 
+std::unique_ptr<Module> SpatialTransformer::clone() const {
+    std::unique_ptr<Module> loc_copy = loc_net_->clone();
+    if (!loc_copy) return nullptr;
+    auto copy = std::make_unique<SpatialTransformer>(std::move(loc_copy));
+    copy->training_ = training_;
+    return copy;
+}
+
 }  // namespace bayesft::nn

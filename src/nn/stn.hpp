@@ -26,6 +26,7 @@ public:
     void collect_parameters(std::vector<Parameter*>& out) override;
     void collect_buffers(std::vector<Tensor*>& out) override;
     void set_training(bool training) override;
+    std::unique_ptr<Module> clone() const override;
     std::string name() const override { return "SpatialTransformer"; }
 
     Module& localization_net() { return *loc_net_; }

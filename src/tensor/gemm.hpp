@@ -1,0 +1,175 @@
+#pragma once
+// Register-blocked, cache-tiled, thread-parallel GEMM kernel shared by the
+// float tensor ops (tensor/ops.cpp) and the double GP linear algebra
+// (linalg/matrix.cpp).
+//
+// Layout: all operands are dense row-major with explicit leading dimensions.
+// The kernel computes C += A @ B.  The micro-kernel keeps a kGemmMr x kGemmNr
+// accumulator tile in registers (the compiler fully unrolls the fixed-bound
+// loops and maps the tile to vector registers), streams a k-panel of B
+// through it, and writes C back once per panel — O(k / kGemmKc) C traffic
+// instead of the O(k) of a naive saxpy formulation.
+//
+// Tile geometry is chosen per ISA so the accumulator tile fits the register
+// file: 8x32 floats is 16 zmm on AVX-512, 6x16 floats is 12 ymm on AVX2,
+// 4x16 floats is 16 xmm on baseline x86-64 / other targets.  (Geometry only
+// affects speed; results are identical.)
+//
+// Determinism: for every element C[i][j] the k-summation order is fixed
+// (ascending within a panel, panels ascending) no matter how the i/j ranges
+// are split across threads, and the parallel driver below splits only on
+// kGemmMr/kGemmNr-aligned boundaries so each element always takes the same
+// code path.  Results are therefore bit-identical for any thread count.
+
+#include <algorithm>
+#include <cstddef>
+
+#include "utils/parallel.hpp"
+
+namespace bayesft::detail {
+
+#if defined(__AVX512F__)
+inline constexpr std::size_t kGemmMr = 8;
+template <typename T>
+inline constexpr std::size_t kGemmNr = 128 / sizeof(T);
+#elif defined(__AVX2__)
+inline constexpr std::size_t kGemmMr = 6;
+template <typename T>
+inline constexpr std::size_t kGemmNr = 64 / sizeof(T);
+#else
+inline constexpr std::size_t kGemmMr = 4;
+template <typename T>
+inline constexpr std::size_t kGemmNr = 64 / sizeof(T);
+#endif
+
+inline constexpr std::size_t kGemmKc = 256;  ///< k-panel depth
+
+/// C[0:m, 0:n] += A[0:m, 0:k] @ B[0:k, 0:n], single-threaded.
+template <typename T>
+void gemm_block(const T* a, std::size_t lda, const T* b, std::size_t ldb,
+                T* c, std::size_t ldc, std::size_t m, std::size_t k,
+                std::size_t n) {
+    constexpr std::size_t kMr = kGemmMr;
+    constexpr std::size_t kNr = kGemmNr<T>;
+    for (std::size_t k0 = 0; k0 < k; k0 += kGemmKc) {
+        const std::size_t k1 = std::min(k, k0 + kGemmKc);
+        std::size_t i = 0;
+        for (; i + kMr <= m; i += kMr) {
+            std::size_t j = 0;
+            for (; j + kNr <= n; j += kNr) {
+                // Full kMr x kNr register tile.
+                T acc[kMr][kNr];
+                for (std::size_t r = 0; r < kMr; ++r) {
+                    for (std::size_t t = 0; t < kNr; ++t) {
+                        acc[r][t] = c[(i + r) * ldc + j + t];
+                    }
+                }
+                for (std::size_t kk = k0; kk < k1; ++kk) {
+                    const T* brow = b + kk * ldb + j;
+                    for (std::size_t r = 0; r < kMr; ++r) {
+                        const T av = a[(i + r) * lda + kk];
+                        for (std::size_t t = 0; t < kNr; ++t) {
+                            acc[r][t] += av * brow[t];
+                        }
+                    }
+                }
+                for (std::size_t r = 0; r < kMr; ++r) {
+                    for (std::size_t t = 0; t < kNr; ++t) {
+                        c[(i + r) * ldc + j + t] = acc[r][t];
+                    }
+                }
+            }
+            if (j < n) {
+                // Column remainder (< kNr wide), same k-summation order.
+                const std::size_t w = n - j;
+                T acc[kMr][kNr];
+                for (std::size_t r = 0; r < kMr; ++r) {
+                    for (std::size_t t = 0; t < w; ++t) {
+                        acc[r][t] = c[(i + r) * ldc + j + t];
+                    }
+                }
+                for (std::size_t kk = k0; kk < k1; ++kk) {
+                    const T* brow = b + kk * ldb + j;
+                    for (std::size_t r = 0; r < kMr; ++r) {
+                        const T av = a[(i + r) * lda + kk];
+                        for (std::size_t t = 0; t < w; ++t) {
+                            acc[r][t] += av * brow[t];
+                        }
+                    }
+                }
+                for (std::size_t r = 0; r < kMr; ++r) {
+                    for (std::size_t t = 0; t < w; ++t) {
+                        c[(i + r) * ldc + j + t] = acc[r][t];
+                    }
+                }
+            }
+        }
+        for (; i < m; ++i) {
+            // Row remainder (< kMr tall): one register row at a time.
+            const T* arow = a + i * lda;
+            T* crow = c + i * ldc;
+            std::size_t j = 0;
+            for (; j + kNr <= n; j += kNr) {
+                T acc[kNr];
+                for (std::size_t t = 0; t < kNr; ++t) acc[t] = crow[j + t];
+                for (std::size_t kk = k0; kk < k1; ++kk) {
+                    const T av = arow[kk];
+                    const T* brow = b + kk * ldb + j;
+                    for (std::size_t t = 0; t < kNr; ++t) {
+                        acc[t] += av * brow[t];
+                    }
+                }
+                for (std::size_t t = 0; t < kNr; ++t) crow[j + t] = acc[t];
+            }
+            if (j < n) {
+                const std::size_t w = n - j;
+                T acc[kNr] = {};
+                for (std::size_t t = 0; t < w; ++t) acc[t] = crow[j + t];
+                for (std::size_t kk = k0; kk < k1; ++kk) {
+                    const T av = arow[kk];
+                    const T* brow = b + kk * ldb + j;
+                    for (std::size_t t = 0; t < w; ++t) acc[t] += av * brow[t];
+                }
+                for (std::size_t t = 0; t < w; ++t) crow[j + t] = acc[t];
+            }
+        }
+    }
+}
+
+/// Rounds `value` up to a multiple of `unit` (unit > 0).
+inline std::size_t round_up(std::size_t value, std::size_t unit) {
+    return ((value + unit - 1) / unit) * unit;
+}
+
+/// C[0:m, 0:n] += A[0:m, 0:k] @ B[0:k, 0:n] using the global thread pool.
+/// Splits C into row panels (or column panels when the matrix is wide and
+/// short, as in the batched-conv GEMM) on tile-aligned boundaries.
+template <typename T>
+void gemm_parallel(const T* a, std::size_t lda, const T* b, std::size_t ldb,
+                   T* c, std::size_t ldc, std::size_t m, std::size_t k,
+                   std::size_t n) {
+    if (m == 0 || n == 0 || k == 0) return;
+    const std::size_t threads = parallel_thread_count();
+    // Below ~64^3 fused multiply-adds the dispatch overhead dominates.
+    if (threads == 1 || m * n * k < (std::size_t{1} << 18)) {
+        gemm_block(a, lda, b, ldb, c, ldc, m, k, n);
+        return;
+    }
+    if (m >= n) {
+        const std::size_t grain = round_up(
+            std::max<std::size_t>(kGemmMr, m / (threads * 4)), kGemmMr);
+        parallel_for(0, m, grain, [&](std::size_t lo, std::size_t hi) {
+            gemm_block(a + lo * lda, lda, b, ldb, c + lo * ldc, ldc, hi - lo,
+                       k, n);
+        });
+    } else {
+        constexpr std::size_t kNr = kGemmNr<T>;
+        const std::size_t grain =
+            round_up(std::max<std::size_t>(kNr, n / (threads * 4)), kNr);
+        parallel_for(0, n, grain, [&](std::size_t lo, std::size_t hi) {
+            gemm_block(a, lda, b + lo, ldb, c + lo, ldc, m, k, hi - lo);
+        });
+    }
+}
+
+}  // namespace bayesft::detail

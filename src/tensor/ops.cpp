@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "tensor/gemm.hpp"
+
 namespace bayesft {
 
 namespace {
@@ -17,6 +19,27 @@ void require_rank2(const Tensor& t, const char* who) {
 
 }  // namespace
 
+void transpose_into(const float* src, std::size_t m, std::size_t n,
+                    float* dst) {
+    constexpr std::size_t kTile = 32;
+    for (std::size_t i0 = 0; i0 < m; i0 += kTile) {
+        const std::size_t i1 = std::min(m, i0 + kTile);
+        for (std::size_t j0 = 0; j0 < n; j0 += kTile) {
+            const std::size_t j1 = std::min(n, j0 + kTile);
+            for (std::size_t i = i0; i < i1; ++i) {
+                for (std::size_t j = j0; j < j1; ++j) {
+                    dst[j * m + i] = src[i * n + j];
+                }
+            }
+        }
+    }
+}
+
+void gemm_accumulate(const float* a, const float* b, float* c, std::size_t m,
+                     std::size_t k, std::size_t n) {
+    detail::gemm_parallel(a, k, b, n, c, n, m, k, n);
+}
+
 Tensor matmul(const Tensor& a, const Tensor& b) {
     require_rank2(a, "matmul(a)");
     require_rank2(b, "matmul(b)");
@@ -27,19 +50,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
                                     shape_to_string(b.shape()));
     }
     Tensor c({m, n});
-    const float* pa = a.data();
-    const float* pb = b.data();
-    float* pc = c.data();
-    // i-k-j order: the inner loop streams both B's row and C's row.
-    for (std::size_t i = 0; i < m; ++i) {
-        float* crow = pc + i * n;
-        for (std::size_t kk = 0; kk < k; ++kk) {
-            const float aval = pa[i * k + kk];
-            if (aval == 0.0F) continue;
-            const float* brow = pb + kk * n;
-            for (std::size_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
-        }
-    }
+    gemm_accumulate(a.data(), b.data(), c.data(), m, k, n);
     return c;
 }
 
@@ -52,20 +63,12 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
                                     shape_to_string(a.shape()) + " x " +
                                     shape_to_string(b.shape()));
     }
+    // Materializing A^T costs O(km) against the O(kmn) product and lets the
+    // blocked kernel stream contiguous rows.
+    Tensor at({m, k});
+    transpose_into(a.data(), k, m, at.data());
     Tensor c({m, n});
-    const float* pa = a.data();
-    const float* pb = b.data();
-    float* pc = c.data();
-    for (std::size_t kk = 0; kk < k; ++kk) {
-        const float* arow = pa + kk * m;
-        const float* brow = pb + kk * n;
-        for (std::size_t i = 0; i < m; ++i) {
-            const float aval = arow[i];
-            if (aval == 0.0F) continue;
-            float* crow = pc + i * n;
-            for (std::size_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
-        }
-    }
+    gemm_accumulate(at.data(), b.data(), c.data(), m, k, n);
     return c;
 }
 
@@ -78,20 +81,10 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
                                     shape_to_string(a.shape()) + " x " +
                                     shape_to_string(b.shape()));
     }
+    Tensor bt({k, n});
+    transpose_into(b.data(), n, k, bt.data());
     Tensor c({m, n});
-    const float* pa = a.data();
-    const float* pb = b.data();
-    float* pc = c.data();
-    for (std::size_t i = 0; i < m; ++i) {
-        const float* arow = pa + i * k;
-        float* crow = pc + i * n;
-        for (std::size_t j = 0; j < n; ++j) {
-            const float* brow = pb + j * k;
-            double acc = 0.0;
-            for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-            crow[j] = static_cast<float>(acc);
-        }
-    }
+    gemm_accumulate(a.data(), bt.data(), c.data(), m, k, n);
     return c;
 }
 
@@ -99,9 +92,7 @@ Tensor transpose(const Tensor& a) {
     require_rank2(a, "transpose");
     const std::size_t m = a.dim(0), n = a.dim(1);
     Tensor t({n, m});
-    for (std::size_t i = 0; i < m; ++i) {
-        for (std::size_t j = 0; j < n; ++j) t(j, i) = a(i, j);
-    }
+    transpose_into(a.data(), m, n, t.data());
     return t;
 }
 
@@ -116,8 +107,13 @@ void ConvGeometry::validate() const {
 }
 
 void im2col(const float* image, const ConvGeometry& g, float* out) {
+    im2col(image, g, out, g.out_h() * g.out_w());
+}
+
+void im2col(const float* image, const ConvGeometry& g, float* out,
+            std::size_t out_stride) {
     const std::size_t oh = g.out_h(), ow = g.out_w();
-    const std::size_t cols = oh * ow;
+    const std::size_t cols = out_stride;
     std::size_t row = 0;
     for (std::size_t c = 0; c < g.channels; ++c) {
         const float* plane = image + c * g.in_h * g.in_w;
@@ -150,8 +146,13 @@ void im2col(const float* image, const ConvGeometry& g, float* out) {
 }
 
 void col2im(const float* cols_mat, const ConvGeometry& g, float* image_grad) {
+    col2im(cols_mat, g, image_grad, g.out_h() * g.out_w());
+}
+
+void col2im(const float* cols_mat, const ConvGeometry& g, float* image_grad,
+            std::size_t cols_stride) {
     const std::size_t oh = g.out_h(), ow = g.out_w();
-    const std::size_t cols = oh * ow;
+    const std::size_t cols = cols_stride;
     std::size_t row = 0;
     for (std::size_t c = 0; c < g.channels; ++c) {
         float* plane = image_grad + c * g.in_h * g.in_w;

@@ -11,7 +11,16 @@
 namespace bayesft {
 
 /// C = A @ B for A:[m,k], B:[k,n] -> C:[m,n].
+/// Register-blocked, cache-tiled, and parallelized over tile-aligned panels
+/// of C via the global thread pool; bit-identical for any thread count.
 Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// C += A @ B on raw row-major buffers (A:[m,k], B:[k,n], C:[m,n], leading
+/// dimensions equal to the logical widths).  The blocked kernel behind
+/// matmul and the batched convolution path, exposed so layers can reuse
+/// persistent scratch buffers instead of allocating per call.
+void gemm_accumulate(const float* a, const float* b, float* c, std::size_t m,
+                     std::size_t k, std::size_t n);
 
 /// C = A^T @ B for A:[k,m], B:[k,n] -> C:[m,n] (no explicit transpose).
 Tensor matmul_tn(const Tensor& a, const Tensor& b);
@@ -21,6 +30,10 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b);
 
 /// Transposed copy of a 2-d tensor.
 Tensor transpose(const Tensor& a);
+
+/// Cache-blocked raw-buffer transpose: dst[j, i] = src[i, j] for src:[m,n].
+void transpose_into(const float* src, std::size_t m, std::size_t n,
+                    float* dst);
 
 /// Geometry of a 2-d convolution / pooling window sweep.
 struct ConvGeometry {
@@ -47,9 +60,20 @@ struct ConvGeometry {
 /// `out` must have out_rows() x out_cols() elements.
 void im2col(const float* image, const ConvGeometry& g, float* out);
 
+/// Strided variant: writes the unfolded image into a sub-block of a wider
+/// row-major matrix whose rows are `out_stride` floats apart.  This lets a
+/// whole batch share one [C*kh*kw, N*out_h*out_w] scratch matrix, with
+/// sample s occupying the column slice starting at s*out_h*out_w.
+void im2col(const float* image, const ConvGeometry& g, float* out,
+            std::size_t out_stride);
+
 /// Adjoint of im2col: folds the column matrix back, accumulating into
 /// `image_grad` (which must be pre-zeroed by the caller when appropriate).
 void col2im(const float* cols, const ConvGeometry& g, float* image_grad);
+
+/// Strided variant matching the strided im2col layout.
+void col2im(const float* cols, const ConvGeometry& g, float* image_grad,
+            std::size_t cols_stride);
 
 /// Rows of a [N, F] tensor: index of the max entry per row.
 std::vector<std::size_t> argmax_rows(const Tensor& logits);

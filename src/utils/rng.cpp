@@ -109,4 +109,13 @@ Rng Rng::split() {
     return Rng((*this)());
 }
 
+Rng Rng::fork(std::uint64_t stream) const {
+    // Condense the four lanes, then decorrelate neighbouring streams with a
+    // full splitmix64 finalization (the Rng constructor adds another).
+    std::uint64_t x = state_[0] ^ rotl(state_[1], 13) ^ rotl(state_[2], 27) ^
+                      rotl(state_[3], 41);
+    x += (stream + 1) * 0x9E3779B97F4A7C15ULL;
+    return Rng(splitmix64(x));
+}
+
 }  // namespace bayesft

@@ -56,8 +56,14 @@ public:
     /// Fisher-Yates shuffle of an index permutation [0, n).
     std::vector<std::size_t> permutation(std::size_t n);
 
-    /// Derives an independent child generator (for parallel-safe streams).
+    /// Derives an independent child generator, advancing this one.
     Rng split();
+
+    /// Derives the `stream`-th deterministic child generator WITHOUT
+    /// advancing this one: fork(t) is a pure function of (state, t), so a
+    /// parallel loop can hand stream t to Monte-Carlo sample t and get
+    /// bit-identical draws for any thread count or evaluation order.
+    Rng fork(std::uint64_t stream) const;
 
 private:
     std::array<std::uint64_t, 4> state_{};
