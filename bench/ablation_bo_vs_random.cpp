@@ -1,85 +1,20 @@
-// Ablation (DESIGN.md section 5): is the GP surrogate earning its keep?
-// Compares BayesFT's GP-guided alpha search against uniform random search
-// under the same trial budget, and the paper's posterior-mean acquisition
-// against EI and UCB.
+// Ablation (DESIGN.md section 5): is the GP surrogate earning its keep? GP-guided search vs uniform random under the same budget.
+// Thin wrapper over the experiment registry: the scenario definition lives
+// in src/core/registry.cpp ("ablation_bo_vs_random") and is shared with the
+// `experiments` CLI driver.
 
-#include <benchmark/benchmark.h>
-
-#include <iostream>
-
-#include "bench_common.hpp"
-#include "core/bayesft.hpp"
-#include "data/digits.hpp"
-#include "models/zoo.hpp"
-#include "utils/table.hpp"
+#include "registry_bench.hpp"
 
 namespace {
 
-using namespace bayesft;
-
-models::ModelHandle make_task_model(Rng& rng) {
-    models::MlpOptions options;
-    options.input_features = 256;
-    options.hidden = 64;
-    options.hidden_layers = 3;  // 3 searchable dropout sites
-    return models::make_mlp(options, rng);
-}
-
 void BM_AblationBoVsRandom(benchmark::State& state) {
-    Rng data_rng(131);
-    data::DigitConfig digit_config;
-    digit_config.samples = bayesft::bench::default_sample_count(1000);
-    digit_config.image_size = 16;
-    const data::Dataset full = data::synthetic_digits(digit_config, data_rng);
-    Rng split_rng(132);
-    const auto parts = data::split(full, 0.25, split_rng);
-
-    core::BayesFTConfig config;
-    config.iterations = bayesft::bench::quick_mode() ? 3 : 10;
-    config.epochs_per_iteration = 1;
-    config.objective.sigmas = {0.3, 0.6, 0.9};
-    config.objective.mc_samples = bayesft::bench::quick_mode() ? 1 : 3;
-    config.final_epochs = 2;
-
-    const struct {
-        const char* name;
-        const char* acquisition;  // nullptr = random search
-    } strategies[] = {
-        {"BO-PosteriorMean (paper)", "posterior_mean"},
-        {"BO-EI", "ei"},
-        {"BO-UCB", "ucb"},
-        {"RandomSearch", nullptr},
-    };
-
     for (auto _ : state) {
-        ResultTable table(
-            "Ablation: search strategy for alpha (best drift utility, "
-            "same trial budget)",
-            {"strategy", "best utility", "trials"});
-        for (const auto& strategy : strategies) {
-            Rng rng(777);  // identical seed: same data order per strategy
-            models::ModelHandle model = make_task_model(rng);
-            core::BayesFTConfig run_config = config;
-            core::BayesFTResult result;
-            if (strategy.acquisition != nullptr) {
-                run_config.acquisition = strategy.acquisition;
-                result = core::bayesft_search(model, parts.train, parts.test,
-                                              run_config, rng);
-            } else {
-                result = core::random_search(model, parts.train, parts.test,
-                                             run_config, rng);
-            }
-            table.add_text_row({strategy.name,
-                                format_double(result.best_utility, 4),
-                                std::to_string(result.trials.size())});
-            state.counters[strategy.name] = result.best_utility;
-        }
-        std::cout << "\n" << table << std::endl;
-        table.save_csv("ablation_bo_vs_random.csv");
+        bayesft::bench::run_registry_panel(
+            state, "ablation_bo_vs_random",
+            "Ablation: search strategy for alpha (best drift utility, same trial budget)");
     }
 }
-BENCHMARK(BM_AblationBoVsRandom)->Unit(benchmark::kMillisecond)
-    ->Iterations(1);
+BENCHMARK(BM_AblationBoVsRandom)->Unit(benchmark::kMillisecond)->Iterations(1);
 
 }  // namespace
 

@@ -1,79 +1,20 @@
-// Ablation (DESIGN.md section 5): sensitivity of the Monte-Carlo objective
-// (Eq. 4) to the sample count T.  Reports the standard deviation of the
-// utility estimate across repeated estimates, and the wall-clock cost —
-// the tradeoff that motivates the paper's small T.
+// Ablation (DESIGN.md section 5): sensitivity of the Monte-Carlo objective (Eq. 4) to the sample count T.
+// Thin wrapper over the experiment registry: the scenario definition lives
+// in src/core/registry.cpp ("ablation_mc_samples") and is shared with the
+// `experiments` CLI driver.
 
-#include <benchmark/benchmark.h>
-
-#include <cmath>
-#include <iostream>
-
-#include "bench_common.hpp"
-#include "core/baselines.hpp"
-#include "core/objective.hpp"
-#include "data/digits.hpp"
-#include "models/zoo.hpp"
-#include "utils/stopwatch.hpp"
-#include "utils/table.hpp"
+#include "registry_bench.hpp"
 
 namespace {
 
-using namespace bayesft;
-
 void BM_AblationMcSamples(benchmark::State& state) {
-    Rng data_rng(141);
-    data::DigitConfig digit_config;
-    digit_config.samples = bayesft::bench::default_sample_count(800);
-    digit_config.image_size = 16;
-    const data::Dataset full = data::synthetic_digits(digit_config, data_rng);
-    Rng split_rng(142);
-    const auto parts = data::split(full, 0.25, split_rng);
-
-    Rng rng(143);
-    models::MlpOptions options;
-    options.input_features = 256;
-    options.hidden = 64;
-    models::ModelHandle model = models::make_mlp(options, rng);
-    nn::TrainConfig train_config;
-    train_config.epochs = bayesft::bench::quick_mode() ? 3 : 8;
-    core::train_erm(model, parts.train, train_config, rng);
-
-    const std::size_t repeats = bayesft::bench::quick_mode() ? 4 : 10;
     for (auto _ : state) {
-        ResultTable table(
-            "Ablation: MC sample count T vs utility-estimate noise "
-            "(Eq. 4, sigma = 0.6)",
-            {"T", "mean utility", "std across estimates", "seconds/estimate"});
-        for (std::size_t t : {1, 2, 4, 8, 16}) {
-            core::ObjectiveConfig objective;
-            objective.sigmas = {0.6};
-            objective.mc_samples = t;
-            std::vector<double> estimates;
-            Stopwatch watch;
-            for (std::size_t r = 0; r < repeats; ++r) {
-                Rng eval_rng(1000 + r);
-                estimates.push_back(core::drift_utility(
-                    *model.net, parts.test.images, parts.test.labels,
-                    objective, eval_rng));
-            }
-            const double elapsed =
-                watch.seconds() / static_cast<double>(repeats);
-            double mean = 0.0;
-            for (double e : estimates) mean += e;
-            mean /= static_cast<double>(estimates.size());
-            double var = 0.0;
-            for (double e : estimates) var += (e - mean) * (e - mean);
-            var /= static_cast<double>(estimates.size());
-            table.add_row({static_cast<double>(t), mean, std::sqrt(var),
-                           elapsed});
-            state.counters["std@T" + std::to_string(t)] = std::sqrt(var);
-        }
-        std::cout << "\n" << table << std::endl;
-        table.save_csv("ablation_mc_samples.csv");
+        bayesft::bench::run_registry_panel(
+            state, "ablation_mc_samples",
+            "Ablation: MC sample count T vs utility-estimate noise (Eq. 4, sigma = 0.6)");
     }
 }
-BENCHMARK(BM_AblationMcSamples)->Unit(benchmark::kMillisecond)
-    ->Iterations(1);
+BENCHMARK(BM_AblationMcSamples)->Unit(benchmark::kMillisecond)->Iterations(1);
 
 }  // namespace
 

@@ -1,21 +1,17 @@
 #pragma once
 // Shared infrastructure of the figure-reproduction benches.
 //
-// Every fig*_ bench binary reproduces one figure of the paper: it trains the
-// relevant methods, sweeps the drift level sigma, prints a ResultTable whose
-// rows correspond to the figure's x-axis, writes a CSV next to the binary,
-// and registers the run with google-benchmark (accuracy values appear as
-// user counters, wall time as the benchmark timing).
+// Every fig*_ bench binary reproduces one figure of the paper.  The
+// experiment definitions themselves live in the core ExperimentRegistry
+// (src/core/registry.cpp) — see registry_bench.hpp for the adapter — so
+// this header only carries the smoke-run scaling and the standard main.
 //
 // Set BAYESFT_QUICK=1 to shrink datasets/epochs for a fast smoke run.
 
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
-#include <iostream>
-#include <string>
 
-#include "core/experiment.hpp"
 #include "utils/logging.hpp"
 
 namespace bayesft::bench {
@@ -26,60 +22,9 @@ inline bool quick_mode() {
     return env != nullptr && env[0] != '\0' && env[0] != '0';
 }
 
-/// Experiment defaults shared by the Fig. 3 benches, scaled by quick_mode().
-inline core::ExperimentConfig default_experiment_config() {
-    core::ExperimentConfig config;
-    config.sigmas = {0.0, 0.3, 0.6, 0.9, 1.2, 1.5};
-    config.eval_samples = quick_mode() ? 2 : 4;
-
-    config.train.epochs = quick_mode() ? 2 : 8;
-    config.train.batch_size = 32;
-    config.train.learning_rate = 0.05;
-
-    config.bayesft.iterations = quick_mode() ? 2 : 8;
-    config.bayesft.epochs_per_iteration = quick_mode() ? 1 : 2;
-    config.bayesft.train = config.train;
-    config.bayesft.objective.sigmas = {0.3, 0.6, 0.9};
-    config.bayesft.objective.mc_samples = quick_mode() ? 1 : 3;
-    config.bayesft.warmup_epochs = quick_mode() ? 1 : 3;
-    config.bayesft.final_epochs = quick_mode() ? 1 : 4;
-    config.bayesft.max_dropout_rate = 0.5;
-
-    config.reram_v.adapt_epochs = 2;
-    config.reram_v.device_sigma = 0.3;
-    config.awp.gamma = 0.02;
-    config.ftna_code_bits = 16;
-    return config;
-}
-
-/// Dataset sizing shared by the benches.
+/// Dataset sizing shared by the non-registry benches (fig1, fig4).
 inline std::size_t default_sample_count(std::size_t full) {
     return quick_mode() ? full / 4 : full;
-}
-
-/// Prints the table, saves CSV, and exposes each (method, sigma) cell as a
-/// benchmark counter so `--benchmark_format=json` captures the figure data.
-inline void report_experiment(benchmark::State& state,
-                              const core::ExperimentResult& result,
-                              const std::string& title,
-                              const std::string& csv_name) {
-    const ResultTable table = result.to_table(title);
-    std::cout << "\n" << table << std::endl;
-    if (!result.bayesft_alpha.empty()) {
-        std::cout << "BayesFT best alpha:";
-        for (double a : result.bayesft_alpha) {
-            std::cout << ' ' << format_double(a, 3);
-        }
-        std::cout << "\n" << std::endl;
-    }
-    table.save_csv(csv_name);
-    for (const auto& curve : result.curves) {
-        for (std::size_t i = 0; i < result.sigmas.size(); ++i) {
-            state.counters[curve.method + "@s" +
-                           format_double(result.sigmas[i], 1)] =
-                curve.accuracy[i] * 100.0;
-        }
-    }
 }
 
 /// Common main body: quiet logging unless verbose.

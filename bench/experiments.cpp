@@ -1,0 +1,215 @@
+// Unified experiment driver: lists and runs every registered fig2 / fig3 /
+// ablation scenario by name through the core ExperimentRegistry, replacing
+// one hand-rolled main per figure.  Results are printed as tables and
+// optionally emitted as machine-readable JSON records (one per curve point,
+// the same flat-array shape as BENCH_micro_ops.json).
+//
+// Usage:
+//   experiments --list
+//   experiments --run fig3a_mlp_mnist [--run toy_mlp_blobs ...]
+//   experiments --family fig2                 (run a whole family)
+//   experiments --run toy_mlp_blobs --quick --batch 4 --threads 8 \
+//               --json experiments.json [--seed 7]
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "utils/logging.hpp"
+#include "utils/parallel.hpp"
+#include "utils/table.hpp"
+
+namespace {
+
+using namespace bayesft;
+
+void print_usage() {
+    std::cout <<
+        "usage: experiments [options]\n"
+        "  --list            list registered experiments and exit\n"
+        "  --run <name>      run one experiment (repeatable)\n"
+        "  --family <fam>    run every experiment of a family "
+        "(fig2|fig3|ablation|toy)\n"
+        "  --quick           shrink datasets/epochs for a smoke run\n"
+        "  --batch <q>       BayesFT candidate batch size (default 1)\n"
+        "  --threads <n>     thread budget (sets BAYESFT_NUM_THREADS)\n"
+        "  --seed <s>        override the scenario base seed\n"
+        "  --json <path>     write flat JSON records for all runs\n";
+}
+
+struct JsonRecord {
+    std::string experiment;
+    std::string curve;
+    std::string x_label;
+    double x = 0.0;
+    double value = 0.0;
+    double seconds = 0.0;
+};
+
+void write_json(const std::string& path, const std::vector<JsonRecord>& records,
+                const core::RunOptions& options) {
+    std::ofstream out(path);
+    if (!out) {
+        throw std::runtime_error("experiments: cannot write " + path);
+    }
+    out << "[\n";
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const JsonRecord& r = records[i];
+        out << "  {\"experiment\": \"" << r.experiment << "\", \"curve\": \""
+            << r.curve << "\", \"x_label\": \"" << r.x_label
+            << "\", \"x\": " << r.x << ", \"value\": " << r.value
+            << ", \"batch\": " << options.batch
+            << ", \"threads\": " << parallel_thread_count()
+            << ", \"quick\": " << (options.quick ? "true" : "false")
+            << ", \"seconds\": " << r.seconds << "}"
+            << (i + 1 < records.size() ? "," : "") << "\n";
+    }
+    out << "]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bool list = false;
+    std::vector<std::string> names;
+    std::vector<std::string> families;
+    std::string json_path;
+    core::RunOptions options;
+
+    auto need_value = [&](int& i, const char* flag) -> std::string {
+        if (i + 1 >= argc) {
+            std::cerr << "experiments: " << flag << " needs a value\n";
+            std::exit(2);
+        }
+        return argv[++i];
+    };
+    auto need_number = [&](int& i, const char* flag) -> std::uint64_t {
+        const std::string value = need_value(i, flag);
+        // Digits only: stoull would silently wrap "-1" to 2^64 - 1.
+        if (value.empty() ||
+            value.find_first_not_of("0123456789") != std::string::npos) {
+            std::cerr << "experiments: " << flag
+                      << " needs a non-negative number, got '" << value
+                      << "'\n";
+            std::exit(2);
+        }
+        try {
+            return std::stoull(value);
+        } catch (const std::exception&) {
+            std::cerr << "experiments: " << flag
+                      << " needs a non-negative number, got '" << value
+                      << "'\n";
+            std::exit(2);
+        }
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--list") {
+            list = true;
+        } else if (arg == "--run") {
+            names.push_back(need_value(i, "--run"));
+        } else if (arg == "--family") {
+            families.push_back(need_value(i, "--family"));
+        } else if (arg == "--quick") {
+            options.quick = true;
+        } else if (arg == "--batch") {
+            options.batch = need_number(i, "--batch");
+        } else if (arg == "--threads") {
+            options.threads = need_number(i, "--threads");
+        } else if (arg == "--seed") {
+            options.seed = need_number(i, "--seed");
+        } else if (arg == "--json") {
+            json_path = need_value(i, "--json");
+        } else if (arg == "--help" || arg == "-h") {
+            print_usage();
+            return 0;
+        } else {
+            std::cerr << "experiments: unknown option " << arg << "\n";
+            print_usage();
+            return 2;
+        }
+    }
+    // The pool reads BAYESFT_NUM_THREADS once at first use; honour --threads
+    // before anything touches it.
+    if (options.threads != 0) {
+        setenv("BAYESFT_NUM_THREADS",
+               std::to_string(options.threads).c_str(), 1);
+    }
+    const char* quick_env = std::getenv("BAYESFT_QUICK");
+    if (quick_env != nullptr && quick_env[0] != '\0' && quick_env[0] != '0') {
+        options.quick = true;
+    }
+    set_log_level(options.quick ? LogLevel::Error : LogLevel::Info);
+
+    const core::ExperimentRegistry& registry =
+        core::ExperimentRegistry::instance();
+    if (list) {
+        ResultTable table("registered experiments",
+                          {"name", "family", "description"});
+        for (const core::ExperimentSpec& spec : registry.list()) {
+            table.add_text_row({spec.name, spec.family, spec.description});
+        }
+        std::cout << table;
+        return 0;
+    }
+    for (const std::string& family : families) {
+        bool any = false;
+        for (const core::ExperimentSpec& spec : registry.list()) {
+            if (spec.family == family) {
+                names.push_back(spec.name);
+                any = true;
+            }
+        }
+        if (!any) {
+            std::cerr << "experiments: no experiments in family '" << family
+                      << "'\n";
+            return 2;
+        }
+    }
+    if (names.empty()) {
+        print_usage();
+        return 2;
+    }
+
+    std::vector<JsonRecord> records;
+    for (const std::string& name : names) {
+        core::RegistryResult result;
+        try {
+            result = registry.run(name, options);
+        } catch (const std::exception& error) {
+            std::cerr << "experiments: " << error.what() << "\n";
+            return 1;
+        }
+        // Sigma-axis experiments report fractions (accuracy or mAP);
+        // render them as percentages.
+        const bool percent = result.x_label == "sigma";
+        std::cout << "\n"
+                  << result.to_table(name + (percent ? " (%)" : ""),
+                                     percent ? 100.0 : 1.0)
+                  << "  wall clock: " << format_double(result.seconds, 2)
+                  << " s\n";
+        if (!result.bayesft_alpha.empty()) {
+            std::cout << "  BayesFT best alpha:";
+            for (double a : result.bayesft_alpha) {
+                std::cout << ' ' << format_double(a, 3);
+            }
+            std::cout << "\n";
+        }
+        for (const core::NamedCurve& curve : result.curves) {
+            for (std::size_t i = 0; i < result.xs.size(); ++i) {
+                records.push_back({result.experiment, curve.label,
+                                   result.x_label, result.xs[i],
+                                   curve.values[i], result.seconds});
+            }
+        }
+    }
+    if (!json_path.empty()) {
+        write_json(json_path, records, options);
+        std::cout << "\nwrote " << json_path << " (" << records.size()
+                  << " records)\n";
+    }
+    return 0;
+}

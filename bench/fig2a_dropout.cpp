@@ -1,42 +1,17 @@
 // Fig. 2(a) reproduction: dropout ablation for drift robustness.
-// Expected shape (paper): both dropout variants degrade far more slowly
-// than the original model; plain and alpha dropout are similar.
+// Thin wrapper over the experiment registry: the scenario definition lives
+// in src/core/registry.cpp ("fig2a_dropout") and is shared with the
+// `experiments` CLI driver.
 
-#include "fig2_common.hpp"
+#include "registry_bench.hpp"
 
 namespace {
 
-using namespace bayesft;
-using bayesft::bench::Variant;
-
 void BM_Fig2aDropout(benchmark::State& state) {
-    models::MlpOptions base;
-    base.input_features = 256;
-    base.hidden = 64;
-    base.hidden_layers = 2;
-
-    std::vector<Variant> variants;
-    variants.push_back({"Original", [base](Rng& rng) {
-                            models::MlpOptions o = base;
-                            o.dropout = models::DropoutKind::kNone;
-                            return models::make_mlp(o, rng);
-                        }});
-    variants.push_back({"DropOut", [base](Rng& rng) {
-                            models::MlpOptions o = base;
-                            o.dropout = models::DropoutKind::kStandard;
-                            o.initial_dropout_rate = 0.3;
-                            return models::make_mlp(o, rng);
-                        }});
-    variants.push_back({"AlphaDropOut", [base](Rng& rng) {
-                            models::MlpOptions o = base;
-                            o.dropout = models::DropoutKind::kAlpha;
-                            o.initial_dropout_rate = 0.3;
-                            return models::make_mlp(o, rng);
-                        }});
     for (auto _ : state) {
-        bayesft::bench::run_ablation(
-            state, "Fig. 2(a): dropout ablation (MLP, synthetic digits)",
-            "fig2a_dropout.csv", variants);
+        bayesft::bench::run_registry_panel(
+            state, "fig2a_dropout",
+            "Fig. 2(a): dropout ablation (MLP, synthetic digits)");
     }
 }
 BENCHMARK(BM_Fig2aDropout)->Unit(benchmark::kMillisecond)->Iterations(1);

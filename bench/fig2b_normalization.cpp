@@ -1,39 +1,17 @@
 // Fig. 2(b) reproduction: normalization ablation for drift robustness.
-// Expected shape (paper): adding any normalization generally worsens
-// robustness relative to no normalization ("Achilles' heel" effect on the
-// drifting affine parameters).
+// Thin wrapper over the experiment registry: the scenario definition lives
+// in src/core/registry.cpp ("fig2b_normalization") and is shared with the
+// `experiments` CLI driver.
 
-#include "fig2_common.hpp"
+#include "registry_bench.hpp"
 
 namespace {
 
-using namespace bayesft;
-using bayesft::bench::Variant;
-
-Variant norm_variant(const std::string& name, models::NormKind norm) {
-    return {name, [norm](Rng& rng) {
-                models::MlpOptions o;
-                o.input_features = 256;
-                o.hidden = 64;
-                o.hidden_layers = 2;
-                o.dropout = models::DropoutKind::kNone;
-                o.norm = norm;
-                return models::make_mlp(o, rng);
-            }};
-}
-
 void BM_Fig2bNormalization(benchmark::State& state) {
-    const std::vector<Variant> variants{
-        norm_variant("WithoutNorm", models::NormKind::kNone),
-        norm_variant("InstanceNorm", models::NormKind::kInstance),
-        norm_variant("BatchNorm", models::NormKind::kBatch),
-        norm_variant("GroupNorm", models::NormKind::kGroup),
-        norm_variant("LayerNorm", models::NormKind::kLayer),
-    };
     for (auto _ : state) {
-        bayesft::bench::run_ablation(
-            state, "Fig. 2(b): normalization ablation (MLP, synthetic digits)",
-            "fig2b_normalization.csv", variants);
+        bayesft::bench::run_registry_panel(
+            state, "fig2b_normalization",
+            "Fig. 2(b): normalization ablation (MLP, synthetic digits)");
     }
 }
 BENCHMARK(BM_Fig2bNormalization)->Unit(benchmark::kMillisecond)->Iterations(1);

@@ -1,35 +1,17 @@
 // Fig. 2(c) reproduction: model-complexity ablation for drift robustness.
-// Expected shape (paper): deeper MLPs degrade faster — drifted weights
-// accumulate error layer by layer.
+// Thin wrapper over the experiment registry: the scenario definition lives
+// in src/core/registry.cpp ("fig2c_depth") and is shared with the
+// `experiments` CLI driver.
 
-#include "fig2_common.hpp"
+#include "registry_bench.hpp"
 
 namespace {
 
-using namespace bayesft;
-using bayesft::bench::Variant;
-
-Variant depth_variant(const std::string& name, std::size_t hidden_layers) {
-    return {name, [hidden_layers](Rng& rng) {
-                models::MlpOptions o;
-                o.input_features = 256;
-                o.hidden = 64;
-                o.hidden_layers = hidden_layers;
-                o.dropout = models::DropoutKind::kNone;
-                return models::make_mlp(o, rng);
-            }};
-}
-
 void BM_Fig2cDepth(benchmark::State& state) {
-    const std::vector<Variant> variants{
-        depth_variant("3-Layer", 2),
-        depth_variant("6-Layer", 5),
-        depth_variant("9-Layer", 8),
-    };
     for (auto _ : state) {
-        bayesft::bench::run_ablation(
-            state, "Fig. 2(c): model complexity (MLP, synthetic digits)",
-            "fig2c_depth.csv", variants);
+        bayesft::bench::run_registry_panel(
+            state, "fig2c_depth",
+            "Fig. 2(c): model complexity (MLP, synthetic digits)");
     }
 }
 BENCHMARK(BM_Fig2cDepth)->Unit(benchmark::kMillisecond)->Iterations(1);

@@ -1,37 +1,17 @@
 // Fig. 2(d) reproduction: activation-function ablation for drift robustness.
-// Expected shape (paper): no statistically meaningful differences between
-// ReLU, ELU, GELU and Leaky ReLU.
+// Thin wrapper over the experiment registry: the scenario definition lives
+// in src/core/registry.cpp ("fig2d_activation") and is shared with the
+// `experiments` CLI driver.
 
-#include "fig2_common.hpp"
+#include "registry_bench.hpp"
 
 namespace {
 
-using namespace bayesft;
-using bayesft::bench::Variant;
-
-Variant act_variant(const std::string& name, const std::string& activation) {
-    return {name, [activation](Rng& rng) {
-                models::MlpOptions o;
-                o.input_features = 256;
-                o.hidden = 64;
-                o.hidden_layers = 2;
-                o.dropout = models::DropoutKind::kNone;
-                o.activation = activation;
-                return models::make_mlp(o, rng);
-            }};
-}
-
 void BM_Fig2dActivation(benchmark::State& state) {
-    const std::vector<Variant> variants{
-        act_variant("ReLU", "relu"),
-        act_variant("ELU", "elu"),
-        act_variant("GELU", "gelu"),
-        act_variant("LeakyReLU", "leaky_relu"),
-    };
     for (auto _ : state) {
-        bayesft::bench::run_ablation(
-            state, "Fig. 2(d): activation functions (MLP, synthetic digits)",
-            "fig2d_activation.csv", variants);
+        bayesft::bench::run_registry_panel(
+            state, "fig2d_activation",
+            "Fig. 2(d): activation functions (MLP, synthetic digits)");
     }
 }
 BENCHMARK(BM_Fig2dActivation)->Unit(benchmark::kMillisecond)->Iterations(1);

@@ -1,38 +1,17 @@
-// Fig. 3(a) reproduction: MLP on MNIST (synthetic digits substitute),
-// all five methods vs drift sigma.
-// Expected shape: BayesFT dominates all baselines for sigma >= 0.3; FTNA
-// gives a small boost over ERM; ReRAM-V generalizes poorly to fresh drift.
+// Fig. 3(a) reproduction: MLP on MNIST substitute, all five methods vs drift sigma.
+// Thin wrapper over the experiment registry: the scenario definition lives
+// in src/core/registry.cpp ("fig3a_mlp_mnist") and is shared with the
+// `experiments` CLI driver.
 
-#include "data/digits.hpp"
-#include "fig3_common.hpp"
-#include "models/zoo.hpp"
+#include "registry_bench.hpp"
 
 namespace {
 
-using namespace bayesft;
-
 void BM_Fig3aMlpMnist(benchmark::State& state) {
-    Rng data_rng(31);
-    data::DigitConfig digit_config;
-    digit_config.samples = bayesft::bench::default_sample_count(1200);
-    digit_config.image_size = 16;
-    const data::Dataset full = data::synthetic_digits(digit_config, data_rng);
-    Rng split_rng(32);
-    const auto parts = data::split(full, 0.25, split_rng);
-
-    const core::ModelFactory factory = [](std::size_t outputs, Rng& rng) {
-        models::MlpOptions options;
-        options.input_features = 256;
-        options.hidden = 64;
-        options.hidden_layers = 2;
-        options.classes = outputs;
-        return models::make_mlp(options, rng);
-    };
     for (auto _ : state) {
-        bayesft::bench::run_fig3_panel(
-            state, "Fig. 3(a): MLP on synthetic digits (MNIST substitute)",
-            "fig3a_mlp_mnist.csv", factory, parts.train, parts.test, 10,
-            bayesft::bench::default_experiment_config());
+        bayesft::bench::run_registry_panel(
+            state, "fig3a_mlp_mnist",
+            "Fig. 3(a): MLP on synthetic digits (MNIST substitute)");
     }
 }
 BENCHMARK(BM_Fig3aMlpMnist)->Unit(benchmark::kMillisecond)->Iterations(1);

@@ -1,36 +1,17 @@
-// Fig. 3(b) reproduction: LeNet on MNIST (synthetic digits substitute),
-// all five methods vs drift sigma.
+// Fig. 3(b) reproduction: LeNet on MNIST substitute, all five methods vs drift sigma.
+// Thin wrapper over the experiment registry: the scenario definition lives
+// in src/core/registry.cpp ("fig3b_lenet_mnist") and is shared with the
+// `experiments` CLI driver.
 
-#include "data/digits.hpp"
-#include "fig3_common.hpp"
-#include "models/zoo.hpp"
+#include "registry_bench.hpp"
 
 namespace {
 
-using namespace bayesft;
-
 void BM_Fig3bLenetMnist(benchmark::State& state) {
-    Rng data_rng(41);
-    data::DigitConfig digit_config;
-    digit_config.samples = bayesft::bench::default_sample_count(1000);
-    digit_config.image_size = 16;
-    const data::Dataset full = data::synthetic_digits(digit_config, data_rng);
-    Rng split_rng(42);
-    const auto parts = data::split(full, 0.25, split_rng);
-
-    const core::ModelFactory factory = [](std::size_t outputs, Rng& rng) {
-        return models::make_lenet5(1, 16, outputs, rng);
-    };
-    core::ExperimentConfig config =
-        bayesft::bench::default_experiment_config();
-    config.train.epochs = bayesft::bench::quick_mode() ? 3 : 12;
-    config.train.learning_rate = 0.03;
-    config.bayesft.train = config.train;
     for (auto _ : state) {
-        bayesft::bench::run_fig3_panel(
-            state, "Fig. 3(b): LeNet on synthetic digits (MNIST substitute)",
-            "fig3b_lenet_mnist.csv", factory, parts.train, parts.test, 10,
-            config);
+        bayesft::bench::run_registry_panel(
+            state, "fig3b_lenet_mnist",
+            "Fig. 3(b): LeNet on synthetic digits (MNIST substitute)");
     }
 }
 BENCHMARK(BM_Fig3bLenetMnist)->Unit(benchmark::kMillisecond)->Iterations(1);

@@ -1,36 +1,17 @@
-// Fig. 3(c) reproduction: AlexNet on CIFAR-10 (synthetic objects
-// substitute), all five methods vs drift sigma.
+// Fig. 3(c) reproduction: AlexNet-S on CIFAR-10 substitute, all five methods vs drift sigma.
+// Thin wrapper over the experiment registry: the scenario definition lives
+// in src/core/registry.cpp ("fig3c_alexnet_cifar") and is shared with the
+// `experiments` CLI driver.
 
-#include "data/objects.hpp"
-#include "fig3_common.hpp"
-#include "models/zoo.hpp"
+#include "registry_bench.hpp"
 
 namespace {
 
-using namespace bayesft;
-
 void BM_Fig3cAlexnetCifar(benchmark::State& state) {
-    Rng data_rng(51);
-    data::ObjectConfig object_config;
-    object_config.samples = bayesft::bench::default_sample_count(1000);
-    const data::Dataset full =
-        data::synthetic_objects(object_config, data_rng);
-    Rng split_rng(52);
-    const auto parts = data::split(full, 0.25, split_rng);
-
-    const core::ModelFactory factory = [](std::size_t outputs, Rng& rng) {
-        return models::make_alexnet_s(outputs, rng);
-    };
-    core::ExperimentConfig config =
-        bayesft::bench::default_experiment_config();
-    config.train.learning_rate = 0.02;
-    config.bayesft.train = config.train;
     for (auto _ : state) {
-        bayesft::bench::run_fig3_panel(
-            state,
-            "Fig. 3(c): AlexNet-S on synthetic objects (CIFAR-10 substitute)",
-            "fig3c_alexnet_cifar.csv", factory, parts.train, parts.test, 10,
-            config);
+        bayesft::bench::run_registry_panel(
+            state, "fig3c_alexnet_cifar",
+            "Fig. 3(c): AlexNet-S on synthetic objects (CIFAR-10 substitute)");
     }
 }
 BENCHMARK(BM_Fig3cAlexnetCifar)->Unit(benchmark::kMillisecond)->Iterations(1);

@@ -1,37 +1,17 @@
-// Fig. 3(d) reproduction: ResNet-18 on CIFAR-10 (synthetic objects
-// substitute).  ResNet keeps its batch norms, so its ERM curve falls faster
-// than the norm-free AlexNet/VGG (paper Sec. III-A).
+// Fig. 3(d) reproduction: ResNet-18 on CIFAR-10 substitute; batch norms make its ERM curve fall fastest (paper Sec. III-A).
+// Thin wrapper over the experiment registry: the scenario definition lives
+// in src/core/registry.cpp ("fig3d_resnet_cifar") and is shared with the
+// `experiments` CLI driver.
 
-#include "data/objects.hpp"
-#include "fig3_common.hpp"
-#include "models/zoo.hpp"
+#include "registry_bench.hpp"
 
 namespace {
 
-using namespace bayesft;
-
 void BM_Fig3dResnetCifar(benchmark::State& state) {
-    Rng data_rng(61);
-    data::ObjectConfig object_config;
-    object_config.samples = bayesft::bench::default_sample_count(800);
-    const data::Dataset full =
-        data::synthetic_objects(object_config, data_rng);
-    Rng split_rng(62);
-    const auto parts = data::split(full, 0.25, split_rng);
-
-    const core::ModelFactory factory = [](std::size_t outputs, Rng& rng) {
-        return models::make_resnet18_s(outputs, rng);
-    };
-    core::ExperimentConfig config =
-        bayesft::bench::default_experiment_config();
-    config.train.learning_rate = 0.02;
-    config.bayesft.train = config.train;
     for (auto _ : state) {
-        bayesft::bench::run_fig3_panel(
-            state,
-            "Fig. 3(d): ResNet18-S on synthetic objects (CIFAR-10 substitute)",
-            "fig3d_resnet_cifar.csv", factory, parts.train, parts.test, 10,
-            config);
+        bayesft::bench::run_registry_panel(
+            state, "fig3d_resnet_cifar",
+            "Fig. 3(d): ResNet18-S on synthetic objects (CIFAR-10 substitute)");
     }
 }
 BENCHMARK(BM_Fig3dResnetCifar)->Unit(benchmark::kMillisecond)->Iterations(1);

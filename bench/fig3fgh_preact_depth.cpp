@@ -1,72 +1,33 @@
-// Fig. 3(f)-(h) reproduction: the PreAct-ResNet depth sweep on CIFAR-10
-// (synthetic objects substitute).  Paper point: the deeper the network, the
-// steeper the accuracy fall under drift (errors accumulate layer by layer);
-// BayesFT rescues each depth.  PreAct-S depths 1/2/4 blocks-per-stage stand
-// in for PreAct-18/50/152.
+// Fig. 3(f)-(h) reproduction: the PreAct-ResNet depth sweep on the
+// CIFAR-10 substitute — the deeper the network, the steeper the accuracy
+// fall under drift; BayesFT rescues each depth.
+// Thin wrapper over the experiment registry: one registered scenario per
+// depth ("fig3f_preact18" / "fig3g_preact50" / "fig3h_preact152").
 
-#include <iostream>
-
-#include "data/objects.hpp"
-#include "fig3_common.hpp"
-#include "models/zoo.hpp"
+#include "registry_bench.hpp"
 
 namespace {
 
-using namespace bayesft;
-
 void BM_Fig3fghPreactDepth(benchmark::State& state) {
-    Rng data_rng(81);
-    data::ObjectConfig object_config;
-    object_config.samples = bayesft::bench::default_sample_count(800);
-    const data::Dataset full =
-        data::synthetic_objects(object_config, data_rng);
-    Rng split_rng(82);
-    const auto parts = data::split(full, 0.25, split_rng);
-
-    // Depth sweep runs ERM + BayesFT per depth (the panel's message is the
-    // depth/robustness interaction, not the full baseline zoo).
-    core::ExperimentConfig config =
-        bayesft::bench::default_experiment_config();
-    config.methods.ftna = false;
-    config.methods.reram_v = false;
-    config.methods.awp = false;
-    config.train.learning_rate = 0.02;
-    config.bayesft.train = config.train;
-
     const struct {
-        const char* panel;
-        const char* paper_name;
-        std::size_t blocks;
-    } depths[] = {
-        {"f", "PreAct-18 (S, 1 block/stage)", 1},
-        {"g", "PreAct-50 (S, 2 blocks/stage)", 2},
-        {"h", "PreAct-152 (S, 4 blocks/stage)", 4},
+        const char* name;
+        const char* title;
+        const char* prefix;
+    } panels[] = {
+        {"fig3f_preact18",
+         "Fig. 3(f): PreAct-18 (S, 1 block/stage) on synthetic objects",
+         "f:"},
+        {"fig3g_preact50",
+         "Fig. 3(g): PreAct-50 (S, 2 blocks/stage) on synthetic objects",
+         "g:"},
+        {"fig3h_preact152",
+         "Fig. 3(h): PreAct-152 (S, 4 blocks/stage) on synthetic objects",
+         "h:"},
     };
     for (auto _ : state) {
-        for (const auto& depth : depths) {
-            const std::size_t blocks = depth.blocks;
-            const core::ModelFactory factory =
-                [blocks](std::size_t outputs, Rng& rng) {
-                    return models::make_preact_resnet_s(blocks, outputs, rng);
-                };
-            const core::ExperimentResult result =
-                core::run_classification_experiment(
-                    factory, parts.train, parts.test, 10, config);
-            const std::string title = std::string("Fig. 3(") + depth.panel +
-                                      "): " + depth.paper_name +
-                                      " on synthetic objects";
-            const ResultTable table = result.to_table(title);
-            std::cout << "\n" << table << std::endl;
-            table.save_csv(std::string("fig3") + depth.panel +
-                           "_preact.csv");
-            for (const auto& curve : result.curves) {
-                for (std::size_t i = 0; i < result.sigmas.size(); ++i) {
-                    state.counters[std::string(depth.panel) + ":" +
-                                   curve.method + "@s" +
-                                   format_double(result.sigmas[i], 1)] =
-                        curve.accuracy[i] * 100.0;
-                }
-            }
+        for (const auto& panel : panels) {
+            bayesft::bench::run_registry_panel(state, panel.name,
+                                               panel.title, panel.prefix);
         }
     }
 }

@@ -1,39 +1,17 @@
-// Fig. 3(i) reproduction: spatial-transformer classifier on GTSRB
-// (synthetic traffic signs substitute, 43 classes).  The paper omits FTNA
-// here (error-correction coding does not transfer to this head), so the
-// methods are ERM / ReRAM-V / AWP / BayesFT.
+// Fig. 3(i) reproduction: spatial-transformer classifier on GTSRB substitute (no FTNA, per the paper).
+// Thin wrapper over the experiment registry: the scenario definition lives
+// in src/core/registry.cpp ("fig3i_gtsrb") and is shared with the
+// `experiments` CLI driver.
 
-#include "data/traffic_signs.hpp"
-#include "fig3_common.hpp"
-#include "models/zoo.hpp"
+#include "registry_bench.hpp"
 
 namespace {
 
-using namespace bayesft;
-
 void BM_Fig3iGtsrb(benchmark::State& state) {
-    Rng data_rng(91);
-    data::TrafficSignConfig sign_config;
-    sign_config.samples = bayesft::bench::default_sample_count(2150);
-    const data::Dataset full =
-        data::synthetic_traffic_signs(sign_config, data_rng);
-    Rng split_rng(92);
-    const auto parts = data::split(full, 0.25, split_rng);
-
-    const core::ModelFactory factory = [](std::size_t outputs, Rng& rng) {
-        return models::make_stn_classifier(outputs, rng);
-    };
-    core::ExperimentConfig config =
-        bayesft::bench::default_experiment_config();
-    config.methods.ftna = false;  // per the paper
-    config.train.learning_rate = 0.02;
-    config.bayesft.train = config.train;
     for (auto _ : state) {
-        bayesft::bench::run_fig3_panel(
-            state,
-            "Fig. 3(i): STN-lite on synthetic traffic signs "
-            "(GTSRB substitute, 43 classes)",
-            "fig3i_gtsrb.csv", factory, parts.train, parts.test, 43, config);
+        bayesft::bench::run_registry_panel(
+            state, "fig3i_gtsrb",
+            "Fig. 3(i): STN-lite on synthetic traffic signs (GTSRB substitute, 43 classes)");
     }
 }
 BENCHMARK(BM_Fig3iGtsrb)->Unit(benchmark::kMillisecond)->Iterations(1);

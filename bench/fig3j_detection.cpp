@@ -1,154 +1,17 @@
-// Fig. 3(j) reproduction: object detection (PennFudanPed substitute) —
-// mAP vs drift sigma in [0, 0.8], ERM vs BayesFT.
-//
-// BayesFT here composes the library's public primitives directly: the BO
-// loop proposes per-stage dropout rates for the GridDetector and the
-// utility is Monte-Carlo mAP under drift on a validation split, exactly
-// the Algorithm 1 pattern applied to a non-classification metric.
+// Fig. 3(j) reproduction: object detection (PennFudanPed substitute) - mAP vs drift, ERM vs BayesFT.
+// Thin wrapper over the experiment registry: the scenario definition lives
+// in src/core/registry.cpp ("fig3j_detection") and is shared with the
+// `experiments` CLI driver.
 
-#include <benchmark/benchmark.h>
-
-#include <iostream>
-#include <memory>
-
-#include "bayesopt/bayesopt.hpp"
-#include "bench_common.hpp"
-#include "data/pedestrians.hpp"
-#include "detect/detector.hpp"
-#include "fault/evaluator.hpp"
-#include "utils/table.hpp"
+#include "registry_bench.hpp"
 
 namespace {
 
-using namespace bayesft;
-
-struct DetectionData {
-    Tensor train_images;
-    std::vector<std::vector<detect::Box>> train_boxes;
-    Tensor val_images;
-    std::vector<std::vector<detect::Box>> val_boxes;
-    Tensor test_images;
-    std::vector<std::vector<detect::Box>> test_boxes;
-};
-
-DetectionData make_detection_data() {
-    Rng rng(101);
-    data::PedestrianConfig config;
-    config.samples = bayesft::bench::quick_mode() ? 120 : 360;
-    const data::DetectionDataset scenes =
-        data::synthetic_pedestrians(config, rng);
-
-    const std::size_t n = scenes.size();
-    const std::size_t row = scenes.images.size() / n;
-    const std::size_t train_n = n * 6 / 10;
-    const std::size_t val_n = n * 2 / 10;
-    auto slice = [&](std::size_t lo, std::size_t hi, Tensor& images,
-                     std::vector<std::vector<detect::Box>>& boxes) {
-        std::vector<std::size_t> shape = scenes.images.shape();
-        shape[0] = hi - lo;
-        images = Tensor(shape);
-        std::copy_n(scenes.images.data() + lo * row, (hi - lo) * row,
-                    images.data());
-        boxes.assign(scenes.boxes.begin() + static_cast<std::ptrdiff_t>(lo),
-                     scenes.boxes.begin() + static_cast<std::ptrdiff_t>(hi));
-    };
-    DetectionData data;
-    slice(0, train_n, data.train_images, data.train_boxes);
-    slice(train_n, train_n + val_n, data.val_images, data.val_boxes);
-    slice(train_n + val_n, n, data.test_images, data.test_boxes);
-    return data;
-}
-
-/// mAP under LogNormalDrift(sigma), averaged over `samples` realizations.
-double map_under_drift(detect::GridDetector& detector, const Tensor& images,
-                       const std::vector<std::vector<detect::Box>>& boxes,
-                       double sigma, std::size_t samples, Rng& rng) {
-    const fault::LogNormalDrift drift(sigma);
-    return fault::evaluate_metric_under_drift(
-               detector.network(), drift, samples, rng,
-               [&](nn::Module& m) {
-                   return detector.evaluate_map_with(m, images, boxes);
-               },
-               0)
-        .mean_accuracy;
-}
-
-/// Algorithm 1 applied to the detector: alternate short training runs with
-/// BO updates on the per-stage dropout rates, utility = drift-averaged mAP.
-void bayesft_detector_search(detect::GridDetector& detector,
-                             const DetectionData& data, Rng& rng) {
-    const std::size_t dims = detector.dropout_sites().size();
-    bayesopt::BayesOptConfig bo_config;
-    bo_config.initial_random_trials = 3;
-    bayesopt::BayesOpt bo(
-        bayesopt::BoxBounds::uniform(dims, 0.0, 0.6),
-        std::make_shared<bayesopt::ArdSquaredExponential>(dims, 4.0),
-        std::make_unique<bayesopt::PosteriorMean>(), bo_config, rng.split());
-
-    detect::DetectorTrainConfig step;
-    step.epochs = bayesft::bench::quick_mode() ? 4 : 10;
-    const std::size_t iterations = bayesft::bench::quick_mode() ? 3 : 7;
-    const std::size_t mc_samples = bayesft::bench::quick_mode() ? 1 : 2;
-
-    for (std::size_t t = 0; t < iterations; ++t) {
-        const bayesopt::Point alpha = bo.suggest();
-        for (std::size_t i = 0; i < dims; ++i) {
-            detector.dropout_sites()[i]->set_rate(alpha[i]);
-        }
-        detector.train(data.train_images, data.train_boxes, step, rng);
-        double utility = 0.0;
-        for (double sigma : {0.2, 0.4}) {
-            utility += map_under_drift(detector, data.val_images,
-                                       data.val_boxes, sigma, mc_samples,
-                                       rng);
-        }
-        bo.observe(alpha, utility / 2.0);
-    }
-    const auto best = bo.best();
-    for (std::size_t i = 0; i < dims; ++i) {
-        detector.dropout_sites()[i]->set_rate(best->x[i]);
-    }
-    detector.train(data.train_images, data.train_boxes, step, rng);
-}
-
 void BM_Fig3jDetection(benchmark::State& state) {
-    const DetectionData data = make_detection_data();
-    const std::vector<double> sigmas{0.0, 0.2, 0.4, 0.6, 0.8};
-    const std::size_t eval_samples = bayesft::bench::quick_mode() ? 2 : 4;
-
     for (auto _ : state) {
-        // ERM detector: plain training, zero dropout.
-        Rng erm_rng(111);
-        detect::GridDetectorConfig config;
-        detect::GridDetector erm(config, erm_rng);
-        detect::DetectorTrainConfig train_config;
-        train_config.epochs = bayesft::bench::quick_mode() ? 15 : 60;
-        erm.train(data.train_images, data.train_boxes, train_config, erm_rng);
-
-        // BayesFT detector.
-        Rng bft_rng(112);
-        detect::GridDetector bft(config, bft_rng);
-        bayesft_detector_search(bft, data, bft_rng);
-
-        ResultTable table(
-            "Fig. 3(j): detection mAP vs drift (synthetic pedestrians)",
-            {"sigma", "ERM mAP %", "BayesFT mAP %"});
-        Rng eval_rng(113);
-        for (double sigma : sigmas) {
-            const double erm_map =
-                map_under_drift(erm, data.test_images, data.test_boxes,
-                                sigma, eval_samples, eval_rng) *
-                100.0;
-            const double bft_map =
-                map_under_drift(bft, data.test_images, data.test_boxes,
-                                sigma, eval_samples, eval_rng) *
-                100.0;
-            table.add_row({sigma, erm_map, bft_map});
-            state.counters["ERM@s" + format_double(sigma, 1)] = erm_map;
-            state.counters["BayesFT@s" + format_double(sigma, 1)] = bft_map;
-        }
-        std::cout << "\n" << table << std::endl;
-        table.save_csv("fig3j_detection.csv");
+        bayesft::bench::run_registry_panel(
+            state, "fig3j_detection",
+            "Fig. 3(j): detection mAP vs drift (synthetic pedestrians)");
     }
 }
 BENCHMARK(BM_Fig3jDetection)->Unit(benchmark::kMillisecond)->Iterations(1);

@@ -20,9 +20,12 @@
 #include <vector>
 
 #include "bayesopt/gp.hpp"
+#include "core/engine.hpp"
+#include "core/objective.hpp"
 #include "data/toy.hpp"
 #include "fault/drift.hpp"
 #include "fault/evaluator.hpp"
+#include "models/zoo.hpp"
 #include "nn/activations.hpp"
 #include "nn/conv.hpp"
 #include "nn/linear.hpp"
@@ -244,6 +247,75 @@ void bench_mc_evaluation() {
         parallel_thread_count());
 }
 
+void bench_search_throughput() {
+    // Candidate-evaluation engine throughput vs batch size q: every
+    // candidate trains a replica of a small MLP for one epoch and scores
+    // the drift-marginalized utility — the BayesFT inner loop.  Each q
+    // evaluates the same total number of candidates, so ns/candidate is
+    // directly comparable (q = 1 is the serial in-place path).
+    Rng data_rng(21);
+    const auto blobs = data::make_blobs(256, 3, 4.0, 0.4, data_rng);
+    Rng split_rng(22);
+    const auto parts = data::split(blobs, 0.3, split_rng);
+
+    nn::TrainConfig epoch_config;
+    epoch_config.epochs = 1;
+    core::ObjectiveConfig objective;
+    objective.sigmas = {0.4};
+    objective.mc_samples = 2;
+    const core::CandidateEvaluator evaluator =
+        [&](models::ModelHandle& m, const core::Alpha&, Rng& r) {
+            nn::train_classifier(*m.net, parts.train.images,
+                                 parts.train.labels, epoch_config, r);
+            return core::drift_utility(*m.net, parts.test.images,
+                                       parts.test.labels, objective, r);
+        };
+
+    constexpr std::size_t kCandidates = 8;
+    double serial_ns = 0.0;
+    for (const std::size_t q : {1UL, 2UL, 4UL, 8UL}) {
+        Rng model_rng(23);
+        models::MlpOptions options;
+        options.input_features = 2;
+        options.hidden = 32;
+        options.hidden_layers = 2;
+        options.classes = 3;
+        models::ModelHandle model = models::make_mlp(options, model_rng);
+
+        core::EvaluationEngine engine;
+        core::EvalContext context;
+        Rng search_rng(24);
+        Rng alpha_rng(25);
+        const double ns = time_ns(
+            [&] {
+                for (std::size_t done = 0; done < kCandidates; done += q) {
+                    std::vector<core::Alpha> alphas;
+                    for (std::size_t j = 0; j < q; ++j) {
+                        core::Alpha alpha(2);
+                        for (double& a : alpha) {
+                            a = alpha_rng.uniform(0.0, 0.5);
+                        }
+                        alphas.push_back(std::move(alpha));
+                    }
+                    engine.evaluate_batch(model, alphas, evaluator,
+                                          search_rng, context,
+                                          /*adopt_winner=*/true);
+                    ++context.stamp;
+                }
+            },
+            2);
+        const double per_candidate = ns / static_cast<double>(kCandidates);
+        report("search_throughput", "q" + std::to_string(q),
+               parallel_thread_count(), per_candidate, 0.0);
+        if (q == 1) {
+            serial_ns = per_candidate;
+        } else if (q == 4) {
+            std::printf("  -> q=4 batched speedup over q=1: %.2fx\n",
+                        serial_ns / per_candidate);
+        }
+    }
+}
+
 void write_json(const std::string& path) {
     std::ofstream out(path);
     out << "[\n";
@@ -269,6 +341,7 @@ int main(int argc, char** argv) {
     bench_gp();
     bench_drift_injection();
     bench_mc_evaluation();
+    bench_search_throughput();
     write_json(json_path);
     std::cout << "wrote " << json_path << " (" << g_records.size()
               << " records)\n";

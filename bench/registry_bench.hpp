@@ -1,0 +1,50 @@
+#pragma once
+// Thin google-benchmark adapter over the core ExperimentRegistry: every
+// figure bench binary is now a named registry lookup — the scenario
+// definition (data seeds, model factory, method set, config) lives in
+// src/core/registry.cpp and is shared with the `experiments` CLI driver.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "core/registry.hpp"
+
+namespace bayesft::bench {
+
+/// Runs one registered experiment and reports table + CSV + counters.
+/// `counter_prefix` disambiguates counters when one binary runs several
+/// panels (e.g. the fig3 f/g/h depth sweep).
+inline void run_registry_panel(benchmark::State& state,
+                               const std::string& name,
+                               const std::string& title,
+                               const std::string& counter_prefix = "") {
+    core::RunOptions options;
+    options.quick = quick_mode();
+    const core::RegistryResult result =
+        core::ExperimentRegistry::instance().run(name, options);
+    const bool percent = result.x_label == "sigma";
+    const double scale = percent ? 100.0 : 1.0;
+    const ResultTable table = result.to_table(title, scale);
+    std::cout << "\n" << table << std::endl;
+    if (!result.bayesft_alpha.empty()) {
+        std::cout << "BayesFT best alpha:";
+        for (double a : result.bayesft_alpha) {
+            std::cout << ' ' << format_double(a, 3);
+        }
+        std::cout << "\n" << std::endl;
+    }
+    table.save_csv(name + ".csv");
+    const std::string x_prefix = percent ? "@s" : "@x";
+    for (const core::NamedCurve& curve : result.curves) {
+        for (std::size_t i = 0; i < result.xs.size(); ++i) {
+            state.counters[counter_prefix + curve.label + x_prefix +
+                           format_double(result.xs[i], 1)] =
+                curve.values[i] * scale;
+        }
+    }
+}
+
+}  // namespace bayesft::bench

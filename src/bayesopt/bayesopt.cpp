@@ -46,10 +46,24 @@ Point BoxBounds::sample(Rng& rng) const {
     return p;
 }
 
+namespace {
+
+double euclidean(const Point& a, const Point& b) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        sum += d * d;
+    }
+    return std::sqrt(sum);
+}
+
+}  // namespace
+
 BayesOpt::BayesOpt(BoxBounds bounds, std::shared_ptr<const Kernel> kernel,
                    std::unique_ptr<Acquisition> acquisition,
                    BayesOptConfig config, Rng rng)
     : bounds_(std::move(bounds)),
+      kernel_(kernel),
       acquisition_(std::move(acquisition)),
       config_(config),
       rng_(rng),
@@ -65,17 +79,75 @@ BayesOpt::BayesOpt(BoxBounds bounds, std::shared_ptr<const Kernel> kernel,
     }
 }
 
-Point BayesOpt::suggest() {
-    if (trials_.size() < config_.initial_random_trials || !gp_.fitted()) {
+Point BayesOpt::suggest() { return propose({}, trials_.size()); }
+
+Point BayesOpt::propose(const std::vector<Point>& pending,
+                        std::size_t real_trial_count) {
+    // `real_trial_count` excludes constant-liar fantasies, so a batch in
+    // the initial phase keeps drawing from the space-filling design.
+    if (real_trial_count < config_.initial_random_trials || !gp_.fitted()) {
         if (initial_used_ < initial_plan_.size()) {
             return initial_plan_[initial_used_++];
         }
         return bounds_.sample(rng_);
     }
-    return maximize_acquisition();
+    return maximize_acquisition(pending);
 }
 
-Point BayesOpt::maximize_acquisition() {
+std::vector<Point> BayesOpt::suggest_batch(std::size_t q) {
+    if (q == 0) {
+        throw std::invalid_argument("BayesOpt::suggest_batch: q == 0");
+    }
+    std::vector<Point> batch;
+    batch.reserve(q);
+    if (q == 1) {
+        // No fantasies: identical draws and GP state to the serial path.
+        batch.push_back(suggest());
+        return batch;
+    }
+
+    const std::vector<Trial> real_trials = trials_;
+    // During the initial space-filling design propose() never consults the
+    // GP (or the pending set), so fantasies would only buy wasted refits.
+    const bool use_fantasies =
+        real_trials.size() >= config_.initial_random_trials && gp_.fitted();
+    // Constant liar at the worst observed value: pessimistic enough that a
+    // fantasized point never becomes the incumbent, yet pulls the posterior
+    // mean down around already-picked candidates.
+    double liar = 0.0;
+    if (!real_trials.empty()) {
+        liar = real_trials.front().y;
+        for (const Trial& t : real_trials) liar = std::min(liar, t.y);
+    }
+    try {
+        for (std::size_t j = 0; j < q; ++j) {
+            Point x = propose(batch, real_trials.size());
+            batch.push_back(x);
+            if (use_fantasies && j + 1 < q) {
+                trials_.push_back(Trial{std::move(x), liar});
+                refit_gp();
+            }
+        }
+    } catch (...) {
+        // Never leak fantasies into the real history, even when a refit
+        // fails mid-batch.
+        trials_ = real_trials;
+        try {
+            refit_gp();
+        } catch (...) {
+            // The next observe refits; prefer surfacing the original error.
+        }
+        throw;
+    }
+    // Roll the fantasies back; the caller reports real outcomes.
+    if (trials_.size() != real_trials.size()) {
+        trials_ = real_trials;
+        refit_gp();
+    }
+    return batch;
+}
+
+Point BayesOpt::maximize_acquisition(const std::vector<Point>& pending) {
     const double incumbent = best() ? best()->y
                                     : -std::numeric_limits<double>::infinity();
 
@@ -97,16 +169,41 @@ Point BayesOpt::maximize_acquisition() {
         }
     }
 
+    double min_separation = 0.0;
+    if (!pending.empty()) {
+        double diagonal = 0.0;
+        for (std::size_t d = 0; d < bounds_.dims(); ++d) {
+            const double edge = bounds_.upper[d] - bounds_.lower[d];
+            diagonal += edge * edge;
+        }
+        min_separation =
+            config_.batch_separation_fraction * std::sqrt(diagonal);
+    }
+    auto far_from_pending = [&](const Point& p) {
+        for (const Point& other : pending) {
+            if (euclidean(p, other) < min_separation) return false;
+        }
+        return true;
+    };
+
     double best_score = -std::numeric_limits<double>::infinity();
     const Point* best_point = &pool.front();
+    double best_far_score = -std::numeric_limits<double>::infinity();
+    const Point* best_far_point = nullptr;
     for (const Point& p : pool) {
         const double score = acquisition_->score(gp_.posterior(p), incumbent);
         if (score > best_score) {
             best_score = score;
             best_point = &p;
         }
+        if (score > best_far_score && far_from_pending(p)) {
+            best_far_score = score;
+            best_far_point = &p;
+        }
     }
-    return *best_point;
+    // Prefer the diverse argmax; fall back to the raw argmax only when the
+    // whole pool crowds the pending candidates.
+    return best_far_point != nullptr ? *best_far_point : *best_point;
 }
 
 void BayesOpt::observe(Point x, double y) {
@@ -117,13 +214,61 @@ void BayesOpt::observe(Point x, double y) {
         throw std::invalid_argument("BayesOpt::observe: non-finite objective");
     }
     trials_.push_back(Trial{std::move(x), y});
+    refit_gp();
+}
+
+void BayesOpt::observe_batch(const std::vector<Point>& xs,
+                             const std::vector<double>& ys) {
+    if (xs.empty() || xs.size() != ys.size()) {
+        throw std::invalid_argument("BayesOpt::observe_batch: bad sizes");
+    }
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        if (xs[i].size() != bounds_.dims()) {
+            throw std::invalid_argument(
+                "BayesOpt::observe_batch: dimension mismatch");
+        }
+        if (!std::isfinite(ys[i])) {
+            throw std::invalid_argument(
+                "BayesOpt::observe_batch: non-finite objective");
+        }
+    }
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        trials_.push_back(Trial{xs[i], ys[i]});
+    }
+    refit_gp();
+}
+
+void BayesOpt::refit_gp() {
+    if (trials_.empty()) {
+        gp_ = GaussianProcess(kernel_, config_.noise_variance);
+        return;
+    }
+    // Merge (near-)duplicate trial points into one GP row each, averaging
+    // their objective values, so repeated proposals cannot make the Gram
+    // matrix singular.  Approximation: the merged row keeps the
+    // single-observation noise variance (posterior uncertainty does not
+    // shrink with the repeat count as exact 1/k-noise weighting would).
     std::vector<Point> xs;
     std::vector<double> ys;
+    std::vector<double> counts;
     xs.reserve(trials_.size());
     ys.reserve(trials_.size());
     for (const Trial& t : trials_) {
-        xs.push_back(t.x);
-        ys.push_back(t.y);
+        std::size_t match = xs.size();
+        for (std::size_t i = 0; i < xs.size(); ++i) {
+            if (euclidean(xs[i], t.x) <= config_.duplicate_tolerance) {
+                match = i;
+                break;
+            }
+        }
+        if (match == xs.size()) {
+            xs.push_back(t.x);
+            ys.push_back(t.y);
+            counts.push_back(1.0);
+        } else {
+            counts[match] += 1.0;
+            ys[match] += (t.y - ys[match]) / counts[match];
+        }
     }
     gp_.fit(std::move(xs), std::move(ys));
 }

@@ -54,6 +54,15 @@ struct BayesOptConfig {
     double local_sigma_fraction = 0.1;
     /// Observation noise variance handed to the GP.
     double noise_variance = 1e-4;
+    /// Trial points closer than this (Euclidean) are treated as repeated
+    /// observations of one point: their objective values are averaged into a
+    /// single GP row instead of producing a (near-)singular Gram matrix that
+    /// only Cholesky jitter retries can absorb.
+    double duplicate_tolerance = 1e-6;
+    /// Minimum separation between the candidates of one suggest_batch call,
+    /// as a fraction of the box diagonal (diversity guard on top of the
+    /// constant-liar fantasies).
+    double batch_separation_fraction = 0.02;
 };
 
 /// Maximizes an expensive black-box function over a box.
@@ -66,8 +75,21 @@ public:
     /// Proposes the next point to evaluate.
     Point suggest();
 
+    /// Proposes `q` diverse candidates from the current surrogate state:
+    /// after each pick the point is fantasized at the worst observed value
+    /// (constant liar) and the GP is refit, steering later picks away from
+    /// it; a minimum-separation filter rejects near-duplicate picks.  The
+    /// fantasies are rolled back before returning, so the caller owns the
+    /// real observations via observe_batch.  q == 1 is exactly suggest().
+    std::vector<Point> suggest_batch(std::size_t q);
+
     /// Records an observed objective value for `x` and refits the GP.
     void observe(Point x, double y);
+
+    /// Records a batch of observations with a single GP refit.  Equivalent
+    /// to observing each pair in order.
+    void observe_batch(const std::vector<Point>& xs,
+                       const std::vector<double>& ys);
 
     /// Incumbent (best observed) trial; nullopt before any observation.
     std::optional<Trial> best() const;
@@ -77,9 +99,20 @@ public:
     const BoxBounds& bounds() const { return bounds_; }
 
 private:
-    Point maximize_acquisition();
+    /// Argmax of the acquisition over the candidate pool; points closer than
+    /// the batch separation to any entry of `pending` are skipped (with a
+    /// fallback to the unfiltered argmax when everything is too close).
+    Point maximize_acquisition(const std::vector<Point>& pending);
+    /// One proposal, honouring the initial design and `pending` exclusions.
+    /// `real_trial_count` is the history size excluding fantasy trials.
+    Point propose(const std::vector<Point>& pending,
+                  std::size_t real_trial_count);
+    /// Refits the GP on the trial history with near-duplicate points merged
+    /// (objective values averaged); resets the GP when there are no trials.
+    void refit_gp();
 
     BoxBounds bounds_;
+    std::shared_ptr<const Kernel> kernel_;
     std::unique_ptr<Acquisition> acquisition_;
     BayesOptConfig config_;
     Rng rng_;

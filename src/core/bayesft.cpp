@@ -1,16 +1,20 @@
 #include "core/bayesft.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <stdexcept>
 
+#include "core/engine.hpp"
 #include "utils/logging.hpp"
 
 namespace bayesft::core {
 
 namespace {
 
-/// Shared loop body: proposes alpha (via `propose`), installs it, trains
-/// theta for E epochs, scores the drift utility, and reports back.
+/// Shared loop body for GP-guided and random search: groups of q candidates
+/// are proposed (suggest_batch or uniform sampling), handed to the
+/// EvaluationEngine (per-candidate replicas, winner adoption), and the
+/// outcomes are reported back to the surrogate in one observe_batch.
 BayesFTResult run_search(
     models::ModelHandle& model, const data::Dataset& train_set,
     const data::Dataset& validation_set, const BayesFTConfig& config,
@@ -48,29 +52,65 @@ BayesFTResult run_search(
                              warmup, rng);
     }
 
-    BayesFTResult result;
-    for (std::size_t t = 0; t < config.iterations; ++t) {
-        const bayesopt::Point alpha =
-            use_gp ? bo.suggest() : bounds.sample(rng);
-        model.set_dropout_rates(alpha);
+    EvaluationEngine engine(
+        EngineConfig{config.eval_threads, /*cache=*/true});
+    // Alg. 1 lines 5-9 for one candidate: continue training theta under the
+    // candidate dropout configuration, then score the Monte-Carlo
+    // drift-marginalized utility (Eq. 4) on held-out data.
+    const CandidateEvaluator evaluator =
+        [&](models::ModelHandle& candidate, const Alpha&, Rng& r) {
+            nn::train_classifier(*candidate.net, train_set.images,
+                                 train_set.labels, epoch_config, r);
+            return drift_utility(*candidate.net, validation_set.images,
+                                 validation_set.labels, config.objective, r);
+        };
+    EvalContext context;
+    context.key = mix_key(0, config.objective.sigmas.data(),
+                          config.objective.sigmas.size());
+    context.key = mix_key(context.key,
+                          static_cast<std::uint64_t>(
+                              config.objective.mc_samples));
+    context.key = mix_key(context.key,
+                          static_cast<std::uint64_t>(
+                              config.epochs_per_iteration));
 
-        // Alg. 1 lines 5-7: continue training theta under the candidate
-        // dropout configuration.
-        nn::train_classifier(*model.net, train_set.images, train_set.labels,
-                             epoch_config, rng);
-
-        // Eq. 4: Monte-Carlo drift-marginalized utility on held-out data.
-        const double utility =
-            drift_utility(*model.net, validation_set.images,
-                          validation_set.labels, config.objective, rng);
-        bo.observe(alpha, utility);
-        log_debug() << "BayesFT iter " << t << " utility " << utility;
+    const std::size_t q = std::max<std::size_t>(1, config.batch);
+    if (q > 1) {
+        // Per-run nonce: batched candidate RNG streams derive from the
+        // context key, so without this two searches differing only in seed
+        // would reuse identical noise for identical (alpha, stamp) pairs.
+        // Never drawn at q == 1, which must replay the serial loop exactly.
+        context.key = mix_key(context.key, rng());
+    }
+    std::size_t done = 0;
+    while (done < config.iterations) {
+        const std::size_t group = std::min(q, config.iterations - done);
+        std::vector<bayesopt::Point> alphas;
+        if (use_gp) {
+            alphas = bo.suggest_batch(group);
+        } else {
+            alphas.reserve(group);
+            for (std::size_t j = 0; j < group; ++j) {
+                alphas.push_back(bounds.sample(rng));
+            }
+        }
+        const BatchOutcome outcome = engine.evaluate_batch(
+            model, alphas, evaluator, rng, context, /*adopt_winner=*/true);
+        bo.observe_batch(alphas, outcome.utilities);
+        for (std::size_t j = 0; j < group; ++j) {
+            log_debug() << "BayesFT iter " << (done + j) << " utility "
+                        << outcome.utilities[j];
+        }
+        done += group;
+        ++context.stamp;  // theta advanced: cached utilities are stale
     }
 
+    BayesFTResult result;
     const auto best = bo.best();
     result.best_alpha = best->x;
     result.best_utility = best->y;
     result.trials = bo.trials();
+    result.engine_cache_hits = engine.cache_hits();
 
     // Install the winner and fine-tune theta under it.
     model.set_dropout_rates(result.best_alpha);

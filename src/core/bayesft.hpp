@@ -39,6 +39,14 @@ struct BayesFTConfig {
     std::size_t warmup_epochs = 2;
     /// Extra fine-tuning epochs after the best alpha is installed.
     std::size_t final_epochs = 3;
+    /// Candidates proposed and evaluated per GP refit (q).  1 reproduces
+    /// the historical strictly serial loop bit-for-bit; larger values
+    /// evaluate q candidates concurrently on per-candidate model replicas
+    /// (EvaluationEngine) and adopt the best one as the new weights.
+    std::size_t batch = 1;
+    /// Concurrency of the candidate-evaluation engine (0 = pool width).
+    /// Batched results are bit-identical for every value.
+    std::size_t eval_threads = 0;
 };
 
 /// Outcome of a search.
@@ -46,6 +54,10 @@ struct BayesFTResult {
     std::vector<double> best_alpha;
     double best_utility = 0.0;
     std::vector<bayesopt::Trial> trials;  ///< full BO history
+    /// Candidate evaluations skipped by the engine because the batch
+    /// contained duplicate proposals (the search trains between batches,
+    /// so cross-batch cache reuse never applies here).
+    std::size_t engine_cache_hits = 0;
 };
 
 /// Runs Algorithm 1 on `model` in place: on return the model holds the

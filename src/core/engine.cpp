@@ -1,0 +1,192 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "utils/parallel.hpp"
+
+namespace bayesft::core {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
+
+std::uint64_t fnv1a_bytes(std::uint64_t seed, const unsigned char* bytes,
+                          std::size_t count) {
+    std::uint64_t h = seed == 0 ? kFnvOffset : seed;
+    for (std::size_t i = 0; i < count; ++i) {
+        h ^= bytes[i];
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+/// Deterministic RNG seed for one candidate: a pure function of the
+/// evaluation context and alpha, so duplicate proposals draw identical
+/// streams (making the memo cache sound) and results are independent of
+/// thread count and evaluation order.
+std::uint64_t candidate_seed(const EvalContext& context, const Alpha& alpha) {
+    std::uint64_t h = mix_key(context.key, context.stamp);
+    return mix_key(h, alpha.data(), alpha.size());
+}
+
+}  // namespace
+
+std::uint64_t mix_key(std::uint64_t seed, const double* values,
+                      std::size_t count) {
+    static_assert(sizeof(double) == sizeof(std::uint64_t));
+    unsigned char bytes[sizeof(double)];
+    std::uint64_t h = seed == 0 ? kFnvOffset : seed;
+    for (std::size_t i = 0; i < count; ++i) {
+        std::memcpy(bytes, &values[i], sizeof(double));
+        h = fnv1a_bytes(h, bytes, sizeof(double));
+    }
+    return h;
+}
+
+std::uint64_t mix_key(std::uint64_t seed, std::uint64_t value) {
+    unsigned char bytes[sizeof(std::uint64_t)];
+    std::memcpy(bytes, &value, sizeof(std::uint64_t));
+    return fnv1a_bytes(seed == 0 ? kFnvOffset : seed, bytes,
+                       sizeof(std::uint64_t));
+}
+
+std::size_t EvaluationEngine::CacheKeyHash::operator()(
+    const CacheKey& key) const {
+    std::uint64_t h = mix_key(key.context, key.stamp);
+    return static_cast<std::size_t>(
+        mix_key(h, key.alpha.data(), key.alpha.size()));
+}
+
+EvaluationEngine::EvaluationEngine(EngineConfig config) : config_(config) {}
+
+BatchOutcome EvaluationEngine::evaluate_batch(
+    models::ModelHandle& model, const std::vector<Alpha>& alphas,
+    const CandidateEvaluator& evaluator, Rng& rng, const EvalContext& context,
+    bool adopt_winner) {
+    if (alphas.empty()) {
+        throw std::invalid_argument(
+            "EvaluationEngine::evaluate_batch: empty batch");
+    }
+    if (!evaluator) {
+        throw std::invalid_argument(
+            "EvaluationEngine::evaluate_batch: no evaluator");
+    }
+    const std::size_t q = alphas.size();
+    if (config_.cache &&
+        (!has_active_context_ || active_context_ != context.key ||
+         active_stamp_ != context.stamp)) {
+        cache_.clear();
+        active_context_ = context.key;
+        active_stamp_ = context.stamp;
+        has_active_context_ = true;
+    }
+    BatchOutcome outcome;
+    outcome.utilities.assign(q, 0.0);
+
+    if (q == 1) {
+        // Serial-identical path: in-place training on the caller's model
+        // with the caller's RNG.  Never cached — a hit would skip the
+        // training step the serial loop performs.  The evaluator may have
+        // mutated the weights, so drop any memoized utilities (same
+        // defensive invariant as the adoption path).
+        model.set_dropout_rates(alphas[0]);
+        outcome.utilities[0] = evaluator(model, alphas[0], rng);
+        cache_.clear();
+        has_active_context_ = false;
+        return outcome;
+    }
+
+    // Within-batch dedup: candidate j with an identical earlier alpha reuses
+    // that candidate's result (identical RNG stream => identical utility).
+    std::vector<std::size_t> owner(q);
+    for (std::size_t j = 0; j < q; ++j) {
+        owner[j] = j;
+        for (std::size_t i = 0; i < j; ++i) {
+            if (alphas[i] == alphas[j]) {
+                owner[j] = i;
+                break;
+            }
+        }
+    }
+
+    std::vector<char> memoized(q, 0);
+    std::vector<std::size_t> live;
+    live.reserve(q);
+    for (std::size_t j = 0; j < q; ++j) {
+        if (owner[j] != j) continue;
+        if (config_.cache) {
+            const auto it =
+                cache_.find(CacheKey{context.key, context.stamp, alphas[j]});
+            if (it != cache_.end()) {
+                outcome.utilities[j] = it->second;
+                memoized[j] = 1;
+                ++outcome.cache_hits;
+                continue;
+            }
+        }
+        live.push_back(j);
+    }
+
+    std::vector<models::ModelHandle> replicas(q);
+    auto evaluate_candidate = [&](std::size_t j) {
+        models::ModelHandle replica = model.clone();
+        replica.set_dropout_rates(alphas[j]);
+        Rng candidate_rng(candidate_seed(context, alphas[j]));
+        outcome.utilities[j] = evaluator(replica, alphas[j], candidate_rng);
+        replicas[j] = std::move(replica);
+    };
+    if (!live.empty()) {
+        std::size_t threads =
+            config_.threads == 0 ? parallel_thread_count() : config_.threads;
+        threads = std::min(std::max<std::size_t>(threads, 1), live.size());
+        const std::size_t grain = (live.size() + threads - 1) / threads;
+        parallel_for(0, live.size(), grain,
+                     [&](std::size_t lo, std::size_t hi) {
+                         for (std::size_t i = lo; i < hi; ++i) {
+                             evaluate_candidate(live[i]);
+                         }
+                     });
+    }
+
+    for (std::size_t j = 0; j < q; ++j) {
+        if (owner[j] == j) continue;
+        outcome.utilities[j] = outcome.utilities[owner[j]];
+        ++outcome.cache_hits;  // duplicate proposals are free
+    }
+    if (config_.cache) {
+        for (const std::size_t j : live) {
+            cache_.emplace(CacheKey{context.key, context.stamp, alphas[j]},
+                           outcome.utilities[j]);
+        }
+    }
+    total_hits_ += outcome.cache_hits;
+
+    outcome.best_index = 0;
+    for (std::size_t j = 1; j < q; ++j) {
+        if (outcome.utilities[j] > outcome.utilities[outcome.best_index]) {
+            outcome.best_index = j;
+        }
+    }
+
+    if (adopt_winner) {
+        const std::size_t source = owner[outcome.best_index];
+        if (!replicas[source].net && memoized[source]) {
+            // Cross-call cache hit won without a live replica: re-run it to
+            // materialize the trained weights (same stream => same result).
+            evaluate_candidate(source);
+        }
+        model.net = std::move(replicas[source].net);
+        model.dropout_sites = std::move(replicas[source].dropout_sites);
+        // The weights just changed: cached utilities are stale regardless
+        // of whether the caller remembers to bump context.stamp.
+        cache_.clear();
+        has_active_context_ = false;
+    }
+    (void)rng;  // q > 1 never advances the caller's generator
+    return outcome;
+}
+
+}  // namespace bayesft::core

@@ -1,0 +1,122 @@
+#pragma once
+// Batched candidate-evaluation engine: the service between a proposal rule
+// (GP suggest_batch, random sampling, ...) and the expensive train-and-score
+// of one dropout configuration alpha.
+//
+// A batch of q candidates is evaluated concurrently on per-candidate model
+// replicas (ModelHandle::clone + deterministic per-candidate RNG streams),
+// and the winning candidate's trained replica is adopted as the new model
+// state, so the propose/evaluate pipeline is decoupled from the strictly
+// serial suggest -> train -> observe loop.
+//
+// Determinism contract:
+//   - q == 1 evaluates in place on the caller's model with the caller's RNG,
+//     bit-identical to the historical serial loop.
+//   - q > 1 derives each candidate's RNG purely from (context key, stamp,
+//     alpha), so results are invariant to thread count and scheduling.
+//
+// A memoization cache keyed on (context key, stamp, alpha) makes repeated /
+// duplicate proposals free; the context key should digest everything else
+// the utility depends on (seed nonce, drift sigma set, MC sample count) and
+// the stamp must be bumped whenever the underlying model weights change.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "models/zoo.hpp"
+#include "utils/rng.hpp"
+
+namespace bayesft::core {
+
+/// One candidate's dropout-rate vector.
+using Alpha = std::vector<double>;
+
+/// Trains/scores one candidate: the handle already has `alpha` installed;
+/// the evaluator may train the handle's network in place and must return
+/// the candidate's utility using only `rng` for stochastic draws.
+using CandidateEvaluator =
+    std::function<double(models::ModelHandle& model, const Alpha& alpha,
+                         Rng& rng)>;
+
+/// FNV-1a style mixing used to build engine context keys.
+std::uint64_t mix_key(std::uint64_t seed, const double* values,
+                      std::size_t count);
+std::uint64_t mix_key(std::uint64_t seed, std::uint64_t value);
+
+struct EngineConfig {
+    /// Maximum candidates evaluated concurrently; 0 = thread-pool width.
+    std::size_t threads = 0;
+    /// Enables the (context, stamp, alpha) -> utility memoization cache.
+    bool cache = true;
+};
+
+/// Identifies the evaluation environment for caching and RNG derivation.
+struct EvalContext {
+    /// Digest of everything the utility depends on besides alpha and the
+    /// model weights (seed nonce, sigma set, MC samples, epochs, ...).
+    std::uint64_t key = 0;
+    /// Version of the model weights; bump after every adoption/training so
+    /// stale utilities are never reused.
+    std::uint64_t stamp = 0;
+};
+
+/// Result of one batch evaluation.
+struct BatchOutcome {
+    std::vector<double> utilities;  ///< aligned with the alphas argument
+    std::size_t best_index = 0;     ///< argmax utility (first on ties)
+    /// Candidates served without a live evaluation: within-batch duplicates
+    /// (always) plus cross-call map hits, which require the caller to hold
+    /// (context.key, context.stamp) constant across calls — i.e. the model
+    /// weights did not change, as in pure scoring sweeps.
+    std::size_t cache_hits = 0;
+};
+
+class EvaluationEngine {
+public:
+    explicit EvaluationEngine(EngineConfig config = {});
+
+    /// Evaluates `alphas` against the current state of `model`.
+    ///
+    /// Batch size 1 runs in place on `model` with `rng` (serial-identical);
+    /// larger batches clone one replica per distinct candidate and evaluate
+    /// them in parallel.  With `adopt_winner`, the best candidate's trained
+    /// replica replaces `model`'s network (batch 1 already trained in
+    /// place).  `rng` is never advanced by the q > 1 path.
+    BatchOutcome evaluate_batch(models::ModelHandle& model,
+                                const std::vector<Alpha>& alphas,
+                                const CandidateEvaluator& evaluator, Rng& rng,
+                                const EvalContext& context, bool adopt_winner);
+
+    std::size_t cache_hits() const { return total_hits_; }
+    std::size_t cache_entries() const { return cache_.size(); }
+    void clear_cache() { cache_.clear(); }
+
+private:
+    struct CacheKey {
+        std::uint64_t context = 0;
+        std::uint64_t stamp = 0;
+        Alpha alpha;
+        bool operator==(const CacheKey& other) const {
+            return context == other.context && stamp == other.stamp &&
+                   alpha == other.alpha;
+        }
+    };
+    struct CacheKeyHash {
+        std::size_t operator()(const CacheKey& key) const;
+    };
+
+    EngineConfig config_;
+    std::unordered_map<CacheKey, double, CacheKeyHash> cache_;
+    std::size_t total_hits_ = 0;
+    // Entries from a superseded (context, stamp) can never hit again (the
+    // stamp only moves forward when weights change), so the cache is
+    // dropped on context change to stay O(q) instead of growing per batch.
+    std::uint64_t active_context_ = 0;
+    std::uint64_t active_stamp_ = 0;
+    bool has_active_context_ = false;
+};
+
+}  // namespace bayesft::core

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "core/method.hpp"
 #include "fault/evaluator.hpp"
 #include "utils/logging.hpp"
 
@@ -55,69 +56,17 @@ ExperimentResult run_classification_experiment(
     ExperimentResult result;
     result.sigmas = config.sigmas;
 
-    auto standard_metric = [&](nn::Module& m) {
-        return nn::evaluate_accuracy(m, test_set.images, test_set.labels);
-    };
-
-    if (config.methods.erm) {
-        Rng rng(config.seed + 1);
-        models::ModelHandle model = factory(num_classes, rng);
-        log_info() << "[experiment] training ERM / " << model.name;
-        train_erm(model, train_set, config.train, rng);
+    for (const auto& method : make_methods(config.methods)) {
+        Rng rng(config.seed + method->seed_offset());
+        const TrainedMethod trained = method->train(
+            factory, train_set, test_set, num_classes, config, rng);
         result.curves.push_back(
-            {"ERM", sweep(*model.net, config.sigmas, config.eval_samples, rng,
-                          standard_metric, 0)});
-    }
-    if (config.methods.ftna) {
-        Rng rng(config.seed + 2);
-        models::ModelHandle model = factory(config.ftna_code_bits, rng);
-        log_info() << "[experiment] training FTNA / " << model.name;
-        FtnaClassifier ftna(std::move(model), num_classes,
-                            config.ftna_code_bits, rng);
-        ftna.train(train_set, config.train, rng);
-        auto ftna_metric = [&](nn::Module&) {
-            return ftna.evaluate_accuracy(test_set.images, test_set.labels);
-        };
-        result.curves.push_back(
-            {"FTNA", sweep(ftna.network(), config.sigmas, config.eval_samples,
-                           rng, ftna_metric, 1)});
-    }
-    if (config.methods.reram_v) {
-        Rng rng(config.seed + 3);
-        models::ModelHandle model = factory(num_classes, rng);
-        log_info() << "[experiment] training ReRAM-V / " << model.name;
-        ReRamVConfig reram = config.reram_v;
-        reram.pretrain = config.train;
-        train_reram_v(model, train_set, reram, rng);
-        result.curves.push_back(
-            {"ReRAM-V", sweep(*model.net, config.sigmas, config.eval_samples,
-                              rng, standard_metric, 0)});
-    }
-    if (config.methods.awp) {
-        Rng rng(config.seed + 4);
-        models::ModelHandle model = factory(num_classes, rng);
-        log_info() << "[experiment] training AWP / " << model.name;
-        AwpConfig awp = config.awp;
-        awp.train = config.train;
-        train_awp(model, train_set, awp, rng);
-        result.curves.push_back(
-            {"AWP", sweep(*model.net, config.sigmas, config.eval_samples, rng,
-                          standard_metric, 0)});
-    }
-    if (config.methods.bayesft) {
-        Rng rng(config.seed + 5);
-        models::ModelHandle model = factory(num_classes, rng);
-        log_info() << "[experiment] running BayesFT search / " << model.name;
-        // Hold out part of the training set for the search's utility.
-        Rng split_rng(config.seed + 6);
-        const data::TrainTestSplit inner =
-            data::split(train_set, 0.25, split_rng);
-        const BayesFTResult search = bayesft_search(
-            model, inner.train, inner.test, config.bayesft, rng);
-        result.bayesft_alpha = search.best_alpha;
-        result.curves.push_back(
-            {"BayesFT", sweep(*model.net, config.sigmas, config.eval_samples,
-                              rng, standard_metric, 0)});
+            {method->name(),
+             sweep(*trained.net, config.sigmas, config.eval_samples, rng,
+                   trained.metric, trained.sweep_threads)});
+        if (!trained.best_alpha.empty()) {
+            result.bayesft_alpha = trained.best_alpha;
+        }
     }
     return result;
 }

@@ -1,0 +1,715 @@
+#include "core/registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "bayesopt/bayesopt.hpp"
+#include "core/baselines.hpp"
+#include "core/bayesft.hpp"
+#include "core/experiment.hpp"
+#include "core/objective.hpp"
+#include "data/digits.hpp"
+#include "data/objects.hpp"
+#include "data/pedestrians.hpp"
+#include "data/toy.hpp"
+#include "data/traffic_signs.hpp"
+#include "detect/detector.hpp"
+#include "fault/evaluator.hpp"
+#include "models/zoo.hpp"
+#include "nn/trainer.hpp"
+#include "utils/stopwatch.hpp"
+
+namespace bayesft::core {
+
+ResultTable RegistryResult::to_table(const std::string& title,
+                                     double scale) const {
+    std::vector<std::string> columns{x_label};
+    for (const NamedCurve& curve : curves) columns.push_back(curve.label);
+    ResultTable table(title, columns);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        std::vector<double> row{xs[i]};
+        for (const NamedCurve& curve : curves) {
+            row.push_back(curve.values[i] * scale);
+        }
+        table.add_row(row);
+    }
+    return table;
+}
+
+namespace {
+
+std::size_t scaled(std::size_t full, bool quick) {
+    return quick ? full / 4 : full;
+}
+
+/// The Fig. 3 defaults the benches share (bench_common's
+/// default_experiment_config, parameterized on quick mode), with the
+/// engine knobs wired from RunOptions.
+ExperimentConfig default_config(const RunOptions& options) {
+    ExperimentConfig config;
+    config.sigmas = {0.0, 0.3, 0.6, 0.9, 1.2, 1.5};
+    config.eval_samples = options.quick ? 2 : 4;
+
+    config.train.epochs = options.quick ? 2 : 8;
+    config.train.batch_size = 32;
+    config.train.learning_rate = 0.05;
+
+    config.bayesft.iterations = options.quick ? 2 : 8;
+    config.bayesft.epochs_per_iteration = options.quick ? 1 : 2;
+    config.bayesft.train = config.train;
+    config.bayesft.objective.sigmas = {0.3, 0.6, 0.9};
+    config.bayesft.objective.mc_samples = options.quick ? 1 : 3;
+    config.bayesft.warmup_epochs = options.quick ? 1 : 3;
+    config.bayesft.final_epochs = options.quick ? 1 : 4;
+    config.bayesft.max_dropout_rate = 0.5;
+    config.bayesft.batch = std::max<std::size_t>(1, options.batch);
+    config.bayesft.eval_threads = options.threads;
+
+    config.reram_v.adapt_epochs = 2;
+    config.reram_v.device_sigma = 0.3;
+    config.awp.gamma = 0.02;
+    config.ftna_code_bits = 16;
+    if (options.seed != 0) config.seed = options.seed;
+    return config;
+}
+
+RegistryResult from_experiment(const std::string& name,
+                               const ExperimentResult& experiment) {
+    RegistryResult result;
+    result.experiment = name;
+    result.x_label = "sigma";
+    result.xs = experiment.sigmas;
+    for (const MethodCurve& curve : experiment.curves) {
+        result.curves.push_back({curve.method, curve.accuracy});
+    }
+    result.bayesft_alpha = experiment.bayesft_alpha;
+    return result;
+}
+
+// ------------------------------------------------ Fig. 2 ablations ----
+
+struct Variant {
+    std::string label;
+    std::function<models::ModelHandle(Rng&)> make;
+};
+
+/// fig2_common's protocol: train every variant identically on synthetic
+/// digits (ERM) and sweep the drift sigma.
+RegistryResult run_variant_ablation(const std::string& name,
+                                    const std::vector<Variant>& variants,
+                                    const RunOptions& options) {
+    Stopwatch watch;
+    const std::uint64_t seed = options.seed;
+    Rng data_rng(11 + seed);
+    data::DigitConfig digit_config;
+    digit_config.samples = scaled(1200, options.quick);
+    digit_config.image_size = 16;
+    const data::Dataset full = data::synthetic_digits(digit_config, data_rng);
+    Rng split_rng(12 + seed);
+    const data::TrainTestSplit parts = data::split(full, 0.25, split_rng);
+
+    RegistryResult result;
+    result.experiment = name;
+    result.x_label = "sigma";
+    result.xs = {0.0, 0.3, 0.6, 0.9, 1.2, 1.5};
+    const std::size_t mc_samples = options.quick ? 2 : 5;
+
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+        Rng rng(1000 + i + seed);
+        models::ModelHandle model = variants[i].make(rng);
+        nn::TrainConfig train_config;
+        train_config.epochs = options.quick ? 3 : 10;
+        nn::train_classifier(*model.net, parts.train.images,
+                             parts.train.labels, train_config, rng);
+        Rng eval_rng(2000 + i + seed);
+        result.curves.push_back(
+            {variants[i].label,
+             fault::sigma_sweep(*model.net, parts.test.images,
+                                parts.test.labels, result.xs, mc_samples,
+                                eval_rng)});
+    }
+    result.seconds = watch.seconds();
+    return result;
+}
+
+models::MlpOptions base_mlp_options() {
+    models::MlpOptions options;
+    options.input_features = 256;
+    options.hidden = 64;
+    options.hidden_layers = 2;
+    return options;
+}
+
+RegistryResult run_fig2a(const RunOptions& options) {
+    const models::MlpOptions base = base_mlp_options();
+    std::vector<Variant> variants;
+    variants.push_back({"Original", [base](Rng& rng) {
+                            models::MlpOptions o = base;
+                            o.dropout = models::DropoutKind::kNone;
+                            return models::make_mlp(o, rng);
+                        }});
+    variants.push_back({"DropOut", [base](Rng& rng) {
+                            models::MlpOptions o = base;
+                            o.dropout = models::DropoutKind::kStandard;
+                            o.initial_dropout_rate = 0.3;
+                            return models::make_mlp(o, rng);
+                        }});
+    variants.push_back({"AlphaDropOut", [base](Rng& rng) {
+                            models::MlpOptions o = base;
+                            o.dropout = models::DropoutKind::kAlpha;
+                            o.initial_dropout_rate = 0.3;
+                            return models::make_mlp(o, rng);
+                        }});
+    return run_variant_ablation("fig2a_dropout", variants, options);
+}
+
+RegistryResult run_fig2b(const RunOptions& options) {
+    auto norm_variant = [](const std::string& label, models::NormKind norm) {
+        return Variant{label, [norm](Rng& rng) {
+                           models::MlpOptions o = base_mlp_options();
+                           o.dropout = models::DropoutKind::kNone;
+                           o.norm = norm;
+                           return models::make_mlp(o, rng);
+                       }};
+    };
+    return run_variant_ablation(
+        "fig2b_normalization",
+        {norm_variant("WithoutNorm", models::NormKind::kNone),
+         norm_variant("InstanceNorm", models::NormKind::kInstance),
+         norm_variant("BatchNorm", models::NormKind::kBatch),
+         norm_variant("GroupNorm", models::NormKind::kGroup),
+         norm_variant("LayerNorm", models::NormKind::kLayer)},
+        options);
+}
+
+RegistryResult run_fig2c(const RunOptions& options) {
+    auto depth_variant = [](const std::string& label, std::size_t layers) {
+        return Variant{label, [layers](Rng& rng) {
+                           models::MlpOptions o = base_mlp_options();
+                           o.hidden_layers = layers;
+                           o.dropout = models::DropoutKind::kNone;
+                           return models::make_mlp(o, rng);
+                       }};
+    };
+    return run_variant_ablation("fig2c_depth",
+                                {depth_variant("3-Layer", 2),
+                                 depth_variant("6-Layer", 5),
+                                 depth_variant("9-Layer", 8)},
+                                options);
+}
+
+RegistryResult run_fig2d(const RunOptions& options) {
+    auto act_variant = [](const std::string& label,
+                          const std::string& activation) {
+        return Variant{label, [activation](Rng& rng) {
+                           models::MlpOptions o = base_mlp_options();
+                           o.dropout = models::DropoutKind::kNone;
+                           o.activation = activation;
+                           return models::make_mlp(o, rng);
+                       }};
+    };
+    return run_variant_ablation("fig2d_activation",
+                                {act_variant("ReLU", "relu"),
+                                 act_variant("ELU", "elu"),
+                                 act_variant("GELU", "gelu"),
+                                 act_variant("LeakyReLU", "leaky_relu")},
+                                options);
+}
+
+// ------------------------------------------------- Fig. 3 panels ----
+
+/// Shared body of the classification panels: synthesize the task with the
+/// panel's historical seeds, run every enabled method, time it.
+RegistryResult run_classification_panel(
+    const std::string& name, const data::Dataset& full,
+    std::uint64_t split_seed, const ModelFactory& factory,
+    std::size_t num_classes, ExperimentConfig config) {
+    Stopwatch watch;
+    Rng split_rng(split_seed);
+    const data::TrainTestSplit parts = data::split(full, 0.25, split_rng);
+    RegistryResult result =
+        from_experiment(name, run_classification_experiment(
+                                  factory, parts.train, parts.test,
+                                  num_classes, config));
+    result.seconds = watch.seconds();
+    return result;
+}
+
+data::Dataset digits_task(std::size_t samples, std::uint64_t seed,
+                          const RunOptions& options) {
+    Rng data_rng(seed + options.seed);
+    data::DigitConfig config;
+    config.samples = scaled(samples, options.quick);
+    config.image_size = 16;
+    return data::synthetic_digits(config, data_rng);
+}
+
+data::Dataset objects_task(std::size_t samples, std::uint64_t seed,
+                           const RunOptions& options) {
+    Rng data_rng(seed + options.seed);
+    data::ObjectConfig config;
+    config.samples = scaled(samples, options.quick);
+    return data::synthetic_objects(config, data_rng);
+}
+
+RegistryResult run_fig3a(const RunOptions& options) {
+    const ModelFactory factory = [](std::size_t outputs, Rng& rng) {
+        models::MlpOptions o = base_mlp_options();
+        o.classes = outputs;
+        return models::make_mlp(o, rng);
+    };
+    return run_classification_panel(
+        "fig3a_mlp_mnist", digits_task(1200, 31, options), 32 + options.seed,
+        factory, 10, default_config(options));
+}
+
+RegistryResult run_fig3b(const RunOptions& options) {
+    const ModelFactory factory = [](std::size_t outputs, Rng& rng) {
+        return models::make_lenet5(1, 16, outputs, rng);
+    };
+    ExperimentConfig config = default_config(options);
+    config.train.epochs = options.quick ? 3 : 12;
+    config.train.learning_rate = 0.03;
+    config.bayesft.train = config.train;
+    return run_classification_panel("fig3b_lenet_mnist",
+                                    digits_task(1000, 41, options),
+                                    42 + options.seed, factory, 10, config);
+}
+
+ExperimentConfig conv_config(const RunOptions& options) {
+    ExperimentConfig config = default_config(options);
+    config.train.learning_rate = 0.02;
+    config.bayesft.train = config.train;
+    return config;
+}
+
+RegistryResult run_fig3c(const RunOptions& options) {
+    const ModelFactory factory = [](std::size_t outputs, Rng& rng) {
+        return models::make_alexnet_s(outputs, rng);
+    };
+    return run_classification_panel(
+        "fig3c_alexnet_cifar", objects_task(1000, 51, options),
+        52 + options.seed, factory, 10, conv_config(options));
+}
+
+RegistryResult run_fig3d(const RunOptions& options) {
+    const ModelFactory factory = [](std::size_t outputs, Rng& rng) {
+        return models::make_resnet18_s(outputs, rng);
+    };
+    return run_classification_panel(
+        "fig3d_resnet_cifar", objects_task(800, 61, options),
+        62 + options.seed, factory, 10, conv_config(options));
+}
+
+RegistryResult run_fig3e(const RunOptions& options) {
+    const ModelFactory factory = [](std::size_t outputs, Rng& rng) {
+        return models::make_vgg11_s(outputs, rng);
+    };
+    return run_classification_panel(
+        "fig3e_vgg_cifar", objects_task(800, 71, options),
+        72 + options.seed, factory, 10, conv_config(options));
+}
+
+/// Depth sweep panels run ERM + BayesFT per depth (the panel's message is
+/// the depth/robustness interaction, not the full baseline zoo).
+RegistryResult run_preact_depth(const std::string& name, std::size_t blocks,
+                                const RunOptions& options) {
+    const ModelFactory factory = [blocks](std::size_t outputs, Rng& rng) {
+        return models::make_preact_resnet_s(blocks, outputs, rng);
+    };
+    ExperimentConfig config = conv_config(options);
+    config.methods.ftna = false;
+    config.methods.reram_v = false;
+    config.methods.awp = false;
+    return run_classification_panel(name, objects_task(800, 81, options),
+                                    82 + options.seed, factory, 10, config);
+}
+
+RegistryResult run_fig3i(const RunOptions& options) {
+    Rng data_rng(91 + options.seed);
+    data::TrafficSignConfig sign_config;
+    sign_config.samples = scaled(2150, options.quick);
+    const data::Dataset full =
+        data::synthetic_traffic_signs(sign_config, data_rng);
+    const ModelFactory factory = [](std::size_t outputs, Rng& rng) {
+        return models::make_stn_classifier(outputs, rng);
+    };
+    ExperimentConfig config = conv_config(options);
+    config.methods.ftna = false;  // per the paper
+    return run_classification_panel("fig3i_gtsrb", full, 92 + options.seed,
+                                    factory, 43, config);
+}
+
+/// CI-sized toy scenario: 3-class blobs, tiny MLP, ERM vs BayesFT only.
+RegistryResult run_toy(const RunOptions& options) {
+    Rng data_rng(1 + options.seed);
+    const data::Dataset full = data::make_blobs(
+        options.quick ? 300 : 600, 3, 4.0, 0.6, data_rng);
+    const ModelFactory factory = [](std::size_t outputs, Rng& rng) {
+        models::MlpOptions o;
+        o.input_features = 2;
+        o.hidden = 24;
+        o.hidden_layers = 2;
+        o.classes = outputs;
+        return models::make_mlp(o, rng);
+    };
+    ExperimentConfig config = default_config(options);
+    config.sigmas = {0.0, 0.6, 1.2};
+    config.train.epochs = options.quick ? 4 : 8;
+    // 4 iterations even in quick mode so a --batch 4 smoke run (CI) forms
+    // one genuinely 4-wide candidate batch.
+    config.bayesft.iterations = 4;
+    config.bayesft.train = config.train;
+    config.methods.ftna = false;
+    config.methods.reram_v = false;
+    config.methods.awp = false;
+    return run_classification_panel("toy_mlp_blobs", full, 2 + options.seed,
+                                    factory, 3, config);
+}
+
+// -------------------------------------------- Fig. 3(j) detection ----
+
+struct DetectionData {
+    Tensor train_images;
+    std::vector<std::vector<detect::Box>> train_boxes;
+    Tensor val_images;
+    std::vector<std::vector<detect::Box>> val_boxes;
+    Tensor test_images;
+    std::vector<std::vector<detect::Box>> test_boxes;
+};
+
+DetectionData make_detection_data(const RunOptions& options) {
+    Rng rng(101 + options.seed);
+    data::PedestrianConfig config;
+    config.samples = options.quick ? 120 : 360;
+    const data::DetectionDataset scenes =
+        data::synthetic_pedestrians(config, rng);
+
+    const std::size_t n = scenes.size();
+    const std::size_t row = scenes.images.size() / n;
+    const std::size_t train_n = n * 6 / 10;
+    const std::size_t val_n = n * 2 / 10;
+    auto slice = [&](std::size_t lo, std::size_t hi, Tensor& images,
+                     std::vector<std::vector<detect::Box>>& boxes) {
+        std::vector<std::size_t> shape = scenes.images.shape();
+        shape[0] = hi - lo;
+        images = Tensor(shape);
+        std::copy_n(scenes.images.data() + lo * row, (hi - lo) * row,
+                    images.data());
+        boxes.assign(scenes.boxes.begin() + static_cast<std::ptrdiff_t>(lo),
+                     scenes.boxes.begin() + static_cast<std::ptrdiff_t>(hi));
+    };
+    DetectionData data;
+    slice(0, train_n, data.train_images, data.train_boxes);
+    slice(train_n, train_n + val_n, data.val_images, data.val_boxes);
+    slice(train_n + val_n, n, data.test_images, data.test_boxes);
+    return data;
+}
+
+double map_under_drift(detect::GridDetector& detector, const Tensor& images,
+                       const std::vector<std::vector<detect::Box>>& boxes,
+                       double sigma, std::size_t samples, Rng& rng) {
+    const fault::LogNormalDrift drift(sigma);
+    return fault::evaluate_metric_under_drift(
+               detector.network(), drift, samples, rng,
+               [&](nn::Module& m) {
+                   return detector.evaluate_map_with(m, images, boxes);
+               },
+               0)
+        .mean_accuracy;
+}
+
+/// Algorithm 1 applied to the detector: alternate short training runs with
+/// BO updates on the per-stage dropout rates, utility = drift-averaged mAP.
+void bayesft_detector_search(detect::GridDetector& detector,
+                             const DetectionData& data,
+                             const RunOptions& options, Rng& rng) {
+    const std::size_t dims = detector.dropout_sites().size();
+    bayesopt::BayesOptConfig bo_config;
+    bo_config.initial_random_trials = 3;
+    bayesopt::BayesOpt bo(
+        bayesopt::BoxBounds::uniform(dims, 0.0, 0.6),
+        std::make_shared<bayesopt::ArdSquaredExponential>(dims, 4.0),
+        std::make_unique<bayesopt::PosteriorMean>(), bo_config, rng.split());
+
+    detect::DetectorTrainConfig step;
+    step.epochs = options.quick ? 4 : 10;
+    const std::size_t iterations = options.quick ? 3 : 7;
+    const std::size_t mc_samples = options.quick ? 1 : 2;
+
+    for (std::size_t t = 0; t < iterations; ++t) {
+        const bayesopt::Point alpha = bo.suggest();
+        for (std::size_t i = 0; i < dims; ++i) {
+            detector.dropout_sites()[i]->set_rate(alpha[i]);
+        }
+        detector.train(data.train_images, data.train_boxes, step, rng);
+        double utility = 0.0;
+        for (double sigma : {0.2, 0.4}) {
+            utility += map_under_drift(detector, data.val_images,
+                                       data.val_boxes, sigma, mc_samples,
+                                       rng);
+        }
+        bo.observe(alpha, utility / 2.0);
+    }
+    const auto best = bo.best();
+    for (std::size_t i = 0; i < dims; ++i) {
+        detector.dropout_sites()[i]->set_rate(best->x[i]);
+    }
+    detector.train(data.train_images, data.train_boxes, step, rng);
+}
+
+RegistryResult run_fig3j(const RunOptions& options) {
+    Stopwatch watch;
+    const DetectionData data = make_detection_data(options);
+    const std::vector<double> sigmas{0.0, 0.2, 0.4, 0.6, 0.8};
+    const std::size_t eval_samples = options.quick ? 2 : 4;
+
+    Rng erm_rng(111 + options.seed);
+    detect::GridDetectorConfig detector_config;
+    detect::GridDetector erm(detector_config, erm_rng);
+    detect::DetectorTrainConfig train_config;
+    train_config.epochs = options.quick ? 15 : 60;
+    erm.train(data.train_images, data.train_boxes, train_config, erm_rng);
+
+    Rng bft_rng(112 + options.seed);
+    detect::GridDetector bft(detector_config, bft_rng);
+    bayesft_detector_search(bft, data, options, bft_rng);
+
+    RegistryResult result;
+    result.experiment = "fig3j_detection";
+    result.x_label = "sigma";
+    result.xs = sigmas;
+    NamedCurve erm_curve{"ERM mAP", {}};
+    NamedCurve bft_curve{"BayesFT mAP", {}};
+    Rng eval_rng(113 + options.seed);
+    for (double sigma : sigmas) {
+        erm_curve.values.push_back(
+            map_under_drift(erm, data.test_images, data.test_boxes, sigma,
+                            eval_samples, eval_rng));
+        bft_curve.values.push_back(
+            map_under_drift(bft, data.test_images, data.test_boxes, sigma,
+                            eval_samples, eval_rng));
+    }
+    result.curves.push_back(std::move(erm_curve));
+    result.curves.push_back(std::move(bft_curve));
+    result.seconds = watch.seconds();
+    return result;
+}
+
+// ------------------------------------------------------ Ablations ----
+
+/// GP-guided vs random search under the same trial budget, plus EI/UCB.
+RegistryResult run_bo_vs_random(const RunOptions& options) {
+    Stopwatch watch;
+    Rng data_rng(131 + options.seed);
+    data::DigitConfig digit_config;
+    digit_config.samples = scaled(1000, options.quick);
+    digit_config.image_size = 16;
+    const data::Dataset full = data::synthetic_digits(digit_config, data_rng);
+    Rng split_rng(132 + options.seed);
+    const data::TrainTestSplit parts = data::split(full, 0.25, split_rng);
+
+    BayesFTConfig config;
+    config.iterations = options.quick ? 3 : 10;
+    config.epochs_per_iteration = 1;
+    config.objective.sigmas = {0.3, 0.6, 0.9};
+    config.objective.mc_samples = options.quick ? 1 : 3;
+    config.final_epochs = 2;
+    config.batch = std::max<std::size_t>(1, options.batch);
+    config.eval_threads = options.threads;
+
+    const struct {
+        const char* label;
+        const char* acquisition;  // nullptr = random search
+    } strategies[] = {
+        {"BO-PosteriorMean", "posterior_mean"},
+        {"BO-EI", "ei"},
+        {"BO-UCB", "ucb"},
+        {"RandomSearch", nullptr},
+    };
+
+    RegistryResult result;
+    result.experiment = "ablation_bo_vs_random";
+    result.x_label = "trial_budget";
+    result.xs = {static_cast<double>(config.iterations)};
+    for (const auto& strategy : strategies) {
+        Rng rng(777 + options.seed);  // identical stream per strategy
+        models::MlpOptions model_options = base_mlp_options();
+        model_options.hidden_layers = 3;  // 3 searchable dropout sites
+        models::ModelHandle model = models::make_mlp(model_options, rng);
+        BayesFTConfig run_config = config;
+        BayesFTResult search;
+        if (strategy.acquisition != nullptr) {
+            run_config.acquisition = strategy.acquisition;
+            search = bayesft_search(model, parts.train, parts.test,
+                                    run_config, rng);
+        } else {
+            search = random_search(model, parts.train, parts.test,
+                                   run_config, rng);
+        }
+        result.curves.push_back({strategy.label, {search.best_utility}});
+    }
+    result.seconds = watch.seconds();
+    return result;
+}
+
+/// Noise of the Monte-Carlo utility estimate (Eq. 4) vs sample count T.
+RegistryResult run_mc_samples(const RunOptions& options) {
+    Stopwatch watch;
+    Rng data_rng(141 + options.seed);
+    data::DigitConfig digit_config;
+    digit_config.samples = scaled(800, options.quick);
+    digit_config.image_size = 16;
+    const data::Dataset full = data::synthetic_digits(digit_config, data_rng);
+    Rng split_rng(142 + options.seed);
+    const data::TrainTestSplit parts = data::split(full, 0.25, split_rng);
+
+    Rng rng(143 + options.seed);
+    models::ModelHandle model = models::make_mlp(base_mlp_options(), rng);
+    nn::TrainConfig train_config;
+    train_config.epochs = options.quick ? 3 : 8;
+    train_erm(model, parts.train, train_config, rng);
+
+    RegistryResult result;
+    result.experiment = "ablation_mc_samples";
+    result.x_label = "mc_samples";
+    NamedCurve mean_curve{"mean_utility", {}};
+    NamedCurve std_curve{"utility_std", {}};
+    NamedCurve cost_curve{"seconds_per_estimate", {}};
+    const std::size_t repeats = options.quick ? 4 : 10;
+    for (std::size_t t : {1, 2, 4, 8, 16}) {
+        result.xs.push_back(static_cast<double>(t));
+        ObjectiveConfig objective;
+        objective.sigmas = {0.6};
+        objective.mc_samples = t;
+        std::vector<double> estimates;
+        Stopwatch estimate_watch;
+        for (std::size_t r = 0; r < repeats; ++r) {
+            Rng eval_rng(1000 + r + options.seed);
+            estimates.push_back(drift_utility(*model.net, parts.test.images,
+                                              parts.test.labels, objective,
+                                              eval_rng));
+        }
+        const double elapsed =
+            estimate_watch.seconds() / static_cast<double>(repeats);
+        double mean = 0.0;
+        for (double e : estimates) mean += e;
+        mean /= static_cast<double>(estimates.size());
+        double var = 0.0;
+        for (double e : estimates) var += (e - mean) * (e - mean);
+        var /= static_cast<double>(estimates.size());
+        mean_curve.values.push_back(mean);
+        std_curve.values.push_back(std::sqrt(var));
+        cost_curve.values.push_back(elapsed);
+    }
+    result.curves.push_back(std::move(mean_curve));
+    result.curves.push_back(std::move(std_curve));
+    result.curves.push_back(std::move(cost_curve));
+    result.seconds = watch.seconds();
+    return result;
+}
+
+// ---------------------------------------------------- registration ----
+
+ExperimentRegistry make_builtin_registry() {
+    ExperimentRegistry registry;
+    registry.add({"fig2a_dropout", "fig2",
+                  "dropout ablation (MLP, synthetic digits)", run_fig2a});
+    registry.add({"fig2b_normalization", "fig2",
+                  "normalization ablation (MLP, synthetic digits)",
+                  run_fig2b});
+    registry.add({"fig2c_depth", "fig2",
+                  "model-complexity ablation (MLP depth sweep)", run_fig2c});
+    registry.add({"fig2d_activation", "fig2",
+                  "activation-function ablation (MLP)", run_fig2d});
+    registry.add({"fig3a_mlp_mnist", "fig3",
+                  "MLP on synthetic digits, all methods", run_fig3a});
+    registry.add({"fig3b_lenet_mnist", "fig3",
+                  "LeNet on synthetic digits, all methods", run_fig3b});
+    registry.add({"fig3c_alexnet_cifar", "fig3",
+                  "AlexNet-S on synthetic objects, all methods", run_fig3c});
+    registry.add({"fig3d_resnet_cifar", "fig3",
+                  "ResNet18-S on synthetic objects, all methods", run_fig3d});
+    registry.add({"fig3e_vgg_cifar", "fig3",
+                  "VGG11-S on synthetic objects, all methods", run_fig3e});
+    registry.add({"fig3f_preact18", "fig3",
+                  "PreAct-S depth 1 block/stage, ERM vs BayesFT",
+                  [](const RunOptions& options) {
+                      return run_preact_depth("fig3f_preact18", 1, options);
+                  }});
+    registry.add({"fig3g_preact50", "fig3",
+                  "PreAct-S depth 2 blocks/stage, ERM vs BayesFT",
+                  [](const RunOptions& options) {
+                      return run_preact_depth("fig3g_preact50", 2, options);
+                  }});
+    registry.add({"fig3h_preact152", "fig3",
+                  "PreAct-S depth 4 blocks/stage, ERM vs BayesFT",
+                  [](const RunOptions& options) {
+                      return run_preact_depth("fig3h_preact152", 4, options);
+                  }});
+    registry.add({"fig3i_gtsrb", "fig3",
+                  "STN-lite on synthetic traffic signs (43 classes)",
+                  run_fig3i});
+    registry.add({"fig3j_detection", "fig3",
+                  "grid detector mAP vs drift (synthetic pedestrians)",
+                  run_fig3j});
+    registry.add({"ablation_bo_vs_random", "ablation",
+                  "GP-guided vs random alpha search, same budget",
+                  run_bo_vs_random});
+    registry.add({"ablation_mc_samples", "ablation",
+                  "MC utility-estimate noise vs sample count T",
+                  run_mc_samples});
+    registry.add({"toy_mlp_blobs", "toy",
+                  "CI-sized blobs task, ERM vs BayesFT", run_toy});
+    return registry;
+}
+
+}  // namespace
+
+const ExperimentRegistry& ExperimentRegistry::instance() {
+    static const ExperimentRegistry registry = make_builtin_registry();
+    return registry;
+}
+
+void ExperimentRegistry::add(ExperimentSpec spec) {
+    if (spec.name.empty() || !spec.run) {
+        throw std::invalid_argument(
+            "ExperimentRegistry::add: spec needs a name and a runner");
+    }
+    if (find(spec.name) != nullptr) {
+        throw std::invalid_argument("ExperimentRegistry::add: duplicate '" +
+                                    spec.name + "'");
+    }
+    specs_.push_back(std::move(spec));
+}
+
+std::vector<std::string> ExperimentRegistry::names() const {
+    std::vector<std::string> out;
+    out.reserve(specs_.size());
+    for (const ExperimentSpec& spec : specs_) out.push_back(spec.name);
+    return out;
+}
+
+const ExperimentSpec* ExperimentRegistry::find(
+    const std::string& name) const {
+    for (const ExperimentSpec& spec : specs_) {
+        if (spec.name == name) return &spec;
+    }
+    return nullptr;
+}
+
+RegistryResult ExperimentRegistry::run(const std::string& name,
+                                       const RunOptions& options) const {
+    const ExperimentSpec* spec = find(name);
+    if (spec == nullptr) {
+        throw std::invalid_argument(
+            "ExperimentRegistry::run: unknown experiment '" + name +
+            "' (use --list)");
+    }
+    return spec->run(options);
+}
+
+}  // namespace bayesft::core

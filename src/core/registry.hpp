@@ -1,0 +1,84 @@
+#pragma once
+// Unified experiment registry: every reproduced scenario — the Fig. 2
+// architecture ablations, the Fig. 3 method-comparison panels (including
+// detection), the search-strategy and MC-sample ablations, and a CI-sized
+// toy task — registered by name behind one entry point, so a single
+// `experiments` binary (and tests, and CI) can list and run any of them
+// instead of one hand-rolled driver per figure.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "utils/table.hpp"
+
+namespace bayesft::core {
+
+/// Caller-side knobs shared by all registered experiments.
+struct RunOptions {
+    /// Shrinks datasets / epochs / MC samples for a fast smoke run (the
+    /// same scaling the benches apply under BAYESFT_QUICK=1).
+    bool quick = false;
+    /// BayesFT candidate batch size q handed to the evaluation engine.
+    std::size_t batch = 1;
+    /// Evaluation-engine concurrency (0 = pool width).
+    std::size_t threads = 0;
+    /// Overrides the scenario's base seed when non-zero.
+    std::uint64_t seed = 0;
+};
+
+/// One labeled series of an experiment (method or model variant).
+struct NamedCurve {
+    std::string label;
+    std::vector<double> values;  ///< aligned with RegistryResult::xs
+};
+
+/// Normalized result shape every registered experiment produces.
+struct RegistryResult {
+    std::string experiment;
+    std::string x_label;  ///< "sigma", "mc_samples", "trial_budget", ...
+    std::vector<double> xs;
+    std::vector<NamedCurve> curves;
+    std::vector<double> bayesft_alpha;  ///< when a BayesFT search ran
+    double seconds = 0.0;               ///< wall clock of the run
+
+    /// Rows = xs, columns = curves.  `scale` multiplies values (100 for
+    /// accuracy -> percent).
+    ResultTable to_table(const std::string& title, double scale) const;
+};
+
+/// A registered scenario.
+struct ExperimentSpec {
+    std::string name;         ///< e.g. "fig3a_mlp_mnist"
+    std::string family;       ///< "fig2" | "fig3" | "ablation" | "toy"
+    std::string description;  ///< one line for --list
+    std::function<RegistryResult(const RunOptions&)> run;
+};
+
+/// Name -> scenario lookup over all built-in experiments.
+class ExperimentRegistry {
+public:
+    /// The global registry with every built-in scenario registered.
+    static const ExperimentRegistry& instance();
+
+    /// Registers a scenario; throws std::invalid_argument on a duplicate
+    /// or empty name.
+    void add(ExperimentSpec spec);
+
+    /// All specs in registration order.
+    const std::vector<ExperimentSpec>& list() const { return specs_; }
+    std::vector<std::string> names() const;
+
+    /// nullptr when unknown.
+    const ExperimentSpec* find(const std::string& name) const;
+
+    /// Runs by name; throws std::invalid_argument for unknown names.
+    RegistryResult run(const std::string& name,
+                       const RunOptions& options) const;
+
+private:
+    std::vector<ExperimentSpec> specs_;
+};
+
+}  // namespace bayesft::core

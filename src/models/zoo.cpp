@@ -1,5 +1,6 @@
 #include "models/zoo.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "nn/activations.hpp"
@@ -30,6 +31,41 @@ std::vector<double> ModelHandle::dropout_rates() const {
         rates.push_back(site->rate());
     }
     return rates;
+}
+
+ModelHandle ModelHandle::clone() const {
+    if (!net) {
+        throw std::runtime_error("ModelHandle::clone: empty handle");
+    }
+    ModelHandle copy;
+    copy.name = name;
+    copy.net = net->clone();
+    if (!copy.net) {
+        throw std::runtime_error("ModelHandle::clone: model '" + name +
+                                 "' has a layer without clone() support");
+    }
+    // clone() preserves structure, so dropout layers correspond by DFS
+    // position; map each registered site through that correspondence.
+    const std::vector<nn::Dropout*> original =
+        nn::collect_dropout_layers(*net);
+    const std::vector<nn::Dropout*> cloned =
+        nn::collect_dropout_layers(*copy.net);
+    if (original.size() != cloned.size()) {
+        throw std::runtime_error(
+            "ModelHandle::clone: dropout layer count mismatch in replica");
+    }
+    copy.dropout_sites.reserve(dropout_sites.size());
+    for (nn::Dropout* site : dropout_sites) {
+        const auto it = std::find(original.begin(), original.end(), site);
+        if (it == original.end()) {
+            throw std::runtime_error(
+                "ModelHandle::clone: registered dropout site not reachable "
+                "via collect_children traversal");
+        }
+        copy.dropout_sites.push_back(
+            cloned[static_cast<std::size_t>(it - original.begin())]);
+    }
+    return copy;
 }
 
 namespace {

@@ -29,6 +29,12 @@ struct ModelHandle {
     void set_dropout_rates(const std::vector<double>& alpha);
     /// Current rates, in site order.
     std::vector<double> dropout_rates() const;
+
+    /// Deep replica of the network (Module::clone) with `dropout_sites`
+    /// re-located inside the copy by structural position, so a replica can
+    /// receive its own candidate alpha.  Throws std::runtime_error if any
+    /// layer lacks clone() support.
+    ModelHandle clone() const;
 };
 
 /// Normalization choice for the Fig. 2(b) ablation.

@@ -56,4 +56,10 @@ private:
     float scale_a_ = 1.0F;
 };
 
+/// All standard Dropout layers reachable from `root`, in deterministic DFS
+/// pre-order (container child order).  Because clone() preserves structure,
+/// the n-th dropout of a module equals the n-th dropout of its clone — the
+/// basis for re-locating searchable sites inside model replicas.
+std::vector<Dropout*> collect_dropout_layers(Module& root);
+
 }  // namespace bayesft::nn

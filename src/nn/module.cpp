@@ -41,6 +41,10 @@ Tensor Sequential::backward(const Tensor& grad_output) {
     return current;
 }
 
+void Sequential::collect_children(std::vector<Module*>& out) {
+    for (auto& child : children_) out.push_back(child.get());
+}
+
 void Sequential::collect_parameters(std::vector<Parameter*>& out) {
     for (auto& child : children_) child->collect_parameters(out);
 }

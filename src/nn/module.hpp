@@ -57,6 +57,15 @@ public:
     /// to serial evaluation.
     virtual std::unique_ptr<Module> clone() const { return nullptr; }
 
+    /// Appends raw (non-owning) pointers to this module's direct children.
+    /// Leaves append nothing (the default); containers must override so the
+    /// module tree can be traversed generically (e.g. to re-locate layer
+    /// handles inside a clone()d replica).  Child order must be
+    /// deterministic and match the order the container runs them.
+    virtual void collect_children(std::vector<Module*>& out) {
+        (void)out;
+    }
+
     /// Appends raw (non-owning) pointers to this module's parameters.
     virtual void collect_parameters(std::vector<Parameter*>& out);
 
@@ -109,6 +118,7 @@ public:
 
     Tensor forward(const Tensor& input) override;
     Tensor backward(const Tensor& grad_output) override;
+    void collect_children(std::vector<Module*>& out) override;
     void collect_parameters(std::vector<Parameter*>& out) override;
     void collect_buffers(std::vector<Tensor*>& out) override;
     void set_training(bool training) override;

@@ -30,6 +30,11 @@ Tensor Residual::backward(const Tensor& grad_output) {
     return grad_main.add_(grad_short);
 }
 
+void Residual::collect_children(std::vector<Module*>& out) {
+    out.push_back(main_.get());
+    out.push_back(shortcut_.get());
+}
+
 void Residual::collect_parameters(std::vector<Parameter*>& out) {
     main_->collect_parameters(out);
     shortcut_->collect_parameters(out);

@@ -17,6 +17,7 @@ public:
 
     Tensor forward(const Tensor& input) override;
     Tensor backward(const Tensor& grad_output) override;
+    void collect_children(std::vector<Module*>& out) override;
     void collect_parameters(std::vector<Parameter*>& out) override;
     void collect_buffers(std::vector<Tensor*>& out) override;
     void set_training(bool training) override;

@@ -190,6 +190,10 @@ Tensor SpatialTransformer::backward(const Tensor& grad_output) {
     return grads.grad_input.add_(grad_via_loc);
 }
 
+void SpatialTransformer::collect_children(std::vector<Module*>& out) {
+    out.push_back(loc_net_.get());
+}
+
 void SpatialTransformer::collect_parameters(std::vector<Parameter*>& out) {
     loc_net_->collect_parameters(out);
 }

@@ -250,6 +250,120 @@ TEST(BayesOpt, ObserveValidatesInput) {
     EXPECT_FALSE(bo.best().has_value());
 }
 
+TEST(BayesOpt, SuggestBatchOfOneMatchesSuggest) {
+    // Two identical optimizers: suggest_batch(1) must replay suggest()
+    // exactly (no fantasy observations, same RNG draws).
+    const auto make = [] {
+        BayesOptConfig config;
+        config.initial_random_trials = 3;
+        return BayesOpt(BoxBounds::uniform(2, 0.0, 1.0),
+                        std::make_shared<ArdSquaredExponential>(2, 4.0),
+                        std::make_unique<UpperConfidenceBound>(1.5), config,
+                        Rng(17));
+    };
+    BayesOpt serial = make();
+    BayesOpt batched = make();
+    for (int i = 0; i < 8; ++i) {
+        const Point a = serial.suggest();
+        const std::vector<Point> b = batched.suggest_batch(1);
+        ASSERT_EQ(b.size(), 1U);
+        EXPECT_EQ(a, b[0]) << "iteration " << i;
+        const double y = quadratic_peak(a);
+        serial.observe(a, y);
+        batched.observe_batch({b[0]}, {y});
+    }
+    ASSERT_EQ(serial.trials().size(), batched.trials().size());
+    for (std::size_t t = 0; t < serial.trials().size(); ++t) {
+        EXPECT_EQ(serial.trials()[t].x, batched.trials()[t].x);
+        EXPECT_EQ(serial.trials()[t].y, batched.trials()[t].y);
+    }
+}
+
+TEST(BayesOpt, SuggestBatchIsDiverseAndRollsBackFantasies) {
+    BayesOptConfig config;
+    config.initial_random_trials = 4;
+    BayesOpt bo(BoxBounds::uniform(2, 0.0, 1.0),
+                std::make_shared<ArdSquaredExponential>(2, 4.0),
+                std::make_unique<PosteriorMean>(), config, Rng(19));
+    for (int i = 0; i < 6; ++i) {
+        const Point x = bo.suggest();
+        bo.observe(x, quadratic_peak(x));
+    }
+    const std::size_t trials_before = bo.trials().size();
+    const std::size_t gp_rows_before = bo.surrogate().observation_count();
+
+    const std::vector<Point> batch = bo.suggest_batch(4);
+    ASSERT_EQ(batch.size(), 4U);
+    // Diversity: no two candidates within the separation tolerance.  (The
+    // implementation may fall back to the unfiltered argmax when the whole
+    // candidate pool crowds the pending picks; with 512 uniform pool
+    // samples over [0,1]^2 and this fixed seed that path is unreachable,
+    // so a failure here means the diversity guard actually regressed.)
+    const double min_separation =
+        config.batch_separation_fraction * std::sqrt(2.0) * 0.5;
+    for (std::size_t a = 0; a < batch.size(); ++a) {
+        for (double v : batch[a]) {
+            EXPECT_GE(v, 0.0);
+            EXPECT_LE(v, 1.0);
+        }
+        for (std::size_t b = a + 1; b < batch.size(); ++b) {
+            double dist = 0.0;
+            for (std::size_t d = 0; d < 2; ++d) {
+                const double delta = batch[a][d] - batch[b][d];
+                dist += delta * delta;
+            }
+            EXPECT_GT(std::sqrt(dist), min_separation)
+                << "candidates " << a << " and " << b << " too close";
+        }
+    }
+    // The constant-liar fantasies must not leak into the real history.
+    EXPECT_EQ(bo.trials().size(), trials_before);
+    EXPECT_EQ(bo.surrogate().observation_count(), gp_rows_before);
+    EXPECT_THROW(bo.suggest_batch(0), std::invalid_argument);
+}
+
+TEST(BayesOpt, ObserveBatchValidatesInput) {
+    BayesOptConfig config;
+    BayesOpt bo(BoxBounds::uniform(2, 0.0, 1.0),
+                std::make_shared<ArdSquaredExponential>(2, 1.0),
+                std::make_unique<PosteriorMean>(), config, Rng(23));
+    EXPECT_THROW(bo.observe_batch({}, {}), std::invalid_argument);
+    EXPECT_THROW(bo.observe_batch({{0.5, 0.5}}, {1.0, 2.0}),
+                 std::invalid_argument);
+    EXPECT_THROW(bo.observe_batch({{0.5}}, {1.0}), std::invalid_argument);
+    EXPECT_THROW(
+        bo.observe_batch({{0.5, 0.5}},
+                         {std::numeric_limits<double>::infinity()}),
+        std::invalid_argument);
+    bo.observe_batch({{0.2, 0.2}, {0.8, 0.8}}, {0.0, 1.0});
+    EXPECT_EQ(bo.trials().size(), 2U);
+    EXPECT_TRUE(bo.surrogate().fitted());
+}
+
+TEST(BayesOpt, DuplicateObservationsMergeIntoOneGpRow) {
+    // Observing the same point many times used to hand the GP a singular
+    // Gram matrix (rescued only by escalating Cholesky jitter).  The
+    // duplicate guard merges repeats into one averaged observation.
+    BayesOptConfig config;
+    BayesOpt bo(BoxBounds::uniform(2, 0.0, 1.0),
+                std::make_shared<ArdSquaredExponential>(2, 4.0),
+                std::make_unique<PosteriorMean>(), config, Rng(29));
+    for (int i = 0; i < 30; ++i) {
+        bo.observe({0.5, 0.5}, i % 2 == 0 ? 0.0 : 1.0);
+    }
+    EXPECT_EQ(bo.trials().size(), 30U);                   // history intact
+    EXPECT_EQ(bo.surrogate().observation_count(), 1U);    // one GP row
+    const Posterior post = bo.surrogate().posterior({0.5, 0.5});
+    EXPECT_TRUE(std::isfinite(post.mean));
+    EXPECT_NEAR(post.mean, 0.5, 0.05);  // averaged repeats
+
+    // Near-duplicates (within tolerance) merge too; distinct points do not.
+    bo.observe({0.5 + 1e-9, 0.5}, 1.0);
+    EXPECT_EQ(bo.surrogate().observation_count(), 1U);
+    bo.observe({0.9, 0.1}, 0.3);
+    EXPECT_EQ(bo.surrogate().observation_count(), 2U);
+}
+
 TEST(BayesOpt, SuggestStaysInBounds) {
     BayesOptConfig config;
     config.initial_random_trials = 2;
