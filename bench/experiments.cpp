@@ -32,7 +32,7 @@ void print_usage() {
         "  --list            list registered experiments and exit\n"
         "  --run <name>      run one experiment (repeatable)\n"
         "  --family <fam>    run every experiment of a family "
-        "(fig2|fig3|ablation|toy)\n"
+        "(fig2|fig3|faults|ablation|toy)\n"
         "  --quick           shrink datasets/epochs for a smoke run\n"
         "  --batch <q>       BayesFT candidate batch size (default 1)\n"
         "  --threads <n>     thread budget (sets BAYESFT_NUM_THREADS)\n"
@@ -183,9 +183,13 @@ int main(int argc, char** argv) {
             std::cerr << "experiments: " << error.what() << "\n";
             return 1;
         }
-        // Sigma-axis experiments report fractions (accuracy or mAP);
-        // render them as percentages.
-        const bool percent = result.x_label == "sigma";
+        // Fault-level-axis experiments report fractions (accuracy or mAP);
+        // render them as percentages.  The ablation axes (mc_samples,
+        // trial_budget) report utilities/seconds and stay raw.
+        const bool percent = result.x_label == "sigma" ||
+                             result.x_label == "stuck_fraction" ||
+                             result.x_label == "flip_probability" ||
+                             result.x_label == "bits";
         std::cout << "\n"
                   << result.to_table(name + (percent ? " (%)" : ""),
                                      percent ? 100.0 : 1.0)

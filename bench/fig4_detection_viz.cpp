@@ -14,6 +14,7 @@
 #include "data/pedestrians.hpp"
 #include "detect/detector.hpp"
 #include "detect/render.hpp"
+#include "fault/drift.hpp"
 #include "fault/injector.hpp"
 #include "utils/table.hpp"
 

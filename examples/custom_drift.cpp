@@ -1,13 +1,18 @@
-// Extension example: plugging a custom drift distribution into the
-// framework (paper Sec. II-B: "our methodology can be seamlessly extended
-// to other possible weight drifting distributions").
+// Extension example: plugging a custom fault model into the framework
+// (paper Sec. II-B: "our methodology can be seamlessly extended to other
+// possible weight drifting distributions").
 //
 // Implements a temperature-dependent drift model — log-normal scale noise
 // whose sigma grows with die temperature, plus a small stuck-at-zero cell
-// probability — and evaluates a trained classifier against it, alongside
-// the built-in models.
+// probability — and evaluates a trained classifier against it alongside
+// the built-in fault-model zoo (drift, stuck-at, bit flips, variation,
+// quantization, and a composed deployment chain).
 //
-// Build & run:  ./build/examples/custom_drift
+// A custom FaultModel implements four members: perturb (draws only from
+// the Rng argument — no hidden state, see docs/fault-models.md), clone,
+// describe, and params.
+//
+// Build & run:  ./build/example_custom_drift
 
 #include <cmath>
 #include <iostream>
@@ -18,6 +23,8 @@
 #include "data/digits.hpp"
 #include "fault/drift.hpp"
 #include "fault/evaluator.hpp"
+#include "fault/model.hpp"
+#include "fault/zoo.hpp"
 #include "models/zoo.hpp"
 #include "utils/logging.hpp"
 #include "utils/table.hpp"
@@ -28,16 +35,17 @@ using namespace bayesft;
 
 /// Arrhenius-flavoured thermal drift: sigma(T) = sigma25 * exp(k (T - 25)),
 /// composed with dead cells appearing above 85C.
-class ThermalDrift : public fault::DriftModel {
+class ThermalDrift final : public fault::FaultModel {
 public:
     ThermalDrift(double sigma_at_25c, double temperature_c)
-        : sigma_(sigma_at_25c * std::exp(0.02 * (temperature_c - 25.0))),
+        : sigma_at_25c_(sigma_at_25c),
+          sigma_(sigma_at_25c * std::exp(0.02 * (temperature_c - 25.0))),
           dead_cell_probability_(
               temperature_c > 85.0 ? 0.01 * (temperature_c - 85.0) / 10.0
                                    : 0.0),
           temperature_c_(temperature_c) {}
 
-    void apply(std::span<float> weights, Rng& rng) const override {
+    void perturb(std::span<float> weights, Rng& rng) const override {
         for (float& w : weights) {
             if (dead_cell_probability_ > 0.0 &&
                 rng.bernoulli(dead_cell_probability_)) {
@@ -48,6 +56,10 @@ public:
         }
     }
 
+    std::unique_ptr<fault::FaultModel> clone() const override {
+        return std::make_unique<ThermalDrift>(sigma_at_25c_, temperature_c_);
+    }
+
     std::string describe() const override {
         std::ostringstream os;
         os << "ThermalDrift(T=" << temperature_c_ << "C, sigma=" << sigma_
@@ -55,7 +67,12 @@ public:
         return os.str();
     }
 
+    std::vector<double> params() const override {
+        return {sigma_at_25c_, temperature_c_};
+    }
+
 private:
+    double sigma_at_25c_;
     double sigma_;
     double dead_cell_probability_;
     double temperature_c_;
@@ -85,34 +102,41 @@ int main() {
     nn::train_classifier(*model.net, parts.train.images, parts.train.labels,
                          train_config, rng);
 
-    // The evaluator only sees the DriftModel interface — any distribution
+    // The evaluator only sees the FaultModel interface — any perturbation
     // plugs in without touching the rest of the pipeline.
-    std::vector<std::unique_ptr<fault::DriftModel>> drifts;
-    drifts.push_back(std::make_unique<fault::LogNormalDrift>(0.5));
-    drifts.push_back(std::make_unique<fault::GaussianAdditiveDrift>(0.1));
-    drifts.push_back(std::make_unique<fault::UniformScaleDrift>(0.5));
-    drifts.push_back(std::make_unique<fault::StuckAtZeroDrift>(0.1));
-    drifts.push_back(std::make_unique<fault::SignFlipDrift>(0.02));
-    drifts.push_back(std::make_unique<ThermalDrift>(0.3, 25.0));
-    drifts.push_back(std::make_unique<ThermalDrift>(0.3, 75.0));
-    drifts.push_back(std::make_unique<ThermalDrift>(0.3, 105.0));
+    std::vector<std::unique_ptr<fault::FaultModel>> faults;
+    faults.push_back(std::make_unique<fault::LogNormalDrift>(0.5));
+    faults.push_back(std::make_unique<fault::GaussianAdditiveDrift>(0.1));
+    faults.push_back(std::make_unique<fault::UniformScaleDrift>(0.5));
+    faults.push_back(std::make_unique<fault::StuckAtZeroDrift>(0.1));
+    faults.push_back(std::make_unique<fault::SignFlipDrift>(0.02));
+    faults.push_back(std::make_unique<fault::StuckAtFault>(0.05, 0.25));
+    faults.push_back(std::make_unique<fault::BitFlipFault>(1e-3, 8));
+    faults.push_back(std::make_unique<fault::GaussianVariationFault>(0.3));
+    faults.push_back(std::make_unique<fault::QuantizationFault>(6));
+    faults.push_back(std::make_unique<ThermalDrift>(0.3, 25.0));
+    faults.push_back(std::make_unique<ThermalDrift>(0.3, 75.0));
+    faults.push_back(std::make_unique<ThermalDrift>(0.3, 105.0));
     {
-        // Composition: scale noise followed by dead cells.
-        std::vector<std::unique_ptr<fault::DriftModel>> stages;
+        // Composition: a real deployment chain — quantize to 8 bits, then
+        // device variation, then drift.
+        std::vector<std::unique_ptr<fault::FaultModel>> stages;
+        stages.push_back(std::make_unique<fault::QuantizationFault>(8));
+        stages.push_back(
+            std::make_unique<fault::GaussianVariationFault>(0.2));
         stages.push_back(std::make_unique<fault::LogNormalDrift>(0.3));
-        stages.push_back(std::make_unique<fault::StuckAtZeroDrift>(0.05));
-        drifts.push_back(
-            std::make_unique<fault::ComposedDrift>(std::move(stages)));
+        faults.push_back(
+            std::make_unique<fault::ComposedFault>(std::move(stages)));
     }
 
-    ResultTable table("Accuracy under different drift distributions "
+    ResultTable table("Accuracy under the fault-model zoo "
                       "(MLP + dropout 0.3, 6 MC samples)",
-                      {"drift model", "mean %", "std %"});
-    for (const auto& drift : drifts) {
-        const auto report = fault::evaluate_under_drift(
-            *model.net, parts.test.images, parts.test.labels, *drift, 6,
+                      {"fault model", "mean %", "std %"});
+    for (const auto& fault : faults) {
+        const auto report = fault::evaluate_under_faults(
+            *model.net, parts.test.images, parts.test.labels, *fault, 6,
             rng);
-        table.add_text_row({drift->describe(),
+        table.add_text_row({fault->describe(),
                             format_double(report.mean_accuracy * 100.0, 1),
                             format_double(report.std_accuracy * 100.0, 1)});
     }

@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "data/digits.hpp"
+#include "fault/drift.hpp"
 #include "fault/sensitivity.hpp"
 #include "models/zoo.hpp"
 #include "nn/serialize.hpp"

@@ -56,20 +56,17 @@ BayesFTResult run_search(
         EngineConfig{config.eval_threads, /*cache=*/true});
     // Alg. 1 lines 5-9 for one candidate: continue training theta under the
     // candidate dropout configuration, then score the Monte-Carlo
-    // drift-marginalized utility (Eq. 4) on held-out data.
+    // fault-marginalized utility (Eq. 4) on held-out data — under whatever
+    // FaultModel set the objective configures (drift by default).
     const CandidateEvaluator evaluator =
         [&](models::ModelHandle& candidate, const Alpha&, Rng& r) {
             nn::train_classifier(*candidate.net, train_set.images,
                                  train_set.labels, epoch_config, r);
-            return drift_utility(*candidate.net, validation_set.images,
+            return fault_utility(*candidate.net, validation_set.images,
                                  validation_set.labels, config.objective, r);
         };
     EvalContext context;
-    context.key = mix_key(0, config.objective.sigmas.data(),
-                          config.objective.sigmas.size());
-    context.key = mix_key(context.key,
-                          static_cast<std::uint64_t>(
-                              config.objective.mc_samples));
+    context.key = objective_digest(config.objective);
     context.key = mix_key(context.key,
                           static_cast<std::uint64_t>(
                               config.epochs_per_iteration));

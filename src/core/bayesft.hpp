@@ -1,7 +1,10 @@
 #pragma once
 // BayesFT (paper Algorithm 1): alternating optimization of network weights
 // theta (SGD) and per-layer dropout rates alpha (Bayesian optimization with
-// a GP surrogate over the drift-marginalized utility).
+// a GP surrogate over the fault-marginalized utility).  The utility
+// marginalizes over the paper's log-normal drift by default; setting
+// ObjectiveConfig::faults searches for robustness against any FaultModel
+// set (stuck-at, bit flips, variation, quantization, compositions).
 
 #include <cstdint>
 #include <string>

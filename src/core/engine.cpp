@@ -53,6 +53,13 @@ std::uint64_t mix_key(std::uint64_t seed, std::uint64_t value) {
                        sizeof(std::uint64_t));
 }
 
+std::uint64_t mix_key(std::uint64_t seed, std::string_view text) {
+    // Length-prefixed so {"ab","c"} and {"a","bc"} digest differently.
+    std::uint64_t h = mix_key(seed, static_cast<std::uint64_t>(text.size()));
+    return fnv1a_bytes(h, reinterpret_cast<const unsigned char*>(text.data()),
+                       text.size());
+}
+
 std::size_t EvaluationEngine::CacheKeyHash::operator()(
     const CacheKey& key) const {
     std::uint64_t h = mix_key(key.context, key.stamp);

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -36,16 +37,24 @@ using Alpha = std::vector<double>;
 
 /// Trains/scores one candidate: the handle already has `alpha` installed;
 /// the evaluator may train the handle's network in place and must return
-/// the candidate's utility using only `rng` for stochastic draws.
+/// the candidate's utility using only `rng` for stochastic draws.  Called
+/// concurrently on per-candidate replicas when q > 1, so it must not touch
+/// shared mutable state outside the handle it is given.
 using CandidateEvaluator =
     std::function<double(models::ModelHandle& model, const Alpha& alpha,
                          Rng& rng)>;
 
-/// FNV-1a style mixing used to build engine context keys.
+/// FNV-1a style mixing used to build engine context keys.  The overloads
+/// fold doubles (bitwise), integers, and strings (e.g. a FaultModel's
+/// describe() output) into one digest; all are pure functions.
 std::uint64_t mix_key(std::uint64_t seed, const double* values,
                       std::size_t count);
 std::uint64_t mix_key(std::uint64_t seed, std::uint64_t value);
+std::uint64_t mix_key(std::uint64_t seed, std::string_view text);
 
+/// Engine knobs.  An EvaluationEngine instance is NOT thread-safe itself
+/// (its memo cache is unsynchronized): drive one engine from one thread;
+/// the engine parallelizes the candidate evaluations internally.
 struct EngineConfig {
     /// Maximum candidates evaluated concurrently; 0 = thread-pool width.
     std::size_t threads = 0;
@@ -56,7 +65,8 @@ struct EngineConfig {
 /// Identifies the evaluation environment for caching and RNG derivation.
 struct EvalContext {
     /// Digest of everything the utility depends on besides alpha and the
-    /// model weights (seed nonce, sigma set, MC samples, epochs, ...).
+    /// model weights (seed nonce, fault-model configuration, MC samples,
+    /// epochs, ...).  Build it with objective_digest + mix_key.
     std::uint64_t key = 0;
     /// Version of the model weights; bump after every adoption/training so
     /// stale utilities are never reused.
@@ -90,8 +100,13 @@ public:
                                 const CandidateEvaluator& evaluator, Rng& rng,
                                 const EvalContext& context, bool adopt_winner);
 
+    /// Lifetime total of evaluations served without running the evaluator
+    /// (within-batch duplicates + cross-call map hits).
     std::size_t cache_hits() const { return total_hits_; }
+    /// Currently memoized (context, stamp, alpha) -> utility entries.
     std::size_t cache_entries() const { return cache_.size(); }
+    /// Drops all memoized utilities (e.g. after mutating model weights
+    /// outside the engine).
     void clear_cache() { cache_.clear(); }
 
 private:

@@ -18,6 +18,8 @@
 #include "data/traffic_signs.hpp"
 #include "detect/detector.hpp"
 #include "fault/evaluator.hpp"
+#include "fault/model.hpp"
+#include "fault/zoo.hpp"
 #include "models/zoo.hpp"
 #include "nn/trainer.hpp"
 #include "utils/stopwatch.hpp"
@@ -409,17 +411,24 @@ DetectionData make_detection_data(const RunOptions& options) {
     return data;
 }
 
-double map_under_drift(detect::GridDetector& detector, const Tensor& images,
+double map_under_fault(detect::GridDetector& detector, const Tensor& images,
                        const std::vector<std::vector<detect::Box>>& boxes,
-                       double sigma, std::size_t samples, Rng& rng) {
-    const fault::LogNormalDrift drift(sigma);
-    return fault::evaluate_metric_under_drift(
-               detector.network(), drift, samples, rng,
+                       const fault::FaultModel& fault, std::size_t samples,
+                       Rng& rng) {
+    return fault::evaluate_metric_under_faults(
+               detector.network(), fault, samples, rng,
                [&](nn::Module& m) {
                    return detector.evaluate_map_with(m, images, boxes);
                },
                0)
         .mean_accuracy;
+}
+
+double map_under_drift(detect::GridDetector& detector, const Tensor& images,
+                       const std::vector<std::vector<detect::Box>>& boxes,
+                       double sigma, std::size_t samples, Rng& rng) {
+    return map_under_fault(detector, images, boxes,
+                           fault::LogNormalDrift(sigma), samples, rng);
 }
 
 /// Algorithm 1 applied to the detector: alternate short training runs with
@@ -495,6 +504,271 @@ RegistryResult run_fig3j(const RunOptions& options) {
     }
     result.curves.push_back(std::move(erm_curve));
     result.curves.push_back(std::move(bft_curve));
+    result.seconds = watch.seconds();
+    return result;
+}
+
+// ---------------------------------------------- fault-model zoo ----
+// Variants of the paper's panels under the non-drift members of the
+// FaultModel zoo (stuck-at, bit-flip, variation, quantization, composed
+// deployment chains).  Family "faults"; documented in docs/fault-models.md
+// and docs/experiments.md.
+
+/// Builds one fault scenario at sweep level `level` (the meaning of the
+/// level — fraction, flip probability, sigma, bits — is the factory's).
+using FaultFactory =
+    std::function<std::unique_ptr<fault::FaultModel>(double level)>;
+
+/// fig2a-style protocol under an arbitrary fault family: train the
+/// no-dropout and dropout MLP variants once on synthetic digits, then
+/// sweep the fault level instead of the drift sigma.
+RegistryResult run_fault_sweep(const std::string& name,
+                               const std::string& x_label,
+                               std::vector<double> levels,
+                               const FaultFactory& make_fault,
+                               const RunOptions& options) {
+    Stopwatch watch;
+    const std::uint64_t seed = options.seed;
+    Rng data_rng(151 + seed);
+    data::DigitConfig digit_config;
+    digit_config.samples = scaled(1200, options.quick);
+    digit_config.image_size = 16;
+    const data::Dataset full = data::synthetic_digits(digit_config, data_rng);
+    Rng split_rng(152 + seed);
+    const data::TrainTestSplit parts = data::split(full, 0.25, split_rng);
+
+    const models::MlpOptions base = base_mlp_options();
+    std::vector<Variant> variants;
+    variants.push_back({"Original", [base](Rng& rng) {
+                            models::MlpOptions o = base;
+                            o.dropout = models::DropoutKind::kNone;
+                            return models::make_mlp(o, rng);
+                        }});
+    variants.push_back({"DropOut", [base](Rng& rng) {
+                            models::MlpOptions o = base;
+                            o.dropout = models::DropoutKind::kStandard;
+                            o.initial_dropout_rate = 0.3;
+                            return models::make_mlp(o, rng);
+                        }});
+
+    RegistryResult result;
+    result.experiment = name;
+    result.x_label = x_label;
+    result.xs = std::move(levels);
+    const std::size_t mc_samples = options.quick ? 2 : 5;
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+        Rng rng(3000 + i + seed);
+        models::ModelHandle model = variants[i].make(rng);
+        nn::TrainConfig train_config;
+        train_config.epochs = options.quick ? 3 : 10;
+        nn::train_classifier(*model.net, parts.train.images,
+                             parts.train.labels, train_config, rng);
+        NamedCurve curve{variants[i].label, {}};
+        Rng eval_rng(4000 + i + seed);
+        for (double level : result.xs) {
+            const std::unique_ptr<fault::FaultModel> fault =
+                make_fault(level);
+            curve.values.push_back(
+                fault::evaluate_under_faults(*model.net, parts.test.images,
+                                             parts.test.labels, *fault,
+                                             mc_samples, eval_rng)
+                    .mean_accuracy);
+        }
+        result.curves.push_back(std::move(curve));
+    }
+    result.seconds = watch.seconds();
+    return result;
+}
+
+/// fig3a-style protocol under an arbitrary fault family: ERM vs BayesFT
+/// where the search's utility marginalizes over `search_levels` of the
+/// same family (ObjectiveConfig::faults), then both models sweep `levels`.
+RegistryResult run_fault_search(const std::string& name,
+                                const std::string& x_label,
+                                std::vector<double> levels,
+                                const std::vector<double>& search_levels,
+                                const FaultFactory& make_fault,
+                                const RunOptions& options) {
+    Stopwatch watch;
+    const std::uint64_t seed = options.seed;
+    Rng data_rng(161 + seed);
+    data::DigitConfig digit_config;
+    digit_config.samples = scaled(800, options.quick);
+    digit_config.image_size = 16;
+    const data::Dataset full = data::synthetic_digits(digit_config, data_rng);
+    Rng split_rng(162 + seed);
+    const data::TrainTestSplit parts = data::split(full, 0.25, split_rng);
+
+    Rng erm_rng(163 + seed);
+    models::ModelHandle erm = models::make_mlp(base_mlp_options(), erm_rng);
+    nn::TrainConfig train_config;
+    train_config.epochs = options.quick ? 3 : 8;
+    nn::train_classifier(*erm.net, parts.train.images, parts.train.labels,
+                         train_config, erm_rng);
+
+    Rng bft_rng(164 + seed);
+    models::ModelHandle bft = models::make_mlp(base_mlp_options(), bft_rng);
+    BayesFTConfig config;
+    config.iterations = options.quick ? 2 : 6;
+    config.epochs_per_iteration = 1;
+    config.objective.mc_samples = options.quick ? 1 : 2;
+    for (double level : search_levels) {
+        config.objective.faults.push_back(make_fault(level));
+    }
+    config.warmup_epochs = options.quick ? 1 : 2;
+    config.final_epochs = options.quick ? 1 : 2;
+    config.max_dropout_rate = 0.5;
+    config.batch = std::max<std::size_t>(1, options.batch);
+    config.eval_threads = options.threads;
+    const BayesFTResult search =
+        bayesft_search(bft, parts.train, parts.test, config, bft_rng);
+
+    RegistryResult result;
+    result.experiment = name;
+    result.x_label = x_label;
+    result.xs = std::move(levels);
+    result.bayesft_alpha = search.best_alpha;
+    NamedCurve erm_curve{"ERM", {}};
+    NamedCurve bft_curve{"BayesFT", {}};
+    const std::size_t mc_samples = options.quick ? 2 : 4;
+    Rng eval_rng(165 + seed);
+    for (double level : result.xs) {
+        const std::unique_ptr<fault::FaultModel> fault = make_fault(level);
+        erm_curve.values.push_back(
+            fault::evaluate_under_faults(*erm.net, parts.test.images,
+                                         parts.test.labels, *fault,
+                                         mc_samples, eval_rng)
+                .mean_accuracy);
+        bft_curve.values.push_back(
+            fault::evaluate_under_faults(*bft.net, parts.test.images,
+                                         parts.test.labels, *fault,
+                                         mc_samples, eval_rng)
+                .mean_accuracy);
+    }
+    result.curves.push_back(std::move(erm_curve));
+    result.curves.push_back(std::move(bft_curve));
+    result.seconds = watch.seconds();
+    return result;
+}
+
+/// fig3j-style detection variant: grid-detector mAP vs device-variation
+/// level, plain training vs a fixed-dropout detector (no search — the
+/// panel's message is that the fault layer generalizes to detection).
+RegistryResult run_fault_detection(const RunOptions& options) {
+    Stopwatch watch;
+    const std::uint64_t seed = options.seed;
+    Rng rng(171 + seed);
+    data::PedestrianConfig config;
+    config.samples = options.quick ? 64 : 240;
+    const data::DetectionDataset scenes =
+        data::synthetic_pedestrians(config, rng);
+
+    const std::size_t n = scenes.size();
+    const std::size_t row = scenes.images.size() / n;
+    const std::size_t train_n = n * 7 / 10;
+    auto slice = [&](std::size_t lo, std::size_t hi, Tensor& images,
+                     std::vector<std::vector<detect::Box>>& boxes) {
+        std::vector<std::size_t> shape = scenes.images.shape();
+        shape[0] = hi - lo;
+        images = Tensor(shape);
+        std::copy_n(scenes.images.data() + lo * row, (hi - lo) * row,
+                    images.data());
+        boxes.assign(scenes.boxes.begin() + static_cast<std::ptrdiff_t>(lo),
+                     scenes.boxes.begin() + static_cast<std::ptrdiff_t>(hi));
+    };
+    Tensor train_images, test_images;
+    std::vector<std::vector<detect::Box>> train_boxes, test_boxes;
+    slice(0, train_n, train_images, train_boxes);
+    slice(train_n, n, test_images, test_boxes);
+
+    detect::DetectorTrainConfig train_config;
+    train_config.epochs = options.quick ? 10 : 40;
+
+    Rng erm_rng(172 + seed);
+    detect::GridDetectorConfig detector_config;
+    detect::GridDetector erm(detector_config, erm_rng);
+    erm.train(train_images, train_boxes, train_config, erm_rng);
+
+    Rng drop_rng(173 + seed);
+    detect::GridDetector dropped(detector_config, drop_rng);
+    for (auto* site : dropped.dropout_sites()) site->set_rate(0.15);
+    dropped.train(train_images, train_boxes, train_config, drop_rng);
+
+    RegistryResult result;
+    result.experiment = "faults_fig3j_variation";
+    result.x_label = "sigma";
+    result.xs = {0.0, 0.2, 0.4, 0.6};
+    NamedCurve erm_curve{"ERM mAP", {}};
+    NamedCurve drop_curve{"DropOut-0.15 mAP", {}};
+    const std::size_t mc_samples = options.quick ? 2 : 4;
+    Rng eval_rng(174 + seed);
+    for (double sigma : result.xs) {
+        const fault::GaussianVariationFault variation(sigma);
+        erm_curve.values.push_back(map_under_fault(
+            erm, test_images, test_boxes, variation, mc_samples, eval_rng));
+        drop_curve.values.push_back(
+            map_under_fault(dropped, test_images, test_boxes, variation,
+                            mc_samples, eval_rng));
+    }
+    result.curves.push_back(std::move(erm_curve));
+    result.curves.push_back(std::move(drop_curve));
+    result.seconds = watch.seconds();
+    return result;
+}
+
+/// Composed deployment chain: quantize(8b) -> device variation -> drift,
+/// matching a real memristor deployment, against drift alone on the same
+/// trained dropout MLP.
+RegistryResult run_composed_deploy(const RunOptions& options) {
+    Stopwatch watch;
+    const std::uint64_t seed = options.seed;
+    Rng data_rng(181 + seed);
+    data::DigitConfig digit_config;
+    digit_config.samples = scaled(1000, options.quick);
+    digit_config.image_size = 16;
+    const data::Dataset full = data::synthetic_digits(digit_config, data_rng);
+    Rng split_rng(182 + seed);
+    const data::TrainTestSplit parts = data::split(full, 0.25, split_rng);
+
+    Rng rng(183 + seed);
+    models::MlpOptions model_options = base_mlp_options();
+    model_options.dropout = models::DropoutKind::kStandard;
+    model_options.initial_dropout_rate = 0.3;
+    models::ModelHandle model = models::make_mlp(model_options, rng);
+    nn::TrainConfig train_config;
+    train_config.epochs = options.quick ? 3 : 10;
+    nn::train_classifier(*model.net, parts.train.images, parts.train.labels,
+                         train_config, rng);
+
+    RegistryResult result;
+    result.experiment = "faults_composed_deploy";
+    result.x_label = "sigma";
+    result.xs = {0.0, 0.3, 0.6, 0.9};
+    NamedCurve drift_curve{"Drift", {}};
+    NamedCurve deploy_curve{"Quant8+Var+Drift", {}};
+    const std::size_t mc_samples = options.quick ? 2 : 5;
+    Rng eval_rng(184 + seed);
+    for (double sigma : result.xs) {
+        drift_curve.values.push_back(
+            fault::evaluate_under_faults(*model.net, parts.test.images,
+                                         parts.test.labels,
+                                         fault::LogNormalDrift(sigma),
+                                         mc_samples, eval_rng)
+                .mean_accuracy);
+        std::vector<std::unique_ptr<fault::FaultModel>> stages;
+        stages.push_back(std::make_unique<fault::QuantizationFault>(8));
+        stages.push_back(
+            std::make_unique<fault::GaussianVariationFault>(0.2));
+        stages.push_back(std::make_unique<fault::LogNormalDrift>(sigma));
+        const fault::ComposedFault deploy(std::move(stages));
+        deploy_curve.values.push_back(
+            fault::evaluate_under_faults(*model.net, parts.test.images,
+                                         parts.test.labels, deploy,
+                                         mc_samples, eval_rng)
+                .mean_accuracy);
+    }
+    result.curves.push_back(std::move(drift_curve));
+    result.curves.push_back(std::move(deploy_curve));
     result.seconds = watch.seconds();
     return result;
 }
@@ -656,6 +930,85 @@ ExperimentRegistry make_builtin_registry() {
     registry.add({"fig3j_detection", "fig3",
                   "grid detector mAP vs drift (synthetic pedestrians)",
                   run_fig3j});
+    registry.add({"faults_fig2a_stuckat", "faults",
+                  "dropout ablation under SA0/SA1 stuck-at faults",
+                  [](const RunOptions& options) {
+                      return run_fault_sweep(
+                          "faults_fig2a_stuckat", "stuck_fraction",
+                          {0.0, 0.02, 0.05, 0.1, 0.2},
+                          [](double level) {
+                              return std::make_unique<fault::StuckAtFault>(
+                                  level, 0.25);
+                          },
+                          options);
+                  }});
+    registry.add({"faults_fig2a_bitflip", "faults",
+                  "dropout ablation under 8-bit SEU bit flips",
+                  [](const RunOptions& options) {
+                      return run_fault_sweep(
+                          "faults_fig2a_bitflip", "flip_probability",
+                          {0.0, 1e-4, 5e-4, 2e-3, 1e-2},
+                          [](double level) {
+                              return std::make_unique<fault::BitFlipFault>(
+                                  level, 8);
+                          },
+                          options);
+                  }});
+    registry.add({"faults_fig2a_variation", "faults",
+                  "dropout ablation under lognormal device variation",
+                  [](const RunOptions& options) {
+                      return run_fault_sweep(
+                          "faults_fig2a_variation", "sigma",
+                          {0.0, 0.2, 0.4, 0.6, 0.8},
+                          [](double level) {
+                              return std::make_unique<
+                                  fault::GaussianVariationFault>(level);
+                          },
+                          options);
+                  }});
+    registry.add({"faults_fig2a_quant", "faults",
+                  "dropout ablation vs quantization word width",
+                  [](const RunOptions& options) {
+                      return run_fault_sweep(
+                          "faults_fig2a_quant", "bits",
+                          {8.0, 6.0, 5.0, 4.0, 3.0, 2.0},
+                          [](double level) {
+                              return std::make_unique<
+                                  fault::QuantizationFault>(
+                                  static_cast<int>(level));
+                          },
+                          options);
+                  }});
+    registry.add({"faults_fig3a_stuckat", "faults",
+                  "ERM vs BayesFT searched under stuck-at faults",
+                  [](const RunOptions& options) {
+                      return run_fault_search(
+                          "faults_fig3a_stuckat", "stuck_fraction",
+                          {0.0, 0.02, 0.05, 0.1, 0.2}, {0.05, 0.1},
+                          [](double level) {
+                              return std::make_unique<fault::StuckAtFault>(
+                                  level, 0.25);
+                          },
+                          options);
+                  }});
+    registry.add({"faults_fig3a_bitflip", "faults",
+                  "ERM vs BayesFT searched under SEU bit flips",
+                  [](const RunOptions& options) {
+                      return run_fault_search(
+                          "faults_fig3a_bitflip", "flip_probability",
+                          {0.0, 1e-4, 5e-4, 2e-3, 1e-2}, {5e-4, 2e-3},
+                          [](double level) {
+                              return std::make_unique<fault::BitFlipFault>(
+                                  level, 8);
+                          },
+                          options);
+                  }});
+    registry.add({"faults_fig3j_variation", "faults",
+                  "grid detector mAP vs device variation",
+                  run_fault_detection});
+    registry.add({"faults_composed_deploy", "faults",
+                  "quantize->variation->drift deployment chain vs drift",
+                  run_composed_deploy});
     registry.add({"ablation_bo_vs_random", "ablation",
                   "GP-guided vs random alpha search, same budget",
                   run_bo_vs_random});

@@ -1,10 +1,13 @@
 #pragma once
 // Unified experiment registry: every reproduced scenario — the Fig. 2
 // architecture ablations, the Fig. 3 method-comparison panels (including
-// detection), the search-strategy and MC-sample ablations, and a CI-sized
-// toy task — registered by name behind one entry point, so a single
-// `experiments` binary (and tests, and CI) can list and run any of them
-// instead of one hand-rolled driver per figure.
+// detection), the fault-model-zoo variants (stuck-at, bit-flip, variation,
+// quantization, composed deployment chains; family "faults"), the
+// search-strategy and MC-sample ablations, and a CI-sized toy task —
+// registered by name behind one entry point, so a single `experiments`
+// binary (and tests, and CI) can list and run any of them instead of one
+// hand-rolled driver per figure.  docs/experiments.md documents every
+// scenario with its paper figure, expected runtime, and CLI invocation.
 
 #include <cstdint>
 #include <functional>
@@ -51,12 +54,16 @@ struct RegistryResult {
 /// A registered scenario.
 struct ExperimentSpec {
     std::string name;         ///< e.g. "fig3a_mlp_mnist"
-    std::string family;       ///< "fig2" | "fig3" | "ablation" | "toy"
+    std::string family;  ///< "fig2" | "fig3" | "faults" | "ablation" | "toy"
     std::string description;  ///< one line for --list
     std::function<RegistryResult(const RunOptions&)> run;
 };
 
 /// Name -> scenario lookup over all built-in experiments.
+///
+/// Thread safety: `instance()` is initialized once (magic static); the
+/// const lookups (list/names/find/run) are safe to call concurrently.
+/// `add` mutates the spec list and must not race with lookups.
 class ExperimentRegistry {
 public:
     /// The global registry with every built-in scenario registered.

@@ -2,39 +2,25 @@
 
 #include <cmath>
 #include <sstream>
-#include <stdexcept>
 
 namespace bayesft::fault {
 
-namespace {
-
-void check_nonneg(double v, const char* who) {
-    if (!(v >= 0.0)) {
-        throw std::invalid_argument(std::string(who) +
-                                    ": parameter must be >= 0, got " +
-                                    std::to_string(v));
-    }
-}
-
-void check_probability(double p, const char* who) {
-    if (!(p >= 0.0) || p > 1.0) {
-        throw std::invalid_argument(std::string(who) +
-                                    ": probability must be in [0, 1], got " +
-                                    std::to_string(p));
-    }
-}
-
-}  // namespace
+using detail::check_nonneg;
+using detail::check_probability;
 
 LogNormalDrift::LogNormalDrift(double sigma) : sigma_(sigma) {
     check_nonneg(sigma, "LogNormalDrift");
 }
 
-void LogNormalDrift::apply(std::span<float> weights, Rng& rng) const {
+void LogNormalDrift::perturb(std::span<float> weights, Rng& rng) const {
     if (sigma_ == 0.0) return;
     for (float& w : weights) {
         w *= static_cast<float>(rng.log_normal(0.0, sigma_));
     }
+}
+
+std::unique_ptr<FaultModel> LogNormalDrift::clone() const {
+    return std::make_unique<LogNormalDrift>(sigma_);
 }
 
 std::string LogNormalDrift::describe() const {
@@ -43,15 +29,22 @@ std::string LogNormalDrift::describe() const {
     return os.str();
 }
 
+std::vector<double> LogNormalDrift::params() const { return {sigma_}; }
+
 GaussianAdditiveDrift::GaussianAdditiveDrift(double sigma) : sigma_(sigma) {
     check_nonneg(sigma, "GaussianAdditiveDrift");
 }
 
-void GaussianAdditiveDrift::apply(std::span<float> weights, Rng& rng) const {
+void GaussianAdditiveDrift::perturb(std::span<float> weights,
+                                    Rng& rng) const {
     if (sigma_ == 0.0) return;
     for (float& w : weights) {
         w += static_cast<float>(rng.normal(0.0, sigma_));
     }
+}
+
+std::unique_ptr<FaultModel> GaussianAdditiveDrift::clone() const {
+    return std::make_unique<GaussianAdditiveDrift>(sigma_);
 }
 
 std::string GaussianAdditiveDrift::describe() const {
@@ -60,15 +53,23 @@ std::string GaussianAdditiveDrift::describe() const {
     return os.str();
 }
 
+std::vector<double> GaussianAdditiveDrift::params() const {
+    return {sigma_};
+}
+
 UniformScaleDrift::UniformScaleDrift(double delta) : delta_(delta) {
     check_nonneg(delta, "UniformScaleDrift");
 }
 
-void UniformScaleDrift::apply(std::span<float> weights, Rng& rng) const {
+void UniformScaleDrift::perturb(std::span<float> weights, Rng& rng) const {
     if (delta_ == 0.0) return;
     for (float& w : weights) {
         w *= static_cast<float>(rng.uniform(1.0 - delta_, 1.0 + delta_));
     }
+}
+
+std::unique_ptr<FaultModel> UniformScaleDrift::clone() const {
+    return std::make_unique<UniformScaleDrift>(delta_);
 }
 
 std::string UniformScaleDrift::describe() const {
@@ -77,16 +78,22 @@ std::string UniformScaleDrift::describe() const {
     return os.str();
 }
 
+std::vector<double> UniformScaleDrift::params() const { return {delta_}; }
+
 StuckAtZeroDrift::StuckAtZeroDrift(double probability)
     : probability_(probability) {
     check_probability(probability, "StuckAtZeroDrift");
 }
 
-void StuckAtZeroDrift::apply(std::span<float> weights, Rng& rng) const {
+void StuckAtZeroDrift::perturb(std::span<float> weights, Rng& rng) const {
     if (probability_ == 0.0) return;
     for (float& w : weights) {
         if (rng.bernoulli(probability_)) w = 0.0F;
     }
+}
+
+std::unique_ptr<FaultModel> StuckAtZeroDrift::clone() const {
+    return std::make_unique<StuckAtZeroDrift>(probability_);
 }
 
 std::string StuckAtZeroDrift::describe() const {
@@ -95,15 +102,23 @@ std::string StuckAtZeroDrift::describe() const {
     return os.str();
 }
 
+std::vector<double> StuckAtZeroDrift::params() const {
+    return {probability_};
+}
+
 SignFlipDrift::SignFlipDrift(double probability) : probability_(probability) {
     check_probability(probability, "SignFlipDrift");
 }
 
-void SignFlipDrift::apply(std::span<float> weights, Rng& rng) const {
+void SignFlipDrift::perturb(std::span<float> weights, Rng& rng) const {
     if (probability_ == 0.0) return;
     for (float& w : weights) {
         if (rng.bernoulli(probability_)) w = -w;
     }
+}
+
+std::unique_ptr<FaultModel> SignFlipDrift::clone() const {
+    return std::make_unique<SignFlipDrift>(probability_);
 }
 
 std::string SignFlipDrift::describe() const {
@@ -112,26 +127,6 @@ std::string SignFlipDrift::describe() const {
     return os.str();
 }
 
-ComposedDrift::ComposedDrift(std::vector<std::unique_ptr<DriftModel>> stages)
-    : stages_(std::move(stages)) {
-    for (const auto& stage : stages_) {
-        if (!stage) throw std::invalid_argument("ComposedDrift: null stage");
-    }
-}
-
-void ComposedDrift::apply(std::span<float> weights, Rng& rng) const {
-    for (const auto& stage : stages_) stage->apply(weights, rng);
-}
-
-std::string ComposedDrift::describe() const {
-    std::ostringstream os;
-    os << "Composed(";
-    for (std::size_t i = 0; i < stages_.size(); ++i) {
-        if (i != 0) os << " -> ";
-        os << stages_[i]->describe();
-    }
-    os << ")";
-    return os.str();
-}
+std::vector<double> SignFlipDrift::params() const { return {probability_}; }
 
 }  // namespace bayesft::fault

@@ -1,42 +1,39 @@
 #pragma once
-// Memristance drift models (paper Sec. II-B).
+// Memristance drift models (paper Sec. II-B) — the drift-flavored members
+// of the fault-model zoo.
 //
 // The paper's model (Eq. 1) multiplies every ReRAM-resident weight by a
 // log-normal factor: theta' = theta * exp(lambda), lambda ~ N(0, sigma^2).
 // The interface is deliberately distribution-agnostic — the paper remarks
 // that the methodology "can be seamlessly extended to other possible weight
-// drifting distributions", so alternative models are first-class here.
+// drifting distributions" — and lives in `fault/model.hpp` (FaultModel);
+// the hard-fault / variation / quantization models live in `fault/zoo.hpp`.
+//
+// Thread safety: every model here is immutable after construction; perturb
+// is safe to call concurrently with per-thread buffers and Rngs.
 
 #include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
+#include "fault/model.hpp"
 #include "utils/rng.hpp"
 
 namespace bayesft::fault {
 
-/// A stochastic perturbation applied in place to a flat weight buffer.
-class DriftModel {
-public:
-    virtual ~DriftModel() = default;
-    DriftModel() = default;
-    DriftModel(const DriftModel&) = delete;
-    DriftModel& operator=(const DriftModel&) = delete;
-
-    /// Perturbs `weights` in place using randomness from `rng`.
-    virtual void apply(std::span<float> weights, Rng& rng) const = 0;
-
-    /// Human-readable description, e.g. "LogNormal(sigma=0.3)".
-    virtual std::string describe() const = 0;
-};
-
 /// Eq. 1: w <- w * exp(N(0, sigma^2)).  sigma = 0 is the identity.
-class LogNormalDrift : public DriftModel {
+/// The multiplier's median is 1; its mean is exp(sigma^2 / 2).
+class LogNormalDrift final : public FaultModel {
 public:
+    /// \param sigma  drift level, must be >= 0 (throws otherwise).
     explicit LogNormalDrift(double sigma);
 
-    void apply(std::span<float> weights, Rng& rng) const override;
+    void perturb(std::span<float> weights, Rng& rng) const override;
+    std::unique_ptr<FaultModel> clone() const override;
     std::string describe() const override;
+    /// {sigma}
+    std::vector<double> params() const override;
 
     double sigma() const { return sigma_; }
 
@@ -44,13 +41,18 @@ private:
     double sigma_;
 };
 
-/// Additive Gaussian noise: w <- w + N(0, sigma^2) (process-variation style).
-class GaussianAdditiveDrift : public DriftModel {
+/// Additive Gaussian noise: w <- w + N(0, sigma^2) (process-variation
+/// style, magnitude-independent).
+class GaussianAdditiveDrift final : public FaultModel {
 public:
+    /// \param sigma  noise standard deviation, must be >= 0.
     explicit GaussianAdditiveDrift(double sigma);
 
-    void apply(std::span<float> weights, Rng& rng) const override;
+    void perturb(std::span<float> weights, Rng& rng) const override;
+    std::unique_ptr<FaultModel> clone() const override;
     std::string describe() const override;
+    /// {sigma}
+    std::vector<double> params() const override;
 
     double sigma() const { return sigma_; }
 
@@ -59,12 +61,16 @@ private:
 };
 
 /// Uniform multiplicative scaling: w <- w * U[1-delta, 1+delta].
-class UniformScaleDrift : public DriftModel {
+class UniformScaleDrift final : public FaultModel {
 public:
+    /// \param delta  half-width of the scaling band, must be >= 0.
     explicit UniformScaleDrift(double delta);
 
-    void apply(std::span<float> weights, Rng& rng) const override;
+    void perturb(std::span<float> weights, Rng& rng) const override;
+    std::unique_ptr<FaultModel> clone() const override;
     std::string describe() const override;
+    /// {delta}
+    std::vector<double> params() const override;
 
     double delta() const { return delta_; }
 
@@ -73,13 +79,18 @@ private:
 };
 
 /// Hard faults: each cell independently sticks at zero with probability p
-/// (models dead memristor cells / open circuits).
-class StuckAtZeroDrift : public DriftModel {
+/// (models dead memristor cells / open circuits).  For the two-polarity
+/// SA0/SA1 model see StuckAtFault in `fault/zoo.hpp`.
+class StuckAtZeroDrift final : public FaultModel {
 public:
+    /// \param probability  per-cell dead probability in [0, 1].
     explicit StuckAtZeroDrift(double probability);
 
-    void apply(std::span<float> weights, Rng& rng) const override;
+    void perturb(std::span<float> weights, Rng& rng) const override;
+    std::unique_ptr<FaultModel> clone() const override;
     std::string describe() const override;
+    /// {probability}
+    std::vector<double> params() const override;
 
     double probability() const { return probability_; }
 
@@ -89,29 +100,21 @@ private:
 
 /// Sign-flip faults: each cell flips sign with probability p (models
 /// mis-programmed polarity).
-class SignFlipDrift : public DriftModel {
+class SignFlipDrift final : public FaultModel {
 public:
+    /// \param probability  per-cell flip probability in [0, 1].
     explicit SignFlipDrift(double probability);
 
-    void apply(std::span<float> weights, Rng& rng) const override;
+    void perturb(std::span<float> weights, Rng& rng) const override;
+    std::unique_ptr<FaultModel> clone() const override;
     std::string describe() const override;
+    /// {probability}
+    std::vector<double> params() const override;
 
     double probability() const { return probability_; }
 
 private:
     double probability_;
-};
-
-/// Composition: applies each child model in sequence.
-class ComposedDrift : public DriftModel {
-public:
-    explicit ComposedDrift(std::vector<std::unique_ptr<DriftModel>> stages);
-
-    void apply(std::span<float> weights, Rng& rng) const override;
-    std::string describe() const override;
-
-private:
-    std::vector<std::unique_ptr<DriftModel>> stages_;
 };
 
 }  // namespace bayesft::fault

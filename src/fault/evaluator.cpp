@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cassert>
 #include <cmath>
 #include <memory>
 #include <stdexcept>
@@ -36,16 +37,21 @@ RobustnessReport summarize(std::vector<double> samples) {
 
 }  // namespace
 
-RobustnessReport evaluate_metric_under_drift(
-    nn::Module& model, const DriftModel& drift, std::size_t num_samples,
+RobustnessReport evaluate_metric_under_faults(
+    nn::Module& model, const FaultModel& fault, std::size_t num_samples,
     Rng& rng, const std::function<double(nn::Module&)>& metric,
     std::size_t num_threads) {
     if (num_samples == 0) {
-        throw std::invalid_argument("evaluate_metric_under_drift: T == 0");
+        throw std::invalid_argument("evaluate_metric_under_faults: T == 0");
     }
     if (!metric) {
-        throw std::invalid_argument("evaluate_metric_under_drift: no metric");
+        throw std::invalid_argument(
+            "evaluate_metric_under_faults: no metric");
     }
+    // Catch hidden mutable state (statics, lazy caches) in fault models
+    // before it can silently break the thread-count-invariance guarantee.
+    assert(verify_stateless(fault) &&
+           "FaultModel::perturb must not mutate shared state");
     // The parent generator advances exactly once regardless of thread count;
     // sample t then draws from the pure fork `base.fork(t)`, which makes the
     // per-sample vector invariant under any parallel schedule.
@@ -72,7 +78,7 @@ RobustnessReport evaluate_metric_under_drift(
                          for (std::size_t t = lo; t < hi; ++t) {
                              Rng sample_rng = base.fork(t);
                              WeightSnapshot snapshot(*replica);
-                             inject(*replica, drift, sample_rng);
+                             inject(*replica, fault, sample_rng);
                              samples[t] = metric(*replica);
                          }
                      });
@@ -80,7 +86,7 @@ RobustnessReport evaluate_metric_under_drift(
         for (std::size_t t = 0; t < num_samples; ++t) {
             Rng sample_rng = base.fork(t);
             WeightSnapshot snapshot(model);
-            inject(model, drift, sample_rng);
+            inject(model, fault, sample_rng);
             samples[t] = metric(model);
             // snapshot destructor restores the clean weights
         }
@@ -88,13 +94,14 @@ RobustnessReport evaluate_metric_under_drift(
     return summarize(std::move(samples));
 }
 
-RobustnessReport evaluate_under_drift(nn::Module& model, const Tensor& images,
-                                      const std::vector<int>& labels,
-                                      const DriftModel& drift,
-                                      std::size_t num_samples, Rng& rng,
-                                      std::size_t num_threads) {
-    return evaluate_metric_under_drift(
-        model, drift, num_samples, rng,
+RobustnessReport evaluate_under_faults(nn::Module& model,
+                                       const Tensor& images,
+                                       const std::vector<int>& labels,
+                                       const FaultModel& fault,
+                                       std::size_t num_samples, Rng& rng,
+                                       std::size_t num_threads) {
+    return evaluate_metric_under_faults(
+        model, fault, num_samples, rng,
         [&](nn::Module& m) {
             return nn::evaluate_accuracy(m, images, labels);
         },
@@ -110,8 +117,8 @@ std::vector<double> sigma_sweep(nn::Module& model, const Tensor& images,
     for (double sigma : sigmas) {
         const LogNormalDrift drift(sigma);
         means.push_back(
-            evaluate_under_drift(model, images, labels, drift, num_samples,
-                                 rng)
+            evaluate_under_faults(model, images, labels, drift, num_samples,
+                                  rng)
                 .mean_accuracy);
     }
     return means;

@@ -1,43 +1,53 @@
 #pragma once
-// Monte-Carlo robustness evaluation (paper Eq. 3-4).
+// Monte-Carlo robustness evaluation (paper Eq. 3-4), generalized over the
+// pluggable FaultModel zoo.
 //
-// The drift-marginalized utility u(alpha, theta) = -E[loss] is intractable;
-// it is estimated by T independent drift samples: perturb, evaluate on the
-// held-out set, restore, average.
+// The fault-marginalized utility u(alpha, theta) = -E[loss] is intractable;
+// it is estimated by T independent fault samples: perturb, evaluate on the
+// held-out set, restore, average.  The sampling loop only sees the
+// FaultModel interface, so drift, stuck-at, bit-flip, variation,
+// quantization, and composed models all evaluate through the same
+// deterministic parallel machinery.
 
 #include <functional>
 #include <vector>
 
 #include "fault/drift.hpp"
 #include "fault/injector.hpp"
+#include "fault/model.hpp"
 #include "nn/module.hpp"
 
 namespace bayesft::fault {
 
 /// Summary statistics of a Monte-Carlo robustness evaluation.
 struct RobustnessReport {
-    double mean_accuracy = 0.0;
-    double std_accuracy = 0.0;
-    double min_accuracy = 0.0;
-    double max_accuracy = 0.0;
-    std::vector<double> samples;  // per-drift-sample accuracy
+    double mean_accuracy = 0.0;  ///< mean metric over fault samples
+    double std_accuracy = 0.0;   ///< population standard deviation
+    double min_accuracy = 0.0;   ///< worst sample
+    double max_accuracy = 0.0;   ///< best sample
+    std::vector<double> samples;  ///< per-fault-sample metric values
 };
 
 /// Estimates classification accuracy of `model` on (images, labels) under
-/// `drift`, averaged over `num_samples` independent drift realizations.
+/// `fault`, averaged over `num_samples` independent fault realizations.
 /// Weights are restored after every sample (strong exception safety via
 /// WeightSnapshot).
 ///
 /// Monte-Carlo samples are distributed over the global thread pool using
 /// per-thread model replicas (Module::clone) and per-sample forked RNG
 /// streams, so the report — including the per-sample vector — is
-/// bit-identical for every `num_threads` value.  num_threads: 0 = pool
-/// width, 1 = serial in-place evaluation, N = at most N threads.
-RobustnessReport evaluate_under_drift(nn::Module& model, const Tensor& images,
-                                      const std::vector<int>& labels,
-                                      const DriftModel& drift,
-                                      std::size_t num_samples, Rng& rng,
-                                      std::size_t num_threads = 0);
+/// bit-identical for every `num_threads` value and every FaultModel.
+/// num_threads: 0 = pool width, 1 = serial in-place evaluation, N = at
+/// most N threads.
+///
+/// Thread safety: safe to call concurrently on distinct models; `rng` is
+/// advanced exactly once regardless of thread count.
+RobustnessReport evaluate_under_faults(nn::Module& model,
+                                       const Tensor& images,
+                                       const std::vector<int>& labels,
+                                       const FaultModel& fault,
+                                       std::size_t num_samples, Rng& rng,
+                                       std::size_t num_threads = 0);
 
 /// Generic variant: `metric` maps the perturbed model to any scalar score
 /// (e.g. mAP for detection).  Same perturb-score-restore discipline and the
@@ -49,8 +59,12 @@ RobustnessReport evaluate_under_drift(nn::Module& model, const Tensor& images,
 /// is handed (never a captured alias of `model`) and is safe to call
 /// concurrently.  Falls back to serial when the model has a layer without
 /// clone() support.
-RobustnessReport evaluate_metric_under_drift(
-    nn::Module& model, const DriftModel& drift, std::size_t num_samples,
+///
+/// Debug builds additionally assert `verify_stateless(fault)` — a fault
+/// model with hidden mutable state would silently break the thread-count
+/// invariance guarantee.
+RobustnessReport evaluate_metric_under_faults(
+    nn::Module& model, const FaultModel& fault, std::size_t num_samples,
     Rng& rng, const std::function<double(nn::Module&)>& metric,
     std::size_t num_threads = 1);
 
@@ -60,5 +74,28 @@ std::vector<double> sigma_sweep(nn::Module& model, const Tensor& images,
                                 const std::vector<int>& labels,
                                 const std::vector<double>& sigmas,
                                 std::size_t num_samples, Rng& rng);
+
+// ------------------------------------------------------------------------
+// Source-compat aliases from the drift-only era.  `evaluate_under_drift`
+// IS `evaluate_under_faults`; the old names remain so pre-zoo call sites
+// (and the paper-facing examples) keep compiling unchanged.
+
+/// Thin alias: see evaluate_under_faults.
+inline RobustnessReport evaluate_under_drift(
+    nn::Module& model, const Tensor& images, const std::vector<int>& labels,
+    const FaultModel& drift, std::size_t num_samples, Rng& rng,
+    std::size_t num_threads = 0) {
+    return evaluate_under_faults(model, images, labels, drift, num_samples,
+                                 rng, num_threads);
+}
+
+/// Thin alias: see evaluate_metric_under_faults.
+inline RobustnessReport evaluate_metric_under_drift(
+    nn::Module& model, const FaultModel& drift, std::size_t num_samples,
+    Rng& rng, const std::function<double(nn::Module&)>& metric,
+    std::size_t num_threads = 1) {
+    return evaluate_metric_under_faults(model, drift, num_samples, rng,
+                                        metric, num_threads);
+}
 
 }  // namespace bayesft::fault

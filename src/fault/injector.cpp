@@ -24,10 +24,10 @@ std::size_t WeightSnapshot::scalar_count() const {
     return total;
 }
 
-void inject(nn::Module& model, const DriftModel& drift, Rng& rng) {
+void inject(nn::Module& model, const FaultModel& fault, Rng& rng) {
     for (nn::Parameter* p : model.parameters()) {
         if (!p->driftable) continue;
-        drift.apply(p->value.values(), rng);
+        fault.perturb(p->value.values(), rng);
     }
 }
 

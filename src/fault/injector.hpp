@@ -8,12 +8,16 @@
 
 #include <vector>
 
-#include "fault/drift.hpp"
+#include "fault/model.hpp"
 #include "nn/module.hpp"
 
 namespace bayesft::fault {
 
 /// RAII snapshot of a model's driftable parameters.
+///
+/// Thread safety: a snapshot is bound to one model instance; use one
+/// snapshot per thread-local replica (never share a snapshot or its model
+/// across threads while perturbed).
 class WeightSnapshot {
 public:
     /// Captures the current values of all driftable parameters of `model`.
@@ -38,8 +42,10 @@ private:
     std::vector<Tensor> saved_;
 };
 
-/// Applies `drift` once to every driftable parameter of `model`, in place.
-/// Use together with WeightSnapshot to make the perturbation reversible.
-void inject(nn::Module& model, const DriftModel& drift, Rng& rng);
+/// Applies `fault` once to every driftable parameter tensor of `model`, in
+/// place (one FaultModel::perturb call per parameter span, all drawing from
+/// the same `rng` in parameter order).  Use together with WeightSnapshot to
+/// make the perturbation reversible.
+void inject(nn::Module& model, const FaultModel& fault, Rng& rng);
 
 }  // namespace bayesft::fault

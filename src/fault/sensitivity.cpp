@@ -9,7 +9,7 @@ namespace bayesft::fault {
 
 std::vector<ParameterSensitivity> per_parameter_sensitivity(
     nn::Module& model, const Tensor& images, const std::vector<int>& labels,
-    const DriftModel& drift, std::size_t num_samples, Rng& rng) {
+    const FaultModel& fault, std::size_t num_samples, Rng& rng) {
     if (num_samples == 0) {
         throw std::invalid_argument("per_parameter_sensitivity: T == 0");
     }
@@ -29,7 +29,7 @@ std::vector<ParameterSensitivity> per_parameter_sensitivity(
         double total = 0.0;
         for (std::size_t t = 0; t < num_samples; ++t) {
             const Tensor saved = p->value;
-            drift.apply(p->value.values(), rng);
+            fault.perturb(p->value.values(), rng);
             total += nn::evaluate_accuracy(model, images, labels);
             p->value = saved;
         }

@@ -11,7 +11,7 @@
 #include <string>
 #include <vector>
 
-#include "fault/drift.hpp"
+#include "fault/model.hpp"
 #include "nn/module.hpp"
 
 namespace bayesft::fault {
@@ -29,13 +29,13 @@ struct ParameterSensitivity {
     }
 };
 
-/// Drifts each driftable parameter tensor of `model` in isolation with
-/// `drift` (num_samples Monte-Carlo realizations each; weights restored
-/// after every sample) and measures accuracy on (images, labels).
-/// Results are returned in parameter order.
+/// Perturbs each driftable parameter tensor of `model` in isolation with
+/// `fault` — any FaultModel, not just drift — (num_samples Monte-Carlo
+/// realizations each; weights restored after every sample) and measures
+/// accuracy on (images, labels).  Results are returned in parameter order.
 std::vector<ParameterSensitivity> per_parameter_sensitivity(
     nn::Module& model, const Tensor& images, const std::vector<int>& labels,
-    const DriftModel& drift, std::size_t num_samples, Rng& rng);
+    const FaultModel& fault, std::size_t num_samples, Rng& rng);
 
 /// Same records sorted by descending accuracy drop (worst first).
 std::vector<ParameterSensitivity> rank_by_drop(

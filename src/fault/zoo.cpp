@@ -1,0 +1,196 @@
+#include "fault/zoo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+
+namespace bayesft::fault {
+
+using detail::check_nonneg;
+using detail::check_probability;
+
+namespace {
+
+void check_bits(int bits, const char* who) {
+    if (bits < 2 || bits > 16) {
+        throw std::invalid_argument(std::string(who) +
+                                    ": bits must be in [2, 16], got " +
+                                    std::to_string(bits));
+    }
+}
+
+float max_abs(std::span<const float> weights) {
+    float maxabs = 0.0F;
+    for (float w : weights) maxabs = std::max(maxabs, std::fabs(w));
+    return maxabs;
+}
+
+/// Largest positive code of a signed `bits`-bit word.
+std::int64_t quant_max(int bits) {
+    return (std::int64_t{1} << (bits - 1)) - 1;
+}
+
+/// Symmetric per-span quantization step: max|w| maps to quant_max(bits).
+/// 0 when the span is all-zero.  BitFlipFault and QuantizationFault share
+/// this grid; they differ only in the code range they clamp to (full
+/// two's-complement word vs symmetric).
+float quant_scale(std::span<const float> weights, int bits) {
+    return max_abs(weights) / static_cast<float>(quant_max(bits));
+}
+
+}  // namespace
+
+// ------------------------------------------------------ StuckAtFault ----
+
+StuckAtFault::StuckAtFault(double fraction, double sa1_share,
+                           double sa1_magnitude)
+    : fraction_(fraction),
+      sa1_share_(sa1_share),
+      sa1_magnitude_(sa1_magnitude) {
+    check_probability(fraction, "StuckAtFault fraction");
+    check_probability(sa1_share, "StuckAtFault sa1_share");
+    check_nonneg(sa1_magnitude, "StuckAtFault sa1_magnitude");
+}
+
+void StuckAtFault::perturb(std::span<float> weights, Rng& rng) const {
+    if (fraction_ == 0.0) return;
+    float magnitude = static_cast<float>(sa1_magnitude_);
+    if (magnitude == 0.0F) magnitude = max_abs(weights);
+    for (float& w : weights) {
+        if (!rng.bernoulli(fraction_)) continue;
+        // Faulted cell: SA1 keeps the sign at full-scale conductance, SA0
+        // reads as an open (zero) cell.
+        w = rng.bernoulli(sa1_share_) ? std::copysign(magnitude, w) : 0.0F;
+    }
+}
+
+std::unique_ptr<FaultModel> StuckAtFault::clone() const {
+    return std::make_unique<StuckAtFault>(fraction_, sa1_share_,
+                                          sa1_magnitude_);
+}
+
+std::string StuckAtFault::describe() const {
+    std::ostringstream os;
+    os << "StuckAt(fraction=" << fraction_ << ", sa1=" << sa1_share_ << ")";
+    return os.str();
+}
+
+std::vector<double> StuckAtFault::params() const {
+    return {fraction_, sa1_share_, sa1_magnitude_};
+}
+
+// ------------------------------------------------------ BitFlipFault ----
+
+BitFlipFault::BitFlipFault(double flip_probability, int bits)
+    : flip_probability_(flip_probability), bits_(bits) {
+    check_probability(flip_probability, "BitFlipFault");
+    check_bits(bits, "BitFlipFault");
+}
+
+void BitFlipFault::perturb(std::span<float> weights, Rng& rng) const {
+    if (flip_probability_ == 0.0) return;
+    const std::int64_t qmax = quant_max(bits_);
+    const std::int64_t qmin = -qmax - 1;
+    const std::uint32_t mask = (std::uint32_t{1} << bits_) - 1;
+    const float scale = quant_scale(weights, bits_);
+    for (float& w : weights) {
+        // Quantized two's-complement view; scale == 0 (all-zero span) keeps
+        // q at 0 but still draws, so the stream layout stays span-shaped.
+        std::int64_t q =
+            scale > 0.0F ? std::llround(static_cast<double>(w) / scale) : 0;
+        q = std::clamp(q, qmin, qmax);
+        auto u = static_cast<std::uint32_t>(q) & mask;
+        for (int b = 0; b < bits_; ++b) {
+            if (rng.bernoulli(flip_probability_)) {
+                u ^= std::uint32_t{1} << b;
+            }
+        }
+        const std::int64_t flipped =
+            (u >> (bits_ - 1)) != 0
+                ? static_cast<std::int64_t>(u) - (std::int64_t{1} << bits_)
+                : static_cast<std::int64_t>(u);
+        w = scale * static_cast<float>(flipped);
+    }
+}
+
+std::unique_ptr<FaultModel> BitFlipFault::clone() const {
+    return std::make_unique<BitFlipFault>(flip_probability_, bits_);
+}
+
+std::string BitFlipFault::describe() const {
+    std::ostringstream os;
+    os << "BitFlip(p=" << flip_probability_ << ", bits=" << bits_ << ")";
+    return os.str();
+}
+
+std::vector<double> BitFlipFault::params() const {
+    return {flip_probability_, static_cast<double>(bits_)};
+}
+
+// -------------------------------------------- GaussianVariationFault ----
+
+GaussianVariationFault::GaussianVariationFault(double sigma) : sigma_(sigma) {
+    check_nonneg(sigma, "GaussianVariationFault");
+}
+
+void GaussianVariationFault::perturb(std::span<float> weights,
+                                     Rng& rng) const {
+    if (sigma_ == 0.0) return;
+    // mu = -sigma^2/2 makes E[exp(N(mu, sigma^2))] = 1: variation spreads
+    // the devices without biasing the mean conductance.
+    const double mu = -0.5 * sigma_ * sigma_;
+    for (float& w : weights) {
+        w *= static_cast<float>(rng.log_normal(mu, sigma_));
+    }
+}
+
+std::unique_ptr<FaultModel> GaussianVariationFault::clone() const {
+    return std::make_unique<GaussianVariationFault>(sigma_);
+}
+
+std::string GaussianVariationFault::describe() const {
+    std::ostringstream os;
+    os << "GaussianVariation(sigma=" << sigma_ << ")";
+    return os.str();
+}
+
+std::vector<double> GaussianVariationFault::params() const {
+    return {sigma_};
+}
+
+// ------------------------------------------------- QuantizationFault ----
+
+QuantizationFault::QuantizationFault(int bits) : bits_(bits) {
+    check_bits(bits, "QuantizationFault");
+}
+
+void QuantizationFault::perturb(std::span<float> weights, Rng&) const {
+    const float scale = quant_scale(weights, bits_);
+    if (scale == 0.0F) return;
+    const std::int64_t qmax = quant_max(bits_);
+    for (float& w : weights) {
+        const std::int64_t q = std::clamp(
+            static_cast<std::int64_t>(
+                std::llround(static_cast<double>(w) / scale)),
+            -qmax, qmax);
+        w = scale * static_cast<float>(q);
+    }
+}
+
+std::unique_ptr<FaultModel> QuantizationFault::clone() const {
+    return std::make_unique<QuantizationFault>(bits_);
+}
+
+std::string QuantizationFault::describe() const {
+    std::ostringstream os;
+    os << "Quantization(bits=" << bits_ << ")";
+    return os.str();
+}
+
+std::vector<double> QuantizationFault::params() const {
+    return {static_cast<double>(bits_)};
+}
+
+}  // namespace bayesft::fault

@@ -1,0 +1,133 @@
+#pragma once
+// The hard-fault / variation / quantization members of the fault-model zoo
+// (see `fault/model.hpp` for the FaultModel contract and `fault/drift.hpp`
+// for the drift-flavored models).
+//
+// These cover the non-drift failure modes of memristor / FPGA inference
+// hardware surveyed in the fault-tolerance literature:
+//   StuckAtFault          SA0/SA1 manufacturing & wear-out cell faults
+//   BitFlipFault          SEU-style random bit flips on a quantized view
+//   GaussianVariationFault  device-to-device programming variation
+//   QuantizationFault     symmetric uniform b-bit weight quantization
+// All four honor the FaultModel determinism contract: immutable after
+// construction, all randomness from the Rng argument, clone() deep-copies.
+// Math and parameter conventions are documented in docs/fault-models.md.
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fault/model.hpp"
+
+namespace bayesft::fault {
+
+/// Hard stuck-at faults: each cell independently faults with probability
+/// `fraction`; a faulted cell reads as stuck-at-0 (zero weight: open /
+/// high-resistance cell) or stuck-at-1 (full-scale conductance, sign
+/// preserved) according to `sa1_share`.
+///
+/// The SA1 full-scale magnitude is `sa1_magnitude` when positive;
+/// `sa1_magnitude == 0` (the default) derives it per call as max|w| over
+/// the perturbed span, mirroring a per-tensor conductance mapping.
+/// fraction = 0 is the identity and draws nothing from the Rng.
+class StuckAtFault final : public FaultModel {
+public:
+    /// \param fraction       per-cell fault probability in [0, 1].
+    /// \param sa1_share      fraction of faulted cells stuck at 1 (rest
+    ///                       stick at 0), in [0, 1].  Default 0.5.
+    /// \param sa1_magnitude  fixed SA1 magnitude; 0 = per-span max|w|.
+    explicit StuckAtFault(double fraction, double sa1_share = 0.5,
+                          double sa1_magnitude = 0.0);
+
+    void perturb(std::span<float> weights, Rng& rng) const override;
+    std::unique_ptr<FaultModel> clone() const override;
+    std::string describe() const override;
+    /// {fraction, sa1_share, sa1_magnitude}
+    std::vector<double> params() const override;
+
+    double fraction() const { return fraction_; }
+    double sa1_share() const { return sa1_share_; }
+
+private:
+    double fraction_;
+    double sa1_share_;
+    double sa1_magnitude_;
+};
+
+/// SEU-style bit flips on a quantized view of the weights: each weight is
+/// mapped to a signed two's-complement `bits`-bit integer (symmetric scale
+/// derived per span from max|w|), every bit independently flips with
+/// probability `flip_probability`, and the result is mapped back.
+///
+/// flip_probability = 0 is the exact identity (the weights are NOT
+/// quantized in that case); compose with QuantizationFault when the clean
+/// baseline should be the quantized network.  For flip_probability > 0
+/// every weight draws exactly `bits` Bernoulli variates (the p = 0
+/// identity draws nothing), so the RNG stream layout is a pure function of
+/// the span length.
+class BitFlipFault final : public FaultModel {
+public:
+    /// \param flip_probability  per-bit flip probability in [0, 1].
+    /// \param bits              word width in [2, 16].  Default 8.
+    explicit BitFlipFault(double flip_probability, int bits = 8);
+
+    void perturb(std::span<float> weights, Rng& rng) const override;
+    std::unique_ptr<FaultModel> clone() const override;
+    std::string describe() const override;
+    /// {flip_probability, bits}
+    std::vector<double> params() const override;
+
+    double flip_probability() const { return flip_probability_; }
+    int bits() const { return bits_; }
+
+private:
+    double flip_probability_;
+    int bits_;
+};
+
+/// Device-to-device programming variation: w <- w * exp(N(-sigma^2/2,
+/// sigma^2)).  Multiplicative lognormal like drift (Eq. 1), but with the
+/// mean-one correction mu = -sigma^2/2, modeling unbiased time-zero
+/// programming spread rather than the median-one temporal drift law.
+/// sigma = 0 is the identity.
+class GaussianVariationFault final : public FaultModel {
+public:
+    /// \param sigma  variation level, must be >= 0.
+    explicit GaussianVariationFault(double sigma);
+
+    void perturb(std::span<float> weights, Rng& rng) const override;
+    std::unique_ptr<FaultModel> clone() const override;
+    std::string describe() const override;
+    /// {sigma}
+    std::vector<double> params() const override;
+
+    double sigma() const { return sigma_; }
+
+private:
+    double sigma_;
+};
+
+/// Symmetric uniform quantization to `bits` bits: with the per-span scale
+/// s = max|w| / (2^(bits-1) - 1), every weight becomes
+/// round(w / s) * s, clamped to the symmetric integer range.  Fully
+/// deterministic — draws nothing from the Rng — so the round-trip error is
+/// bounded by s/2 per weight.
+class QuantizationFault final : public FaultModel {
+public:
+    /// \param bits  word width in [2, 16].
+    explicit QuantizationFault(int bits);
+
+    void perturb(std::span<float> weights, Rng& rng) const override;
+    std::unique_ptr<FaultModel> clone() const override;
+    std::string describe() const override;
+    /// {bits}
+    std::vector<double> params() const override;
+
+    int bits() const { return bits_; }
+
+private:
+    int bits_;
+};
+
+}  // namespace bayesft::fault

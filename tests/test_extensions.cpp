@@ -10,6 +10,7 @@
 
 #include "bayesopt/design.hpp"
 #include "data/toy.hpp"
+#include "fault/drift.hpp"
 #include "fault/sensitivity.hpp"
 #include "nn/activations.hpp"
 #include "nn/linear.hpp"

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# docs-check: fail on dead relative links in README.md and docs/*.md.
+# Plain grep/sed only — no external dependencies.  A link is checked when
+# it is a markdown inline link [text](target) whose target is neither an
+# absolute URL (scheme:) nor a pure in-page anchor (#...); anchors on
+# relative targets are stripped before the existence check.
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+for file in README.md docs/*.md; do
+    [ -f "$file" ] || continue
+    dir=$(dirname "$file")
+    # Extract every ](...) target, one per line.
+    grep -o '](.[^)]*)' "$file" | sed 's/^](//; s/)$//' |
+        while IFS= read -r link; do
+            case "$link" in
+                *://*|mailto:*|\#*) continue ;;
+            esac
+            target=${link%%#*}
+            [ -n "$target" ] || continue
+            if [ ! -e "$dir/$target" ]; then
+                echo "dead link in $file: $link"
+            fi
+        done > /tmp/docs_check_$$.out
+    if [ -s /tmp/docs_check_$$.out ]; then
+        cat /tmp/docs_check_$$.out
+        fail=1
+    fi
+    rm -f /tmp/docs_check_$$.out
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "docs-check: FAILED"
+    exit 1
+fi
+echo "docs-check: all relative links in README.md and docs/ resolve"
