@@ -10,11 +10,15 @@
 //   experiments --family fig2                 (run a whole family)
 //   experiments --run toy_mlp_blobs --quick --batch 4 --threads 8 \
 //               --json experiments.json [--seed 7]
+//   experiments --run archsearch_fig2_mlp --repeat 5 --json out.json
+//               (5 distinct seeds; JSON gains mean/stddev aggregates)
 
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/registry.hpp"
@@ -32,11 +36,13 @@ void print_usage() {
         "  --list            list registered experiments and exit\n"
         "  --run <name>      run one experiment (repeatable)\n"
         "  --family <fam>    run every experiment of a family "
-        "(fig2|fig3|faults|ablation|toy)\n"
+        "(fig2|fig3|faults|archsearch|ablation|toy)\n"
         "  --quick           shrink datasets/epochs for a smoke run\n"
         "  --batch <q>       BayesFT candidate batch size (default 1)\n"
         "  --threads <n>     thread budget (sets BAYESFT_NUM_THREADS)\n"
         "  --seed <s>        override the scenario base seed\n"
+        "  --repeat <n>      re-run each scenario with n distinct seeds and\n"
+        "                    add mean/stddev aggregate records to the JSON\n"
         "  --json <path>     write flat JSON records for all runs\n";
 }
 
@@ -47,10 +53,12 @@ struct JsonRecord {
     double x = 0.0;
     double value = 0.0;
     double seconds = 0.0;
+    std::string stat = "raw";  ///< "raw" | "mean" | "stddev"
+    std::uint64_t seed = 0;    ///< effective seed of a raw record
 };
 
 void write_json(const std::string& path, const std::vector<JsonRecord>& records,
-                const core::RunOptions& options) {
+                const core::RunOptions& options, std::size_t repeats) {
     std::ofstream out(path);
     if (!out) {
         throw std::runtime_error("experiments: cannot write " + path);
@@ -61,6 +69,8 @@ void write_json(const std::string& path, const std::vector<JsonRecord>& records,
         out << "  {\"experiment\": \"" << r.experiment << "\", \"curve\": \""
             << r.curve << "\", \"x_label\": \"" << r.x_label
             << "\", \"x\": " << r.x << ", \"value\": " << r.value
+            << ", \"stat\": \"" << r.stat << "\", \"seed\": " << r.seed
+            << ", \"repeats\": " << repeats
             << ", \"batch\": " << options.batch
             << ", \"threads\": " << parallel_thread_count()
             << ", \"quick\": " << (options.quick ? "true" : "false")
@@ -70,6 +80,26 @@ void write_json(const std::string& path, const std::vector<JsonRecord>& records,
     out << "]\n";
 }
 
+/// Fault-level axes report fractions (accuracy or mAP) rendered as
+/// percentages; the ablation axes (mc_samples, trial_budget) report
+/// utilities/seconds and stay raw.
+bool percent_axis(const std::string& x_label) {
+    return x_label == "sigma" || x_label == "stuck_fraction" ||
+           x_label == "flip_probability" || x_label == "bits";
+}
+
+/// Mean and population standard deviation of one (curve, x) cell across
+/// the repeated runs.
+std::pair<double, double> mean_stddev(const std::vector<double>& values) {
+    double mean = 0.0;
+    for (double v : values) mean += v;
+    mean /= static_cast<double>(values.size());
+    double var = 0.0;
+    for (double v : values) var += (v - mean) * (v - mean);
+    var /= static_cast<double>(values.size());
+    return {mean, std::sqrt(var)};
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -77,6 +107,7 @@ int main(int argc, char** argv) {
     std::vector<std::string> names;
     std::vector<std::string> families;
     std::string json_path;
+    std::size_t repeat = 1;
     core::RunOptions options;
 
     auto need_value = [&](int& i, const char* flag) -> std::string {
@@ -121,6 +152,12 @@ int main(int argc, char** argv) {
             options.threads = need_number(i, "--threads");
         } else if (arg == "--seed") {
             options.seed = need_number(i, "--seed");
+        } else if (arg == "--repeat") {
+            repeat = need_number(i, "--repeat");
+            if (repeat == 0) {
+                std::cerr << "experiments: --repeat needs n >= 1\n";
+                return 2;
+            }
         } else if (arg == "--json") {
             json_path = need_value(i, "--json");
         } else if (arg == "--help" || arg == "-h") {
@@ -176,42 +213,102 @@ int main(int argc, char** argv) {
 
     std::vector<JsonRecord> records;
     for (const std::string& name : names) {
-        core::RegistryResult result;
-        try {
-            result = registry.run(name, options);
-        } catch (const std::exception& error) {
-            std::cerr << "experiments: " << error.what() << "\n";
-            return 1;
-        }
-        // Fault-level-axis experiments report fractions (accuracy or mAP);
-        // render them as percentages.  The ablation axes (mc_samples,
-        // trial_budget) report utilities/seconds and stay raw.
-        const bool percent = result.x_label == "sigma" ||
-                             result.x_label == "stuck_fraction" ||
-                             result.x_label == "flip_probability" ||
-                             result.x_label == "bits";
-        std::cout << "\n"
-                  << result.to_table(name + (percent ? " (%)" : ""),
-                                     percent ? 100.0 : 1.0)
-                  << "  wall clock: " << format_double(result.seconds, 2)
-                  << " s\n";
-        if (!result.bayesft_alpha.empty()) {
-            std::cout << "  BayesFT best alpha:";
-            for (double a : result.bayesft_alpha) {
-                std::cout << ' ' << format_double(a, 3);
+        std::vector<core::RegistryResult> runs;
+        for (std::size_t r = 0; r < repeat; ++r) {
+            // Distinct seeds per repeat: run 0 reproduces the single-run
+            // behaviour; later runs shift the scenario base seed.
+            core::RunOptions run_options = options;
+            run_options.seed = options.seed + r;
+            core::RegistryResult result;
+            try {
+                result = registry.run(name, run_options);
+            } catch (const std::exception& error) {
+                std::cerr << "experiments: " << error.what() << "\n";
+                return 1;
             }
-            std::cout << "\n";
-        }
-        for (const core::NamedCurve& curve : result.curves) {
-            for (std::size_t i = 0; i < result.xs.size(); ++i) {
-                records.push_back({result.experiment, curve.label,
-                                   result.x_label, result.xs[i],
-                                   curve.values[i], result.seconds});
+            const bool percent = percent_axis(result.x_label);
+            std::string title = name + (percent ? " (%)" : "");
+            if (repeat > 1) {
+                title += " [seed " + std::to_string(run_options.seed) + "]";
             }
+            std::cout << "\n"
+                      << result.to_table(title, percent ? 100.0 : 1.0)
+                      << "  wall clock: "
+                      << format_double(result.seconds, 2) << " s\n";
+            if (!result.annotation.empty()) {
+                std::cout << "  best point: " << result.annotation << "\n";
+            }
+            if (!result.bayesft_alpha.empty()) {
+                std::cout << "  BayesFT best alpha:";
+                for (double a : result.bayesft_alpha) {
+                    std::cout << ' ' << format_double(a, 3);
+                }
+                std::cout << "\n";
+            }
+            for (const core::NamedCurve& curve : result.curves) {
+                for (std::size_t i = 0; i < result.xs.size(); ++i) {
+                    records.push_back({result.experiment, curve.label,
+                                       result.x_label, result.xs[i],
+                                       curve.values[i], result.seconds,
+                                       "raw", run_options.seed});
+                }
+            }
+            runs.push_back(std::move(result));
+        }
+        if (repeat > 1) {
+            // Mean/stddev aggregates across the repeated seeds, per
+            // (curve, x) cell; every run of one scenario shares xs and
+            // curve labels by construction.
+            const core::RegistryResult& first = runs.front();
+            double seconds = 0.0;
+            for (const core::RegistryResult& run : runs) {
+                seconds += run.seconds;
+            }
+            seconds /= static_cast<double>(runs.size());
+            core::RegistryResult aggregate;
+            aggregate.experiment = first.experiment;
+            aggregate.x_label = first.x_label;
+            aggregate.xs = first.xs;
+            aggregate.seconds = seconds;
+            for (std::size_t c = 0; c < first.curves.size(); ++c) {
+                core::NamedCurve mean_curve{first.curves[c].label + "|mean",
+                                            {}};
+                core::NamedCurve sd_curve{first.curves[c].label + "|stddev",
+                                          {}};
+                for (std::size_t i = 0; i < first.xs.size(); ++i) {
+                    std::vector<double> cell;
+                    cell.reserve(runs.size());
+                    for (const core::RegistryResult& run : runs) {
+                        cell.push_back(run.curves[c].values[i]);
+                    }
+                    const auto [mean, sd] = mean_stddev(cell);
+                    mean_curve.values.push_back(mean);
+                    sd_curve.values.push_back(sd);
+                    records.push_back({first.experiment,
+                                       first.curves[c].label, first.x_label,
+                                       first.xs[i], mean, seconds, "mean",
+                                       options.seed});
+                    records.push_back({first.experiment,
+                                       first.curves[c].label, first.x_label,
+                                       first.xs[i], sd, seconds, "stddev",
+                                       options.seed});
+                }
+                aggregate.curves.push_back(std::move(mean_curve));
+                aggregate.curves.push_back(std::move(sd_curve));
+            }
+            const bool percent = percent_axis(first.x_label);
+            std::cout << "\n"
+                      << aggregate.to_table(
+                             name + " aggregate over " +
+                                 std::to_string(repeat) + " seeds" +
+                                 (percent ? " (%)" : ""),
+                             percent ? 100.0 : 1.0)
+                      << "  mean wall clock: "
+                      << format_double(seconds, 2) << " s\n";
         }
     }
     if (!json_path.empty()) {
-        write_json(json_path, records, options);
+        write_json(json_path, records, options, repeat);
         std::cout << "\nwrote " << json_path << " (" << records.size()
                   << " records)\n";
     }

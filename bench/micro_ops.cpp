@@ -1,8 +1,9 @@
 // Micro-benchmarks of the numeric substrates: blocked GEMM (including a
 // comparison against the seed's scalar i-k-j kernel), batched conv
 // forward/backward, GP fit, per-fault-model injection throughput across
-// the FaultModel zoo, and multi-threaded Monte-Carlo drift evaluation
-// scaling.
+// the FaultModel zoo, multi-threaded Monte-Carlo drift evaluation scaling,
+// candidate-engine search throughput, and GP proposal cost over typed
+// mixed search spaces (suggest_throughput_vs_dims).
 //
 // Results are printed as a human-readable table AND emitted as
 // machine-readable JSON — one record per (op, shape, threads) with ns/iter
@@ -21,9 +22,12 @@
 #include <string>
 #include <vector>
 
+#include "bayesopt/acquisition.hpp"
+#include "bayesopt/bayesopt.hpp"
 #include "bayesopt/gp.hpp"
 #include "core/engine.hpp"
 #include "core/objective.hpp"
+#include "core/param_space.hpp"
 #include "data/toy.hpp"
 #include "fault/drift.hpp"
 #include "fault/evaluator.hpp"
@@ -370,6 +374,74 @@ void bench_search_throughput() {
     }
 }
 
+void bench_suggest_throughput() {
+    // GP proposal cost over typed mixed spaces: one BayesOpt per dimension
+    // count (continuous + integer + categorical mix), seeded with 12
+    // observations of a cheap synthetic objective, then ns per suggest()
+    // call — the fixed per-iteration overhead an archsearch scenario pays
+    // on top of candidate training.
+    struct SpaceCase {
+        const char* shape;
+        core::ParamSpace space;
+    };
+    std::vector<SpaceCase> cases;
+    {
+        core::ParamSpace d3;
+        d3.add_continuous("c0", 0.0, 0.6);
+        d3.add_integer("i0", 1, 8);
+        d3.add_categorical("k0", {"a", "b", "c"});
+        cases.push_back({"d3", std::move(d3)});
+    }
+    {
+        core::ParamSpace d8;
+        for (int i = 0; i < 4; ++i) {
+            d8.add_continuous("c" + std::to_string(i), 0.0, 0.6);
+        }
+        d8.add_integer("i0", 1, 8);
+        d8.add_integer("i1", 16, 128);
+        d8.add_categorical("k0", {"a", "b", "c"});
+        d8.add_categorical("k1", {"w", "x", "y", "z"});
+        cases.push_back({"d8", std::move(d8)});
+    }
+    {
+        core::ParamSpace d16;
+        for (int i = 0; i < 8; ++i) {
+            d16.add_continuous("c" + std::to_string(i), 0.0, 0.6);
+        }
+        for (int i = 0; i < 4; ++i) {
+            d16.add_integer("i" + std::to_string(i), 1, 8);
+        }
+        for (int i = 0; i < 4; ++i) {
+            d16.add_categorical("k" + std::to_string(i),
+                                {"a", "b", "c", "d"});
+        }
+        cases.push_back({"d16", std::move(d16)});
+    }
+
+    for (const SpaceCase& c : cases) {
+        bayesopt::BayesOptConfig config;
+        config.initial_random_trials = 4;
+        bayesopt::BayesOpt bo(c.space.encoded_bounds(),
+                              c.space.kernel(4.0, 1.0),
+                              std::make_unique<bayesopt::PosteriorMean>(),
+                              config, Rng(31), c.space.projection());
+        Rng sample_rng(32);
+        for (std::size_t i = 0; i < 12; ++i) {
+            const std::vector<double> x =
+                c.space.encode(c.space.sample(sample_rng));
+            double y = 0.0;
+            for (double v : x) y += v;
+            bo.observe(x, -y);
+        }
+        volatile double sink = 0.0;
+        const double ns = time_ns([&] {
+            const bayesopt::Point p = bo.suggest();
+            sink = sink + p[0];
+        });
+        report("suggest_throughput_vs_dims", c.shape, 1, ns, 0.0);
+    }
+}
+
 void write_json(const std::string& path) {
     std::ofstream out(path);
     out << "[\n";
@@ -396,6 +468,7 @@ int main(int argc, char** argv) {
     bench_fault_injection();
     bench_mc_evaluation();
     bench_search_throughput();
+    bench_suggest_throughput();
     write_json(json_path);
     std::cout << "wrote " << json_path << " (" << g_records.size()
               << " records)\n";

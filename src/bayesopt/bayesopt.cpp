@@ -46,27 +46,32 @@ Point BoxBounds::sample(Rng& rng) const {
     return p;
 }
 
-namespace {
-
-double euclidean(const Point& a, const Point& b) {
+double BayesOpt::normalized_distance(const Point& a, const Point& b) const {
+    // Span-normalized so every dimension contributes on the same [0, 1]
+    // scale: wide integer/categorical encodings must not drown out narrow
+    // dropout dims in the diversity guard or the duplicate merge.
     double sum = 0.0;
     for (std::size_t i = 0; i < a.size(); ++i) {
-        const double d = a[i] - b[i];
+        const double d =
+            (a[i] - b[i]) / (bounds_.upper[i] - bounds_.lower[i]);
         sum += d * d;
     }
     return std::sqrt(sum);
 }
 
-}  // namespace
+void BayesOpt::make_feasible(Point& p) const {
+    if (projection_) projection_(p);
+}
 
 BayesOpt::BayesOpt(BoxBounds bounds, std::shared_ptr<const Kernel> kernel,
                    std::unique_ptr<Acquisition> acquisition,
-                   BayesOptConfig config, Rng rng)
+                   BayesOptConfig config, Rng rng, Projection projection)
     : bounds_(std::move(bounds)),
       kernel_(kernel),
       acquisition_(std::move(acquisition)),
       config_(config),
       rng_(rng),
+      projection_(std::move(projection)),
       gp_(std::move(kernel), config.noise_variance) {
     bounds_.validate();
     if (!acquisition_) throw std::invalid_argument("BayesOpt: null acquisition");
@@ -76,6 +81,11 @@ BayesOpt::BayesOpt(BoxBounds bounds, std::shared_ptr<const Kernel> kernel,
     if (config_.latin_hypercube_init && config_.initial_random_trials > 0) {
         initial_plan_ =
             latin_hypercube(config_.initial_random_trials, bounds_, rng_);
+        // Mixed-space design of experiments: the space-filling plan is
+        // snapped onto the feasible set (round integers, one-hot-ify
+        // categorical blocks), preserving the per-dimension stratification
+        // of the numeric dims.
+        for (Point& p : initial_plan_) make_feasible(p);
     }
 }
 
@@ -89,7 +99,9 @@ Point BayesOpt::propose(const std::vector<Point>& pending,
         if (initial_used_ < initial_plan_.size()) {
             return initial_plan_[initial_used_++];
         }
-        return bounds_.sample(rng_);
+        Point p = bounds_.sample(rng_);
+        make_feasible(p);
+        return p;
     }
     return maximize_acquisition(pending);
 }
@@ -154,7 +166,9 @@ Point BayesOpt::maximize_acquisition(const std::vector<Point>& pending) {
     std::vector<Point> pool;
     pool.reserve(config_.candidates + config_.local_candidates);
     for (std::size_t i = 0; i < config_.candidates; ++i) {
-        pool.push_back(bounds_.sample(rng_));
+        Point p = bounds_.sample(rng_);
+        make_feasible(p);
+        pool.push_back(std::move(p));
     }
     if (best()) {
         for (std::size_t i = 0; i < config_.local_candidates; ++i) {
@@ -165,23 +179,21 @@ Point BayesOpt::maximize_acquisition(const std::vector<Point>& pending) {
                                     config_.local_sigma_fraction * edge);
             }
             bounds_.clamp(p);
+            make_feasible(p);
             pool.push_back(std::move(p));
         }
     }
 
-    double min_separation = 0.0;
-    if (!pending.empty()) {
-        double diagonal = 0.0;
-        for (std::size_t d = 0; d < bounds_.dims(); ++d) {
-            const double edge = bounds_.upper[d] - bounds_.lower[d];
-            diagonal += edge * edge;
-        }
-        min_separation =
-            config_.batch_separation_fraction * std::sqrt(diagonal);
-    }
+    // Span-normalized distances: the unit-box diagonal is sqrt(dims), so
+    // the separation fraction means the same thing whatever the per-dim
+    // spans are (raw Euclidean would let one wide integer dim dominate).
+    const double min_separation =
+        pending.empty() ? 0.0
+                        : config_.batch_separation_fraction *
+                              std::sqrt(static_cast<double>(bounds_.dims()));
     auto far_from_pending = [&](const Point& p) {
         for (const Point& other : pending) {
-            if (euclidean(p, other) < min_separation) return false;
+            if (normalized_distance(p, other) < min_separation) return false;
         }
         return true;
     };
@@ -256,7 +268,8 @@ void BayesOpt::refit_gp() {
     for (const Trial& t : trials_) {
         std::size_t match = xs.size();
         for (std::size_t i = 0; i < xs.size(); ++i) {
-            if (euclidean(xs[i], t.x) <= config_.duplicate_tolerance) {
+            if (normalized_distance(xs[i], t.x) <=
+                config_.duplicate_tolerance) {
                 match = i;
                 break;
             }

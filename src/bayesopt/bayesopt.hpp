@@ -5,6 +5,7 @@
 // random candidates plus local refinement around the incumbent (the
 // objective has no gradient in alpha, per paper Sec. III-B).
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -39,6 +40,13 @@ struct Trial {
     double y = 0.0;
 };
 
+/// Feasibility projection for mixed (continuous + integer + categorical)
+/// search spaces: snaps an in-box encoded point onto the feasible set
+/// (e.g. rounding integer coordinates, one-hot-ifying categorical blocks).
+/// Must be deterministic and idempotent.  An empty function means every
+/// in-box point is feasible (the historical all-continuous behaviour).
+using Projection = std::function<void(Point&)>;
+
 /// Configuration of the proposal step.
 struct BayesOptConfig {
     /// Trials drawn before the surrogate is trusted.
@@ -54,13 +62,17 @@ struct BayesOptConfig {
     double local_sigma_fraction = 0.1;
     /// Observation noise variance handed to the GP.
     double noise_variance = 1e-4;
-    /// Trial points closer than this (Euclidean) are treated as repeated
-    /// observations of one point: their objective values are averaged into a
-    /// single GP row instead of producing a (near-)singular Gram matrix that
-    /// only Cholesky jitter retries can absorb.
+    /// Trial points closer than this in span-normalized distance (each
+    /// coordinate difference divided by its box edge length, so wide
+    /// integer/categorical encodings cannot drown out narrow dropout dims)
+    /// are treated as repeated observations of one point: their objective
+    /// values are averaged into a single GP row instead of producing a
+    /// (near-)singular Gram matrix that only Cholesky jitter retries can
+    /// absorb.
     double duplicate_tolerance = 1e-6;
     /// Minimum separation between the candidates of one suggest_batch call,
-    /// as a fraction of the box diagonal (diversity guard on top of the
+    /// as a fraction of the unit-box diagonal sqrt(dims) in the same
+    /// span-normalized distance (diversity guard on top of the
     /// constant-liar fantasies).
     double batch_separation_fraction = 0.02;
 };
@@ -68,9 +80,14 @@ struct BayesOptConfig {
 /// Maximizes an expensive black-box function over a box.
 class BayesOpt {
 public:
+    /// `projection` (optional) snaps every generated candidate — initial
+    /// design, random pool, local perturbations — onto a feasible subset of
+    /// the box, so suggest()/suggest_batch() only ever propose feasible
+    /// points (e.g. decoded ParamSpace points).  It never consumes RNG
+    /// draws, so an empty and a no-op projection produce identical streams.
     BayesOpt(BoxBounds bounds, std::shared_ptr<const Kernel> kernel,
              std::unique_ptr<Acquisition> acquisition, BayesOptConfig config,
-             Rng rng);
+             Rng rng, Projection projection = {});
 
     /// Proposes the next point to evaluate.
     Point suggest();
@@ -111,11 +128,18 @@ private:
     /// (objective values averaged); resets the GP when there are no trials.
     void refit_gp();
 
+    /// Applies the feasibility projection (no-op when none was given).
+    void make_feasible(Point& p) const;
+    /// Distance with each coordinate difference normalized by the box edge
+    /// length (used by the diversity guard and the duplicate merge).
+    double normalized_distance(const Point& a, const Point& b) const;
+
     BoxBounds bounds_;
     std::shared_ptr<const Kernel> kernel_;
     std::unique_ptr<Acquisition> acquisition_;
     BayesOptConfig config_;
     Rng rng_;
+    Projection projection_;
     GaussianProcess gp_;
     std::vector<Trial> trials_;
     std::vector<Point> initial_plan_;  // Latin hypercube initial design

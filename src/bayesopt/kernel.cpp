@@ -69,6 +69,86 @@ std::string ArdSquaredExponential::describe() const {
     return os.str();
 }
 
+namespace {
+
+/// Argmax coordinate of one one-hot block (first winner on ties).
+std::size_t block_argmax(const Point& p, const CategoricalBlock& block) {
+    std::size_t best = block.offset;
+    for (std::size_t i = block.offset + 1;
+         i < block.offset + block.cardinality; ++i) {
+        if (p[i] > p[best]) best = i;
+    }
+    return best - block.offset;
+}
+
+}  // namespace
+
+MixedArdSquaredExponential::MixedArdSquaredExponential(
+    std::vector<double> inverse_length_scales,
+    std::vector<CategoricalBlock> blocks, double hamming_weight,
+    double amplitude)
+    : inv_scales_(std::move(inverse_length_scales)),
+      blocks_(std::move(blocks)),
+      is_categorical_(inv_scales_.size(), 0),
+      hamming_weight_(hamming_weight),
+      amplitude_(amplitude) {
+    if (inv_scales_.empty()) {
+        throw std::invalid_argument("MixedArdSE: empty scales");
+    }
+    if (!(hamming_weight > 0.0)) {
+        throw std::invalid_argument("MixedArdSE: hamming_weight must be > 0");
+    }
+    if (!(amplitude > 0.0)) {
+        throw std::invalid_argument("MixedArdSE: amplitude must be > 0");
+    }
+    std::size_t next_free = 0;
+    for (const CategoricalBlock& block : blocks_) {
+        if (block.cardinality < 2 || block.offset < next_free ||
+            block.offset + block.cardinality > inv_scales_.size()) {
+            throw std::invalid_argument(
+                "MixedArdSE: malformed categorical blocks");
+        }
+        next_free = block.offset + block.cardinality;
+        for (std::size_t i = block.offset;
+             i < block.offset + block.cardinality; ++i) {
+            is_categorical_[i] = 1;
+        }
+    }
+    for (std::size_t i = 0; i < inv_scales_.size(); ++i) {
+        if (!is_categorical_[i] && !(inv_scales_[i] > 0.0)) {
+            throw std::invalid_argument(
+                "MixedArdSE: numeric inverse length scales must be > 0");
+        }
+    }
+}
+
+double MixedArdSquaredExponential::operator()(const Point& a,
+                                              const Point& b) const {
+    if (a.size() != inv_scales_.size() || b.size() != inv_scales_.size()) {
+        throw std::invalid_argument("MixedArdSE: dimension mismatch");
+    }
+    double exponent = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (is_categorical_[i]) continue;
+        const double d = a[i] - b[i];
+        exponent += inv_scales_[i] * d * d;
+    }
+    for (const CategoricalBlock& block : blocks_) {
+        if (block_argmax(a, block) != block_argmax(b, block)) {
+            exponent += hamming_weight_;
+        }
+    }
+    return amplitude_ * std::exp(-exponent);
+}
+
+std::string MixedArdSquaredExponential::describe() const {
+    std::ostringstream os;
+    os << "MixedARD-SE(d=" << inv_scales_.size() << ", cat="
+       << blocks_.size() << ", lambda=" << hamming_weight_
+       << ", k0=" << amplitude_ << ")";
+    return os.str();
+}
+
 Matern52::Matern52(double length_scale, double amplitude)
     : length_scale_(length_scale), amplitude_(amplitude) {
     if (!(length_scale > 0.0) || !(amplitude > 0.0)) {

@@ -58,6 +58,49 @@ private:
     double amplitude_;
 };
 
+/// A run of one-hot coordinates inside an encoded mixed-space point:
+/// coordinates [offset, offset + cardinality) encode one categorical
+/// dimension with `cardinality` choices.
+struct CategoricalBlock {
+    std::size_t offset = 0;
+    std::size_t cardinality = 0;
+};
+
+/// ARD squared-exponential kernel with a Hamming term for categorical
+/// one-hot blocks (the mixed-space generalization of paper Eq. 9):
+///
+///   k(a, b) = k0 * exp(-sum_{i numeric} k_i (a_i - b_i)^2
+///                      - lambda * sum_{c categorical} [cat_c(a) != cat_c(b)])
+///
+/// where cat_c(x) is the argmax of block c (points are expected to be
+/// feasible one-hot encodings; argmax makes near-one-hot queries sane too).
+/// With no categorical blocks this computes exactly what
+/// ArdSquaredExponential computes, term for term — the bit-compatibility
+/// contract the dropout-only ParamSpace path relies on.
+class MixedArdSquaredExponential : public Kernel {
+public:
+    /// `inverse_length_scales` has one entry per encoded coordinate
+    /// (entries under categorical blocks are ignored); `blocks` must be
+    /// sorted, non-overlapping, in range, with cardinality >= 2;
+    /// `hamming_weight` is lambda (> 0).
+    MixedArdSquaredExponential(std::vector<double> inverse_length_scales,
+                               std::vector<CategoricalBlock> blocks,
+                               double hamming_weight, double amplitude = 1.0);
+
+    double operator()(const Point& a, const Point& b) const override;
+    std::string describe() const override;
+
+    const std::vector<CategoricalBlock>& blocks() const { return blocks_; }
+    double hamming_weight() const { return hamming_weight_; }
+
+private:
+    std::vector<double> inv_scales_;
+    std::vector<CategoricalBlock> blocks_;
+    std::vector<char> is_categorical_;  // per-coordinate membership mask
+    double hamming_weight_;
+    double amplitude_;
+};
+
 /// Matern-5/2 kernel with a single length scale (ablation alternative).
 class Matern52 : public Kernel {
 public:

@@ -1,0 +1,98 @@
+#include "core/archsearch.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "bayesopt/acquisition.hpp"
+#include "core/engine.hpp"
+#include "utils/logging.hpp"
+
+namespace bayesft::core {
+
+ArchSearchResult arch_search(const models::ArchFamily& family,
+                             const data::Dataset& train_set,
+                             const data::Dataset& validation_set,
+                             const ArchSearchConfig& config, Rng& rng) {
+    if (family.space.size() == 0 || !family.build) {
+        throw std::invalid_argument(
+            "arch_search: family needs a non-empty space and a builder");
+    }
+    if (config.iterations == 0) {
+        throw std::invalid_argument("arch_search: zero iterations");
+    }
+    const ParamSpace& space = family.space;
+
+    bayesopt::BayesOpt bo(
+        space.encoded_bounds(),
+        space.kernel(config.kernel_inverse_scale, config.hamming_weight),
+        bayesopt::make_acquisition(config.acquisition), config.bo,
+        rng.split(), space.projection());
+
+    EvaluationEngine engine(EngineConfig{config.eval_threads, /*cache=*/true});
+    // The context digests everything a candidate's utility depends on
+    // besides its point: objective, space structure, training budget, and a
+    // per-run nonce so two searches differing only in seed draw distinct
+    // candidate streams.  The stamp stays 0 for the whole run — candidates
+    // are built from scratch, so memoized utilities never go stale and
+    // repeated proposals (common once integer/categorical snapping kicks
+    // in) cost nothing.
+    EvalContext context;
+    context.key = objective_digest(config.objective);
+    context.key = mix_key(context.key, space.digest());
+    context.key = mix_key(context.key,
+                          static_cast<std::uint64_t>(config.train.epochs));
+    context.key = mix_key(context.key, rng());
+
+    const PointEvaluator evaluator = [&](const Alpha& encoded, Rng& r) {
+        const ParamPoint point = space.decode(encoded);
+        models::ModelHandle model = family.build(space, point, r);
+        nn::train_classifier(*model.net, train_set.images, train_set.labels,
+                             config.train, r);
+        return fault_utility(*model.net, validation_set.images,
+                             validation_set.labels, config.objective, r);
+    };
+
+    const std::size_t q = std::max<std::size_t>(1, config.batch);
+    std::size_t done = 0;
+    while (done < config.iterations) {
+        const std::size_t group = std::min(q, config.iterations - done);
+        const std::vector<bayesopt::Point> encoded = bo.suggest_batch(group);
+        const BatchOutcome outcome =
+            engine.evaluate_points(encoded, evaluator, context);
+        bo.observe_batch(encoded, outcome.utilities);
+        for (std::size_t j = 0; j < group; ++j) {
+            log_debug() << "arch_search trial " << (done + j) << " ["
+                        << space.describe(space.decode(encoded[j])) << "] "
+                        << "utility " << outcome.utilities[j];
+        }
+        done += group;
+    }
+
+    ArchSearchResult result;
+    const auto best = bo.best();
+    result.best_utility = best->y;
+    result.best_point = space.decode(best->x);
+    result.trials = bo.trials();
+    result.trial_points.reserve(result.trials.size());
+    for (const bayesopt::Trial& trial : result.trials) {
+        result.trial_points.push_back(space.decode(trial.x));
+    }
+    result.engine_cache_hits = engine.cache_hits();
+
+    // Re-materialize the winner on its original candidate stream: the same
+    // derived seed replays build + training bit for bit, so the returned
+    // model is exactly the candidate the GP scored.
+    Rng winner_rng(candidate_seed(context, best->x));
+    result.best_model = family.build(space, result.best_point, winner_rng);
+    nn::train_classifier(*result.best_model.net, train_set.images,
+                         train_set.labels, config.train, winner_rng);
+    if (config.final_epochs > 0) {
+        nn::TrainConfig final_config = config.train;
+        final_config.epochs = config.final_epochs;
+        nn::train_classifier(*result.best_model.net, train_set.images,
+                             train_set.labels, final_config, rng);
+    }
+    return result;
+}
+
+}  // namespace bayesft::core

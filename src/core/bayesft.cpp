@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/engine.hpp"
+#include "core/param_space.hpp"
 #include "utils/logging.hpp"
 
 namespace bayesft::core {
@@ -32,13 +33,17 @@ BayesFTResult run_search(
     }
     const std::size_t dims = model.dropout_sites.size();
 
-    auto bounds =
-        bayesopt::BoxBounds::uniform(dims, 0.0, config.max_dropout_rate);
-    auto kernel = std::make_shared<bayesopt::ArdSquaredExponential>(
-        dims, config.kernel_inverse_scale);
-    bayesopt::BayesOpt bo(bounds, kernel,
+    // The dropout vector as a typed search space: all-continuous dims in
+    // native units, so the encoded view, kernel values, and RNG streams are
+    // bit-identical to the historical BoxBounds path (gtest-enforced by
+    // the serial-reference comparison in tests/test_engine.cpp).
+    const ParamSpace space =
+        ParamSpace::dropout(dims, config.max_dropout_rate);
+    bayesopt::BayesOpt bo(space.encoded_bounds(),
+                          space.kernel(config.kernel_inverse_scale,
+                                       /*hamming_weight=*/1.0),
                           bayesopt::make_acquisition(config.acquisition),
-                          config.bo, rng.split());
+                          config.bo, rng.split(), space.projection());
 
     nn::TrainConfig epoch_config = config.train;
     epoch_config.epochs = config.epochs_per_iteration;
@@ -88,7 +93,9 @@ BayesFTResult run_search(
         } else {
             alphas.reserve(group);
             for (std::size_t j = 0; j < group; ++j) {
-                alphas.push_back(bounds.sample(rng));
+                // Typed uniform sampling; for the all-continuous dropout
+                // space this draws the same stream BoxBounds::sample drew.
+                alphas.push_back(space.encode(space.sample(rng)));
             }
         }
         const BatchOutcome outcome = engine.evaluate_batch(

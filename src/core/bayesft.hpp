@@ -5,6 +5,12 @@
 // marginalizes over the paper's log-normal drift by default; setting
 // ObjectiveConfig::faults searches for robustness against any FaultModel
 // set (stuck-at, bit flips, variation, quantization, compositions).
+//
+// The search space is the all-continuous ParamSpace::dropout instance of
+// the typed mixed search space (docs/search-space.md) — bit-identical to
+// the historical raw-vector path.  For searching architecture dimensions
+// (norm, activation, depth, widths) jointly with dropout, see
+// core/archsearch.hpp.
 
 #include <cstdint>
 #include <string>

@@ -23,16 +23,12 @@ std::uint64_t fnv1a_bytes(std::uint64_t seed, const unsigned char* bytes,
     return h;
 }
 
-/// Deterministic RNG seed for one candidate: a pure function of the
-/// evaluation context and alpha, so duplicate proposals draw identical
-/// streams (making the memo cache sound) and results are independent of
-/// thread count and evaluation order.
-std::uint64_t candidate_seed(const EvalContext& context, const Alpha& alpha) {
-    std::uint64_t h = mix_key(context.key, context.stamp);
-    return mix_key(h, alpha.data(), alpha.size());
-}
-
 }  // namespace
+
+std::uint64_t candidate_seed(const EvalContext& context, const Alpha& point) {
+    std::uint64_t h = mix_key(context.key, context.stamp);
+    return mix_key(h, point.data(), point.size());
+}
 
 std::uint64_t mix_key(std::uint64_t seed, const double* values,
                       std::size_t count) {
@@ -193,6 +189,97 @@ BatchOutcome EvaluationEngine::evaluate_batch(
         has_active_context_ = false;
     }
     (void)rng;  // q > 1 never advances the caller's generator
+    return outcome;
+}
+
+BatchOutcome EvaluationEngine::evaluate_points(
+    const std::vector<Alpha>& points, const PointEvaluator& evaluator,
+    const EvalContext& context) {
+    if (points.empty()) {
+        throw std::invalid_argument(
+            "EvaluationEngine::evaluate_points: empty batch");
+    }
+    if (!evaluator) {
+        throw std::invalid_argument(
+            "EvaluationEngine::evaluate_points: no evaluator");
+    }
+    const std::size_t q = points.size();
+    if (config_.cache &&
+        (!has_active_context_ || active_context_ != context.key ||
+         active_stamp_ != context.stamp)) {
+        cache_.clear();
+        active_context_ = context.key;
+        active_stamp_ = context.stamp;
+        has_active_context_ = true;
+    }
+    BatchOutcome outcome;
+    outcome.utilities.assign(q, 0.0);
+
+    // Within-batch dedup + cross-call memo hits, exactly as evaluate_batch;
+    // unlike the model path there is no q == 1 special case, because every
+    // candidate runs on its own derived RNG stream regardless of batch size.
+    std::vector<std::size_t> owner(q);
+    for (std::size_t j = 0; j < q; ++j) {
+        owner[j] = j;
+        for (std::size_t i = 0; i < j; ++i) {
+            if (points[i] == points[j]) {
+                owner[j] = i;
+                break;
+            }
+        }
+    }
+    std::vector<std::size_t> live;
+    live.reserve(q);
+    for (std::size_t j = 0; j < q; ++j) {
+        if (owner[j] != j) continue;
+        if (config_.cache) {
+            const auto it =
+                cache_.find(CacheKey{context.key, context.stamp, points[j]});
+            if (it != cache_.end()) {
+                outcome.utilities[j] = it->second;
+                ++outcome.cache_hits;
+                continue;
+            }
+        }
+        live.push_back(j);
+    }
+
+    if (!live.empty()) {
+        auto evaluate_candidate = [&](std::size_t j) {
+            Rng rng(candidate_seed(context, points[j]));
+            outcome.utilities[j] = evaluator(points[j], rng);
+        };
+        std::size_t threads =
+            config_.threads == 0 ? parallel_thread_count() : config_.threads;
+        threads = std::min(std::max<std::size_t>(threads, 1), live.size());
+        const std::size_t grain = (live.size() + threads - 1) / threads;
+        parallel_for(0, live.size(), grain,
+                     [&](std::size_t lo, std::size_t hi) {
+                         for (std::size_t i = lo; i < hi; ++i) {
+                             evaluate_candidate(live[i]);
+                         }
+                     });
+    }
+
+    for (std::size_t j = 0; j < q; ++j) {
+        if (owner[j] == j) continue;
+        outcome.utilities[j] = outcome.utilities[owner[j]];
+        ++outcome.cache_hits;
+    }
+    if (config_.cache) {
+        for (const std::size_t j : live) {
+            cache_.emplace(CacheKey{context.key, context.stamp, points[j]},
+                           outcome.utilities[j]);
+        }
+    }
+    total_hits_ += outcome.cache_hits;
+
+    outcome.best_index = 0;
+    for (std::size_t j = 1; j < q; ++j) {
+        if (outcome.utilities[j] > outcome.utilities[outcome.best_index]) {
+            outcome.best_index = j;
+        }
+    }
     return outcome;
 }
 

@@ -44,6 +44,14 @@ using CandidateEvaluator =
     std::function<double(models::ModelHandle& model, const Alpha& alpha,
                          Rng& rng)>;
 
+/// Trains/scores one self-contained candidate identified only by its
+/// encoded search-space point (e.g. a ParamSpace point that the evaluator
+/// decodes and builds a model from).  Must derive all stochastic draws from
+/// `rng` and touch no shared mutable state; called concurrently.
+using PointEvaluator =
+    std::function<double(const Alpha& encoded, Rng& rng)>;
+
+
 /// FNV-1a style mixing used to build engine context keys.  The overloads
 /// fold doubles (bitwise), integers, and strings (e.g. a FaultModel's
 /// describe() output) into one digest; all are pure functions.
@@ -69,9 +77,18 @@ struct EvalContext {
     /// epochs, ...).  Build it with objective_digest + mix_key.
     std::uint64_t key = 0;
     /// Version of the model weights; bump after every adoption/training so
-    /// stale utilities are never reused.
+    /// stale utilities are never reused.  Self-contained point evaluations
+    /// (evaluate_points) have no evolving weights, so their callers keep the
+    /// stamp constant and the memo cache stays valid across the whole run.
     std::uint64_t stamp = 0;
 };
+
+/// Deterministic RNG seed for one candidate: a pure function of the
+/// evaluation context and the encoded point, so duplicate proposals draw
+/// identical streams (making the memo cache sound), results are invariant
+/// to thread count and evaluation order, and a search can re-materialize
+/// its winner exactly (arch_search rebuilds the best model this way).
+std::uint64_t candidate_seed(const EvalContext& context, const Alpha& point);
 
 /// Result of one batch evaluation.
 struct BatchOutcome {
@@ -99,6 +116,18 @@ public:
                                 const std::vector<Alpha>& alphas,
                                 const CandidateEvaluator& evaluator, Rng& rng,
                                 const EvalContext& context, bool adopt_winner);
+
+    /// Evaluates self-contained candidates identified only by their encoded
+    /// search-space points (no shared base model): every candidate — even in
+    /// a batch of one — runs on the deterministic candidate_seed(context,
+    /// point) stream, so the outcome is a pure function of (context, points)
+    /// for every batch size and thread count, and the memo cache serves
+    /// duplicate proposals across the whole run while the caller holds
+    /// (context.key, context.stamp) fixed.  Used by arch_search, where each
+    /// candidate builds and trains its own model from a ParamPoint.
+    BatchOutcome evaluate_points(const std::vector<Alpha>& points,
+                                 const PointEvaluator& evaluator,
+                                 const EvalContext& context);
 
     /// Lifetime total of evaluations served without running the evaluator
     /// (within-batch duplicates + cross-call map hits).

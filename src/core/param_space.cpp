@@ -1,0 +1,412 @@
+#include "core/param_space.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/engine.hpp"
+
+namespace bayesft::core {
+
+void ParamSpace::reject_duplicate(const std::string& name) const {
+    if (name.empty()) {
+        throw std::invalid_argument("ParamSpace: empty dimension name");
+    }
+    for (const ParamDim& d : dims_) {
+        if (d.name == name) {
+            throw std::invalid_argument("ParamSpace: duplicate dimension '" +
+                                        name + "'");
+        }
+    }
+}
+
+ParamSpace& ParamSpace::add_continuous(std::string name, double lo,
+                                       double hi) {
+    reject_duplicate(name);
+    if (!(lo < hi)) {
+        throw std::invalid_argument("ParamSpace: continuous '" + name +
+                                    "' needs lo < hi");
+    }
+    ParamDim dim;
+    dim.name = std::move(name);
+    dim.kind = DimKind::kContinuous;
+    dim.lo = lo;
+    dim.hi = hi;
+    dims_.push_back(std::move(dim));
+    encoded_dims_ += 1;
+    return *this;
+}
+
+ParamSpace& ParamSpace::add_integer(std::string name, std::int64_t lo,
+                                    std::int64_t hi) {
+    reject_duplicate(name);
+    if (!(lo < hi)) {
+        throw std::invalid_argument("ParamSpace: integer '" + name +
+                                    "' needs lo < hi");
+    }
+    ParamDim dim;
+    dim.name = std::move(name);
+    dim.kind = DimKind::kInteger;
+    dim.ilo = lo;
+    dim.ihi = hi;
+    dims_.push_back(std::move(dim));
+    encoded_dims_ += 1;
+    return *this;
+}
+
+ParamSpace& ParamSpace::add_categorical(std::string name,
+                                        std::vector<std::string> choices) {
+    reject_duplicate(name);
+    if (choices.size() < 2) {
+        throw std::invalid_argument("ParamSpace: categorical '" + name +
+                                    "' needs >= 2 choices");
+    }
+    for (std::size_t i = 0; i < choices.size(); ++i) {
+        if (choices[i].empty()) {
+            throw std::invalid_argument("ParamSpace: categorical '" + name +
+                                        "' has an empty choice");
+        }
+        for (std::size_t j = i + 1; j < choices.size(); ++j) {
+            if (choices[i] == choices[j]) {
+                throw std::invalid_argument("ParamSpace: categorical '" +
+                                            name + "' repeats choice '" +
+                                            choices[i] + "'");
+            }
+        }
+    }
+    ParamDim dim;
+    dim.name = std::move(name);
+    dim.kind = DimKind::kCategorical;
+    dim.choices = std::move(choices);
+    dims_.push_back(std::move(dim));
+    encoded_dims_ += dims_.back().choices.size();
+    return *this;
+}
+
+ParamSpace ParamSpace::dropout(std::size_t sites, double max_rate) {
+    if (sites == 0) {
+        throw std::invalid_argument("ParamSpace::dropout: zero sites");
+    }
+    if (!(max_rate > 0.0) || max_rate >= 1.0) {
+        throw std::invalid_argument(
+            "ParamSpace::dropout: max_rate must be in (0, 1)");
+    }
+    ParamSpace space;
+    for (std::size_t i = 0; i < sites; ++i) {
+        space.add_continuous("alpha" + std::to_string(i), 0.0, max_rate);
+    }
+    return space;
+}
+
+std::size_t ParamSpace::index_of(std::string_view name) const {
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+        if (dims_[i].name == name) return i;
+    }
+    throw std::invalid_argument("ParamSpace: no dimension named '" +
+                                std::string(name) + "'");
+}
+
+double ParamSpace::real(const ParamPoint& p, std::string_view name) const {
+    const std::size_t i = index_of(name);
+    if (dims_[i].kind != DimKind::kContinuous) {
+        throw std::invalid_argument("ParamSpace: '" + std::string(name) +
+                                    "' is not continuous");
+    }
+    return p.values.at(i);
+}
+
+std::int64_t ParamSpace::integer(const ParamPoint& p,
+                                 std::string_view name) const {
+    const std::size_t i = index_of(name);
+    if (dims_[i].kind != DimKind::kInteger) {
+        throw std::invalid_argument("ParamSpace: '" + std::string(name) +
+                                    "' is not integer");
+    }
+    return static_cast<std::int64_t>(p.values.at(i));
+}
+
+const std::string& ParamSpace::category(const ParamPoint& p,
+                                        std::string_view name) const {
+    const std::size_t i = index_of(name);
+    if (dims_[i].kind != DimKind::kCategorical) {
+        throw std::invalid_argument("ParamSpace: '" + std::string(name) +
+                                    "' is not categorical");
+    }
+    const auto index = static_cast<std::size_t>(p.values.at(i));
+    return dims_[i].choices.at(index);
+}
+
+void ParamSpace::validate_point(const ParamPoint& p) const {
+    if (p.values.size() != dims_.size()) {
+        throw std::invalid_argument(
+            "ParamSpace: point has " + std::to_string(p.values.size()) +
+            " values, space has " + std::to_string(dims_.size()) + " dims");
+    }
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+        const ParamDim& dim = dims_[i];
+        const double v = p.values[i];
+        switch (dim.kind) {
+            case DimKind::kContinuous:
+                if (!(v >= dim.lo) || !(v <= dim.hi)) {
+                    throw std::invalid_argument(
+                        "ParamSpace: '" + dim.name + "' out of bounds");
+                }
+                break;
+            case DimKind::kInteger: {
+                if (v != std::floor(v)) {
+                    throw std::invalid_argument("ParamSpace: '" + dim.name +
+                                                "' is not integral");
+                }
+                const auto iv = static_cast<std::int64_t>(v);
+                if (iv < dim.ilo || iv > dim.ihi) {
+                    throw std::invalid_argument(
+                        "ParamSpace: '" + dim.name + "' out of bounds");
+                }
+                break;
+            }
+            case DimKind::kCategorical: {
+                if (v != std::floor(v) || v < 0.0 ||
+                    v >= static_cast<double>(dim.choices.size())) {
+                    throw std::invalid_argument("ParamSpace: '" + dim.name +
+                                                "' has a bad choice index");
+                }
+                break;
+            }
+        }
+    }
+}
+
+std::vector<double> ParamSpace::encode(const ParamPoint& p) const {
+    validate_point(p);
+    std::vector<double> encoded;
+    encoded.reserve(encoded_dims_);
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+        const ParamDim& dim = dims_[i];
+        if (dim.kind == DimKind::kCategorical) {
+            const auto index = static_cast<std::size_t>(p.values[i]);
+            for (std::size_t c = 0; c < dim.choices.size(); ++c) {
+                encoded.push_back(c == index ? 1.0 : 0.0);
+            }
+        } else {
+            encoded.push_back(p.values[i]);
+        }
+    }
+    return encoded;
+}
+
+ParamPoint ParamSpace::decode(const std::vector<double>& encoded) const {
+    if (encoded.size() != encoded_dims_) {
+        throw std::invalid_argument(
+            "ParamSpace::decode: expected " + std::to_string(encoded_dims_) +
+            " coordinates, got " + std::to_string(encoded.size()));
+    }
+    ParamPoint point;
+    point.values.reserve(dims_.size());
+    std::size_t at = 0;
+    for (const ParamDim& dim : dims_) {
+        switch (dim.kind) {
+            case DimKind::kContinuous:
+                point.values.push_back(
+                    std::clamp(encoded[at], dim.lo, dim.hi));
+                at += 1;
+                break;
+            case DimKind::kInteger: {
+                const auto rounded =
+                    static_cast<std::int64_t>(std::llround(encoded[at]));
+                point.values.push_back(static_cast<double>(
+                    std::clamp(rounded, dim.ilo, dim.ihi)));
+                at += 1;
+                break;
+            }
+            case DimKind::kCategorical: {
+                std::size_t best = 0;
+                for (std::size_t c = 1; c < dim.choices.size(); ++c) {
+                    if (encoded[at + c] > encoded[at + best]) best = c;
+                }
+                point.values.push_back(static_cast<double>(best));
+                at += dim.choices.size();
+                break;
+            }
+        }
+    }
+    return point;
+}
+
+void ParamSpace::project(std::vector<double>& encoded) const {
+    // encode(decode(encoded)), done in place.
+    const ParamPoint point = decode(encoded);
+    std::size_t at = 0;
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+        const ParamDim& dim = dims_[i];
+        if (dim.kind == DimKind::kCategorical) {
+            const auto index = static_cast<std::size_t>(point.values[i]);
+            for (std::size_t c = 0; c < dim.choices.size(); ++c) {
+                encoded[at + c] = (c == index) ? 1.0 : 0.0;
+            }
+            at += dim.choices.size();
+        } else {
+            encoded[at] = point.values[i];
+            at += 1;
+        }
+    }
+}
+
+bayesopt::Projection ParamSpace::projection() const {
+    // Self-contained copy of the space so the callable may outlive it.
+    return [space = *this](bayesopt::Point& p) { space.project(p); };
+}
+
+bayesopt::BoxBounds ParamSpace::encoded_bounds() const {
+    if (dims_.empty()) {
+        throw std::invalid_argument("ParamSpace: empty space has no bounds");
+    }
+    bayesopt::BoxBounds bounds;
+    bounds.lower.reserve(encoded_dims_);
+    bounds.upper.reserve(encoded_dims_);
+    for (const ParamDim& dim : dims_) {
+        switch (dim.kind) {
+            case DimKind::kContinuous:
+                bounds.lower.push_back(dim.lo);
+                bounds.upper.push_back(dim.hi);
+                break;
+            case DimKind::kInteger:
+                bounds.lower.push_back(static_cast<double>(dim.ilo));
+                bounds.upper.push_back(static_cast<double>(dim.ihi));
+                break;
+            case DimKind::kCategorical:
+                for (std::size_t c = 0; c < dim.choices.size(); ++c) {
+                    bounds.lower.push_back(0.0);
+                    bounds.upper.push_back(1.0);
+                }
+                break;
+        }
+    }
+    bounds.validate();
+    return bounds;
+}
+
+std::vector<bayesopt::CategoricalBlock> ParamSpace::categorical_blocks()
+    const {
+    std::vector<bayesopt::CategoricalBlock> blocks;
+    std::size_t at = 0;
+    for (const ParamDim& dim : dims_) {
+        if (dim.kind == DimKind::kCategorical) {
+            blocks.push_back({at, dim.choices.size()});
+            at += dim.choices.size();
+        } else {
+            at += 1;
+        }
+    }
+    return blocks;
+}
+
+std::shared_ptr<bayesopt::Kernel> ParamSpace::kernel(
+    double inverse_scale, double hamming_weight, double amplitude) const {
+    if (!(inverse_scale > 0.0)) {
+        throw std::invalid_argument(
+            "ParamSpace::kernel: inverse_scale must be > 0");
+    }
+    std::vector<double> scales;
+    scales.reserve(encoded_dims_);
+    for (const ParamDim& dim : dims_) {
+        switch (dim.kind) {
+            case DimKind::kContinuous:
+                // Native units: paper Eq. 9 semantics on dropout rates, and
+                // bit-compatibility with the historical ARD-SE kernel.
+                scales.push_back(inverse_scale);
+                break;
+            case DimKind::kInteger: {
+                // Span-normalized: correlation decays over a fraction of
+                // the integer range, not per unit step.
+                const double span = static_cast<double>(dim.ihi - dim.ilo);
+                scales.push_back(inverse_scale / (span * span));
+                break;
+            }
+            case DimKind::kCategorical:
+                for (std::size_t c = 0; c < dim.choices.size(); ++c) {
+                    scales.push_back(1.0);  // ignored under the block
+                }
+                break;
+        }
+    }
+    return std::make_shared<bayesopt::MixedArdSquaredExponential>(
+        std::move(scales), categorical_blocks(), hamming_weight, amplitude);
+}
+
+ParamPoint ParamSpace::sample(Rng& rng) const {
+    ParamPoint point;
+    point.values.reserve(dims_.size());
+    for (const ParamDim& dim : dims_) {
+        switch (dim.kind) {
+            case DimKind::kContinuous:
+                point.values.push_back(rng.uniform(dim.lo, dim.hi));
+                break;
+            case DimKind::kInteger:
+                point.values.push_back(static_cast<double>(
+                    rng.uniform_int(dim.ilo, dim.ihi)));
+                break;
+            case DimKind::kCategorical:
+                point.values.push_back(static_cast<double>(rng.uniform_int(
+                    static_cast<std::uint64_t>(dim.choices.size()))));
+                break;
+        }
+    }
+    return point;
+}
+
+std::uint64_t ParamSpace::digest() const {
+    std::uint64_t key = mix_key(0, static_cast<std::uint64_t>(dims_.size()));
+    for (const ParamDim& dim : dims_) {
+        key = mix_key(key, static_cast<std::uint64_t>(dim.kind));
+        key = mix_key(key, dim.name);
+        switch (dim.kind) {
+            case DimKind::kContinuous: {
+                const double bounds[2] = {dim.lo, dim.hi};
+                key = mix_key(key, bounds, 2);
+                break;
+            }
+            case DimKind::kInteger:
+                key = mix_key(key, static_cast<std::uint64_t>(dim.ilo));
+                key = mix_key(key, static_cast<std::uint64_t>(dim.ihi));
+                break;
+            case DimKind::kCategorical:
+                for (const std::string& choice : dim.choices) {
+                    key = mix_key(key, choice);
+                }
+                break;
+        }
+    }
+    return key;
+}
+
+std::uint64_t ParamSpace::digest(const ParamPoint& p) const {
+    validate_point(p);
+    return mix_key(digest(), p.values.data(), p.values.size());
+}
+
+std::string ParamSpace::describe(const ParamPoint& p) const {
+    validate_point(p);
+    std::ostringstream os;
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+        if (i > 0) os << ' ';
+        const ParamDim& dim = dims_[i];
+        os << dim.name << '=';
+        switch (dim.kind) {
+            case DimKind::kContinuous:
+                os << std::fixed << std::setprecision(3) << p.values[i]
+                   << std::defaultfloat;
+                break;
+            case DimKind::kInteger:
+                os << static_cast<std::int64_t>(p.values[i]);
+                break;
+            case DimKind::kCategorical:
+                os << dim.choices[static_cast<std::size_t>(p.values[i])];
+                break;
+        }
+    }
+    return os.str();
+}
+
+}  // namespace bayesft::core

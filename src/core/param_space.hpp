@@ -1,0 +1,152 @@
+#pragma once
+// Typed mixed search space: the generalization of the scalar dropout-rate
+// vector the paper's Algorithm 1 searches over.  A ParamSpace is an ordered
+// list of named dimensions — continuous (dropout rates, scale factors),
+// integer (depth, widths), and categorical (normalization kind, activation,
+// pooling) — and a ParamPoint is one typed assignment.
+//
+// Encode/decode contract to the GP's R^d view (docs/search-space.md):
+//   - continuous dims map to one coordinate in NATIVE units (identity), so a
+//     dropout-only space reproduces the historical BoxBounds search bit for
+//     bit; decode clamps into [lo, hi].
+//   - integer dims map to one coordinate holding the integral value; decode
+//     rounds to the nearest integer and clamps into [lo, hi].
+//   - categorical dims with k choices map to k one-hot coordinates in
+//     [0, 1]; decode takes the argmax (first winner on ties).
+// `project` snaps an arbitrary in-box encoded point onto the feasible set
+// (clamp / round / one-hot-ify), so an optimizer that proposes through it
+// only ever emits points that decode losslessly: decode(encode(p)) == p for
+// every feasible p, and encode(decode(x)) == x for every projected x.
+//
+// Distance logic (batch diversity, duplicate merging) must NOT use raw
+// Euclidean distance over the encoded view — a depth dim spanning [1, 8]
+// would drown out dropout dims spanning [0, 0.6].  BayesOpt normalizes
+// per-dimension by span; see BayesOptConfig.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bayesopt/bayesopt.hpp"
+#include "bayesopt/kernel.hpp"
+#include "utils/rng.hpp"
+
+namespace bayesft::core {
+
+/// The three dimension types of the mixed space.
+enum class DimKind { kContinuous, kInteger, kCategorical };
+
+/// One named dimension.  Use the ParamSpace::add_* builders; the raw struct
+/// is exposed for iteration/introspection.
+struct ParamDim {
+    std::string name;
+    DimKind kind = DimKind::kContinuous;
+    double lo = 0.0;  ///< continuous bounds (lo < hi)
+    double hi = 1.0;
+    std::int64_t ilo = 0;  ///< integer bounds (ilo < ihi), inclusive
+    std::int64_t ihi = 1;
+    std::vector<std::string> choices;  ///< categorical labels (>= 2)
+};
+
+/// One typed assignment, aligned with the owning space's dimensions:
+/// continuous dims store the value, integer dims an integral value, and
+/// categorical dims the choice index.  Use ParamSpace's typed accessors
+/// (real / integer / category) instead of poking `values` directly.
+struct ParamPoint {
+    std::vector<double> values;
+
+    bool operator==(const ParamPoint& other) const {
+        return values == other.values;
+    }
+};
+
+/// A typed mixed search space with an encode/decode contract to R^d.
+class ParamSpace {
+public:
+    /// Builders (chainable).  Throw std::invalid_argument on malformed or
+    /// duplicate-named dimensions.
+    ParamSpace& add_continuous(std::string name, double lo, double hi);
+    ParamSpace& add_integer(std::string name, std::int64_t lo,
+                            std::int64_t hi);
+    ParamSpace& add_categorical(std::string name,
+                                std::vector<std::string> choices);
+
+    /// The historical dropout-only space: `sites` continuous dims named
+    /// "alpha0", "alpha1", ... over [0, max_rate].  Searches over this
+    /// space are bit-identical to the pre-ParamSpace BoxBounds path.
+    static ParamSpace dropout(std::size_t sites, double max_rate);
+
+    /// Number of typed dimensions.
+    std::size_t size() const { return dims_.size(); }
+    /// Number of encoded coordinates (categoricals expand to one-hot).
+    std::size_t encoded_dims() const { return encoded_dims_; }
+    const std::vector<ParamDim>& dims() const { return dims_; }
+    const ParamDim& dim(std::size_t i) const { return dims_.at(i); }
+    /// Index of a dimension by name; throws std::invalid_argument if absent.
+    std::size_t index_of(std::string_view name) const;
+
+    // ----- typed accessors (validate the dimension kind) -----
+    double real(const ParamPoint& p, std::string_view name) const;
+    std::int64_t integer(const ParamPoint& p, std::string_view name) const;
+    const std::string& category(const ParamPoint& p,
+                                std::string_view name) const;
+
+    // ----- encode/decode contract -----
+    /// Feasible typed point -> encoded R^d view.  Validates the point.
+    std::vector<double> encode(const ParamPoint& p) const;
+    /// Arbitrary encoded point -> nearest feasible typed point
+    /// (clamp / round / argmax).  Size must match encoded_dims().
+    ParamPoint decode(const std::vector<double>& encoded) const;
+    /// Snaps `encoded` onto the feasible set in place; idempotent, and
+    /// exactly encode(decode(encoded)).
+    void project(std::vector<double>& encoded) const;
+    /// The projection as a self-contained callable (owns copies of the
+    /// layout, so it may outlive the space) for BayesOpt's feasibility hook.
+    bayesopt::Projection projection() const;
+
+    /// Box bounds of the encoded view: native bounds for numeric dims,
+    /// [0, 1] per one-hot coordinate.
+    bayesopt::BoxBounds encoded_bounds() const;
+    /// One-hot blocks of the encoded view, for the mixed kernel.
+    std::vector<bayesopt::CategoricalBlock> categorical_blocks() const;
+
+    /// ARD-SE + Hamming kernel over the encoded view (paper Eq. 9
+    /// generalized): continuous dims use `inverse_scale` in native units
+    /// (bit-compatible with the historical dropout kernel), integer dims
+    /// use inverse_scale / span^2 so correlation decays over a fraction of
+    /// the integer range, and each categorical contributes
+    /// exp(-hamming_weight) when the choices differ.
+    std::shared_ptr<bayesopt::Kernel> kernel(double inverse_scale,
+                                             double hamming_weight,
+                                             double amplitude = 1.0) const;
+
+    /// Uniform typed sample (continuous uniform / integer uniform / uniform
+    /// choice), drawing one variate per typed dimension in order.  For a
+    /// dropout-only space this consumes the identical RNG stream as
+    /// BoxBounds::sample on the encoded bounds.
+    ParamPoint sample(Rng& rng) const;
+
+    /// Throws std::invalid_argument when `p` is malformed (size mismatch,
+    /// out-of-bounds value, fractional integer, bad choice index).
+    void validate_point(const ParamPoint& p) const;
+
+    /// Structure digest (kinds, names, bounds, choices) for engine context
+    /// keys: two spaces digest equal iff they are structurally identical.
+    std::uint64_t digest() const;
+    /// Digest of a typed point within this space (validates it).
+    std::uint64_t digest(const ParamPoint& p) const;
+
+    /// Human-readable rendering, e.g. "norm=batch depth=3 alpha0=0.125".
+    std::string describe(const ParamPoint& p) const;
+
+private:
+    void reject_duplicate(const std::string& name) const;
+
+    std::vector<ParamDim> dims_;
+    std::size_t encoded_dims_ = 0;
+};
+
+}  // namespace bayesft::core

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "bayesopt/bayesopt.hpp"
+#include "core/archsearch.hpp"
 #include "core/baselines.hpp"
 #include "core/bayesft.hpp"
 #include "core/experiment.hpp"
@@ -773,6 +774,181 @@ RegistryResult run_composed_deploy(const RunOptions& options) {
     return result;
 }
 
+// ------------------------------------------- archsearch scenarios ----
+// Typed mixed-space architecture search (core::arch_search): the axes
+// Fig. 2 enumerates by hand — normalization, depth, activation — plus
+// widths and pooling become searchable dimensions next to the dropout
+// rates, under drift or any fault-zoo configuration.  Each scenario
+// compares the searched architecture against the family's fixed default
+// trained with the same ERM budget.
+
+/// Shared sweep: evaluate `net` across fault levels built by `make_fault`.
+std::vector<double> fault_level_sweep(nn::Module& net,
+                                      const data::Dataset& test,
+                                      const std::vector<double>& levels,
+                                      const FaultFactory& make_fault,
+                                      std::size_t mc_samples, Rng& rng) {
+    std::vector<double> values;
+    values.reserve(levels.size());
+    for (double level : levels) {
+        const std::unique_ptr<fault::FaultModel> fault = make_fault(level);
+        values.push_back(fault::evaluate_under_faults(net, test.images,
+                                                      test.labels, *fault,
+                                                      mc_samples, rng)
+                             .mean_accuracy);
+    }
+    return values;
+}
+
+/// Shared body of the archsearch scenarios: search `family` on a dataset,
+/// train the fixed `baseline` with a comparable ERM budget, and sweep both
+/// final models across `levels` of the `make_fault` family.
+RegistryResult run_archsearch(
+    const std::string& name, const data::Dataset& full,
+    const models::ArchFamily& family,
+    const std::function<models::ModelHandle(Rng&)>& baseline,
+    const std::string& x_label, std::vector<double> levels,
+    const FaultFactory& make_fault, ArchSearchConfig search_config,
+    const RunOptions& options, std::uint64_t seed_base) {
+    Stopwatch watch;
+    const std::uint64_t seed = options.seed;
+    Rng split_rng(seed_base + seed);
+    const data::TrainTestSplit parts = data::split(full, 0.25, split_rng);
+
+    search_config.batch = std::max<std::size_t>(1, options.batch);
+    search_config.eval_threads = options.threads;
+    Rng search_rng(seed_base + 1 + seed);
+    const ArchSearchResult search = arch_search(
+        family, parts.train, parts.test, search_config, search_rng);
+
+    Rng baseline_rng(seed_base + 2 + seed);
+    models::ModelHandle erm = baseline(baseline_rng);
+    nn::TrainConfig erm_train = search_config.train;
+    // Same total budget as one candidate plus the winner's fine-tuning.
+    erm_train.epochs =
+        search_config.train.epochs + search_config.final_epochs;
+    nn::train_classifier(*erm.net, parts.train.images, parts.train.labels,
+                         erm_train, baseline_rng);
+
+    RegistryResult result;
+    result.experiment = name;
+    result.x_label = x_label;
+    result.xs = std::move(levels);
+    // The decoded point is the result of record; bayesft_alpha stays empty
+    // (it means per-site dropout rates, not encoded mixed coordinates).
+    result.annotation = family.space.describe(search.best_point);
+    const std::size_t mc_samples = options.quick ? 2 : 4;
+    Rng eval_rng(seed_base + 3 + seed);
+    result.curves.push_back(
+        {"ERM-default",
+         fault_level_sweep(*erm.net, parts.test, result.xs, make_fault,
+                           mc_samples, eval_rng)});
+    result.curves.push_back(
+        {"ArchSearch",
+         fault_level_sweep(*search.best_model.net, parts.test, result.xs,
+                           make_fault, mc_samples, eval_rng)});
+    result.seconds = watch.seconds();
+    return result;
+}
+
+ArchSearchConfig default_archsearch_config(const RunOptions& options) {
+    ArchSearchConfig config;
+    config.iterations = options.quick ? 4 : 12;
+    config.train.epochs = options.quick ? 2 : 5;
+    config.train.batch_size = 32;
+    config.train.learning_rate = 0.05;
+    config.objective.sigmas = {0.3, 0.6, 0.9};
+    config.objective.mc_samples = options.quick ? 1 : 2;
+    config.bo.initial_random_trials = options.quick ? 2 : 5;
+    config.final_epochs = options.quick ? 1 : 3;
+    return config;
+}
+
+/// fig2b/c/d axes searched jointly: MLP norm x activation x depth x
+/// per-layer dropout under drift, on synthetic digits.
+RegistryResult run_archsearch_mlp(const RunOptions& options) {
+    Rng data_rng(191 + options.seed);
+    data::DigitConfig digit_config;
+    digit_config.samples = scaled(1000, options.quick);
+    digit_config.image_size = 16;
+    const data::Dataset full =
+        data::synthetic_digits(digit_config, data_rng);
+
+    const models::ArchFamily family =
+        models::mlp_arch_family(base_mlp_options(), /*max_hidden_layers=*/4,
+                                /*max_dropout_rate=*/0.5);
+    const auto baseline = [](Rng& rng) {
+        models::MlpOptions o = base_mlp_options();
+        o.dropout = models::DropoutKind::kNone;
+        return models::make_mlp(o, rng);
+    };
+    return run_archsearch(
+        "archsearch_fig2_mlp", full, family, baseline, "sigma",
+        {0.0, 0.3, 0.6, 0.9, 1.2, 1.5},
+        [](double level) {
+            return std::make_unique<fault::LogNormalDrift>(level);
+        },
+        default_archsearch_config(options), options, 192);
+}
+
+/// Residual family under the stuck-at zoo: depth x norm x dropout searched
+/// with ObjectiveConfig::faults, swept over the stuck fraction.
+RegistryResult run_archsearch_preact(const RunOptions& options) {
+    Rng data_rng(201 + options.seed);
+    data::ObjectConfig object_config;
+    object_config.samples = scaled(600, options.quick);
+    const data::Dataset full =
+        data::synthetic_objects(object_config, data_rng);
+
+    const models::ArchFamily family =
+        models::preact_arch_family(10, /*max_dropout_rate=*/0.5);
+    const auto baseline = [](Rng& rng) {
+        return models::make_preact_resnet_s(1, 10, rng);
+    };
+    ArchSearchConfig config = default_archsearch_config(options);
+    config.iterations = options.quick ? 3 : 10;
+    config.train.epochs = options.quick ? 1 : 3;
+    config.train.learning_rate = 0.02;
+    for (double level : {0.05, 0.1}) {
+        config.objective.faults.push_back(
+            std::make_shared<fault::StuckAtFault>(level, 0.25));
+    }
+    return run_archsearch(
+        "archsearch_preact_stuckat", full, family, baseline,
+        "stuck_fraction", {0.0, 0.02, 0.05, 0.1, 0.2},
+        [](double level) {
+            return std::make_unique<fault::StuckAtFault>(level, 0.25);
+        },
+        config, options, 202);
+}
+
+/// STN family under drift: head width x pooling x per-site dropout on
+/// synthetic traffic signs.
+RegistryResult run_archsearch_stn(const RunOptions& options) {
+    Rng data_rng(211 + options.seed);
+    data::TrafficSignConfig sign_config;
+    sign_config.samples = scaled(860, options.quick);
+    const data::Dataset full =
+        data::synthetic_traffic_signs(sign_config, data_rng);
+
+    const models::ArchFamily family =
+        models::stn_arch_family(43, /*max_dropout_rate=*/0.5);
+    const auto baseline = [](Rng& rng) {
+        return models::make_stn_classifier(43, rng);
+    };
+    ArchSearchConfig config = default_archsearch_config(options);
+    config.iterations = options.quick ? 3 : 8;
+    config.train.epochs = options.quick ? 1 : 3;
+    config.train.learning_rate = 0.02;
+    return run_archsearch(
+        "archsearch_stn_drift", full, family, baseline, "sigma",
+        {0.0, 0.3, 0.6, 0.9},
+        [](double level) {
+            return std::make_unique<fault::LogNormalDrift>(level);
+        },
+        config, options, 212);
+}
+
 // ------------------------------------------------------ Ablations ----
 
 /// GP-guided vs random search under the same trial budget, plus EI/UCB.
@@ -1009,6 +1185,15 @@ ExperimentRegistry make_builtin_registry() {
     registry.add({"faults_composed_deploy", "faults",
                   "quantize->variation->drift deployment chain vs drift",
                   run_composed_deploy});
+    registry.add({"archsearch_fig2_mlp", "archsearch",
+                  "joint norm/activation/depth/dropout MLP search vs drift",
+                  run_archsearch_mlp});
+    registry.add({"archsearch_preact_stuckat", "archsearch",
+                  "PreAct depth/norm/dropout search under stuck-at faults",
+                  run_archsearch_preact});
+    registry.add({"archsearch_stn_drift", "archsearch",
+                  "STN head-width/pool/dropout search under drift",
+                  run_archsearch_stn});
     registry.add({"ablation_bo_vs_random", "ablation",
                   "GP-guided vs random alpha search, same budget",
                   run_bo_vs_random});

@@ -2,8 +2,10 @@
 // Unified experiment registry: every reproduced scenario — the Fig. 2
 // architecture ablations, the Fig. 3 method-comparison panels (including
 // detection), the fault-model-zoo variants (stuck-at, bit-flip, variation,
-// quantization, composed deployment chains; family "faults"), the
-// search-strategy and MC-sample ablations, and a CI-sized toy task —
+// quantization, composed deployment chains; family "faults"), the typed
+// mixed-space architecture searches (norm/activation/depth/width searched
+// jointly with dropout; family "archsearch"), the search-strategy and
+// MC-sample ablations, and a CI-sized toy task —
 // registered by name behind one entry point, so a single `experiments`
 // binary (and tests, and CI) can list and run any of them instead of one
 // hand-rolled driver per figure.  docs/experiments.md documents every
@@ -44,6 +46,9 @@ struct RegistryResult {
     std::vector<double> xs;
     std::vector<NamedCurve> curves;
     std::vector<double> bayesft_alpha;  ///< when a BayesFT search ran
+    /// Free-form result note, e.g. the decoded best architecture point of
+    /// an archsearch scenario ("norm=batch activation=gelu ...").
+    std::string annotation;
     double seconds = 0.0;               ///< wall clock of the run
 
     /// Rows = xs, columns = curves.  `scale` multiplies values (100 for
@@ -54,7 +59,8 @@ struct RegistryResult {
 /// A registered scenario.
 struct ExperimentSpec {
     std::string name;         ///< e.g. "fig3a_mlp_mnist"
-    std::string family;  ///< "fig2" | "fig3" | "faults" | "ablation" | "toy"
+    /// "fig2" | "fig3" | "faults" | "archsearch" | "ablation" | "toy"
+    std::string family;
     std::string description;  ///< one line for --list
     std::function<RegistryResult(const RunOptions&)> run;
 };

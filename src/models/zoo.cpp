@@ -326,7 +326,13 @@ ModelHandle make_preact_resnet_s(std::size_t blocks_per_stage,
     return handle;
 }
 
-ModelHandle make_stn_classifier(std::size_t classes, Rng& rng) {
+namespace {
+
+/// The STN classifier with its architectural knobs exposed: classifier-head
+/// width and trunk pooling flavour (parameterized for stn_arch_family;
+/// make_stn_classifier pins the historical values).
+ModelHandle make_stn_variant(std::size_t classes, std::size_t head_width,
+                             bool max_pool, Rng& rng) {
     ModelHandle handle;
     handle.name = "STN-lite";
 
@@ -344,21 +350,141 @@ ModelHandle make_stn_classifier(std::size_t classes, Rng& rng) {
     head->weight().value.fill(0.0F);
     head->bias().value = Tensor({6}, {1.0F, 0.0F, 0.0F, 0.0F, 1.0F, 0.0F});
 
+    auto add_pool = [&](nn::Sequential& seq) {
+        if (max_pool) {
+            seq.emplace<nn::MaxPool2d>(2);
+        } else {
+            seq.emplace<nn::AvgPool2d>(2);
+        }
+    };
     auto seq = std::make_unique<nn::Sequential>();
     seq->emplace<nn::SpatialTransformer>(std::move(loc));
     add_conv_relu(*seq, 3, 16, 3, 1, 1, NormKind::kNone, rng);
-    seq->emplace<nn::MaxPool2d>(2);  // 8x8
+    add_pool(*seq);  // 8x8
     add_site(*seq, handle, rng);
     add_conv_relu(*seq, 16, 32, 3, 1, 1, NormKind::kNone, rng);
-    seq->emplace<nn::MaxPool2d>(2);  // 4x4
+    add_pool(*seq);  // 4x4
     add_site(*seq, handle, rng);
     seq->emplace<nn::Flatten>();
-    seq->emplace<nn::Linear>(32 * 4 * 4, 64, rng);
+    seq->emplace<nn::Linear>(32 * 4 * 4, head_width, rng);
     seq->emplace<nn::ReLU>();
     add_site(*seq, handle, rng);
-    seq->emplace<nn::Linear>(64, classes, rng);
+    seq->emplace<nn::Linear>(head_width, classes, rng);
     handle.net = std::move(seq);
     return handle;
+}
+
+}  // namespace
+
+ModelHandle make_stn_classifier(std::size_t classes, Rng& rng) {
+    return make_stn_variant(classes, 64, /*max_pool=*/true, rng);
+}
+
+// ------------------------------------------------------------------------
+// Parameterized architecture families
+// ------------------------------------------------------------------------
+
+namespace {
+
+NormKind norm_from_name(const std::string& name) {
+    if (name == "none") return NormKind::kNone;
+    if (name == "batch") return NormKind::kBatch;
+    if (name == "layer") return NormKind::kLayer;
+    if (name == "instance") return NormKind::kInstance;
+    if (name == "group") return NormKind::kGroup;
+    throw std::invalid_argument("norm_from_name: unknown norm '" + name +
+                                "'");
+}
+
+}  // namespace
+
+ArchFamily mlp_arch_family(const MlpOptions& base,
+                           std::size_t max_hidden_layers,
+                           double max_dropout_rate) {
+    if (max_hidden_layers == 0) {
+        throw std::invalid_argument("mlp_arch_family: zero max depth");
+    }
+    ArchFamily family;
+    family.name = "mlp-arch";
+    family.space.add_categorical(
+        "norm", {"none", "batch", "layer", "instance", "group"});
+    family.space.add_categorical("activation",
+                                 {"relu", "elu", "gelu", "leaky_relu"});
+    family.space.add_integer("hidden_layers", 1,
+                             static_cast<std::int64_t>(max_hidden_layers));
+    for (std::size_t i = 0; i < max_hidden_layers; ++i) {
+        family.space.add_continuous("dropout" + std::to_string(i), 0.0,
+                                    max_dropout_rate);
+    }
+    family.build = [base](const core::ParamSpace& space,
+                          const core::ParamPoint& point, Rng& rng) {
+        MlpOptions options = base;
+        options.norm = norm_from_name(space.category(point, "norm"));
+        options.activation = space.category(point, "activation");
+        options.hidden_layers =
+            static_cast<std::size_t>(space.integer(point, "hidden_layers"));
+        options.dropout = DropoutKind::kStandard;
+        options.initial_dropout_rate = 0.0;
+        ModelHandle handle = make_mlp(options, rng);
+        // Per-layer rates: the first hidden_layers dropout dims; dims beyond
+        // the chosen depth are inert by construction.
+        std::vector<double> rates;
+        rates.reserve(handle.dropout_sites.size());
+        for (std::size_t i = 0; i < handle.dropout_sites.size(); ++i) {
+            rates.push_back(
+                space.real(point, "dropout" + std::to_string(i)));
+        }
+        handle.set_dropout_rates(rates);
+        return handle;
+    };
+    return family;
+}
+
+ArchFamily preact_arch_family(std::size_t classes, double max_dropout_rate) {
+    ArchFamily family;
+    family.name = "preact-arch";
+    family.space.add_integer("blocks_per_stage", 1, 3);
+    family.space.add_categorical("norm", {"batch", "group", "none"});
+    family.space.add_continuous("dropout", 0.0, max_dropout_rate);
+    family.build = [classes](const core::ParamSpace& space,
+                             const core::ParamPoint& point, Rng& rng) {
+        const auto blocks = static_cast<std::size_t>(
+            space.integer(point, "blocks_per_stage"));
+        const NormKind norm =
+            norm_from_name(space.category(point, "norm"));
+        ModelHandle handle =
+            make_preact_resnet_s(blocks, classes, rng, norm);
+        handle.set_dropout_rates(std::vector<double>(
+            handle.dropout_sites.size(), space.real(point, "dropout")));
+        return handle;
+    };
+    return family;
+}
+
+ArchFamily stn_arch_family(std::size_t classes, double max_dropout_rate) {
+    ArchFamily family;
+    family.name = "stn-arch";
+    family.space.add_integer("head_width", 32, 96);
+    family.space.add_categorical("pool", {"max", "avg"});
+    for (std::size_t i = 0; i < 3; ++i) {
+        family.space.add_continuous("dropout" + std::to_string(i), 0.0,
+                                    max_dropout_rate);
+    }
+    family.build = [classes](const core::ParamSpace& space,
+                             const core::ParamPoint& point, Rng& rng) {
+        ModelHandle handle = make_stn_variant(
+            classes,
+            static_cast<std::size_t>(space.integer(point, "head_width")),
+            space.category(point, "pool") == "max", rng);
+        std::vector<double> rates;
+        for (std::size_t i = 0; i < handle.dropout_sites.size(); ++i) {
+            rates.push_back(
+                space.real(point, "dropout" + std::to_string(i)));
+        }
+        handle.set_dropout_rates(rates);
+        return handle;
+    };
+    return family;
 }
 
 }  // namespace bayesft::models

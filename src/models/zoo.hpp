@@ -9,10 +9,12 @@
 // With all rates at 0 the dropout layers are identities, so the same
 // handle serves as the ERM baseline.
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "core/param_space.hpp"
 #include "nn/dropout.hpp"
 #include "nn/module.hpp"
 #include "utils/rng.hpp"
@@ -84,5 +86,47 @@ ModelHandle make_preact_resnet_s(std::size_t blocks_per_stage,
 /// Spatial-transformer classifier for [N, 3, 16, 16] traffic signs
 /// (Fig. 3(i)): STN front-end + small convnet.
 ModelHandle make_stn_classifier(std::size_t classes, Rng& rng);
+
+// ---------------------------------------------------------------------------
+// Parameterized architecture families: a typed search space plus a builder
+// mapping each ParamPoint to a concrete model.  These make the axes the
+// paper's Fig. 2 sweeps by hand-enumeration (normalization, depth,
+// activation) first-class searchable dimensions next to the dropout rates,
+// for the `archsearch` scenario family (core::arch_search).
+// ---------------------------------------------------------------------------
+
+/// A typed search space and the builder that realizes its points.  The
+/// builder must be a pure function of (point, rng): identical inputs yield
+/// bit-identical models, which arch_search relies on to re-materialize its
+/// winner.
+struct ArchFamily {
+    std::string name;
+    core::ParamSpace space;
+    std::function<ModelHandle(const core::ParamSpace& space,
+                              const core::ParamPoint& point, Rng& rng)>
+        build;
+};
+
+/// MLP family over the joint Fig. 2(b)/(c)/(d) axes: categorical "norm"
+/// (none/batch/layer/instance/group) and "activation"
+/// (relu/elu/gelu/leaky_relu), integer "hidden_layers" in
+/// [1, max_hidden_layers], and one continuous "dropout<i>" rate in
+/// [0, max_dropout_rate] per potential hidden layer (rates beyond the
+/// chosen depth are inert).  `base` supplies the fixed shape
+/// (input_features, hidden width, classes); its norm/activation/depth/
+/// dropout fields are overridden per point.
+ArchFamily mlp_arch_family(const MlpOptions& base,
+                           std::size_t max_hidden_layers,
+                           double max_dropout_rate);
+
+/// Pre-activation ResNet family (the residual path): integer
+/// "blocks_per_stage" in [1, 3], categorical "norm" (batch/group/none), and
+/// one shared continuous "dropout" rate installed at every site.
+ArchFamily preact_arch_family(std::size_t classes, double max_dropout_rate);
+
+/// Spatial-transformer family (the STN path): integer "head_width" in
+/// [32, 96], categorical "pool" (max/avg) for the trunk downsampling, and
+/// per-site continuous "dropout0..2" rates.
+ArchFamily stn_arch_family(std::size_t classes, double max_dropout_rate);
 
 }  // namespace bayesft::models

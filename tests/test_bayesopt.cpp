@@ -364,6 +364,104 @@ TEST(BayesOpt, DuplicateObservationsMergeIntoOneGpRow) {
     EXPECT_EQ(bo.surrogate().observation_count(), 2U);
 }
 
+TEST(Kernel, MixedArdMatchesArdSeWithoutCategoricals) {
+    // The bit-compatibility contract: with no categorical blocks the mixed
+    // kernel computes term-for-term what ArdSquaredExponential computes.
+    MixedArdSquaredExponential mixed({4.0, 4.0, 4.0}, {}, 1.0);
+    ArdSquaredExponential ard(3, 4.0);
+    Rng rng(41);
+    for (int i = 0; i < 30; ++i) {
+        const Point a{rng.uniform(), rng.uniform(), rng.uniform()};
+        const Point b{rng.uniform(), rng.uniform(), rng.uniform()};
+        EXPECT_EQ(mixed(a, b), ard(a, b));
+    }
+}
+
+TEST(Kernel, MixedArdHammingTermAndValidation) {
+    // Layout: one numeric coord + one 3-way one-hot block.
+    MixedArdSquaredExponential k({2.0, 1.0, 1.0, 1.0},
+                                 {{1, 3}}, 0.7);
+    const Point same_cat{0.1, 1.0, 0.0, 0.0};
+    const Point same_cat2{0.3, 1.0, 0.0, 0.0};
+    const Point other_cat{0.1, 0.0, 1.0, 0.0};
+    // Numeric-only distance.
+    EXPECT_NEAR(k(same_cat, same_cat2), std::exp(-2.0 * 0.04), 1e-12);
+    // Categorical-only distance: exp(-lambda), one-hot coords excluded
+    // from the ARD sum.
+    EXPECT_NEAR(k(same_cat, other_cat), std::exp(-0.7), 1e-12);
+    EXPECT_DOUBLE_EQ(k(same_cat, same_cat), 1.0);
+
+    EXPECT_THROW(MixedArdSquaredExponential({}, {}, 1.0),
+                 std::invalid_argument);
+    EXPECT_THROW(MixedArdSquaredExponential({1.0, 1.0}, {{0, 2}}, 0.0),
+                 std::invalid_argument);
+    EXPECT_THROW(MixedArdSquaredExponential({1.0, 1.0}, {{1, 2}}, 1.0),
+                 std::invalid_argument);  // block past the end
+    EXPECT_THROW(
+        MixedArdSquaredExponential({1.0, 1.0, 1.0}, {{0, 2}, {1, 2}}, 1.0),
+        std::invalid_argument);  // overlapping blocks
+    EXPECT_THROW(MixedArdSquaredExponential({0.0, 1.0}, {}, 1.0),
+                 std::invalid_argument);  // non-positive numeric scale
+}
+
+TEST(BayesOpt, DuplicateMergeUsesSpanNormalizedDistance) {
+    // A wide dimension next to a narrow one: raw Euclidean distance would
+    // either merge distinct narrow-dim points or fail to merge identical
+    // wide-dim points, depending on the span.  Span-normalized distance
+    // treats both dims on the same [0, 1] scale.
+    BoxBounds bounds;
+    bounds.lower = {0.0, 0.0};
+    bounds.upper = {0.6, 1000.0};
+    BayesOptConfig config;
+    BayesOpt bo(bounds, std::make_shared<ArdSquaredExponential>(2, 4.0),
+                std::make_unique<PosteriorMean>(), config, Rng(43));
+
+    // A 5e-4 raw offset in the wide dim is 5e-7 of its span — a duplicate
+    // under the normalized tolerance (raw Euclidean 1e-6 would have kept
+    // it distinct and risked a near-singular Gram matrix) — while the same
+    // 5e-4 raw offset in the narrow dim is 8.3e-4 of its span and stays a
+    // genuinely distinct point.
+    bo.observe({0.3, 500.0}, 0.0);
+    bo.observe({0.3, 500.0005}, 1.0);  // 5e-7 of span: merges
+    EXPECT_EQ(bo.surrogate().observation_count(), 1U);
+    bo.observe({0.3005, 500.0}, 1.0);  // 8.3e-4 of narrow span: distinct
+    EXPECT_EQ(bo.surrogate().observation_count(), 2U);
+}
+
+TEST(BayesOpt, BatchSeparationIsSpanNormalized) {
+    // With one dominant wide dimension, the diversity guard must still
+    // separate candidates in the narrow dims: normalized separation uses
+    // the fraction of each dim's span, not raw units.
+    BoxBounds bounds;
+    bounds.lower = {0.0, 0.0};
+    bounds.upper = {0.6, 1000.0};
+    BayesOptConfig config;
+    config.initial_random_trials = 3;
+    BayesOpt bo(bounds, std::make_shared<ArdSquaredExponential>(2, 4.0),
+                std::make_unique<PosteriorMean>(), config, Rng(47));
+    Rng objective_rng(48);
+    for (int i = 0; i < 5; ++i) {
+        const Point x = bo.suggest();
+        bo.observe(x, objective_rng.uniform());
+    }
+    const std::vector<Point> batch = bo.suggest_batch(3);
+    const double min_separation =
+        config.batch_separation_fraction * std::sqrt(2.0);
+    for (std::size_t a = 0; a < batch.size(); ++a) {
+        for (std::size_t b = a + 1; b < batch.size(); ++b) {
+            double sum = 0.0;
+            for (std::size_t d = 0; d < 2; ++d) {
+                const double span = bounds.upper[d] - bounds.lower[d];
+                const double delta = (batch[a][d] - batch[b][d]) / span;
+                sum += delta * delta;
+            }
+            EXPECT_GT(std::sqrt(sum), min_separation)
+                << "candidates " << a << " and " << b
+                << " too close in normalized distance";
+        }
+    }
+}
+
 TEST(BayesOpt, SuggestStaysInBounds) {
     BayesOptConfig config;
     config.initial_random_trials = 2;

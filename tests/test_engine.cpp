@@ -69,7 +69,12 @@ protected:
 
 /// The pre-engine serial loop, reproduced verbatim: suggest -> install ->
 /// train E epochs -> drift utility -> observe.  The engine's q = 1 path
-/// must match it bit for bit.
+/// must match it bit for bit.  Deliberately built on the raw
+/// BoxBounds::uniform + ArdSquaredExponential machinery (the pre-ParamSpace
+/// code path), so this comparison also pins the typed-space refactor:
+/// bayesft_search now routes through ParamSpace::dropout, whose encoded
+/// bounds, kernel values, projection, and RNG streams must reproduce the
+/// historical path exactly (weights and utility trace compared below).
 BayesFTResult reference_serial_search(models::ModelHandle& model,
                                       const data::Dataset& train_set,
                                       const data::Dataset& validation_set,

@@ -1,0 +1,250 @@
+// Typed mixed search space: builder validation, typed accessors, the
+// encode/decode contract (round-trip, projection idempotence), encoded
+// bounds and kernel construction, digests, and the bit-compatibility of the
+// dropout-only space with the historical BoxBounds + ARD-SE path.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "bayesopt/acquisition.hpp"
+#include "bayesopt/bayesopt.hpp"
+#include "bayesopt/kernel.hpp"
+#include "core/param_space.hpp"
+
+namespace bayesft::core {
+namespace {
+
+ParamSpace mixed_space() {
+    ParamSpace space;
+    space.add_continuous("rate", 0.0, 0.6);
+    space.add_integer("depth", 1, 4);
+    space.add_categorical("norm", {"none", "batch", "layer"});
+    return space;
+}
+
+TEST(ParamSpace, BuilderValidation) {
+    ParamSpace space;
+    EXPECT_THROW(space.add_continuous("", 0.0, 1.0), std::invalid_argument);
+    EXPECT_THROW(space.add_continuous("x", 1.0, 1.0), std::invalid_argument);
+    EXPECT_THROW(space.add_integer("x", 3, 3), std::invalid_argument);
+    EXPECT_THROW(space.add_categorical("x", {"only"}),
+                 std::invalid_argument);
+    EXPECT_THROW(space.add_categorical("x", {"a", "a"}),
+                 std::invalid_argument);
+    space.add_continuous("x", 0.0, 1.0);
+    EXPECT_THROW(space.add_integer("x", 0, 3), std::invalid_argument);
+    EXPECT_THROW(space.index_of("missing"), std::invalid_argument);
+}
+
+TEST(ParamSpace, EncodedDimsExpandCategoricalsToOneHot) {
+    const ParamSpace space = mixed_space();
+    EXPECT_EQ(space.size(), 3U);
+    EXPECT_EQ(space.encoded_dims(), 1U + 1U + 3U);
+    const auto blocks = space.categorical_blocks();
+    ASSERT_EQ(blocks.size(), 1U);
+    EXPECT_EQ(blocks[0].offset, 2U);
+    EXPECT_EQ(blocks[0].cardinality, 3U);
+}
+
+TEST(ParamSpace, TypedAccessorsValidateKind) {
+    const ParamSpace space = mixed_space();
+    ParamPoint p{{0.25, 3.0, 1.0}};
+    EXPECT_DOUBLE_EQ(space.real(p, "rate"), 0.25);
+    EXPECT_EQ(space.integer(p, "depth"), 3);
+    EXPECT_EQ(space.category(p, "norm"), "batch");
+    EXPECT_THROW(space.real(p, "depth"), std::invalid_argument);
+    EXPECT_THROW(space.integer(p, "norm"), std::invalid_argument);
+    EXPECT_THROW(space.category(p, "rate"), std::invalid_argument);
+}
+
+TEST(ParamSpace, ValidatePointRejectsMalformedPoints) {
+    const ParamSpace space = mixed_space();
+    EXPECT_NO_THROW(space.validate_point(ParamPoint{{0.3, 2.0, 0.0}}));
+    EXPECT_THROW(space.validate_point(ParamPoint{{0.3, 2.0}}),
+                 std::invalid_argument);  // size
+    EXPECT_THROW(space.validate_point(ParamPoint{{0.7, 2.0, 0.0}}),
+                 std::invalid_argument);  // continuous out of bounds
+    EXPECT_THROW(space.validate_point(ParamPoint{{0.3, 2.5, 0.0}}),
+                 std::invalid_argument);  // fractional integer
+    EXPECT_THROW(space.validate_point(ParamPoint{{0.3, 5.0, 0.0}}),
+                 std::invalid_argument);  // integer out of bounds
+    EXPECT_THROW(space.validate_point(ParamPoint{{0.3, 2.0, 3.0}}),
+                 std::invalid_argument);  // choice index out of range
+}
+
+TEST(ParamSpace, EncodeDecodeRoundTripsFeasiblePoints) {
+    const ParamSpace space = mixed_space();
+    Rng rng(7);
+    for (int i = 0; i < 50; ++i) {
+        const ParamPoint p = space.sample(rng);
+        space.validate_point(p);
+        const std::vector<double> encoded = space.encode(p);
+        ASSERT_EQ(encoded.size(), space.encoded_dims());
+        EXPECT_EQ(space.decode(encoded), p);
+    }
+}
+
+TEST(ParamSpace, DecodeSnapsInfeasibleEncodings) {
+    const ParamSpace space = mixed_space();
+    // Continuous out of box -> clamped; integer fractional -> rounded;
+    // categorical soft scores -> argmax.
+    const ParamPoint p = space.decode({0.9, 2.6, 0.1, 0.7, 0.3});
+    EXPECT_DOUBLE_EQ(space.real(p, "rate"), 0.6);
+    EXPECT_EQ(space.integer(p, "depth"), 3);
+    EXPECT_EQ(space.category(p, "norm"), "batch");
+    EXPECT_THROW(space.decode({0.1, 0.2}), std::invalid_argument);
+}
+
+TEST(ParamSpace, ProjectIsIdempotentAndMatchesEncodeDecode) {
+    const ParamSpace space = mixed_space();
+    std::vector<double> encoded{-0.5, 3.4, 0.2, 0.9, 0.9};
+    std::vector<double> expected = space.encode(space.decode(encoded));
+    space.project(encoded);
+    EXPECT_EQ(encoded, expected);
+    std::vector<double> again = encoded;
+    space.project(again);
+    EXPECT_EQ(again, encoded);  // idempotent
+
+    // The callable form outlives the space it was built from.
+    bayesopt::Projection projection;
+    {
+        const ParamSpace scoped = mixed_space();
+        projection = scoped.projection();
+    }
+    bayesopt::Point p{-0.5, 3.4, 0.2, 0.9, 0.9};
+    projection(p);
+    EXPECT_EQ(p, expected);
+}
+
+TEST(ParamSpace, EncodedBoundsCoverNativeAndOneHotRanges) {
+    const ParamSpace space = mixed_space();
+    const bayesopt::BoxBounds bounds = space.encoded_bounds();
+    ASSERT_EQ(bounds.dims(), 5U);
+    EXPECT_DOUBLE_EQ(bounds.lower[0], 0.0);
+    EXPECT_DOUBLE_EQ(bounds.upper[0], 0.6);
+    EXPECT_DOUBLE_EQ(bounds.lower[1], 1.0);
+    EXPECT_DOUBLE_EQ(bounds.upper[1], 4.0);
+    for (std::size_t i = 2; i < 5; ++i) {
+        EXPECT_DOUBLE_EQ(bounds.lower[i], 0.0);
+        EXPECT_DOUBLE_EQ(bounds.upper[i], 1.0);
+    }
+}
+
+TEST(ParamSpace, SampleIsAlwaysFeasible) {
+    const ParamSpace space = mixed_space();
+    Rng rng(11);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_NO_THROW(space.validate_point(space.sample(rng)));
+    }
+}
+
+TEST(ParamSpace, DigestSeparatesSpacesAndPoints) {
+    const ParamSpace a = mixed_space();
+    ParamSpace b = mixed_space();
+    EXPECT_EQ(a.digest(), mixed_space().digest());
+    b.add_continuous("extra", 0.0, 1.0);
+    EXPECT_NE(a.digest(), b.digest());
+
+    ParamSpace renamed;
+    renamed.add_continuous("other", 0.0, 0.6);
+    renamed.add_integer("depth", 1, 4);
+    renamed.add_categorical("norm", {"none", "batch", "layer"});
+    EXPECT_NE(a.digest(), renamed.digest());
+
+    const ParamPoint p{{0.25, 3.0, 1.0}};
+    const ParamPoint q{{0.25, 3.0, 2.0}};
+    EXPECT_EQ(a.digest(p), a.digest(p));
+    EXPECT_NE(a.digest(p), a.digest(q));
+}
+
+TEST(ParamSpace, DescribeRendersTypedValues) {
+    const ParamSpace space = mixed_space();
+    const std::string text =
+        space.describe(ParamPoint{{0.125, 3.0, 2.0}});
+    EXPECT_EQ(text, "rate=0.125 depth=3 norm=layer");
+}
+
+TEST(ParamSpace, DropoutSpaceMatchesHistoricalBoxAndKernel) {
+    // The dropout-only space must reproduce the pre-ParamSpace search
+    // machinery exactly: same box, same kernel values, no-op projection.
+    const ParamSpace space = ParamSpace::dropout(3, 0.6);
+    EXPECT_EQ(space.size(), 3U);
+    EXPECT_EQ(space.encoded_dims(), 3U);
+
+    const bayesopt::BoxBounds bounds = space.encoded_bounds();
+    const bayesopt::BoxBounds reference =
+        bayesopt::BoxBounds::uniform(3, 0.0, 0.6);
+    EXPECT_EQ(bounds.lower, reference.lower);
+    EXPECT_EQ(bounds.upper, reference.upper);
+
+    const auto kernel = space.kernel(4.0, 1.0);
+    const bayesopt::ArdSquaredExponential ard(3, 4.0);
+    Rng rng(13);
+    for (int i = 0; i < 20; ++i) {
+        bayesopt::Point a = bounds.sample(rng);
+        bayesopt::Point b = bounds.sample(rng);
+        EXPECT_EQ((*kernel)(a, b), ard(a, b));  // bitwise, not approximate
+        bayesopt::Point projected = a;
+        space.project(projected);
+        EXPECT_EQ(projected, a);  // in-box continuous points are untouched
+    }
+
+    // Typed sampling draws the identical stream BoxBounds::sample draws.
+    Rng typed_rng(17);
+    Rng box_rng(17);
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(space.encode(space.sample(typed_rng)),
+                  reference.sample(box_rng));
+    }
+
+    EXPECT_THROW(ParamSpace::dropout(0, 0.5), std::invalid_argument);
+    EXPECT_THROW(ParamSpace::dropout(2, 1.0), std::invalid_argument);
+}
+
+TEST(ParamSpace, KernelTreatsCategoricalsByHamming) {
+    const ParamSpace space = mixed_space();
+    const auto kernel = space.kernel(4.0, 1.5);
+    const ParamPoint base{{0.3, 2.0, 0.0}};
+    const ParamPoint other_cat{{0.3, 2.0, 2.0}};
+    const std::vector<double> a = space.encode(base);
+    const std::vector<double> b = space.encode(other_cat);
+    // Same numeric coordinates, one categorical mismatch: exp(-lambda).
+    EXPECT_NEAR((*kernel)(a, b), std::exp(-1.5), 1e-12);
+    EXPECT_DOUBLE_EQ((*kernel)(a, a), 1.0);
+
+    // Integer dims are span-normalized: the full range costs
+    // inverse_scale, not inverse_scale * span^2.
+    const std::vector<double> near = space.encode(ParamPoint{{0.3, 1.0, 0.0}});
+    const std::vector<double> far = space.encode(ParamPoint{{0.3, 4.0, 0.0}});
+    EXPECT_NEAR((*kernel)(near, far), std::exp(-4.0), 1e-12);
+}
+
+TEST(ParamSpace, BayesOptProposesOnlyFeasiblePoints) {
+    // End-to-end: a BayesOpt wired from a mixed space proposes snapped
+    // points (integral depth, pure one-hot norm) through both the initial
+    // design and the surrogate phase.
+    const ParamSpace space = mixed_space();
+    bayesopt::BayesOptConfig config;
+    config.initial_random_trials = 3;
+    config.candidates = 64;
+    config.local_candidates = 16;
+    bayesopt::BayesOpt bo(space.encoded_bounds(), space.kernel(4.0, 1.0),
+                          std::make_unique<bayesopt::ExpectedImprovement>(),
+                          config, Rng(19), space.projection());
+    Rng objective_rng(23);
+    for (int i = 0; i < 10; ++i) {
+        const bayesopt::Point x = bo.suggest();
+        // decode(x) must be lossless: x is already feasible.
+        EXPECT_EQ(space.encode(space.decode(x)), x) << "iteration " << i;
+        bo.observe(x, objective_rng.uniform());
+    }
+    const std::vector<bayesopt::Point> batch = bo.suggest_batch(3);
+    for (const bayesopt::Point& x : batch) {
+        EXPECT_EQ(space.encode(space.decode(x)), x);
+    }
+}
+
+}  // namespace
+}  // namespace bayesft::core
