@@ -13,15 +13,20 @@
 //   experiments --run archsearch_fig2_mlp --repeat 5 --json out.json
 //               (5 distinct seeds; JSON gains mean/stddev aggregates)
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "core/persist.hpp"
 #include "core/registry.hpp"
+#include "core/runstore.hpp"
 #include "utils/logging.hpp"
 #include "utils/parallel.hpp"
 #include "utils/table.hpp"
@@ -43,7 +48,14 @@ void print_usage() {
         "  --seed <s>        override the scenario base seed\n"
         "  --repeat <n>      re-run each scenario with n distinct seeds and\n"
         "                    add mean/stddev aggregate records to the JSON\n"
-        "  --json <path>     write flat JSON records for all runs\n";
+        "  --json <path>     write flat JSON records for all runs\n"
+        "  --checkpoint <p>  checkpoint/resume the scenario's search at this\n"
+        "                    path (one scenario, no --repeat;\n"
+        "                    docs/checkpointing.md)\n"
+        "  --stop-after <n>  halt the search after n new trials (checkpoint\n"
+        "                    stays on disk; resume by re-running)\n"
+        "  --runs-dir <dir>  run-store directory (default: runs)\n"
+        "  --no-store        skip appending to the JSONL run store\n";
 }
 
 struct JsonRecord {
@@ -88,6 +100,84 @@ bool percent_axis(const std::string& x_label) {
            x_label == "flip_probability" || x_label == "bits";
 }
 
+/// Appends one finished (or checkpoint-interrupted) run to the JSONL run
+/// store: one "trial" record per trial not already stored, plus one
+/// "summary" record when the run completed.
+///
+/// A resumed run reconciles against the store file instead of trusting
+/// `resumed_trials` alone: a cooperatively stopped (--stop-after)
+/// predecessor appended its trials before exiting, but a killed process
+/// never reached the append, so the resumed invocation must backfill
+/// whatever trial indices are missing.  Trial records are deterministic
+/// functions of (scenario, seed, config), so skipping indices that are
+/// already present can never lose information.  The same reconciliation
+/// keeps a re-run of an already-complete checkpoint from appending a
+/// duplicate summary for the seed.
+void append_to_store(const std::string& runs_dir,
+                     const core::ExperimentRegistry& registry,
+                     const core::RegistryResult& result,
+                     const core::RunOptions& options) {
+    const core::ExperimentSpec* spec = registry.find(result.experiment);
+    core::RunRecord base;
+    base.scenario = result.experiment;
+    base.family = spec != nullptr ? spec->family : "";
+    base.seed = options.seed;
+    base.build = core::build_stamp();
+    base.batch = std::max<std::size_t>(1, options.batch);
+    base.threads = parallel_thread_count();
+    base.quick = options.quick;
+
+    std::set<std::uint64_t> stored_trials;
+    bool stored_summary = false;
+    if (result.resumed_trials > 0) {
+        const std::string path =
+            runs_dir + "/" + result.experiment + ".jsonl";
+        if (std::filesystem::is_regular_file(path)) {
+            for (const core::RunRecord& record :
+                 core::RunStore::parse_file(path)) {
+                if (record.seed != options.seed) continue;
+                if (record.kind == "trial") {
+                    stored_trials.insert(record.trial);
+                } else {
+                    stored_summary = true;
+                }
+            }
+        }
+    }
+
+    std::vector<core::RunRecord> rows;
+    for (const core::TrialRecord& trial : result.trials) {
+        if (stored_trials.count(trial.index) != 0) continue;
+        core::RunRecord row = base;
+        row.kind = "trial";
+        row.trial = trial.index;
+        row.point = trial.point;
+        row.objective = trial.objective;
+        rows.push_back(std::move(row));
+    }
+    if (result.search_completed && !stored_summary) {
+        core::RunRecord summary = base;
+        summary.kind = "summary";
+        summary.trials = result.trials.size();
+        if (!result.trials.empty()) {
+            std::size_t best = 0;
+            for (std::size_t i = 1; i < result.trials.size(); ++i) {
+                if (result.trials[i].objective >
+                    result.trials[best].objective) {
+                    best = i;
+                }
+            }
+            summary.best_trial = result.trials[best].index;
+            summary.best_point = result.trials[best].point;
+            summary.best_objective = result.trials[best].objective;
+        }
+        summary.annotation = result.annotation;
+        summary.seconds = result.seconds;
+        rows.push_back(std::move(summary));
+    }
+    core::RunStore(runs_dir).append(result.experiment, rows);
+}
+
 /// Mean and population standard deviation of one (curve, x) cell across
 /// the repeated runs.
 std::pair<double, double> mean_stddev(const std::vector<double>& values) {
@@ -107,6 +197,8 @@ int main(int argc, char** argv) {
     std::vector<std::string> names;
     std::vector<std::string> families;
     std::string json_path;
+    std::string runs_dir = "runs";
+    bool store_runs = true;
     std::size_t repeat = 1;
     core::RunOptions options;
 
@@ -160,6 +252,14 @@ int main(int argc, char** argv) {
             }
         } else if (arg == "--json") {
             json_path = need_value(i, "--json");
+        } else if (arg == "--checkpoint") {
+            options.checkpoint = need_value(i, "--checkpoint");
+        } else if (arg == "--stop-after") {
+            options.stop_after = need_number(i, "--stop-after");
+        } else if (arg == "--runs-dir") {
+            runs_dir = need_value(i, "--runs-dir");
+        } else if (arg == "--no-store") {
+            store_runs = false;
         } else if (arg == "--help" || arg == "-h") {
             print_usage();
             return 0;
@@ -168,6 +268,40 @@ int main(int argc, char** argv) {
             print_usage();
             return 2;
         }
+    }
+    // Fail fast on an unusable --json target (a directory, a missing or
+    // unwritable parent) instead of discovering it after minutes of
+    // computation — or worse, never writing anything.
+    if (!json_path.empty()) {
+        try {
+            core::validate_output_file(json_path);
+        } catch (const std::exception& error) {
+            std::cerr << "experiments: --json: " << error.what() << "\n";
+            return 2;
+        }
+    }
+    if (!options.checkpoint.empty()) {
+        // Same fail-fast contract as --json: discover an unwritable
+        // checkpoint target before the warmup epochs, not after them.
+        // The probe never truncates an existing checkpoint, so resume
+        // detection is unaffected.
+        try {
+            core::validate_output_file(options.checkpoint);
+        } catch (const std::exception& error) {
+            std::cerr << "experiments: --checkpoint: " << error.what()
+                      << "\n";
+            return 2;
+        }
+    }
+    if (!options.checkpoint.empty() && repeat > 1) {
+        std::cerr << "experiments: --checkpoint cannot be combined with "
+                     "--repeat (every seed would fight over one file)\n";
+        return 2;
+    }
+    if (options.stop_after != 0 && options.checkpoint.empty()) {
+        std::cerr << "experiments: --stop-after needs --checkpoint (there "
+                     "is nothing to resume from otherwise)\n";
+        return 2;
     }
     // The pool reads BAYESFT_NUM_THREADS once at first use; honour --threads
     // before anything touches it.
@@ -210,6 +344,46 @@ int main(int argc, char** argv) {
         print_usage();
         return 2;
     }
+    for (const std::string& name : names) {
+        if (registry.find(name) == nullptr) {
+            std::cerr << "experiments: unknown experiment '" << name
+                      << "' (use --list)\n";
+            return 2;
+        }
+    }
+    if (!options.checkpoint.empty() && names.size() > 1) {
+        std::cerr << "experiments: --checkpoint covers exactly one "
+                     "scenario, got " << names.size() << "\n";
+        return 2;
+    }
+    if (!options.checkpoint.empty()) {
+        // Durability must never be a silent no-op: scenarios that do not
+        // wire the checkpoint into a search driver reject the flag instead
+        // of running a full unresumable budget.
+        const core::ExperimentSpec* spec = registry.find(names.front());
+        if (spec != nullptr && !spec->checkpointable) {
+            std::cerr << "experiments: scenario '" << names.front()
+                      << "' has no resumable search loop; --checkpoint is "
+                         "supported by the fig3 classification panels, "
+                         "faults_fig3a_*, archsearch_*, and toy\n";
+            return 2;
+        }
+    }
+
+    if (store_runs) {
+        // Probe the run store only after the scenario names validated:
+        // by default every run appends there, and discovering an
+        // unwritable directory after the computation would lose the
+        // records (and abort before --json) — but an erroneous invocation
+        // must not litter the cwd with an empty runs/ either.
+        try {
+            core::RunStore(runs_dir).probe();
+        } catch (const std::exception& error) {
+            std::cerr << "experiments: --runs-dir: " << error.what()
+                      << "\n";
+            return 2;
+        }
+    }
 
     std::vector<JsonRecord> records;
     for (const std::string& name : names) {
@@ -231,10 +405,18 @@ int main(int argc, char** argv) {
             if (repeat > 1) {
                 title += " [seed " + std::to_string(run_options.seed) + "]";
             }
-            std::cout << "\n"
-                      << result.to_table(title, percent ? 100.0 : 1.0)
-                      << "  wall clock: "
-                      << format_double(result.seconds, 2) << " s\n";
+            if (!result.xs.empty()) {
+                std::cout << "\n"
+                          << result.to_table(title, percent ? 100.0 : 1.0)
+                          << "  wall clock: "
+                          << format_double(result.seconds, 2) << " s\n";
+            }
+            if (!result.search_completed) {
+                std::cout << "\n" << name << ": search checkpointed after "
+                          << result.trials.size()
+                          << " trials; re-run with --checkpoint "
+                          << options.checkpoint << " to resume\n";
+            }
             if (!result.annotation.empty()) {
                 std::cout << "  best point: " << result.annotation << "\n";
             }
@@ -244,6 +426,14 @@ int main(int argc, char** argv) {
                     std::cout << ' ' << format_double(a, 3);
                 }
                 std::cout << "\n";
+            }
+            if (store_runs) {
+                try {
+                    append_to_store(runs_dir, registry, result, run_options);
+                } catch (const std::exception& error) {
+                    std::cerr << "experiments: " << error.what() << "\n";
+                    return 1;
+                }
             }
             for (const core::NamedCurve& curve : result.curves) {
                 for (std::size_t i = 0; i < result.xs.size(); ++i) {

@@ -286,6 +286,39 @@ void BayesOpt::refit_gp() {
     gp_.fit(std::move(xs), std::move(ys));
 }
 
+BayesOptState BayesOpt::export_state() const {
+    BayesOptState state;
+    state.trials = trials_;
+    state.initial_plan = initial_plan_;
+    state.initial_used = initial_used_;
+    state.rng = rng_.state();
+    return state;
+}
+
+void BayesOpt::import_state(const BayesOptState& state) {
+    for (const Trial& t : state.trials) {
+        if (t.x.size() != bounds_.dims()) {
+            throw std::invalid_argument(
+                "BayesOpt::import_state: trial dimension mismatch");
+        }
+    }
+    for (const Point& p : state.initial_plan) {
+        if (p.size() != bounds_.dims()) {
+            throw std::invalid_argument(
+                "BayesOpt::import_state: initial-plan dimension mismatch");
+        }
+    }
+    if (state.initial_used > state.initial_plan.size()) {
+        throw std::invalid_argument(
+            "BayesOpt::import_state: initial_used exceeds the plan");
+    }
+    trials_ = state.trials;
+    initial_plan_ = state.initial_plan;
+    initial_used_ = state.initial_used;
+    rng_.set_state(state.rng);
+    refit_gp();
+}
+
 std::optional<Trial> BayesOpt::best() const {
     if (trials_.empty()) return std::nullopt;
     const auto it = std::max_element(

@@ -77,6 +77,19 @@ struct BayesOptConfig {
     double batch_separation_fraction = 0.02;
 };
 
+/// The Cholesky-free canonical state of a BayesOpt instance: the real trial
+/// history, the space-filling initial design with its cursor, and the
+/// proposal RNG.  Everything else (the GP posterior, its factorization) is
+/// a deterministic function of these plus the construction-time
+/// configuration, so import_state() reproduces the exact optimizer a
+/// checkpoint was taken from (docs/checkpointing.md).
+struct BayesOptState {
+    std::vector<Trial> trials;
+    std::vector<Point> initial_plan;
+    std::size_t initial_used = 0;
+    RngState rng;
+};
+
 /// Maximizes an expensive black-box function over a box.
 class BayesOpt {
 public:
@@ -114,6 +127,16 @@ public:
     const std::vector<Trial>& trials() const { return trials_; }
     const GaussianProcess& surrogate() const { return gp_; }
     const BoxBounds& bounds() const { return bounds_; }
+
+    /// Snapshot of the canonical state (see BayesOptState).  Safe to call
+    /// at any trial boundary; never call mid-suggest_batch (fantasies would
+    /// leak into the history).
+    BayesOptState export_state() const;
+    /// Restores a snapshot into this instance (which must have been
+    /// constructed with the same bounds/kernel/config) and refits the GP
+    /// from the restored history.  Throws std::invalid_argument on a
+    /// dimension mismatch.
+    void import_state(const BayesOptState& state);
 
 private:
     /// Argmax of the acquisition over the candidate pool; points closer than

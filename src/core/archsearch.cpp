@@ -2,12 +2,35 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 #include "bayesopt/acquisition.hpp"
 #include "core/engine.hpp"
 #include "utils/logging.hpp"
 
 namespace bayesft::core {
+
+namespace {
+
+/// Everything that shapes the architecture search besides the RNG streams
+/// (the space itself is validated separately via its own digest).
+std::uint64_t archsearch_scenario_digest(const ArchSearchConfig& config,
+                                         const RngState& entry) {
+    std::uint64_t key = objective_digest(config.objective);
+    key = mix_key(key, static_cast<std::uint64_t>(config.iterations));
+    key = mix_key(key, static_cast<std::uint64_t>(config.final_epochs));
+    key = mix_key(key, static_cast<std::uint64_t>(
+                           std::max<std::size_t>(1, config.batch)));
+    key = mix_key(key, std::string_view(config.acquisition));
+    const double reals[] = {config.kernel_inverse_scale,
+                            config.hamming_weight};
+    key = mix_key(key, reals, 2);
+    key = mix_bo_config(key, config.bo);
+    key = mix_train_config(key, config.train);
+    return mix_rng_state(key, entry);
+}
+
+}  // namespace
 
 ArchSearchResult arch_search(const models::ArchFamily& family,
                              const data::Dataset& train_set,
@@ -22,6 +45,8 @@ ArchSearchResult arch_search(const models::ArchFamily& family,
     }
     const ParamSpace& space = family.space;
 
+    const std::uint64_t scenario_digest =
+        archsearch_scenario_digest(config, rng.state());
     bayesopt::BayesOpt bo(
         space.encoded_bounds(),
         space.kernel(config.kernel_inverse_scale, config.hamming_weight),
@@ -37,11 +62,40 @@ ArchSearchResult arch_search(const models::ArchFamily& family,
     // repeated proposals (common once integer/categorical snapping kicks
     // in) cost nothing.
     EvalContext context;
-    context.key = objective_digest(config.objective);
-    context.key = mix_key(context.key, space.digest());
-    context.key = mix_key(context.key,
-                          static_cast<std::uint64_t>(config.train.epochs));
-    context.key = mix_key(context.key, rng());
+    std::size_t done = 0;
+    std::size_t resumed = 0;
+    if (config.checkpoint.enabled() &&
+        checkpoint_exists(config.checkpoint.path)) {
+        const SearchCheckpoint cp =
+            load_checkpoint(config.checkpoint.path);
+        validate_checkpoint(cp, space.digest(), scenario_digest,
+                            config.checkpoint.path);
+        if (cp.trials_done > config.iterations) {
+            throw std::runtime_error(
+                "checkpoint: " + config.checkpoint.path + " holds " +
+                std::to_string(cp.trials_done) +
+                " trials but the configured budget is " +
+                std::to_string(config.iterations));
+        }
+        bo.import_state(cp.bo);
+        rng.set_state(cp.run_rng);
+        context.key = cp.context_key;
+        context.stamp = cp.context_stamp;
+        // Re-seed the memo cache: duplicate proposals after the resume are
+        // as free as they were in the writing run.
+        engine.import_cache(context, cp.cache);
+        done = cp.trials_done;
+        resumed = done;
+        log_info() << "arch_search resumed from " << config.checkpoint.path
+                   << " at trial " << done << "/" << config.iterations;
+    } else {
+        context.key = objective_digest(config.objective);
+        context.key = mix_key(context.key, space.digest());
+        context.key = mix_key(context.key,
+                              static_cast<std::uint64_t>(
+                                  config.train.epochs));
+        context.key = mix_key(context.key, rng());
+    }
 
     const PointEvaluator evaluator = [&](const Alpha& encoded, Rng& r) {
         const ParamPoint point = space.decode(encoded);
@@ -52,8 +106,23 @@ ArchSearchResult arch_search(const models::ArchFamily& family,
                              validation_set.labels, config.objective, r);
     };
 
+    const auto write_checkpoint = [&]() {
+        SearchCheckpoint cp;
+        cp.run_id = "arch_search:" + family.name;
+        cp.build = build_stamp();
+        cp.space_digest = space.digest();
+        cp.scenario_digest = scenario_digest;
+        cp.context_key = context.key;
+        cp.context_stamp = context.stamp;
+        cp.trials_done = done;
+        cp.run_rng = rng.state();
+        cp.bo = bo.export_state();
+        cp.cache = engine.export_cache();
+        save_checkpoint(cp, config.checkpoint.path);
+    };
+
     const std::size_t q = std::max<std::size_t>(1, config.batch);
-    std::size_t done = 0;
+    std::size_t new_trials = 0;
     while (done < config.iterations) {
         const std::size_t group = std::min(q, config.iterations - done);
         const std::vector<bayesopt::Point> encoded = bo.suggest_batch(group);
@@ -66,6 +135,27 @@ ArchSearchResult arch_search(const models::ArchFamily& family,
                         << "utility " << outcome.utilities[j];
         }
         done += group;
+        new_trials += group;
+        if (config.checkpoint.enabled()) {
+            write_checkpoint();
+            if (config.checkpoint.stop_after != 0 &&
+                new_trials >= config.checkpoint.stop_after &&
+                done < config.iterations) {
+                ArchSearchResult partial;
+                const auto best = bo.best();
+                partial.best_utility = best->y;
+                partial.best_point = space.decode(best->x);
+                partial.trials = bo.trials();
+                partial.trial_points.reserve(partial.trials.size());
+                for (const bayesopt::Trial& trial : partial.trials) {
+                    partial.trial_points.push_back(space.decode(trial.x));
+                }
+                partial.engine_cache_hits = engine.cache_hits();
+                partial.completed = false;
+                partial.resumed_trials = resumed;
+                return partial;
+            }
+        }
     }
 
     ArchSearchResult result;
@@ -78,6 +168,7 @@ ArchSearchResult arch_search(const models::ArchFamily& family,
         result.trial_points.push_back(space.decode(trial.x));
     }
     result.engine_cache_hits = engine.cache_hits();
+    result.resumed_trials = resumed;
 
     // Re-materialize the winner on its original candidate stream: the same
     // derived seed replays build + training bit for bit, so the returned

@@ -21,6 +21,7 @@
 #include "bayesopt/bayesopt.hpp"
 #include "core/objective.hpp"
 #include "core/param_space.hpp"
+#include "core/persist.hpp"
 #include "data/dataset.hpp"
 #include "models/zoo.hpp"
 #include "nn/trainer.hpp"
@@ -51,6 +52,11 @@ struct ArchSearchConfig {
     std::size_t eval_threads = 0;
     /// Extra fine-tuning epochs on the rebuilt winner.
     std::size_t final_epochs = 2;
+    /// Checkpoint/resume controls (docs/checkpointing.md).  Candidates are
+    /// self-contained, so the snapshot holds the BO state, the loop RNG,
+    /// and the engine memo-cache entries (duplicate proposals stay free
+    /// after a resume); there are no evolving weights to persist.
+    CheckpointOptions checkpoint;
 };
 
 /// Outcome of a search.
@@ -67,6 +73,12 @@ struct ArchSearchResult {
     models::ModelHandle best_model;
     /// Duplicate proposals served from the engine's memo cache.
     std::size_t engine_cache_hits = 0;
+    /// False when the run halted at CheckpointOptions::stop_after before
+    /// exhausting the trial budget; `best_model` is then empty (the winner
+    /// is only materialized on completion — resume with the same path).
+    bool completed = true;
+    /// Trials restored from a checkpoint rather than evaluated here.
+    std::size_t resumed_trials = 0;
 };
 
 /// Runs the mixed-space search for `family` on (train_set, validation_set).

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 #include <stdexcept>
+#include <string>
 
 #include "core/engine.hpp"
 #include "core/param_space.hpp"
@@ -11,6 +12,39 @@
 namespace bayesft::core {
 
 namespace {
+
+/// Decoded, human-readable points for the run store, in trial order.
+std::vector<std::string> describe_trials(
+    const ParamSpace& space, const std::vector<bayesopt::Trial>& trials) {
+    std::vector<std::string> points;
+    points.reserve(trials.size());
+    for (const bayesopt::Trial& trial : trials) {
+        points.push_back(space.describe(space.decode(trial.x)));
+    }
+    return points;
+}
+
+/// Everything that shapes the dropout search besides the RNG streams; a
+/// checkpoint written under any other value resumes nothing.
+std::uint64_t bayesft_scenario_digest(const BayesFTConfig& config,
+                                      bool use_gp, const RngState& entry) {
+    std::uint64_t key = objective_digest(config.objective);
+    key = mix_key(key, static_cast<std::uint64_t>(config.iterations));
+    key = mix_key(key,
+                  static_cast<std::uint64_t>(config.epochs_per_iteration));
+    key = mix_key(key, static_cast<std::uint64_t>(config.warmup_epochs));
+    key = mix_key(key, static_cast<std::uint64_t>(config.final_epochs));
+    key = mix_key(key, static_cast<std::uint64_t>(
+                           std::max<std::size_t>(1, config.batch)));
+    key = mix_key(key, static_cast<std::uint64_t>(use_gp ? 1 : 0));
+    key = mix_key(key, std::string_view(config.acquisition));
+    const double reals[] = {config.kernel_inverse_scale,
+                            config.max_dropout_rate};
+    key = mix_key(key, reals, 2);
+    key = mix_bo_config(key, config.bo);
+    key = mix_train_config(key, config.train);
+    return mix_rng_state(key, entry);
+}
 
 /// Shared loop body for GP-guided and random search: groups of q candidates
 /// are proposed (suggest_batch or uniform sampling), handed to the
@@ -39,6 +73,8 @@ BayesFTResult run_search(
     // the serial-reference comparison in tests/test_engine.cpp).
     const ParamSpace space =
         ParamSpace::dropout(dims, config.max_dropout_rate);
+    const std::uint64_t scenario_digest =
+        bayesft_scenario_digest(config, use_gp, rng.state());
     bayesopt::BayesOpt bo(space.encoded_bounds(),
                           space.kernel(config.kernel_inverse_scale,
                                        /*hamming_weight=*/1.0),
@@ -48,13 +84,64 @@ BayesFTResult run_search(
     nn::TrainConfig epoch_config = config.train;
     epoch_config.epochs = config.epochs_per_iteration;
 
-    if (config.warmup_epochs > 0) {
-        // Warm-up at alpha = 0 so theta starts the search trainable.
-        model.set_dropout_rates(std::vector<double>(dims, 0.0));
-        nn::TrainConfig warmup = config.train;
-        warmup.epochs = config.warmup_epochs;
-        nn::train_classifier(*model.net, train_set.images, train_set.labels,
-                             warmup, rng);
+    const std::size_t q = std::max<std::size_t>(1, config.batch);
+    EvalContext context;
+    std::size_t done = 0;
+    std::size_t resumed = 0;
+    if (config.checkpoint.enabled() &&
+        checkpoint_exists(config.checkpoint.path)) {
+        // Resume: restore the optimizer, the loop RNG (which replaces the
+        // warmup/nonce draws a fresh run would have made), the evaluation
+        // context, and the trained weights, then continue the trial loop
+        // as if the writing run had never stopped.
+        const SearchCheckpoint cp =
+            load_checkpoint(config.checkpoint.path);
+        validate_checkpoint(cp, space.digest(), scenario_digest,
+                            config.checkpoint.path);
+        if (cp.model_digest != model_structure_digest(*model.net)) {
+            throw std::runtime_error(
+                "checkpoint: model structure mismatch — the checkpoint at " +
+                config.checkpoint.path +
+                " was written for a different architecture");
+        }
+        if (cp.trials_done > config.iterations) {
+            throw std::runtime_error(
+                "checkpoint: " + config.checkpoint.path + " holds " +
+                std::to_string(cp.trials_done) +
+                " trials but the configured budget is " +
+                std::to_string(config.iterations));
+        }
+        restore_model(*model.net, cp.model_bits);
+        restore_model_rngs(*model.net, cp.model_rngs);
+        bo.import_state(cp.bo);
+        rng.set_state(cp.run_rng);
+        context.key = cp.context_key;
+        context.stamp = cp.context_stamp;
+        done = cp.trials_done;
+        resumed = done;
+        log_info() << "BayesFT resumed from " << config.checkpoint.path
+                   << " at trial " << done << "/" << config.iterations;
+    } else {
+        if (config.warmup_epochs > 0) {
+            // Warm-up at alpha = 0 so theta starts the search trainable.
+            model.set_dropout_rates(std::vector<double>(dims, 0.0));
+            nn::TrainConfig warmup = config.train;
+            warmup.epochs = config.warmup_epochs;
+            nn::train_classifier(*model.net, train_set.images,
+                                 train_set.labels, warmup, rng);
+        }
+        context.key = objective_digest(config.objective);
+        context.key = mix_key(context.key,
+                              static_cast<std::uint64_t>(
+                                  config.epochs_per_iteration));
+        if (q > 1) {
+            // Per-run nonce: batched candidate RNG streams derive from the
+            // context key, so without this two searches differing only in
+            // seed would reuse identical noise for identical (alpha, stamp)
+            // pairs.  Never drawn at q == 1, which must replay the serial
+            // loop exactly.
+            context.key = mix_key(context.key, rng());
+        }
     }
 
     EvaluationEngine engine(
@@ -70,21 +157,25 @@ BayesFTResult run_search(
             return fault_utility(*candidate.net, validation_set.images,
                                  validation_set.labels, config.objective, r);
         };
-    EvalContext context;
-    context.key = objective_digest(config.objective);
-    context.key = mix_key(context.key,
-                          static_cast<std::uint64_t>(
-                              config.epochs_per_iteration));
 
-    const std::size_t q = std::max<std::size_t>(1, config.batch);
-    if (q > 1) {
-        // Per-run nonce: batched candidate RNG streams derive from the
-        // context key, so without this two searches differing only in seed
-        // would reuse identical noise for identical (alpha, stamp) pairs.
-        // Never drawn at q == 1, which must replay the serial loop exactly.
-        context.key = mix_key(context.key, rng());
-    }
-    std::size_t done = 0;
+    const auto write_checkpoint = [&]() {
+        SearchCheckpoint cp;
+        cp.run_id = use_gp ? "bayesft_search" : "random_search";
+        cp.build = build_stamp();
+        cp.space_digest = space.digest();
+        cp.scenario_digest = scenario_digest;
+        cp.context_key = context.key;
+        cp.context_stamp = context.stamp;
+        cp.trials_done = done;
+        cp.run_rng = rng.state();
+        cp.bo = bo.export_state();
+        cp.model_bits = snapshot_model(*model.net);
+        cp.model_rngs = snapshot_model_rngs(*model.net);
+        cp.model_digest = model_structure_digest(*model.net);
+        save_checkpoint(cp, config.checkpoint.path);
+    };
+
+    std::size_t new_trials = 0;
     while (done < config.iterations) {
         const std::size_t group = std::min(q, config.iterations - done);
         std::vector<bayesopt::Point> alphas;
@@ -106,7 +197,27 @@ BayesFTResult run_search(
                         << outcome.utilities[j];
         }
         done += group;
+        new_trials += group;
         ++context.stamp;  // theta advanced: cached utilities are stale
+        if (config.checkpoint.enabled()) {
+            write_checkpoint();
+            if (config.checkpoint.stop_after != 0 &&
+                new_trials >= config.checkpoint.stop_after &&
+                done < config.iterations) {
+                // Interrupted at a trial-group boundary: the boundary
+                // checkpoint is on disk, the winner stays uninstalled.
+                BayesFTResult partial;
+                const auto best = bo.best();
+                partial.best_alpha = best->x;
+                partial.best_utility = best->y;
+                partial.trials = bo.trials();
+                partial.trial_points = describe_trials(space, partial.trials);
+                partial.engine_cache_hits = engine.cache_hits();
+                partial.completed = false;
+                partial.resumed_trials = resumed;
+                return partial;
+            }
+        }
     }
 
     BayesFTResult result;
@@ -114,7 +225,9 @@ BayesFTResult run_search(
     result.best_alpha = best->x;
     result.best_utility = best->y;
     result.trials = bo.trials();
+    result.trial_points = describe_trials(space, result.trials);
     result.engine_cache_hits = engine.cache_hits();
+    result.resumed_trials = resumed;
 
     // Install the winner and fine-tune theta under it.
     model.set_dropout_rates(result.best_alpha);

@@ -18,6 +18,7 @@
 
 #include "bayesopt/bayesopt.hpp"
 #include "core/objective.hpp"
+#include "core/persist.hpp"
 #include "data/dataset.hpp"
 #include "models/zoo.hpp"
 #include "nn/trainer.hpp"
@@ -56,6 +57,12 @@ struct BayesFTConfig {
     /// Concurrency of the candidate-evaluation engine (0 = pool width).
     /// Batched results are bit-identical for every value.
     std::size_t eval_threads = 0;
+    /// Checkpoint/resume controls (docs/checkpointing.md).  When enabled,
+    /// a snapshot of the BO state, the loop RNG, and the model weights is
+    /// written after every observed candidate group, and a run that finds
+    /// a valid checkpoint at the path resumes it; a resumed run's final
+    /// results are bit-identical to an uninterrupted run's.
+    CheckpointOptions checkpoint;
 };
 
 /// Outcome of a search.
@@ -63,10 +70,21 @@ struct BayesFTResult {
     std::vector<double> best_alpha;
     double best_utility = 0.0;
     std::vector<bayesopt::Trial> trials;  ///< full BO history
+    /// Human-readable decoded points aligned with `trials`
+    /// (ParamSpace::describe of the dropout space) — the strings the run
+    /// store persists, so every store consumer formats points one way.
+    std::vector<std::string> trial_points;
     /// Candidate evaluations skipped by the engine because the batch
     /// contained duplicate proposals (the search trains between batches,
     /// so cross-batch cache reuse never applies here).
     std::size_t engine_cache_hits = 0;
+    /// False when the run halted at CheckpointOptions::stop_after before
+    /// exhausting the trial budget (the winner has NOT been installed or
+    /// fine-tuned; resume by re-running with the same checkpoint path).
+    bool completed = true;
+    /// Trials restored from a checkpoint rather than evaluated by this
+    /// invocation (a prior run already logged/persisted them).
+    std::size_t resumed_trials = 0;
 };
 
 /// Runs Algorithm 1 on `model` in place: on return the model holds the

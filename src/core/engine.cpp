@@ -192,6 +192,31 @@ BatchOutcome EvaluationEngine::evaluate_batch(
     return outcome;
 }
 
+std::vector<std::pair<Alpha, double>> EvaluationEngine::export_cache() const {
+    std::vector<std::pair<Alpha, double>> entries;
+    if (!has_active_context_) return entries;
+    entries.reserve(cache_.size());
+    for (const auto& [key, utility] : cache_) {
+        entries.emplace_back(key.alpha, utility);
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    return entries;
+}
+
+void EvaluationEngine::import_cache(
+    const EvalContext& context,
+    const std::vector<std::pair<Alpha, double>>& entries) {
+    cache_.clear();
+    active_context_ = context.key;
+    active_stamp_ = context.stamp;
+    has_active_context_ = true;
+    if (!config_.cache) return;
+    for (const auto& [alpha, utility] : entries) {
+        cache_.emplace(CacheKey{context.key, context.stamp, alpha}, utility);
+    }
+}
+
 BatchOutcome EvaluationEngine::evaluate_points(
     const std::vector<Alpha>& points, const PointEvaluator& evaluator,
     const EvalContext& context) {

@@ -129,6 +129,17 @@ public:
                                  const PointEvaluator& evaluator,
                                  const EvalContext& context);
 
+    /// Memoized (point -> utility) entries of the active (context, stamp),
+    /// sorted by point for a deterministic order, so a self-contained
+    /// search (constant stamp, see evaluate_points) can persist its memo
+    /// cache across process restarts.  Empty when no context is active.
+    std::vector<std::pair<Alpha, double>> export_cache() const;
+    /// Seeds the memo cache with entries for `context`, replacing whatever
+    /// was cached before.  Entries are only ever served back while the
+    /// caller evaluates under the same (context.key, context.stamp).
+    void import_cache(const EvalContext& context,
+                      const std::vector<std::pair<Alpha, double>>& entries);
+
     /// Lifetime total of evaluations served without running the evaluator
     /// (within-batch duplicates + cross-call map hits).
     std::size_t cache_hits() const { return total_hits_; }

@@ -60,6 +60,18 @@ ExperimentResult run_classification_experiment(
         Rng rng(config.seed + method->seed_offset());
         const TrainedMethod trained = method->train(
             factory, train_set, test_set, num_classes, config, rng);
+        if (!trained.trials.empty()) {
+            result.bayesft_trials = trained.trials;
+            result.bayesft_trial_points = trained.trial_points;
+            result.bayesft_resumed = trained.resumed_trials;
+        }
+        if (!trained.search_completed) {
+            // The search checkpointed out mid-run (stop_after): its model
+            // is half-searched state, so skip the sweep — the caller
+            // resumes with the same checkpoint path to finish the figure.
+            result.bayesft_completed = false;
+            break;
+        }
         result.curves.push_back(
             {method->name(),
              sweep(*trained.net, config.sigmas, config.eval_samples, rng,

@@ -60,6 +60,15 @@ struct ExperimentResult {
     std::vector<double> sigmas;
     std::vector<MethodCurve> curves;
     std::vector<double> bayesft_alpha;  ///< best found dropout rates
+    /// Full BO trial history of the BayesFT search (for the run store),
+    /// with the decoded point strings aligned to it.
+    std::vector<bayesopt::Trial> bayesft_trials;
+    std::vector<std::string> bayesft_trial_points;
+    /// False when the BayesFT search checkpointed out at stop_after; the
+    /// BayesFT sweep curve is then absent.
+    bool bayesft_completed = true;
+    /// Leading trials the search restored from a checkpoint.
+    std::size_t bayesft_resumed = 0;
 
     /// Renders a Fig. 3-style table (rows = sigma, columns = methods,
     /// cells = accuracy %).

@@ -136,6 +136,10 @@ public:
         trained.holder = std::move(model);
         trained.metric = accuracy_metric(test_set);
         trained.best_alpha = search.best_alpha;
+        trained.trials = search.trials;
+        trained.trial_points = search.trial_points;
+        trained.search_completed = search.completed;
+        trained.resumed_trials = search.resumed_trials;
         return trained;
     }
 };

@@ -27,6 +27,15 @@ struct TrainedMethod {
     std::size_t sweep_threads = 0;
     /// Best dropout rates (BayesFT only).
     std::vector<double> best_alpha;
+    /// Full BO trial history (BayesFT only) for the run store, with the
+    /// decoded point strings aligned to it.
+    std::vector<bayesopt::Trial> trials;
+    std::vector<std::string> trial_points;
+    /// False when the search checkpointed out early (stop_after); the
+    /// returned net is mid-search state and must not be swept.
+    bool search_completed = true;
+    /// Leading trials restored from a checkpoint by the search.
+    std::size_t resumed_trials = 0;
 };
 
 /// One training method of the paper's comparison.

@@ -1,0 +1,531 @@
+#include "core/persist.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/engine.hpp"
+#include "nn/dropout.hpp"
+
+namespace bayesft::core {
+
+namespace {
+
+constexpr const char* kMagic = "bayesft-checkpoint";
+
+std::uint64_t double_bits(double value) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof(double));
+    return bits;
+}
+
+double bits_double(std::uint64_t bits) {
+    double value = 0.0;
+    std::memcpy(&value, &bits, sizeof(double));
+    return value;
+}
+
+std::string hex64(std::uint64_t value) {
+    char buffer[17];
+    std::snprintf(buffer, sizeof(buffer), "%016llx",
+                  static_cast<unsigned long long>(value));
+    return buffer;
+}
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+    throw std::runtime_error("checkpoint: " + what + " (" + path + ")");
+}
+
+void write_rng(std::ostream& out, const char* key, const RngState& state) {
+    out << key;
+    for (std::uint64_t lane : state.lanes) out << ' ' << hex64(lane);
+    out << ' ' << hex64(state.cached_normal_bits) << ' '
+        << (state.has_cached_normal ? 1 : 0) << '\n';
+}
+
+void write_points(std::ostream& out, const char* key,
+                  const std::vector<std::vector<double>>& rows,
+                  const std::vector<double>* values) {
+    const std::size_t dims = rows.empty() ? 0 : rows.front().size();
+    out << key << ' ' << rows.size() << ' ' << dims << '\n';
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        for (std::size_t d = 0; d < rows[r].size(); ++d) {
+            out << (d == 0 ? "" : " ") << hex64(double_bits(rows[r][d]));
+        }
+        if (values != nullptr) {
+            out << (rows[r].empty() ? "" : " ")
+                << hex64(double_bits((*values)[r]));
+        }
+        out << '\n';
+    }
+}
+
+/// Line-oriented reader that tracks the path for error messages and
+/// enforces the "key <payload>" shape of every record.
+class Reader {
+public:
+    Reader(std::istream& in, std::string path)
+        : in_(in), path_(std::move(path)) {}
+
+    /// Next non-empty line; throws on EOF.
+    std::string line() {
+        std::string text;
+        while (std::getline(in_, text)) {
+            if (!text.empty()) return text;
+        }
+        fail("truncated file", path_);
+    }
+
+    /// Next line split on spaces, with the leading token checked.
+    std::vector<std::string> record(const char* key) {
+        std::istringstream tokens(line());
+        std::vector<std::string> out;
+        std::string token;
+        while (tokens >> token) out.push_back(std::move(token));
+        if (out.empty() || out.front() != key) {
+            fail(std::string("expected '") + key + "' record", path_);
+        }
+        return out;
+    }
+
+    /// Like record(), but the payload is the raw remainder of the line
+    /// (free-form strings such as run_id may contain spaces).
+    std::string text_record(const char* key) {
+        const std::string text = line();
+        const std::string prefix = std::string(key);
+        if (text.rfind(prefix, 0) != 0) {
+            fail("expected '" + prefix + "' record", path_);
+        }
+        std::size_t start = prefix.size();
+        if (start < text.size() && text[start] == ' ') ++start;
+        return text.substr(start);
+    }
+
+    std::uint64_t hex(const std::string& token) {
+        try {
+            std::size_t used = 0;
+            const std::uint64_t value = std::stoull(token, &used, 16);
+            if (used != token.size()) throw std::invalid_argument(token);
+            return value;
+        } catch (const std::exception&) {
+            fail("malformed hex field '" + token + "'", path_);
+        }
+    }
+
+    std::uint64_t number(const std::string& token) {
+        try {
+            std::size_t used = 0;
+            const std::uint64_t value = std::stoull(token, &used, 10);
+            if (used != token.size()) throw std::invalid_argument(token);
+            return value;
+        } catch (const std::exception&) {
+            fail("malformed numeric field '" + token + "'", path_);
+        }
+    }
+
+    RngState rng(const char* key) {
+        const std::vector<std::string> tokens = record(key);
+        if (tokens.size() != 7) fail("malformed RNG record", path_);
+        RngState state;
+        for (std::size_t i = 0; i < 4; ++i) {
+            state.lanes[i] = hex(tokens[1 + i]);
+        }
+        state.cached_normal_bits = hex(tokens[5]);
+        state.has_cached_normal = number(tokens[6]) != 0;
+        return state;
+    }
+
+    void points(const char* key, std::vector<std::vector<double>>& rows,
+                std::vector<double>* values) {
+        const std::vector<std::string> header = record(key);
+        if (header.size() != 3) fail("malformed point-block header", path_);
+        const std::uint64_t count = number(header[1]);
+        const std::uint64_t dims = number(header[2]);
+        if (count > (1ULL << 24) || dims > (1ULL << 16) ||
+            count * dims > (1ULL << 24)) {
+            fail("implausible point-block size", path_);
+        }
+        rows.assign(count, std::vector<double>(dims));
+        if (values != nullptr) values->assign(count, 0.0);
+        for (std::uint64_t r = 0; r < count; ++r) {
+            std::istringstream tokens(line());
+            std::string token;
+            for (std::uint64_t d = 0; d < dims; ++d) {
+                if (!(tokens >> token)) fail("truncated point row", path_);
+                rows[r][d] = bits_double(hex(token));
+            }
+            if (values != nullptr) {
+                if (!(tokens >> token)) fail("truncated point row", path_);
+                (*values)[r] = bits_double(hex(token));
+            }
+        }
+    }
+
+private:
+    std::istream& in_;
+    std::string path_;
+};
+
+}  // namespace
+
+std::string build_stamp() {
+#ifdef BAYESFT_BUILD_STAMP
+    return BAYESFT_BUILD_STAMP;
+#else
+    return "unknown";
+#endif
+}
+
+void save_checkpoint(const SearchCheckpoint& checkpoint,
+                     const std::string& path) {
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp);
+        if (!out) fail("cannot open for writing", tmp);
+        out << kMagic << ' ' << SearchCheckpoint::kVersion << '\n';
+        out << "run_id " << checkpoint.run_id << '\n';
+        out << "build " << checkpoint.build << '\n';
+        out << "space_digest " << hex64(checkpoint.space_digest) << '\n';
+        out << "scenario_digest " << hex64(checkpoint.scenario_digest)
+            << '\n';
+        out << "context_key " << hex64(checkpoint.context_key) << '\n';
+        out << "context_stamp " << checkpoint.context_stamp << '\n';
+        out << "trials_done " << checkpoint.trials_done << '\n';
+        write_rng(out, "run_rng", checkpoint.run_rng);
+        write_rng(out, "bo_rng", checkpoint.bo.rng);
+        out << "initial_used " << checkpoint.bo.initial_used << '\n';
+        write_points(out, "initial_plan", checkpoint.bo.initial_plan,
+                     nullptr);
+        {
+            std::vector<std::vector<double>> xs;
+            std::vector<double> ys;
+            xs.reserve(checkpoint.bo.trials.size());
+            ys.reserve(checkpoint.bo.trials.size());
+            for (const bayesopt::Trial& t : checkpoint.bo.trials) {
+                xs.push_back(t.x);
+                ys.push_back(t.y);
+            }
+            write_points(out, "trials", xs, &ys);
+        }
+        {
+            std::vector<std::vector<double>> xs;
+            std::vector<double> ys;
+            xs.reserve(checkpoint.cache.size());
+            ys.reserve(checkpoint.cache.size());
+            for (const auto& [point, utility] : checkpoint.cache) {
+                xs.push_back(point);
+                ys.push_back(utility);
+            }
+            write_points(out, "cache", xs, &ys);
+        }
+        out << "model " << checkpoint.model_bits.size() << ' '
+            << hex64(checkpoint.model_digest) << '\n';
+        for (std::size_t i = 0; i < checkpoint.model_bits.size(); ++i) {
+            char buffer[9];
+            std::snprintf(buffer, sizeof(buffer), "%08x",
+                          checkpoint.model_bits[i]);
+            out << buffer << ((i % 16 == 15) ? '\n' : ' ');
+        }
+        if (checkpoint.model_bits.size() % 16 != 0) out << '\n';
+        out << "model_rngs " << checkpoint.model_rngs.size() << '\n';
+        for (const RngState& state : checkpoint.model_rngs) {
+            write_rng(out, "mrng", state);
+        }
+        out << "end\n";
+        // Flush before checking: without it a failed final flush (disk
+        // full) would pass the check, and the rename below would install
+        // a truncated file over the previous good checkpoint.
+        out.flush();
+        if (!out) fail("write failed", tmp);
+    }
+    std::error_code error;
+    std::filesystem::rename(tmp, path, error);
+    if (error) fail("rename failed: " + error.message(), path);
+}
+
+SearchCheckpoint load_checkpoint(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) fail("cannot open", path);
+    Reader reader(in, path);
+
+    const std::vector<std::string> header = reader.record(kMagic);
+    if (header.size() != 2) fail("malformed header", path);
+    const std::uint64_t version = reader.number(header[1]);
+    if (version != SearchCheckpoint::kVersion) {
+        fail("unsupported format version " + header[1] + " (this build reads "
+                 + std::to_string(SearchCheckpoint::kVersion) + ")",
+             path);
+    }
+
+    SearchCheckpoint checkpoint;
+    checkpoint.run_id = reader.text_record("run_id");
+    checkpoint.build = reader.text_record("build");
+    checkpoint.space_digest = reader.hex(reader.record("space_digest").at(1));
+    checkpoint.scenario_digest =
+        reader.hex(reader.record("scenario_digest").at(1));
+    checkpoint.context_key = reader.hex(reader.record("context_key").at(1));
+    checkpoint.context_stamp =
+        reader.number(reader.record("context_stamp").at(1));
+    checkpoint.trials_done =
+        reader.number(reader.record("trials_done").at(1));
+    checkpoint.run_rng = reader.rng("run_rng");
+    checkpoint.bo.rng = reader.rng("bo_rng");
+    checkpoint.bo.initial_used =
+        reader.number(reader.record("initial_used").at(1));
+
+    reader.points("initial_plan", checkpoint.bo.initial_plan, nullptr);
+    {
+        std::vector<std::vector<double>> xs;
+        std::vector<double> ys;
+        reader.points("trials", xs, &ys);
+        checkpoint.bo.trials.reserve(xs.size());
+        for (std::size_t i = 0; i < xs.size(); ++i) {
+            checkpoint.bo.trials.push_back(
+                bayesopt::Trial{std::move(xs[i]), ys[i]});
+        }
+    }
+    {
+        std::vector<std::vector<double>> xs;
+        std::vector<double> ys;
+        reader.points("cache", xs, &ys);
+        checkpoint.cache.reserve(xs.size());
+        for (std::size_t i = 0; i < xs.size(); ++i) {
+            checkpoint.cache.emplace_back(std::move(xs[i]), ys[i]);
+        }
+    }
+    {
+        const std::vector<std::string> model = reader.record("model");
+        if (model.size() != 3) fail("malformed model header", path);
+        const std::uint64_t count = reader.number(model[1]);
+        if (count > (1ULL << 26)) fail("implausible model size", path);
+        checkpoint.model_digest = reader.hex(model[2]);
+        checkpoint.model_bits.reserve(count);
+        while (checkpoint.model_bits.size() < count) {
+            std::istringstream tokens(reader.line());
+            std::string token;
+            while (tokens >> token &&
+                   checkpoint.model_bits.size() < count) {
+                // Exactly the 8 hex digits the writer emits: a longer
+                // token (e.g. two words fused by a lost separator) must
+                // reject the file, not load truncated weights.
+                if (token.size() != 8) {
+                    fail("malformed model word '" + token + "'", path);
+                }
+                checkpoint.model_bits.push_back(
+                    static_cast<std::uint32_t>(reader.hex(token)));
+            }
+        }
+    }
+    {
+        const std::vector<std::string> header = reader.record("model_rngs");
+        if (header.size() != 2) fail("malformed model_rngs header", path);
+        const std::uint64_t count = reader.number(header[1]);
+        if (count > (1ULL << 20)) fail("implausible model_rngs size", path);
+        checkpoint.model_rngs.reserve(count);
+        for (std::uint64_t i = 0; i < count; ++i) {
+            checkpoint.model_rngs.push_back(reader.rng("mrng"));
+        }
+    }
+    if (reader.line() != "end") fail("missing end marker", path);
+    if (checkpoint.trials_done != checkpoint.bo.trials.size()) {
+        fail("trial count disagrees with trials_done", path);
+    }
+    return checkpoint;
+}
+
+bool checkpoint_exists(const std::string& path) {
+    std::error_code error;
+    return std::filesystem::is_regular_file(path, error);
+}
+
+std::uint64_t mix_train_config(std::uint64_t key,
+                               const nn::TrainConfig& train) {
+    key = mix_key(key, static_cast<std::uint64_t>(train.epochs));
+    key = mix_key(key, static_cast<std::uint64_t>(train.batch_size));
+    const double reals[] = {train.learning_rate, train.momentum,
+                            train.weight_decay, train.lr_decay};
+    key = mix_key(key, reals, 4);
+    return mix_key(key, static_cast<std::uint64_t>(train.use_adam ? 1 : 0));
+}
+
+std::uint64_t mix_bo_config(std::uint64_t key,
+                            const bayesopt::BayesOptConfig& config) {
+    key = mix_key(key,
+                  static_cast<std::uint64_t>(config.initial_random_trials));
+    key = mix_key(key, static_cast<std::uint64_t>(
+                           config.latin_hypercube_init ? 1 : 0));
+    key = mix_key(key, static_cast<std::uint64_t>(config.candidates));
+    key = mix_key(key, static_cast<std::uint64_t>(config.local_candidates));
+    const double reals[] = {config.local_sigma_fraction,
+                            config.noise_variance,
+                            config.duplicate_tolerance,
+                            config.batch_separation_fraction};
+    return mix_key(key, reals, 4);
+}
+
+std::uint64_t mix_rng_state(std::uint64_t key, const RngState& state) {
+    for (std::uint64_t lane : state.lanes) key = mix_key(key, lane);
+    key = mix_key(key, state.cached_normal_bits);
+    return mix_key(key,
+                   static_cast<std::uint64_t>(state.has_cached_normal));
+}
+
+void validate_checkpoint(const SearchCheckpoint& checkpoint,
+                         std::uint64_t space_digest,
+                         std::uint64_t scenario_digest,
+                         const std::string& path) {
+    if (checkpoint.space_digest != space_digest) {
+        fail("search-space digest mismatch — the checkpoint was written for "
+             "a different ParamSpace; delete it (or point --checkpoint "
+             "elsewhere) to start fresh",
+             path);
+    }
+    if (checkpoint.scenario_digest != scenario_digest) {
+        fail("scenario digest mismatch — the checkpoint was written under a "
+             "different objective/loop configuration (fault set, MC "
+             "samples, iterations, batch, seed, ...); delete it to start "
+             "fresh",
+             path);
+    }
+}
+
+namespace {
+
+/// Deterministic pre-order walk over the module tree (collect_children is
+/// the generic traversal every container supports).
+void visit_modules(nn::Module& node,
+                   const std::function<void(nn::Module&)>& fn) {
+    fn(node);
+    std::vector<nn::Module*> children;
+    node.collect_children(children);
+    for (nn::Module* child : children) visit_modules(*child, fn);
+}
+
+/// Get/set access to one layer's internal mask generator.
+struct MaskRngSite {
+    std::function<RngState()> get;
+    std::function<void(const RngState&)> set;
+};
+
+/// THE single registry of RNG-bearing layer types: snapshot, restore, and
+/// the structure digest all go through this collector, so a new
+/// mask-drawing module type added here is automatically covered by all
+/// three (miss it here and the torture tests' bitwise weight comparison
+/// fails; there is no second place to forget).
+std::vector<MaskRngSite> collect_mask_rng_sites(nn::Module& root) {
+    std::vector<MaskRngSite> sites;
+    visit_modules(root, [&](nn::Module& node) {
+        if (auto* dropout = dynamic_cast<nn::Dropout*>(&node)) {
+            sites.push_back(
+                {[dropout] { return dropout->mask_rng_state(); },
+                 [dropout](const RngState& state) {
+                     dropout->set_mask_rng_state(state);
+                 }});
+        } else if (auto* alpha = dynamic_cast<nn::AlphaDropout*>(&node)) {
+            sites.push_back(
+                {[alpha] { return alpha->mask_rng_state(); },
+                 [alpha](const RngState& state) {
+                     alpha->set_mask_rng_state(state);
+                 }});
+        }
+    });
+    return sites;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> snapshot_model(nn::Module& model) {
+    std::vector<std::uint32_t> bits;
+    for (const nn::Parameter* p : model.parameters()) {
+        const float* data = p->value.data();
+        for (std::size_t i = 0; i < p->value.size(); ++i) {
+            std::uint32_t b = 0;
+            std::memcpy(&b, &data[i], sizeof(float));
+            bits.push_back(b);
+        }
+    }
+    for (const Tensor* buffer : model.buffers()) {
+        const float* data = buffer->data();
+        for (std::size_t i = 0; i < buffer->size(); ++i) {
+            std::uint32_t b = 0;
+            std::memcpy(&b, &data[i], sizeof(float));
+            bits.push_back(b);
+        }
+    }
+    return bits;
+}
+
+std::vector<RngState> snapshot_model_rngs(nn::Module& model) {
+    std::vector<RngState> states;
+    for (const MaskRngSite& site : collect_mask_rng_sites(model)) {
+        states.push_back(site.get());
+    }
+    return states;
+}
+
+void restore_model_rngs(nn::Module& model,
+                        const std::vector<RngState>& states) {
+    const std::vector<MaskRngSite> sites = collect_mask_rng_sites(model);
+    if (sites.size() != states.size()) {
+        throw std::runtime_error(
+            "checkpoint: dropout RNG state count mismatch (" +
+            std::to_string(states.size()) + " stored, " +
+            std::to_string(sites.size()) + " layers)");
+    }
+    for (std::size_t i = 0; i < sites.size(); ++i) {
+        sites[i].set(states[i]);
+    }
+}
+
+std::uint64_t model_structure_digest(nn::Module& model) {
+    std::uint64_t digest = mix_key(0, std::string_view("model-structure"));
+    for (const nn::Parameter* p : model.parameters()) {
+        digest = mix_key(digest, std::string_view(p->name));
+        digest = mix_key(digest,
+                         static_cast<std::uint64_t>(p->value.rank()));
+        for (std::size_t d = 0; d < p->value.rank(); ++d) {
+            digest = mix_key(digest,
+                             static_cast<std::uint64_t>(p->value.dim(d)));
+        }
+    }
+    for (const Tensor* buffer : model.buffers()) {
+        digest = mix_key(digest, static_cast<std::uint64_t>(buffer->rank()));
+        for (std::size_t d = 0; d < buffer->rank(); ++d) {
+            digest = mix_key(digest,
+                             static_cast<std::uint64_t>(buffer->dim(d)));
+        }
+    }
+    return mix_key(digest, static_cast<std::uint64_t>(
+                               collect_mask_rng_sites(model).size()));
+}
+
+void restore_model(nn::Module& model,
+                   const std::vector<std::uint32_t>& bits) {
+    std::size_t cursor = 0;
+    auto copy_into = [&](float* data, std::size_t count) {
+        if (cursor + count > bits.size()) {
+            throw std::runtime_error(
+                "checkpoint: model payload shorter than the live model");
+        }
+        for (std::size_t i = 0; i < count; ++i) {
+            std::memcpy(&data[i], &bits[cursor + i], sizeof(float));
+        }
+        cursor += count;
+    };
+    for (nn::Parameter* p : model.parameters()) {
+        copy_into(p->value.data(), p->value.size());
+    }
+    for (Tensor* buffer : model.buffers()) {
+        copy_into(buffer->data(), buffer->size());
+    }
+    if (cursor != bits.size()) {
+        throw std::runtime_error(
+            "checkpoint: model payload longer than the live model");
+    }
+}
+
+}  // namespace bayesft::core

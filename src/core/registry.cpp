@@ -4,6 +4,7 @@
 #include <cmath>
 #include <memory>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "bayesopt/bayesopt.hpp"
@@ -48,6 +49,33 @@ std::size_t scaled(std::size_t full, bool quick) {
     return quick ? full / 4 : full;
 }
 
+/// Zips a BO trial history with its search-produced decoded-point strings
+/// into run-store TrialRecords (the searches describe their own points via
+/// ParamSpace::describe, so every store consumer formats them one way).
+std::vector<TrialRecord> to_trial_records(
+    const std::vector<bayesopt::Trial>& trials,
+    const std::vector<std::string>& points) {
+    std::vector<TrialRecord> records;
+    records.reserve(trials.size());
+    for (std::size_t i = 0; i < trials.size(); ++i) {
+        records.push_back(
+            {i, i < points.size() ? points[i] : std::string(),
+             trials[i].y});
+    }
+    return records;
+}
+
+/// The archsearch variant: describe the typed trial points on the fly.
+std::vector<TrialRecord> arch_trial_records(
+    const models::ArchFamily& family, const ArchSearchResult& search) {
+    std::vector<std::string> points;
+    points.reserve(search.trial_points.size());
+    for (const ParamPoint& point : search.trial_points) {
+        points.push_back(family.space.describe(point));
+    }
+    return to_trial_records(search.trials, points);
+}
+
 /// The Fig. 3 defaults the benches share (bench_common's
 /// default_experiment_config, parameterized on quick mode), with the
 /// engine knobs wired from RunOptions.
@@ -70,6 +98,8 @@ ExperimentConfig default_config(const RunOptions& options) {
     config.bayesft.max_dropout_rate = 0.5;
     config.bayesft.batch = std::max<std::size_t>(1, options.batch);
     config.bayesft.eval_threads = options.threads;
+    config.bayesft.checkpoint.path = options.checkpoint;
+    config.bayesft.checkpoint.stop_after = options.stop_after;
 
     config.reram_v.adapt_epochs = 2;
     config.reram_v.device_sigma = 0.3;
@@ -89,6 +119,10 @@ RegistryResult from_experiment(const std::string& name,
         result.curves.push_back({curve.method, curve.accuracy});
     }
     result.bayesft_alpha = experiment.bayesft_alpha;
+    result.trials = to_trial_records(experiment.bayesft_trials,
+                                     experiment.bayesft_trial_points);
+    result.resumed_trials = experiment.bayesft_resumed;
+    result.search_completed = experiment.bayesft_completed;
     return result;
 }
 
@@ -621,12 +655,22 @@ RegistryResult run_fault_search(const std::string& name,
     config.max_dropout_rate = 0.5;
     config.batch = std::max<std::size_t>(1, options.batch);
     config.eval_threads = options.threads;
+    config.checkpoint.path = options.checkpoint;
+    config.checkpoint.stop_after = options.stop_after;
     const BayesFTResult search =
         bayesft_search(bft, parts.train, parts.test, config, bft_rng);
 
     RegistryResult result;
     result.experiment = name;
     result.x_label = x_label;
+    result.trials = to_trial_records(search.trials, search.trial_points);
+    result.resumed_trials = search.resumed_trials;
+    result.search_completed = search.completed;
+    if (!search.completed) {
+        // Checkpointed out at stop_after: the trial log is the result.
+        result.seconds = watch.seconds();
+        return result;
+    }
     result.xs = std::move(levels);
     result.bayesft_alpha = search.best_alpha;
     NamedCurve erm_curve{"ERM", {}};
@@ -817,9 +861,22 @@ RegistryResult run_archsearch(
 
     search_config.batch = std::max<std::size_t>(1, options.batch);
     search_config.eval_threads = options.threads;
+    search_config.checkpoint.path = options.checkpoint;
+    search_config.checkpoint.stop_after = options.stop_after;
     Rng search_rng(seed_base + 1 + seed);
     const ArchSearchResult search = arch_search(
         family, parts.train, parts.test, search_config, search_rng);
+
+    if (!search.completed) {
+        RegistryResult partial;
+        partial.experiment = name;
+        partial.x_label = x_label;
+        partial.trials = arch_trial_records(family, search);
+        partial.resumed_trials = search.resumed_trials;
+        partial.search_completed = false;
+        partial.seconds = watch.seconds();
+        return partial;
+    }
 
     Rng baseline_rng(seed_base + 2 + seed);
     models::ModelHandle erm = baseline(baseline_rng);
@@ -837,6 +894,8 @@ RegistryResult run_archsearch(
     // The decoded point is the result of record; bayesft_alpha stays empty
     // (it means per-site dropout rates, not encoded mixed coordinates).
     result.annotation = family.space.describe(search.best_point);
+    result.trials = arch_trial_records(family, search);
+    result.resumed_trials = search.resumed_trials;
     const std::size_t mc_samples = options.quick ? 2 : 4;
     Rng eval_rng(seed_base + 3 + seed);
     result.curves.push_back(
@@ -1076,33 +1135,41 @@ ExperimentRegistry make_builtin_registry() {
     registry.add({"fig2d_activation", "fig2",
                   "activation-function ablation (MLP)", run_fig2d});
     registry.add({"fig3a_mlp_mnist", "fig3",
-                  "MLP on synthetic digits, all methods", run_fig3a});
+                  "MLP on synthetic digits, all methods", run_fig3a,
+                  /*checkpointable=*/true});
     registry.add({"fig3b_lenet_mnist", "fig3",
-                  "LeNet on synthetic digits, all methods", run_fig3b});
+                  "LeNet on synthetic digits, all methods", run_fig3b,
+                  /*checkpointable=*/true});
     registry.add({"fig3c_alexnet_cifar", "fig3",
-                  "AlexNet-S on synthetic objects, all methods", run_fig3c});
+                  "AlexNet-S on synthetic objects, all methods", run_fig3c,
+                  /*checkpointable=*/true});
     registry.add({"fig3d_resnet_cifar", "fig3",
-                  "ResNet18-S on synthetic objects, all methods", run_fig3d});
+                  "ResNet18-S on synthetic objects, all methods", run_fig3d,
+                  /*checkpointable=*/true});
     registry.add({"fig3e_vgg_cifar", "fig3",
-                  "VGG11-S on synthetic objects, all methods", run_fig3e});
+                  "VGG11-S on synthetic objects, all methods", run_fig3e,
+                  /*checkpointable=*/true});
     registry.add({"fig3f_preact18", "fig3",
                   "PreAct-S depth 1 block/stage, ERM vs BayesFT",
                   [](const RunOptions& options) {
                       return run_preact_depth("fig3f_preact18", 1, options);
-                  }});
+                  },
+                  /*checkpointable=*/true});
     registry.add({"fig3g_preact50", "fig3",
                   "PreAct-S depth 2 blocks/stage, ERM vs BayesFT",
                   [](const RunOptions& options) {
                       return run_preact_depth("fig3g_preact50", 2, options);
-                  }});
+                  },
+                  /*checkpointable=*/true});
     registry.add({"fig3h_preact152", "fig3",
                   "PreAct-S depth 4 blocks/stage, ERM vs BayesFT",
                   [](const RunOptions& options) {
                       return run_preact_depth("fig3h_preact152", 4, options);
-                  }});
+                  },
+                  /*checkpointable=*/true});
     registry.add({"fig3i_gtsrb", "fig3",
                   "STN-lite on synthetic traffic signs (43 classes)",
-                  run_fig3i});
+                  run_fig3i, /*checkpointable=*/true});
     registry.add({"fig3j_detection", "fig3",
                   "grid detector mAP vs drift (synthetic pedestrians)",
                   run_fig3j});
@@ -1166,7 +1233,8 @@ ExperimentRegistry make_builtin_registry() {
                                   level, 0.25);
                           },
                           options);
-                  }});
+                  },
+                  /*checkpointable=*/true});
     registry.add({"faults_fig3a_bitflip", "faults",
                   "ERM vs BayesFT searched under SEU bit flips",
                   [](const RunOptions& options) {
@@ -1178,7 +1246,8 @@ ExperimentRegistry make_builtin_registry() {
                                   level, 8);
                           },
                           options);
-                  }});
+                  },
+                  /*checkpointable=*/true});
     registry.add({"faults_fig3j_variation", "faults",
                   "grid detector mAP vs device variation",
                   run_fault_detection});
@@ -1187,13 +1256,13 @@ ExperimentRegistry make_builtin_registry() {
                   run_composed_deploy});
     registry.add({"archsearch_fig2_mlp", "archsearch",
                   "joint norm/activation/depth/dropout MLP search vs drift",
-                  run_archsearch_mlp});
+                  run_archsearch_mlp, /*checkpointable=*/true});
     registry.add({"archsearch_preact_stuckat", "archsearch",
                   "PreAct depth/norm/dropout search under stuck-at faults",
-                  run_archsearch_preact});
+                  run_archsearch_preact, /*checkpointable=*/true});
     registry.add({"archsearch_stn_drift", "archsearch",
                   "STN head-width/pool/dropout search under drift",
-                  run_archsearch_stn});
+                  run_archsearch_stn, /*checkpointable=*/true});
     registry.add({"ablation_bo_vs_random", "ablation",
                   "GP-guided vs random alpha search, same budget",
                   run_bo_vs_random});
@@ -1201,7 +1270,8 @@ ExperimentRegistry make_builtin_registry() {
                   "MC utility-estimate noise vs sample count T",
                   run_mc_samples});
     registry.add({"toy_mlp_blobs", "toy",
-                  "CI-sized blobs task, ERM vs BayesFT", run_toy});
+                  "CI-sized blobs task, ERM vs BayesFT", run_toy,
+                  /*checkpointable=*/true});
     return registry;
 }
 

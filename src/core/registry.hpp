@@ -31,12 +31,27 @@ struct RunOptions {
     std::size_t threads = 0;
     /// Overrides the scenario's base seed when non-zero.
     std::uint64_t seed = 0;
+    /// Checkpoint file path handed to the scenario's search driver
+    /// (docs/checkpointing.md).  Only scenarios that run a BO search
+    /// honour it; empty disables checkpointing.
+    std::string checkpoint;
+    /// Stop the search — checkpoint on disk — after this many newly
+    /// observed trials (0 = run to completion).  Requires `checkpoint`.
+    std::size_t stop_after = 0;
 };
 
 /// One labeled series of an experiment (method or model variant).
 struct NamedCurve {
     std::string label;
     std::vector<double> values;  ///< aligned with RegistryResult::xs
+};
+
+/// One observed search trial, in decoded human-readable form — the unit
+/// the JSONL run store persists (core/runstore.hpp).
+struct TrialRecord {
+    std::size_t index = 0;   ///< global trial index within the search
+    std::string point;       ///< e.g. "alpha0=0.125 alpha1=0.3"
+    double objective = 0.0;
 };
 
 /// Normalized result shape every registered experiment produces.
@@ -49,6 +64,16 @@ struct RegistryResult {
     /// Free-form result note, e.g. the decoded best architecture point of
     /// an archsearch scenario ("norm=batch activation=gelu ...").
     std::string annotation;
+    /// Full BO trial history of the scenario's search (empty when the
+    /// scenario runs no search).  Feeds the run store.
+    std::vector<TrialRecord> trials;
+    /// Leading trials restored from a checkpoint: a prior invocation
+    /// already persisted them, so the run store appends only the rest.
+    std::size_t resumed_trials = 0;
+    /// False when the search halted at RunOptions::stop_after; the
+    /// searched method's curves are then absent (re-run with the same
+    /// checkpoint path to resume and finish the figure).
+    bool search_completed = true;
     double seconds = 0.0;               ///< wall clock of the run
 
     /// Rows = xs, columns = curves.  `scale` multiplies values (100 for
@@ -63,6 +88,11 @@ struct ExperimentSpec {
     std::string family;
     std::string description;  ///< one line for --list
     std::function<RegistryResult(const RunOptions&)> run;
+    /// True when the scenario wires RunOptions::checkpoint/stop_after into
+    /// its search driver; the CLI rejects --checkpoint for scenarios that
+    /// would silently ignore it (pure sweeps, the hand-rolled fig3j
+    /// detection loop, the multi-search ablation).
+    bool checkpointable = false;
 };
 
 /// Name -> scenario lookup over all built-in experiments.

@@ -27,6 +27,11 @@ public:
     /// Sets the drop probability; throws std::invalid_argument outside [0,1).
     void set_rate(double rate);
 
+    /// Mask-generator state, persisted by search checkpoints so a resumed
+    /// run replays the exact mask stream an uninterrupted run would draw.
+    RngState mask_rng_state() const { return rng_.state(); }
+    void set_mask_rng_state(const RngState& state) { rng_.set_state(state); }
+
 private:
     double rate_;
     Rng rng_;
@@ -48,6 +53,10 @@ public:
 
     double rate() const { return rate_; }
     void set_rate(double rate);
+
+    /// Mask-generator state (see Dropout::mask_rng_state).
+    RngState mask_rng_state() const { return rng_.state(); }
+    void set_mask_rng_state(const RngState& state) { rng_.set_state(state); }
 
 private:
     double rate_;

@@ -1,6 +1,7 @@
 #include "utils/rng.hpp"
 
 #include <cmath>
+#include <cstring>
 #include <numbers>
 #include <stdexcept>
 
@@ -107,6 +108,20 @@ std::vector<std::size_t> Rng::permutation(std::size_t n) {
 
 Rng Rng::split() {
     return Rng((*this)());
+}
+
+RngState Rng::state() const {
+    RngState s;
+    s.lanes = state_;
+    std::memcpy(&s.cached_normal_bits, &cached_normal_, sizeof(double));
+    s.has_cached_normal = has_cached_normal_;
+    return s;
+}
+
+void Rng::set_state(const RngState& state) {
+    state_ = state.lanes;
+    std::memcpy(&cached_normal_, &state.cached_normal_bits, sizeof(double));
+    has_cached_normal_ = state.has_cached_normal;
 }
 
 Rng Rng::fork(std::uint64_t stream) const {

@@ -12,6 +12,19 @@
 
 namespace bayesft {
 
+/// Complete serializable state of an Rng: the four xoshiro lanes plus the
+/// Box-Muller cache (the second normal variate held between normal() calls).
+/// The cached variate is stored as its IEEE-754 bit pattern so a
+/// save/restore round trip is bit-exact — the checkpoint/resume determinism
+/// contract (docs/checkpointing.md) depends on it.
+struct RngState {
+    std::array<std::uint64_t, 4> lanes{};
+    std::uint64_t cached_normal_bits = 0;
+    bool has_cached_normal = false;
+
+    bool operator==(const RngState& other) const = default;
+};
+
 /// xoshiro256** pseudo-random generator with convenience distributions.
 ///
 /// Satisfies UniformRandomBitGenerator so it can also be handed to
@@ -64,6 +77,11 @@ public:
     /// parallel loop can hand stream t to Monte-Carlo sample t and get
     /// bit-identical draws for any thread count or evaluation order.
     Rng fork(std::uint64_t stream) const;
+
+    /// Full generator state for checkpointing; set_state restores it so the
+    /// continued stream is bit-identical to one that was never saved.
+    RngState state() const;
+    void set_state(const RngState& state);
 
 private:
     std::array<std::uint64_t, 4> state_{};

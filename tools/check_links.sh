@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# docs-check: fail on dead relative links in README.md and docs/*.md.
+# docs-check: fail on dead relative links in README.md, docs/*.md, and the
+# generated docs/results/*.md tree (when a `report` run has produced it).
 # Plain grep/sed only — no external dependencies.  A link is checked when
 # it is a markdown inline link [text](target) whose target is neither an
 # absolute URL (scheme:) nor a pure in-page anchor (#...); anchors on
@@ -8,7 +9,7 @@ set -u
 cd "$(dirname "$0")/.."
 
 fail=0
-for file in README.md docs/*.md; do
+for file in README.md docs/*.md docs/results/*.md; do
     [ -f "$file" ] || continue
     dir=$(dirname "$file")
     # Extract every ](...) target, one per line.
@@ -34,4 +35,4 @@ if [ "$fail" -ne 0 ]; then
     echo "docs-check: FAILED"
     exit 1
 fi
-echo "docs-check: all relative links in README.md and docs/ resolve"
+echo "docs-check: all relative links in README.md, docs/, and docs/results/ resolve"
