@@ -55,7 +55,16 @@ void print_usage() {
         "  --stop-after <n>  halt the search after n new trials (checkpoint\n"
         "                    stays on disk; resume by re-running)\n"
         "  --runs-dir <dir>  run-store directory (default: runs)\n"
-        "  --no-store        skip appending to the JSONL run store\n";
+        "  --no-store        skip appending to the JSONL run store\n"
+        "  --isolate         fork each self-contained candidate evaluation\n"
+        "                    into a crash-isolated child (archsearch\n"
+        "                    scenarios; docs/robustness.md)\n"
+        "  --trial-timeout <sec>  per-trial wall-clock deadline; isolated\n"
+        "                    children are SIGKILLed past it (0 = none)\n"
+        "  --max-retries <n> re-attempts before a failing trial is\n"
+        "                    quarantined (default 2)\n"
+        "  --fail-policy <p> how quarantined trials reach the GP:\n"
+        "                    penalize (default) | exclude\n";
 }
 
 struct JsonRecord {
@@ -153,6 +162,7 @@ void append_to_store(const std::string& runs_dir,
         row.trial = trial.index;
         row.point = trial.point;
         row.objective = trial.objective;
+        row.status = trial.status;
         rows.push_back(std::move(row));
     }
     if (result.search_completed && !stored_summary) {
@@ -209,6 +219,22 @@ int main(int argc, char** argv) {
         }
         return argv[++i];
     };
+    auto need_real = [&](int& i, const char* flag) -> double {
+        const std::string value = need_value(i, flag);
+        try {
+            std::size_t used = 0;
+            const double parsed = std::stod(value, &used);
+            if (used != value.size() || !(parsed >= 0.0)) {
+                throw std::invalid_argument(value);
+            }
+            return parsed;
+        } catch (const std::exception&) {
+            std::cerr << "experiments: " << flag
+                      << " needs a non-negative number, got '" << value
+                      << "'\n";
+            std::exit(2);
+        }
+    };
     auto need_number = [&](int& i, const char* flag) -> std::uint64_t {
         const std::string value = need_value(i, flag);
         // Digits only: stoull would silently wrap "-1" to 2^64 - 1.
@@ -260,6 +286,21 @@ int main(int argc, char** argv) {
             runs_dir = need_value(i, "--runs-dir");
         } else if (arg == "--no-store") {
             store_runs = false;
+        } else if (arg == "--isolate") {
+            options.isolate = true;
+        } else if (arg == "--trial-timeout") {
+            options.trial_timeout = need_real(i, "--trial-timeout");
+        } else if (arg == "--max-retries") {
+            options.max_retries = need_number(i, "--max-retries");
+        } else if (arg == "--fail-policy") {
+            options.fail_policy = need_value(i, "--fail-policy");
+            if (options.fail_policy != "penalize" &&
+                options.fail_policy != "exclude") {
+                std::cerr << "experiments: --fail-policy needs 'penalize' "
+                             "or 'exclude', got '" << options.fail_policy
+                          << "'\n";
+                return 2;
+            }
         } else if (arg == "--help" || arg == "-h") {
             print_usage();
             return 0;

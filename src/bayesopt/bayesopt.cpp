@@ -7,6 +7,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "utils/logging.hpp"
+
 namespace bayesft::bayesopt {
 
 BoxBounds BoxBounds::uniform(std::size_t dims, double lo, double hi) {
@@ -94,8 +96,11 @@ Point BayesOpt::suggest() { return propose({}, trials_.size()); }
 Point BayesOpt::propose(const std::vector<Point>& pending,
                         std::size_t real_trial_count) {
     // `real_trial_count` excludes constant-liar fantasies, so a batch in
-    // the initial phase keeps drawing from the space-filling design.
-    if (real_trial_count < config_.initial_random_trials || !gp_.fitted()) {
+    // the initial phase keeps drawing from the space-filling design.  A
+    // degraded surrogate (refit failed on the current history) proposes
+    // from the random feasible pool until a refit succeeds again.
+    if (real_trial_count < config_.initial_random_trials || !gp_.fitted() ||
+        gp_degraded_) {
         if (initial_used_ < initial_plan_.size()) {
             return initial_plan_[initial_used_++];
         }
@@ -218,20 +223,26 @@ Point BayesOpt::maximize_acquisition(const std::vector<Point>& pending) {
     return best_far_point != nullptr ? *best_far_point : *best_point;
 }
 
-void BayesOpt::observe(Point x, double y) {
+void BayesOpt::observe(Point x, double y, TrialStatus status) {
     if (x.size() != bounds_.dims()) {
         throw std::invalid_argument("BayesOpt::observe: dimension mismatch");
     }
-    if (!std::isfinite(y)) {
-        throw std::invalid_argument("BayesOpt::observe: non-finite objective");
+    // A non-finite objective is a diverged trial, never an abort: the
+    // point is quarantined at the finite fail penalty (so checkpoints and
+    // run-store lines stay parseable) with its failure class recorded.
+    if (!std::isfinite(y) && status == TrialStatus::kOk) {
+        status = TrialStatus::kFailedNaN;
     }
-    trials_.push_back(Trial{std::move(x), y});
+    if (status != TrialStatus::kOk) y = config_.fail_penalty;
+    trials_.push_back(Trial{std::move(x), y, status});
     refit_gp();
 }
 
 void BayesOpt::observe_batch(const std::vector<Point>& xs,
-                             const std::vector<double>& ys) {
-    if (xs.empty() || xs.size() != ys.size()) {
+                             const std::vector<double>& ys,
+                             const std::vector<TrialStatus>& statuses) {
+    if (xs.empty() || xs.size() != ys.size() ||
+        (!statuses.empty() && statuses.size() != xs.size())) {
         throw std::invalid_argument("BayesOpt::observe_batch: bad sizes");
     }
     for (std::size_t i = 0; i < xs.size(); ++i) {
@@ -239,33 +250,38 @@ void BayesOpt::observe_batch(const std::vector<Point>& xs,
             throw std::invalid_argument(
                 "BayesOpt::observe_batch: dimension mismatch");
         }
-        if (!std::isfinite(ys[i])) {
-            throw std::invalid_argument(
-                "BayesOpt::observe_batch: non-finite objective");
-        }
     }
     for (std::size_t i = 0; i < xs.size(); ++i) {
-        trials_.push_back(Trial{xs[i], ys[i]});
+        TrialStatus status =
+            statuses.empty() ? TrialStatus::kOk : statuses[i];
+        double y = ys[i];
+        if (!std::isfinite(y) && status == TrialStatus::kOk) {
+            status = TrialStatus::kFailedNaN;
+        }
+        if (status != TrialStatus::kOk) y = config_.fail_penalty;
+        trials_.push_back(Trial{xs[i], y, status});
     }
     refit_gp();
 }
 
 void BayesOpt::refit_gp() {
-    if (trials_.empty()) {
-        gp_ = GaussianProcess(kernel_, config_.noise_variance);
-        return;
-    }
     // Merge (near-)duplicate trial points into one GP row each, averaging
     // their objective values, so repeated proposals cannot make the Gram
     // matrix singular.  Approximation: the merged row keeps the
     // single-observation noise variance (posterior uncertainty does not
     // shrink with the repeat count as exact 1/k-noise weighting would).
+    // Failed trials reach the fit only under kPenalize (at their stored
+    // penalty value); kExclude keeps the surrogate blind to them.
     std::vector<Point> xs;
     std::vector<double> ys;
     std::vector<double> counts;
     xs.reserve(trials_.size());
     ys.reserve(trials_.size());
     for (const Trial& t : trials_) {
+        if (t.status != TrialStatus::kOk &&
+            config_.fail_policy == FailPolicy::kExclude) {
+            continue;
+        }
         std::size_t match = xs.size();
         for (std::size_t i = 0; i < xs.size(); ++i) {
             if (normalized_distance(xs[i], t.x) <=
@@ -283,7 +299,24 @@ void BayesOpt::refit_gp() {
             ys[match] += (t.y - ys[match]) / counts[match];
         }
     }
-    gp_.fit(std::move(xs), std::move(ys));
+    if (xs.empty()) {
+        gp_ = GaussianProcess(kernel_, config_.noise_variance);
+        gp_degraded_ = false;
+        return;
+    }
+    try {
+        gp_.fit(std::move(xs), std::move(ys));
+        gp_degraded_ = false;
+    } catch (const std::exception& error) {
+        // Ill-conditioned even after the Cholesky jitter retries: keep the
+        // last-good posterior (fit is strongly exception-safe) and let
+        // propose() fall back to the random pool until a refit succeeds —
+        // one bad refit must not kill a multi-hour search.
+        gp_degraded_ = true;
+        log_warn() << "BayesOpt: GP refit failed (" << error.what()
+                   << "); keeping the last-good fit and proposing from the "
+                      "random pool";
+    }
 }
 
 BayesOptState BayesOpt::export_state() const {
@@ -321,10 +354,19 @@ void BayesOpt::import_state(const BayesOptState& state) {
 
 std::optional<Trial> BayesOpt::best() const {
     if (trials_.empty()) return std::nullopt;
-    const auto it = std::max_element(
-        trials_.begin(), trials_.end(),
-        [](const Trial& a, const Trial& b) { return a.y < b.y; });
-    return *it;
+    // Prefer successful trials; only a fully quarantined history falls
+    // back to the failed ones, so callers can always install *a* point.
+    const Trial* best = nullptr;
+    for (const Trial& t : trials_) {
+        if (t.status != TrialStatus::kOk) continue;
+        if (best == nullptr || t.y > best->y) best = &t;
+    }
+    if (best == nullptr) {
+        for (const Trial& t : trials_) {
+            if (best == nullptr || t.y > best->y) best = &t;
+        }
+    }
+    return *best;
 }
 
 }  // namespace bayesft::bayesopt

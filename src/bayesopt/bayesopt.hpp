@@ -12,6 +12,7 @@
 
 #include "bayesopt/acquisition.hpp"
 #include "bayesopt/gp.hpp"
+#include "core/trial.hpp"
 #include "utils/rng.hpp"
 
 namespace bayesft::bayesopt {
@@ -34,10 +35,14 @@ struct BoxBounds {
     Point sample(Rng& rng) const;
 };
 
-/// One completed trial.
+/// One completed trial.  A failed trial (status != kOk) is quarantined:
+/// its stored y is the configured fail penalty (always finite, so
+/// checkpoints and run-store lines stay parseable), and FailPolicy decides
+/// whether it reaches the GP surrogate at all.
 struct Trial {
     Point x;
     double y = 0.0;
+    TrialStatus status = TrialStatus::kOk;
 };
 
 /// Feasibility projection for mixed (continuous + integer + categorical)
@@ -75,6 +80,14 @@ struct BayesOptConfig {
     /// span-normalized distance (diversity guard on top of the
     /// constant-liar fantasies).
     double batch_separation_fraction = 0.02;
+    /// How quarantined (failed) trials reach the GP (docs/robustness.md).
+    FailPolicy fail_policy = FailPolicy::kPenalize;
+    /// Objective value a failed trial contributes under kPenalize (and the
+    /// finite y stored in its Trial under either policy).  The default 0
+    /// matches the floor of the accuracy-style utilities this repo
+    /// maximizes; tune it below the plausible objective range for other
+    /// objectives.
+    double fail_penalty = 0.0;
 };
 
 /// The Cholesky-free canonical state of a BayesOpt instance: the real trial
@@ -114,15 +127,32 @@ public:
     std::vector<Point> suggest_batch(std::size_t q);
 
     /// Records an observed objective value for `x` and refits the GP.
-    void observe(Point x, double y);
+    ///
+    /// Never throws on a bad observation: a non-finite `y` (or an explicit
+    /// status != kOk) quarantines the trial — it is stored at the
+    /// configured fail penalty with its failure status, and
+    /// BayesOptConfig::fail_policy decides whether the GP sees it — so one
+    /// diverging candidate can no longer abort a whole search.
+    void observe(Point x, double y, TrialStatus status = TrialStatus::kOk);
 
     /// Records a batch of observations with a single GP refit.  Equivalent
-    /// to observing each pair in order.
+    /// to observing each tuple in order.  `statuses` may be empty (all
+    /// kOk) or aligned with `xs`.
     void observe_batch(const std::vector<Point>& xs,
-                       const std::vector<double>& ys);
+                       const std::vector<double>& ys,
+                       const std::vector<TrialStatus>& statuses = {});
 
-    /// Incumbent (best observed) trial; nullopt before any observation.
+    /// Incumbent (best observed) trial, preferring successful trials: a
+    /// failed trial can only be returned when every trial failed (so
+    /// callers always get a point, even from a fully quarantined run).
+    /// nullopt before any observation.
     std::optional<Trial> best() const;
+
+    /// True while the surrogate could not be refit on the current history
+    /// (ill-conditioned Gram even after Cholesky jitter retries): the
+    /// last-good posterior is retained for queries, and proposals fall
+    /// back to random feasible pool samples until a refit succeeds.
+    bool surrogate_degraded() const { return gp_degraded_; }
 
     const std::vector<Trial>& trials() const { return trials_; }
     const GaussianProcess& surrogate() const { return gp_; }
@@ -148,7 +178,10 @@ private:
     Point propose(const std::vector<Point>& pending,
                   std::size_t real_trial_count);
     /// Refits the GP on the trial history with near-duplicate points merged
-    /// (objective values averaged); resets the GP when there are no trials.
+    /// (objective values averaged) and failed trials fed per the fail
+    /// policy; resets the GP when no trials qualify.  A fit failure is
+    /// absorbed (last-good posterior retained, surrogate_degraded() set)
+    /// instead of propagating out of the observe path.
     void refit_gp();
 
     /// Applies the feasibility projection (no-op when none was given).
@@ -164,6 +197,7 @@ private:
     Rng rng_;
     Projection projection_;
     GaussianProcess gp_;
+    bool gp_degraded_ = false;
     std::vector<Trial> trials_;
     std::vector<Point> initial_plan_;  // Latin hypercube initial design
     std::size_t initial_used_ = 0;

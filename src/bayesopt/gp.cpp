@@ -26,22 +26,29 @@ void GaussianProcess::fit(std::vector<Point> xs, std::vector<double> ys) {
                 "GaussianProcess::fit: inconsistent dimensions");
         }
     }
+    // Factorize into locals and commit members only after every throwing
+    // step succeeded: a failed fit (ill-conditioned Gram) must leave the
+    // previous posterior fully intact, so callers can degrade gracefully
+    // by keeping the last-good fit (docs/robustness.md).
+    double y_mean = 0.0;
+    for (double y : ys) y_mean += y;
+    y_mean /= static_cast<double>(ys.size());
+
+    linalg::Matrix k = kernel_->gram(xs);
+    k.add_diagonal(noise_variance_);
+    linalg::Matrix chol = linalg::cholesky_with_jitter(std::move(k));
+
+    linalg::Vector centered(ys.size());
+    for (std::size_t i = 0; i < ys.size(); ++i) {
+        centered[i] = ys[i] - y_mean;
+    }
+    linalg::Vector alpha = linalg::cholesky_solve(chol, centered);
+
     xs_ = std::move(xs);
     ys_ = std::move(ys);
-
-    y_mean_ = 0.0;
-    for (double y : ys_) y_mean_ += y;
-    y_mean_ /= static_cast<double>(ys_.size());
-
-    linalg::Matrix k = kernel_->gram(xs_);
-    k.add_diagonal(noise_variance_);
-    chol_ = linalg::cholesky_with_jitter(std::move(k));
-
-    linalg::Vector centered(ys_.size());
-    for (std::size_t i = 0; i < ys_.size(); ++i) {
-        centered[i] = ys_[i] - y_mean_;
-    }
-    alpha_ = linalg::cholesky_solve(chol_, centered);
+    y_mean_ = y_mean;
+    chol_ = std::move(chol);
+    alpha_ = std::move(alpha);
 }
 
 Posterior GaussianProcess::posterior(const Point& x) const {

@@ -53,7 +53,10 @@ ArchSearchResult arch_search(const models::ArchFamily& family,
         bayesopt::make_acquisition(config.acquisition), config.bo,
         rng.split(), space.projection());
 
-    EvaluationEngine engine(EngineConfig{config.eval_threads, /*cache=*/true});
+    EngineConfig engine_config;
+    engine_config.threads = config.eval_threads;
+    engine_config.resilience = config.resilience;
+    EvaluationEngine engine(engine_config);
     // The context digests everything a candidate's utility depends on
     // besides its point: objective, space structure, training budget, and a
     // per-run nonce so two searches differing only in seed draw distinct
@@ -128,7 +131,7 @@ ArchSearchResult arch_search(const models::ArchFamily& family,
         const std::vector<bayesopt::Point> encoded = bo.suggest_batch(group);
         const BatchOutcome outcome =
             engine.evaluate_points(encoded, evaluator, context);
-        bo.observe_batch(encoded, outcome.utilities);
+        bo.observe_batch(encoded, outcome.utilities, outcome.statuses);
         for (std::size_t j = 0; j < group; ++j) {
             log_debug() << "arch_search trial " << (done + j) << " ["
                         << space.describe(space.decode(encoded[j])) << "] "

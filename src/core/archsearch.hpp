@@ -50,6 +50,11 @@ struct ArchSearchConfig {
     std::size_t batch = 1;
     /// Concurrency of the candidate evaluations (0 = pool width).
     std::size_t eval_threads = 0;
+    /// Fault-tolerant trial execution (docs/robustness.md).  Candidates
+    /// are self-contained, so `isolate` forks each live evaluation into a
+    /// crash-isolated child here; results are bit-identical with and
+    /// without it (the knobs are excluded from the scenario digest).
+    ResilienceConfig resilience;
     /// Extra fine-tuning epochs on the rebuilt winner.
     std::size_t final_epochs = 2;
     /// Checkpoint/resume controls (docs/checkpointing.md).  Candidates are

@@ -144,8 +144,14 @@ BayesFTResult run_search(
         }
     }
 
-    EvaluationEngine engine(
-        EngineConfig{config.eval_threads, /*cache=*/true});
+    EngineConfig engine_config;
+    engine_config.threads = config.eval_threads;
+    engine_config.resilience = config.resilience;
+    // Crash isolation never applies here (evolving theta cannot cross the
+    // child pipe); the in-process guards — timeout classification, retries
+    // with state rollback, quarantine — carry the fault tolerance.
+    engine_config.resilience.isolate = false;
+    EvaluationEngine engine(engine_config);
     // Alg. 1 lines 5-9 for one candidate: continue training theta under the
     // candidate dropout configuration, then score the Monte-Carlo
     // fault-marginalized utility (Eq. 4) on held-out data — under whatever
@@ -191,7 +197,7 @@ BayesFTResult run_search(
         }
         const BatchOutcome outcome = engine.evaluate_batch(
             model, alphas, evaluator, rng, context, /*adopt_winner=*/true);
-        bo.observe_batch(alphas, outcome.utilities);
+        bo.observe_batch(alphas, outcome.utilities, outcome.statuses);
         for (std::size_t j = 0; j < group; ++j) {
             log_debug() << "BayesFT iter " << (done + j) << " utility "
                         << outcome.utilities[j];

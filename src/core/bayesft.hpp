@@ -57,6 +57,13 @@ struct BayesFTConfig {
     /// Concurrency of the candidate-evaluation engine (0 = pool width).
     /// Batched results are bit-identical for every value.
     std::size_t eval_threads = 0;
+    /// Fault-tolerant trial execution (docs/robustness.md): per-trial
+    /// timeout, bounded retries, quarantine.  Like eval_threads, none of
+    /// these knobs changes a successful run's results — they are excluded
+    /// from the scenario digest.  The evolving-theta loop has no crash
+    /// isolation (weights cannot cross the child pipe): `isolate` only
+    /// applies to self-contained searches (arch_search).
+    ResilienceConfig resilience;
     /// Checkpoint/resume controls (docs/checkpointing.md).  When enabled,
     /// a snapshot of the BO state, the loop RNG, and the model weights is
     /// written after every observed candidate group, and a run that finds

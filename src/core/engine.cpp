@@ -1,10 +1,26 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstring>
+#include <deque>
+#include <limits>
 #include <stdexcept>
+#include <thread>
 
+#include "core/persist.hpp"
+#include "core/runstore.hpp"
+#include "utils/logging.hpp"
 #include "utils/parallel.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#define BAYESFT_HAS_FORK 1
+#endif
 
 namespace bayesft::core {
 
@@ -21,6 +37,116 @@ std::uint64_t fnv1a_bytes(std::uint64_t seed, const unsigned char* bytes,
         h *= kFnvPrime;
     }
     return h;
+}
+
+// --- fault-tolerant trial execution (docs/robustness.md) -------------------
+
+/// Consecutive child-spawn failures before the watchdog disables isolation.
+constexpr std::size_t kSpawnFailureLimit = 3;
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+double elapsed_seconds(std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+}
+
+/// Deterministic retry backoff: a pure function of the candidate seed and
+/// the attempt index (never wall-clock randomness — the delay must not
+/// become a covert source of nondeterminism in the trial log).  Linear in
+/// the attempt number with a +-50% seed-derived jitter so retry storms
+/// across a batch decorrelate.
+std::chrono::microseconds backoff_duration(const ResilienceConfig& resilience,
+                                           std::uint64_t candidate_seed,
+                                           std::uint64_t attempt) {
+    const std::uint64_t h =
+        mix_key(mix_key(candidate_seed, std::string_view("retry-backoff")),
+                attempt);
+    const double unit = static_cast<double>(h >> 11) * 0x1.0p-53;
+    const double seconds = resilience.backoff_seconds *
+                           static_cast<double>(attempt + 1) * (0.5 + unit);
+    return std::chrono::microseconds(
+        static_cast<std::chrono::microseconds::rep>(seconds * 1e6));
+}
+
+void backoff_sleep(const ResilienceConfig& resilience,
+                   std::uint64_t candidate_seed, std::uint64_t attempt) {
+    const auto delay = backoff_duration(resilience, candidate_seed, attempt);
+    if (delay.count() > 0) std::this_thread::sleep_for(delay);
+}
+
+struct AttemptResult {
+    double utility = kNaN;
+    TrialStatus status = TrialStatus::kOk;
+};
+
+/// One guarded in-process evaluation attempt: applies the (seeded, pure)
+/// chaos decision, absorbs evaluator exceptions, classifies non-finite
+/// results, and applies the post-hoc wall-clock deadline.  In-process the
+/// deadline cannot preempt a stuck evaluator — that needs --isolate, where
+/// the child is SIGKILLed; here an injected hang sleeps just past the
+/// deadline and is then classified, which is what the timeout tests
+/// exercise without a fork.
+template <typename RunEval>
+AttemptResult guarded_attempt(const fault::ChaosSpec& chaos,
+                              const ResilienceConfig& resilience,
+                              std::uint64_t candidate_seed,
+                              std::uint64_t attempt, RunEval&& run) {
+    const fault::ChaosAction action =
+        fault::chaos_decide(chaos, candidate_seed, attempt);
+    if (action == fault::ChaosAction::kCrash) {
+        return {kNaN, TrialStatus::kFailedCrash};
+    }
+    if (action == fault::ChaosAction::kHang &&
+        resilience.timeout_seconds > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            resilience.timeout_seconds * 1.1));
+        return {kNaN, TrialStatus::kFailedTimeout};
+    }
+    // An injected hang with no deadline configured degenerates to a normal
+    // evaluation: blocking forever would turn a test knob into a deadlock.
+    const auto start = std::chrono::steady_clock::now();
+    double utility = kNaN;
+    try {
+        utility = run();
+    } catch (const std::exception&) {
+        return {kNaN, TrialStatus::kFailedCrash};
+    }
+    if (action == fault::ChaosAction::kNaN) utility = kNaN;
+    if (!std::isfinite(utility)) {
+        return {utility, TrialStatus::kFailedNaN};
+    }
+    if (resilience.timeout_seconds > 0.0 &&
+        elapsed_seconds(start) > resilience.timeout_seconds) {
+        return {kNaN, TrialStatus::kFailedTimeout};
+    }
+    return {utility, TrialStatus::kOk};
+}
+
+/// Bounded-retry wrapper around guarded_attempt, starting at
+/// `first_attempt` (> 0 when an isolated attempt already failed and the
+/// spawn watchdog handed the candidate back to in-process execution).
+/// Each retry rolls fresh chaos dice (the attempt index is folded into the
+/// decision) but replays the identical candidate stream, so a recovered
+/// trial is bit-identical to one that never failed.
+template <typename RunEval>
+AttemptResult evaluate_with_retries(const fault::ChaosSpec& chaos,
+                                    const ResilienceConfig& resilience,
+                                    std::uint64_t candidate_seed,
+                                    std::uint64_t first_attempt,
+                                    RunEval&& run) {
+    AttemptResult result;
+    for (std::uint64_t attempt = first_attempt;; ++attempt) {
+        result = guarded_attempt(chaos, resilience, candidate_seed, attempt,
+                                 run);
+        if (result.status == TrialStatus::kOk ||
+            attempt >= resilience.max_retries) {
+            break;
+        }
+        backoff_sleep(resilience, candidate_seed, attempt);
+    }
+    return result;
 }
 
 }  // namespace
@@ -88,6 +214,7 @@ BatchOutcome EvaluationEngine::evaluate_batch(
     }
     BatchOutcome outcome;
     outcome.utilities.assign(q, 0.0);
+    outcome.statuses.assign(q, TrialStatus::kOk);
 
     if (q == 1) {
         // Serial-identical path: in-place training on the caller's model
@@ -95,8 +222,43 @@ BatchOutcome EvaluationEngine::evaluate_batch(
         // training step the serial loop performs.  The evaluator may have
         // mutated the weights, so drop any memoized utilities (same
         // defensive invariant as the adoption path).
+        //
+        // Fault tolerance here needs a rollback: a failed attempt may have
+        // half-trained the shared model and advanced the caller's RNG, so
+        // the pre-attempt state (weights, dropout mask generators, caller
+        // generator) is snapshotted and restored before every retry — and
+        // after a final failure, so a quarantined candidate leaves theta
+        // and the RNG stream exactly as if it was never proposed.
         model.set_dropout_rates(alphas[0]);
-        outcome.utilities[0] = evaluator(model, alphas[0], rng);
+        const ResilienceConfig& resilience = config_.resilience;
+        const bool guard = model.net != nullptr &&
+                           (resilience.max_retries > 0 ||
+                            resilience.timeout_seconds > 0.0 ||
+                            config_.chaos.any());
+        std::vector<std::uint32_t> saved_bits;
+        std::vector<RngState> saved_rngs;
+        RngState saved_caller;
+        if (guard) {
+            saved_bits = snapshot_model(*model.net);
+            saved_rngs = snapshot_model_rngs(*model.net);
+            saved_caller = rng.state();
+        }
+        const std::uint64_t cseed = candidate_seed(context, alphas[0]);
+        AttemptResult result;
+        for (std::uint64_t attempt = 0;; ++attempt) {
+            result = guarded_attempt(
+                config_.chaos, resilience, cseed, attempt,
+                [&] { return evaluator(model, alphas[0], rng); });
+            if (result.status == TrialStatus::kOk) break;
+            if (!guard) break;  // no snapshot, nothing to roll back to
+            restore_model(*model.net, saved_bits);
+            restore_model_rngs(*model.net, saved_rngs);
+            rng.set_state(saved_caller);
+            if (attempt >= resilience.max_retries) break;
+            backoff_sleep(resilience, cseed, attempt);
+        }
+        outcome.utilities[0] = result.utility;
+        outcome.statuses[0] = result.status;
         cache_.clear();
         has_active_context_ = false;
         return outcome;
@@ -135,11 +297,26 @@ BatchOutcome EvaluationEngine::evaluate_batch(
 
     std::vector<models::ModelHandle> replicas(q);
     auto evaluate_candidate = [&](std::size_t j) {
-        models::ModelHandle replica = model.clone();
-        replica.set_dropout_rates(alphas[j]);
-        Rng candidate_rng(candidate_seed(context, alphas[j]));
-        outcome.utilities[j] = evaluator(replica, alphas[j], candidate_rng);
-        replicas[j] = std::move(replica);
+        const std::uint64_t cseed = candidate_seed(context, alphas[j]);
+        // Each attempt clones a fresh replica off the (unchanged) base
+        // model and replays the identical candidate stream, so a retried
+        // success is bit-identical to a first-try success.
+        models::ModelHandle trained;
+        const AttemptResult result = evaluate_with_retries(
+            config_.chaos, config_.resilience, cseed, 0, [&] {
+                models::ModelHandle replica = model.clone();
+                replica.set_dropout_rates(alphas[j]);
+                Rng candidate_rng(cseed);
+                const double utility =
+                    evaluator(replica, alphas[j], candidate_rng);
+                trained = std::move(replica);
+                return utility;
+            });
+        outcome.utilities[j] = result.utility;
+        outcome.statuses[j] = result.status;
+        if (result.status == TrialStatus::kOk) {
+            replicas[j] = std::move(trained);
+        }
     };
     if (!live.empty()) {
         std::size_t threads =
@@ -157,10 +334,14 @@ BatchOutcome EvaluationEngine::evaluate_batch(
     for (std::size_t j = 0; j < q; ++j) {
         if (owner[j] == j) continue;
         outcome.utilities[j] = outcome.utilities[owner[j]];
+        outcome.statuses[j] = outcome.statuses[owner[j]];
         ++outcome.cache_hits;  // duplicate proposals are free
     }
     if (config_.cache) {
+        // Failures are never memoized: a crash or an injected fault is a
+        // property of one attempt, not of the candidate point.
         for (const std::size_t j : live) {
+            if (outcome.statuses[j] != TrialStatus::kOk) continue;
             cache_.emplace(CacheKey{context.key, context.stamp, alphas[j]},
                            outcome.utilities[j]);
         }
@@ -168,26 +349,34 @@ BatchOutcome EvaluationEngine::evaluate_batch(
     total_hits_ += outcome.cache_hits;
 
     outcome.best_index = 0;
-    for (std::size_t j = 1; j < q; ++j) {
-        if (outcome.utilities[j] > outcome.utilities[outcome.best_index]) {
+    bool found_ok = false;
+    for (std::size_t j = 0; j < q; ++j) {
+        if (outcome.statuses[j] != TrialStatus::kOk) continue;
+        if (!found_ok ||
+            outcome.utilities[j] > outcome.utilities[outcome.best_index]) {
             outcome.best_index = j;
+            found_ok = true;
         }
     }
 
-    if (adopt_winner) {
+    if (adopt_winner && found_ok) {
         const std::size_t source = owner[outcome.best_index];
         if (!replicas[source].net && memoized[source]) {
             // Cross-call cache hit won without a live replica: re-run it to
             // materialize the trained weights (same stream => same result).
             evaluate_candidate(source);
         }
-        model.net = std::move(replicas[source].net);
-        model.dropout_sites = std::move(replicas[source].dropout_sites);
+        if (replicas[source].net) {
+            model.net = std::move(replicas[source].net);
+            model.dropout_sites = std::move(replicas[source].dropout_sites);
+        }
         // The weights just changed: cached utilities are stale regardless
         // of whether the caller remembers to bump context.stamp.
         cache_.clear();
         has_active_context_ = false;
     }
+    // A fully failed batch adopts nothing: the model is exactly the state
+    // before the batch, so the quarantined group leaves no trace in theta.
     (void)rng;  // q > 1 never advances the caller's generator
     return outcome;
 }
@@ -239,6 +428,7 @@ BatchOutcome EvaluationEngine::evaluate_points(
     }
     BatchOutcome outcome;
     outcome.utilities.assign(q, 0.0);
+    outcome.statuses.assign(q, TrialStatus::kOk);
 
     // Within-batch dedup + cross-call memo hits, exactly as evaluate_batch;
     // unlike the model path there is no q == 1 special case, because every
@@ -269,10 +459,24 @@ BatchOutcome EvaluationEngine::evaluate_points(
         live.push_back(j);
     }
 
-    if (!live.empty()) {
+    bool isolated = false;
+#ifdef BAYESFT_HAS_FORK
+    if (config_.resilience.isolate && !isolation_disabled_ &&
+        !live.empty()) {
+        evaluate_points_isolated(points, evaluator, context, live, outcome);
+        isolated = true;
+    }
+#endif
+    if (!isolated && !live.empty()) {
         auto evaluate_candidate = [&](std::size_t j) {
-            Rng rng(candidate_seed(context, points[j]));
-            outcome.utilities[j] = evaluator(points[j], rng);
+            const std::uint64_t cseed = candidate_seed(context, points[j]);
+            const AttemptResult result = evaluate_with_retries(
+                config_.chaos, config_.resilience, cseed, 0, [&] {
+                    Rng rng(cseed);
+                    return evaluator(points[j], rng);
+                });
+            outcome.utilities[j] = result.utility;
+            outcome.statuses[j] = result.status;
         };
         std::size_t threads =
             config_.threads == 0 ? parallel_thread_count() : config_.threads;
@@ -289,10 +493,13 @@ BatchOutcome EvaluationEngine::evaluate_points(
     for (std::size_t j = 0; j < q; ++j) {
         if (owner[j] == j) continue;
         outcome.utilities[j] = outcome.utilities[owner[j]];
+        outcome.statuses[j] = outcome.statuses[owner[j]];
         ++outcome.cache_hits;
     }
     if (config_.cache) {
+        // Failures are never memoized (see evaluate_batch).
         for (const std::size_t j : live) {
+            if (outcome.statuses[j] != TrialStatus::kOk) continue;
             cache_.emplace(CacheKey{context.key, context.stamp, points[j]},
                            outcome.utilities[j]);
         }
@@ -300,12 +507,266 @@ BatchOutcome EvaluationEngine::evaluate_points(
     total_hits_ += outcome.cache_hits;
 
     outcome.best_index = 0;
-    for (std::size_t j = 1; j < q; ++j) {
-        if (outcome.utilities[j] > outcome.utilities[outcome.best_index]) {
+    bool found_ok = false;
+    for (std::size_t j = 0; j < q; ++j) {
+        if (outcome.statuses[j] != TrialStatus::kOk) continue;
+        if (!found_ok ||
+            outcome.utilities[j] > outcome.utilities[outcome.best_index]) {
             outcome.best_index = j;
+            found_ok = true;
         }
     }
     return outcome;
 }
+
+#ifdef BAYESFT_HAS_FORK
+
+void EvaluationEngine::evaluate_points_isolated(
+    const std::vector<Alpha>& points, const PointEvaluator& evaluator,
+    const EvalContext& context, const std::vector<std::size_t>& live,
+    BatchOutcome& outcome) {
+    using Clock = std::chrono::steady_clock;
+    const ResilienceConfig& resilience = config_.resilience;
+    const fault::ChaosSpec& chaos = config_.chaos;
+
+    // One attempt of one candidate, scheduled not before a deterministic
+    // backoff delay when it is a retry.
+    struct Job {
+        std::size_t index = 0;
+        std::uint64_t attempt = 0;
+        Clock::time_point not_before;
+    };
+    struct Child {
+        pid_t pid = -1;
+        int fd = -1;
+        std::string buffer;
+        bool has_deadline = false;
+        Clock::time_point deadline;
+        Job job;
+    };
+
+    std::deque<Job> queue;
+    const Clock::time_point start = Clock::now();
+    for (const std::size_t j : live) queue.push_back({j, 0, start});
+    std::vector<Child> running;
+
+    std::size_t width =
+        config_.threads == 0 ? parallel_thread_count() : config_.threads;
+    width = std::min(std::max<std::size_t>(width, 1), live.size());
+
+    // Watchdog fallback: one candidate evaluated in-process, with the
+    // remaining retry budget, when its child could not be spawned.
+    auto run_in_process = [&](const Job& job) {
+        const std::uint64_t cseed = candidate_seed(context, points[job.index]);
+        const AttemptResult result = evaluate_with_retries(
+            chaos, resilience, cseed, job.attempt, [&] {
+                Rng rng(cseed);
+                return evaluator(points[job.index], rng);
+            });
+        outcome.utilities[job.index] = result.utility;
+        outcome.statuses[job.index] = result.status;
+    };
+
+    auto finalize = [&](const Job& job, TrialStatus status, double utility) {
+        if (status != TrialStatus::kOk &&
+            job.attempt < resilience.max_retries) {
+            const std::uint64_t cseed =
+                candidate_seed(context, points[job.index]);
+            queue.push_back(
+                {job.index, job.attempt + 1,
+                 Clock::now() +
+                     backoff_duration(resilience, cseed, job.attempt)});
+            return;
+        }
+        outcome.utilities[job.index] = utility;
+        outcome.statuses[job.index] = status;
+    };
+
+    while (!queue.empty() || !running.empty()) {
+        // Launch children up to the width, skipping retry jobs whose
+        // backoff has not elapsed yet.
+        for (auto it = queue.begin();
+             it != queue.end() && running.size() < width;) {
+            if (it->not_before > Clock::now()) {
+                ++it;
+                continue;
+            }
+            const Job job = *it;
+            it = queue.erase(it);
+            if (isolation_disabled_) {
+                // The watchdog already tripped (possibly mid-batch):
+                // everything still queued runs in-process.
+                run_in_process(job);
+                continue;
+            }
+            const std::uint64_t cseed =
+                candidate_seed(context, points[job.index]);
+
+            bool spawn_failed =
+                fault::chaos_spawn_failure(chaos, cseed, job.attempt);
+            int fds[2] = {-1, -1};
+            if (!spawn_failed && ::pipe(fds) != 0) spawn_failed = true;
+            pid_t pid = -1;
+            if (!spawn_failed) {
+                pid = ::fork();
+                if (pid < 0) {
+                    spawn_failed = true;
+                    ::close(fds[0]);
+                    ::close(fds[1]);
+                }
+            }
+            if (spawn_failed) {
+                if (++spawn_failures_ >= kSpawnFailureLimit &&
+                    !isolation_disabled_) {
+                    isolation_disabled_ = true;
+                    log_warn() << "engine: " << spawn_failures_
+                               << " consecutive child-spawn failures; "
+                                  "degrading to in-process evaluation for "
+                                  "the rest of the run";
+                }
+                run_in_process(job);
+                continue;
+            }
+            spawn_failures_ = 0;
+
+            if (pid == 0) {
+                // --- child: evaluate one candidate, report one run-store
+                // trial line over the pipe, and _exit without touching the
+                // parent's buffered state.  An injected crash aborts (the
+                // signal IS the test); an injected hang sleeps until the
+                // parent's SIGKILL deadline fires.
+                ::close(fds[0]);
+                const fault::ChaosAction action =
+                    fault::chaos_decide(chaos, cseed, job.attempt);
+                if (action == fault::ChaosAction::kCrash) std::abort();
+                if (action == fault::ChaosAction::kHang &&
+                    resilience.timeout_seconds > 0.0) {
+                    std::this_thread::sleep_for(std::chrono::hours(1));
+                    ::_exit(4);
+                }
+                double utility = kNaN;
+                try {
+                    Rng rng(cseed);
+                    utility = evaluator(points[job.index], rng);
+                } catch (const std::exception&) {
+                    ::_exit(3);
+                }
+                if (action == fault::ChaosAction::kNaN) utility = kNaN;
+                RunRecord record;
+                record.kind = "trial";
+                record.scenario = "isolated-eval";
+                record.family = "engine";
+                record.seed = cseed;
+                record.trial = job.index;
+                record.point = "-";
+                record.objective = utility;
+                const std::string line = RunStore::to_json(record) + "\n";
+                const char* data = line.data();
+                std::size_t left = line.size();
+                while (left > 0) {
+                    const ssize_t wrote = ::write(fds[1], data, left);
+                    if (wrote <= 0) ::_exit(5);
+                    data += wrote;
+                    left -= static_cast<std::size_t>(wrote);
+                }
+                ::_exit(0);
+            }
+
+            // --- parent
+            ::close(fds[1]);
+            ::fcntl(fds[0], F_SETFL, O_NONBLOCK);
+            Child child;
+            child.pid = pid;
+            child.fd = fds[0];
+            child.job = job;
+            child.has_deadline = resilience.timeout_seconds > 0.0;
+            if (child.has_deadline) {
+                child.deadline =
+                    Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                       std::chrono::duration<double>(
+                                           resilience.timeout_seconds));
+            }
+            running.push_back(std::move(child));
+        }
+
+        // Poll the running children: drain their pipes, reap exits,
+        // enforce deadlines.
+        bool progressed = false;
+        for (auto it = running.begin(); it != running.end();) {
+            Child& child = *it;
+            char buf[512];
+            ssize_t got = 0;
+            while ((got = ::read(child.fd, buf, sizeof buf)) > 0) {
+                child.buffer.append(buf, static_cast<std::size_t>(got));
+            }
+            int wait_status = 0;
+            const pid_t reaped = ::waitpid(child.pid, &wait_status, WNOHANG);
+            if (reaped == 0) {
+                if (child.has_deadline && Clock::now() > child.deadline) {
+                    // The only true preemption in the runtime: a wedged
+                    // evaluation cannot be cancelled in-process, but a
+                    // child is simply killed.
+                    ::kill(child.pid, SIGKILL);
+                    ::waitpid(child.pid, &wait_status, 0);
+                    ::close(child.fd);
+                    finalize(child.job, TrialStatus::kFailedTimeout, kNaN);
+                    it = running.erase(it);
+                    progressed = true;
+                } else {
+                    ++it;
+                }
+                continue;
+            }
+            while ((got = ::read(child.fd, buf, sizeof buf)) > 0) {
+                child.buffer.append(buf, static_cast<std::size_t>(got));
+            }
+            ::close(child.fd);
+            // Classify: a clean exit with a complete, matching trial line
+            // is the only success; anything else — signal, nonzero exit,
+            // torn or missing line — is a crash, and a transmitted
+            // non-finite objective is a NaN failure.
+            TrialStatus status = TrialStatus::kFailedCrash;
+            double utility = kNaN;
+            if (WIFEXITED(wait_status) && WEXITSTATUS(wait_status) == 0) {
+                const std::size_t newline = child.buffer.find('\n');
+                if (newline != std::string::npos) {
+                    RunRecord record;
+                    if (RunStore::parse_line(child.buffer.substr(0, newline),
+                                             record) &&
+                        record.kind == "trial" &&
+                        record.trial == child.job.index) {
+                        utility = record.objective;
+                        status = std::isfinite(utility)
+                                     ? TrialStatus::kOk
+                                     : TrialStatus::kFailedNaN;
+                    }
+                }
+            }
+            finalize(child.job, status, utility);
+            it = running.erase(it);
+            progressed = true;
+        }
+
+        if (!progressed && (!running.empty() || !queue.empty())) {
+            std::this_thread::sleep_for(std::chrono::microseconds(500));
+        }
+    }
+}
+
+#else  // !BAYESFT_HAS_FORK
+
+void EvaluationEngine::evaluate_points_isolated(
+    const std::vector<Alpha>& points, const PointEvaluator& evaluator,
+    const EvalContext& context, const std::vector<std::size_t>& live,
+    BatchOutcome& outcome) {
+    // Unreachable: the caller only dispatches here under BAYESFT_HAS_FORK.
+    (void)points;
+    (void)evaluator;
+    (void)context;
+    (void)live;
+    (void)outcome;
+}
+
+#endif  // BAYESFT_HAS_FORK
 
 }  // namespace bayesft::core

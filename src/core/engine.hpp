@@ -27,6 +27,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/trial.hpp"
+#include "fault/chaos.hpp"
 #include "models/zoo.hpp"
 #include "utils/rng.hpp"
 
@@ -68,6 +70,14 @@ struct EngineConfig {
     std::size_t threads = 0;
     /// Enables the (context, stamp, alpha) -> utility memoization cache.
     bool cache = true;
+    /// Fault-tolerant trial execution: isolation, timeout, retries
+    /// (docs/robustness.md).  None of it changes a successful evaluation's
+    /// result — retried attempts replay the same candidate stream.
+    ResilienceConfig resilience;
+    /// Failure-injection hook for the chaos torture tests, read from
+    /// BAYESFT_CHAOS at config construction (all-zero, i.e. off, when the
+    /// variable is unset).
+    fault::ChaosSpec chaos = fault::ChaosSpec::from_env();
 };
 
 /// Identifies the evaluation environment for caching and RNG derivation.
@@ -92,8 +102,15 @@ std::uint64_t candidate_seed(const EvalContext& context, const Alpha& point);
 
 /// Result of one batch evaluation.
 struct BatchOutcome {
-    std::vector<double> utilities;  ///< aligned with the alphas argument
-    std::size_t best_index = 0;     ///< argmax utility (first on ties)
+    /// Aligned with the alphas argument; a failed (quarantined) candidate
+    /// holds NaN — read `statuses` for the failure class.
+    std::vector<double> utilities;
+    /// Aligned with the alphas argument: kOk, or why the candidate's
+    /// evaluation was quarantined after exhausting its retries.
+    std::vector<TrialStatus> statuses;
+    /// Argmax utility over the successful candidates (first on ties); 0
+    /// when every candidate failed.
+    std::size_t best_index = 0;
     /// Candidates served without a live evaluation: within-batch duplicates
     /// (always) plus cross-call map hits, which require the caller to hold
     /// (context.key, context.stamp) constant across calls — i.e. the model
@@ -149,7 +166,22 @@ public:
     /// outside the engine).
     void clear_cache() { cache_.clear(); }
 
+    /// True once the spawn watchdog tripped: repeated child-spawn failures
+    /// permanently degraded this engine back to in-process evaluation
+    /// (ResilienceConfig::isolate is ignored from then on).
+    bool isolation_degraded() const { return isolation_disabled_; }
+
 private:
+    /// Forked-child evaluation of the `live` candidate indices (the
+    /// crash-isolation path of evaluate_points): one child per attempt,
+    /// results over a pipe in the run-store JSONL wire format, SIGKILL at
+    /// the trial deadline, deterministic retry backoff, and the spawn
+    /// watchdog that falls back to in-process evaluation.
+    void evaluate_points_isolated(const std::vector<Alpha>& points,
+                                  const PointEvaluator& evaluator,
+                                  const EvalContext& context,
+                                  const std::vector<std::size_t>& live,
+                                  BatchOutcome& outcome);
     struct CacheKey {
         std::uint64_t context = 0;
         std::uint64_t stamp = 0;
@@ -172,6 +204,10 @@ private:
     std::uint64_t active_context_ = 0;
     std::uint64_t active_stamp_ = 0;
     bool has_active_context_ = false;
+    // Spawn watchdog (docs/robustness.md): consecutive fork/pipe failures;
+    // at the threshold, isolation is disabled for the rest of the run.
+    std::size_t spawn_failures_ = 0;
+    bool isolation_disabled_ = false;
 };
 
 }  // namespace bayesft::core

@@ -11,6 +11,12 @@
 #include "core/engine.hpp"
 #include "nn/dropout.hpp"
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define BAYESFT_HAS_FSYNC 1
+#endif
+
 namespace bayesft::core {
 
 namespace {
@@ -211,6 +217,11 @@ void save_checkpoint(const SearchCheckpoint& checkpoint,
             }
             write_points(out, "trials", xs, &ys);
         }
+        out << "trial_status " << checkpoint.bo.trials.size();
+        for (const bayesopt::Trial& t : checkpoint.bo.trials) {
+            out << ' ' << static_cast<unsigned>(t.status);
+        }
+        out << '\n';
         {
             std::vector<std::vector<double>> xs;
             std::vector<double> ys;
@@ -242,9 +253,15 @@ void save_checkpoint(const SearchCheckpoint& checkpoint,
         out.flush();
         if (!out) fail("write failed", tmp);
     }
+    // fsync before the rename: without it a power loss shortly after the
+    // rename can install a zero-length tmp over the previous good
+    // checkpoint (rename is atomic against crashes of this process, but
+    // not against losing the unflushed tmp data).
+    fsync_file(tmp);
     std::error_code error;
     std::filesystem::rename(tmp, path, error);
     if (error) fail("rename failed: " + error.message(), path);
+    fsync_parent_dir(path);
 }
 
 SearchCheckpoint load_checkpoint(const std::string& path) {
@@ -286,6 +303,24 @@ SearchCheckpoint load_checkpoint(const std::string& path) {
         for (std::size_t i = 0; i < xs.size(); ++i) {
             checkpoint.bo.trials.push_back(
                 bayesopt::Trial{std::move(xs[i]), ys[i]});
+        }
+    }
+    {
+        const std::vector<std::string> header =
+            reader.record("trial_status");
+        if (header.size() < 2 ||
+            reader.number(header[1]) != checkpoint.bo.trials.size() ||
+            header.size() != 2 + checkpoint.bo.trials.size()) {
+            fail("trial_status count disagrees with trials", path);
+        }
+        for (std::size_t i = 0; i < checkpoint.bo.trials.size(); ++i) {
+            const std::uint64_t code = reader.number(header[2 + i]);
+            if (code > static_cast<std::uint64_t>(
+                           TrialStatus::kFailedTimeout)) {
+                fail("unknown trial status code " + header[2 + i], path);
+            }
+            checkpoint.bo.trials[i].status =
+                static_cast<TrialStatus>(code);
         }
     }
     {
@@ -342,6 +377,32 @@ bool checkpoint_exists(const std::string& path) {
     return std::filesystem::is_regular_file(path, error);
 }
 
+void fsync_file(const std::string& path) {
+#ifdef BAYESFT_HAS_FSYNC
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) fail("cannot open for fsync", path);
+    const int rc = ::fsync(fd);
+    ::close(fd);
+    if (rc != 0) fail("fsync failed", path);
+#else
+    (void)path;
+#endif
+}
+
+void fsync_parent_dir(const std::string& path) {
+#ifdef BAYESFT_HAS_FSYNC
+    std::string dir =
+        std::filesystem::path(path).parent_path().string();
+    if (dir.empty()) dir = ".";
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) return;  // best-effort (see header)
+    ::fsync(fd);
+    ::close(fd);
+#else
+    (void)path;
+#endif
+}
+
 std::uint64_t mix_train_config(std::uint64_t key,
                                const nn::TrainConfig& train) {
     key = mix_key(key, static_cast<std::uint64_t>(train.epochs));
@@ -364,7 +425,12 @@ std::uint64_t mix_bo_config(std::uint64_t key,
                             config.noise_variance,
                             config.duplicate_tolerance,
                             config.batch_separation_fraction};
-    return mix_key(key, reals, 4);
+    key = mix_key(key, reals, 4);
+    // The fail policy shapes what the GP sees, hence the proposal stream —
+    // unlike the resilience knobs (isolate/timeout/retries), which are
+    // result-invariant and deliberately NOT digested (like thread count).
+    key = mix_key(key, static_cast<std::uint64_t>(config.fail_policy));
+    return mix_key(key, &config.fail_penalty, 1);
 }
 
 std::uint64_t mix_rng_state(std::uint64_t key, const RngState& state) {

@@ -16,8 +16,9 @@
 // save/load round trip is exact.  load_checkpoint validates the format
 // version; the search drivers additionally validate the space and scenario
 // digests, so a checkpoint can only resume the exact scenario that wrote
-// it.  Files are written to "<path>.tmp" and renamed into place, so a kill
-// during save never corrupts the previous checkpoint.
+// it.  Files are written to "<path>.tmp", fsynced, and renamed into place
+// (then the directory is fsynced), so neither a kill during save nor a
+// power loss right after it can corrupt or roll back the checkpoint.
 
 #include <cstdint>
 #include <string>
@@ -52,8 +53,11 @@ struct CheckpointOptions {
 /// One serialized search snapshot.  See the header comment for semantics.
 struct SearchCheckpoint {
     /// Format version written by this build; load_checkpoint rejects
-    /// anything else.
-    static constexpr std::uint32_t kVersion = 1;
+    /// anything else.  v2 added the per-trial status record
+    /// (docs/robustness.md) — quarantined trials must survive a resume, or
+    /// a resumed run would feed a failure's penalty y to the GP as a real
+    /// observation under FailPolicy::kExclude.
+    static constexpr std::uint32_t kVersion = 2;
 
     std::string run_id;             ///< free-form label (scenario name)
     std::string build;              ///< git-describe stamp of the writer
@@ -97,6 +101,16 @@ SearchCheckpoint load_checkpoint(const std::string& path);
 
 /// True when a regular file exists at `path` (the resume trigger).
 bool checkpoint_exists(const std::string& path);
+
+/// fsyncs the file at `path` (no-op on platforms without fsync).  Throws
+/// std::runtime_error when the file cannot be opened or synced.
+void fsync_file(const std::string& path);
+
+/// fsyncs the directory containing `path`, making a just-renamed or
+/// just-created entry durable (no-op on platforms without directory
+/// fsync).  Best-effort: failures are swallowed, since some filesystems
+/// reject directory fsync while still ordering the rename correctly.
+void fsync_parent_dir(const std::string& path);
 
 /// Folds the inner-SGD settings into a scenario digest: resuming a
 /// checkpoint under a different training recipe must be rejected.

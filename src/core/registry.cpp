@@ -49,6 +49,23 @@ std::size_t scaled(std::size_t full, bool quick) {
     return quick ? full / 4 : full;
 }
 
+/// RunOptions -> the engine's fault-tolerance knobs, shared by every
+/// search-running scenario (docs/robustness.md).
+ResilienceConfig resilience_from(const RunOptions& options) {
+    ResilienceConfig resilience;
+    resilience.isolate = options.isolate;
+    resilience.timeout_seconds = options.trial_timeout;
+    resilience.max_retries = options.max_retries;
+    return resilience;
+}
+
+/// RunOptions -> how quarantined trials reach the GP.  The CLI validates
+/// the string; anything unrecognized here falls back to the default.
+FailPolicy fail_policy_from(const RunOptions& options) {
+    return options.fail_policy == "exclude" ? FailPolicy::kExclude
+                                            : FailPolicy::kPenalize;
+}
+
 /// Zips a BO trial history with its search-produced decoded-point strings
 /// into run-store TrialRecords (the searches describe their own points via
 /// ParamSpace::describe, so every store consumer formats them one way).
@@ -60,7 +77,7 @@ std::vector<TrialRecord> to_trial_records(
     for (std::size_t i = 0; i < trials.size(); ++i) {
         records.push_back(
             {i, i < points.size() ? points[i] : std::string(),
-             trials[i].y});
+             trials[i].y, trial_status_name(trials[i].status)});
     }
     return records;
 }
@@ -100,6 +117,8 @@ ExperimentConfig default_config(const RunOptions& options) {
     config.bayesft.eval_threads = options.threads;
     config.bayesft.checkpoint.path = options.checkpoint;
     config.bayesft.checkpoint.stop_after = options.stop_after;
+    config.bayesft.resilience = resilience_from(options);
+    config.bayesft.bo.fail_policy = fail_policy_from(options);
 
     config.reram_v.adapt_epochs = 2;
     config.reram_v.device_sigma = 0.3;
@@ -657,6 +676,8 @@ RegistryResult run_fault_search(const std::string& name,
     config.eval_threads = options.threads;
     config.checkpoint.path = options.checkpoint;
     config.checkpoint.stop_after = options.stop_after;
+    config.resilience = resilience_from(options);
+    config.bo.fail_policy = fail_policy_from(options);
     const BayesFTResult search =
         bayesft_search(bft, parts.train, parts.test, config, bft_rng);
 
@@ -863,6 +884,8 @@ RegistryResult run_archsearch(
     search_config.eval_threads = options.threads;
     search_config.checkpoint.path = options.checkpoint;
     search_config.checkpoint.stop_after = options.stop_after;
+    search_config.resilience = resilience_from(options);
+    search_config.bo.fail_policy = fail_policy_from(options);
     Rng search_rng(seed_base + 1 + seed);
     const ArchSearchResult search = arch_search(
         family, parts.train, parts.test, search_config, search_rng);

@@ -38,6 +38,20 @@ struct RunOptions {
     /// Stop the search — checkpoint on disk — after this many newly
     /// observed trials (0 = run to completion).  Requires `checkpoint`.
     std::size_t stop_after = 0;
+    /// Fault-tolerant trial execution (docs/robustness.md).  `isolate`
+    /// forks each self-contained candidate evaluation into a crash-isolated
+    /// child (archsearch scenarios); `trial_timeout` (seconds, 0 = none)
+    /// SIGKILLs / classifies trials past the deadline; `max_retries` bounds
+    /// the re-attempts before a trial is quarantined.  All of them are
+    /// result-invariant, like `threads`.
+    bool isolate = false;
+    double trial_timeout = 0.0;
+    std::size_t max_retries = 2;
+    /// How quarantined trials reach the GP: "penalize" (observed at the
+    /// fail penalty) or "exclude" (kept out of the surrogate).  Unlike the
+    /// knobs above this one shapes the proposal stream, so it is part of
+    /// the scenario digest.
+    std::string fail_policy = "penalize";
 };
 
 /// One labeled series of an experiment (method or model variant).
@@ -52,6 +66,9 @@ struct TrialRecord {
     std::size_t index = 0;   ///< global trial index within the search
     std::string point;       ///< e.g. "alpha0=0.125 alpha1=0.3"
     double objective = 0.0;
+    /// Trial outcome class (trial_status_name: "ok", "failed_nan",
+    /// "failed_crash", "failed_timeout").
+    std::string status = "ok";
 };
 
 /// Normalized result shape every registered experiment produces.

@@ -1,5 +1,7 @@
 #include "core/runstore.hpp"
 
+#include "core/persist.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -113,6 +115,7 @@ std::string RunStore::to_json(const RunRecord& r) {
         out += ",\"trial\":" + std::to_string(r.trial);
         out += ",\"point\":\"" + escape(r.point) + "\"";
         out += ",\"objective\":" + format_real(r.objective);
+        out += ",\"status\":\"" + escape(r.status) + "\"";
     } else {
         out += ",\"trials\":" + std::to_string(r.trials);
         out += ",\"best_trial\":" + std::to_string(r.best_trial);
@@ -166,10 +169,59 @@ void RunStore::append(const std::string& scenario,
     for (const RunRecord& record : records) {
         out << to_json(record) << '\n';
     }
+    out.flush();
     if (!out) {
         throw std::runtime_error("run store: write to '" + path +
                                  "' failed");
     }
+    out.close();
+    // Durability: a power loss after this append returns must not be able
+    // to roll the records back (torn trailing lines are tolerated by
+    // parse_file, but a silently vanished append would desynchronize the
+    // store from the checkpoint it rides along with).
+    fsync_file(path);
+    fsync_parent_dir(path);
+}
+
+bool RunStore::parse_line(const std::string& line, RunRecord& r) {
+    // A line torn by a mid-append kill must be dropped, not parsed with
+    // defaulted fields (a truncated trial would poison the latest-wins
+    // aggregation and block the resume backfill): the writer always
+    // terminates lines with '}', and every kind-specific field below is
+    // required.
+    if (line.empty() || line.back() != '}') return false;
+    if (!read_string(line, "kind", r.kind) ||
+        (r.kind != "trial" && r.kind != "summary")) {
+        return false;
+    }
+    if (!read_string(line, "scenario", r.scenario) ||
+        !read_unsigned(line, "seed", r.seed)) {
+        return false;
+    }
+    read_string(line, "family", r.family);
+    read_string(line, "build", r.build);
+    read_unsigned(line, "batch", r.batch);
+    read_unsigned(line, "threads", r.threads);
+    read_bool(line, "quick", r.quick);
+    if (r.kind == "trial") {
+        if (!read_unsigned(line, "trial", r.trial) ||
+            !read_string(line, "point", r.point) ||
+            !read_real(line, "objective", r.objective)) {
+            return false;
+        }
+        // Absent in pre-robustness files: every stored trial was ok.
+        if (!read_string(line, "status", r.status)) r.status = "ok";
+    } else {
+        if (!read_unsigned(line, "trials", r.trials) ||
+            !read_real(line, "seconds", r.seconds)) {
+            return false;
+        }
+        read_unsigned(line, "best_trial", r.best_trial);
+        read_string(line, "best_point", r.best_point);
+        read_real(line, "best_objective", r.best_objective);
+        read_string(line, "annotation", r.annotation);
+    }
+    return true;
 }
 
 std::vector<RunRecord> RunStore::parse_file(const std::string& path) {
@@ -180,43 +232,8 @@ std::vector<RunRecord> RunStore::parse_file(const std::string& path) {
     std::vector<RunRecord> records;
     std::string line;
     while (std::getline(in, line)) {
-        // A line torn by a mid-append kill must be dropped, not parsed
-        // with defaulted fields (a truncated trial would poison the
-        // latest-wins aggregation and block the resume backfill): the
-        // writer always terminates lines with '}', and every kind-specific
-        // field below is required.
-        if (line.empty() || line.back() != '}') continue;
         RunRecord r;
-        if (!read_string(line, "kind", r.kind) ||
-            (r.kind != "trial" && r.kind != "summary")) {
-            continue;
-        }
-        if (!read_string(line, "scenario", r.scenario) ||
-            !read_unsigned(line, "seed", r.seed)) {
-            continue;
-        }
-        read_string(line, "family", r.family);
-        read_string(line, "build", r.build);
-        read_unsigned(line, "batch", r.batch);
-        read_unsigned(line, "threads", r.threads);
-        read_bool(line, "quick", r.quick);
-        if (r.kind == "trial") {
-            if (!read_unsigned(line, "trial", r.trial) ||
-                !read_string(line, "point", r.point) ||
-                !read_real(line, "objective", r.objective)) {
-                continue;
-            }
-        } else {
-            if (!read_unsigned(line, "trials", r.trials) ||
-                !read_real(line, "seconds", r.seconds)) {
-                continue;
-            }
-            read_unsigned(line, "best_trial", r.best_trial);
-            read_string(line, "best_point", r.best_point);
-            read_real(line, "best_objective", r.best_objective);
-            read_string(line, "annotation", r.annotation);
-        }
-        records.push_back(std::move(r));
+        if (parse_line(line, r)) records.push_back(std::move(r));
     }
     return records;
 }
@@ -247,6 +264,7 @@ std::vector<ScenarioSummary> summarize_runs(
     struct Trial {
         double objective = 0.0;
         std::string point;
+        std::string status;
     };
     // One aggregation bucket = one run configuration of one scenario:
     // quick and full-size runs (or different batch sizes) must neither
@@ -274,7 +292,8 @@ std::vector<ScenarioSummary> summarize_runs(
         if (!r.build.empty()) bucket.build = r.build;
         if (r.kind == "trial") {
             ++bucket.trial_records;
-            bucket.trials[{r.seed, r.trial}] = {r.objective, r.point};
+            bucket.trials[{r.seed, r.trial}] = {r.objective, r.point,
+                                                r.status};
         } else {
             ++bucket.runs;
             bucket.completed.insert(r.seed);
@@ -293,6 +312,13 @@ std::vector<ScenarioSummary> summarize_runs(
         s.build = bucket.build;
         s.runs = bucket.runs;
         s.trial_records = bucket.trial_records;
+        // Counted over the deduplicated (latest-wins) trials, matching the
+        // aggregates below: a re-run that recovered a once-failed trial
+        // does not keep reporting the stale failure.
+        for (const auto& [trial_key, trial] : bucket.trials) {
+            (void)trial_key;
+            if (trial.status != "ok") ++s.failed_trials;
+        }
         s.has_search = !bucket.trials.empty();
         s.mean_seconds = mean_of(bucket.seconds);
         if (s.has_search) {

@@ -40,6 +40,10 @@ struct RunRecord {
     std::uint64_t trial = 0;   ///< global trial index within the search
     std::string point;         ///< decoded, human-readable
     double objective = 0.0;
+    /// Trial outcome class ("ok", "failed_nan", "failed_crash",
+    /// "failed_timeout"; see core/trial.hpp).  Serialized on trial
+    /// records; absent in pre-robustness store files, which parse as "ok".
+    std::string status = "ok";
     // --- summary fields ---
     std::uint64_t trials = 0;  ///< total observed trials (0 = no search)
     std::uint64_t best_trial = 0;
@@ -68,6 +72,12 @@ public:
     /// clear message when the directory or file cannot be written.
     void append(const std::string& scenario,
                 const std::vector<RunRecord>& records);
+
+    /// Parses one record line (the unit parse_file applies per line, and
+    /// the wire format of the crash-isolation pipe protocol —
+    /// docs/robustness.md).  False when `line` is not a complete run-store
+    /// record.
+    static bool parse_line(const std::string& line, RunRecord& out);
 
     /// Parses one JSONL file; lines that are not run-store records are
     /// skipped.  Throws std::runtime_error when the file cannot be read.
@@ -107,6 +117,10 @@ struct ScenarioSummary {
     /// reproducibility numbers).
     std::size_t seeds = 0;
     std::size_t trial_records = 0;
+    /// Trial records whose status is not "ok" — quarantined (NaN /
+    /// crashed / timed-out) trials, so the report can tabulate failure
+    /// rates per scenario configuration (docs/robustness.md).
+    std::size_t failed_trials = 0;
     bool has_search = false;    ///< any trial records at all
     // Best across all seeds:
     double best_objective = 0.0;

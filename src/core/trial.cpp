@@ -1,0 +1,23 @@
+#include "core/trial.hpp"
+
+namespace bayesft {
+
+const char* trial_status_name(TrialStatus status) {
+    switch (status) {
+        case TrialStatus::kOk: return "ok";
+        case TrialStatus::kFailedNaN: return "failed_nan";
+        case TrialStatus::kFailedCrash: return "failed_crash";
+        case TrialStatus::kFailedTimeout: return "failed_timeout";
+    }
+    return "ok";
+}
+
+std::optional<TrialStatus> parse_trial_status(std::string_view name) {
+    if (name == "ok") return TrialStatus::kOk;
+    if (name == "failed_nan") return TrialStatus::kFailedNaN;
+    if (name == "failed_crash") return TrialStatus::kFailedCrash;
+    if (name == "failed_timeout") return TrialStatus::kFailedTimeout;
+    return std::nullopt;
+}
+
+}  // namespace bayesft

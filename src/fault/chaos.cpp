@@ -1,0 +1,94 @@
+#include "fault/chaos.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace bayesft::fault {
+
+namespace {
+
+/// splitmix64 finalizer: a private stateless mixer (independent of the
+/// engine's FNV digests, so chaos decisions can never collide with the
+/// candidate-seed derivation they key on).
+std::uint64_t mix64(std::uint64_t x) {
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+/// Uniform double in [0, 1) from one hash draw (same 53-bit construction
+/// as Rng::uniform).
+double unit_double(std::uint64_t bits) {
+    return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+double decision_draw(const ChaosSpec& spec, std::uint64_t candidate_seed,
+                     std::uint64_t attempt, std::uint64_t stream) {
+    std::uint64_t h = mix64(spec.seed ^ 0x6368616F73ULL);  // "chaos"
+    h = mix64(h ^ candidate_seed);
+    h = mix64(h ^ attempt);
+    h = mix64(h ^ stream);
+    return unit_double(h);
+}
+
+}  // namespace
+
+ChaosSpec ChaosSpec::from_env() {
+    ChaosSpec spec;
+    const char* text = std::getenv("BAYESFT_CHAOS");
+    if (text == nullptr || text[0] == '\0') return spec;
+    std::string entry;
+    const std::string all = std::string(text) + ",";
+    for (char c : all) {
+        if (c != ',') {
+            entry.push_back(c);
+            continue;
+        }
+        const std::size_t colon = entry.find(':');
+        if (colon != std::string::npos) {
+            const std::string key = entry.substr(0, colon);
+            double p = 0.0;
+            try {
+                p = std::stod(entry.substr(colon + 1));
+            } catch (const std::exception&) {
+                p = 0.0;
+            }
+            if (p < 0.0) p = 0.0;
+            if (p > 1.0) p = 1.0;
+            if (key == "crash") spec.crash = p;
+            else if (key == "hang") spec.hang = p;
+            else if (key == "nan") spec.nan = p;
+            else if (key == "spawn") spec.spawn = p;
+        }
+        entry.clear();
+    }
+    if (const char* seed_text = std::getenv("BAYESFT_CHAOS_SEED")) {
+        try {
+            spec.seed = std::stoull(seed_text);
+        } catch (const std::exception&) {
+            spec.seed = 0;
+        }
+    }
+    return spec;
+}
+
+ChaosAction chaos_decide(const ChaosSpec& spec, std::uint64_t candidate_seed,
+                         std::uint64_t attempt) {
+    if (spec.crash <= 0.0 && spec.hang <= 0.0 && spec.nan <= 0.0) {
+        return ChaosAction::kNone;
+    }
+    const double u = decision_draw(spec, candidate_seed, attempt, 1);
+    if (u < spec.crash) return ChaosAction::kCrash;
+    if (u < spec.crash + spec.hang) return ChaosAction::kHang;
+    if (u < spec.crash + spec.hang + spec.nan) return ChaosAction::kNaN;
+    return ChaosAction::kNone;
+}
+
+bool chaos_spawn_failure(const ChaosSpec& spec, std::uint64_t candidate_seed,
+                         std::uint64_t attempt) {
+    if (spec.spawn <= 0.0) return false;
+    return decision_draw(spec, candidate_seed, attempt, 2) < spec.spawn;
+}
+
+}  // namespace bayesft::fault

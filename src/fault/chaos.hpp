@@ -1,0 +1,63 @@
+#pragma once
+// Chaos harness for the search runtime itself (docs/robustness.md): a
+// seeded, purely deterministic hook that injects crashes, hangs, NaN
+// objectives, and spawn failures into candidate evaluation, so the
+// fault-tolerant trial execution paths (timeout, retry, quarantine,
+// crash isolation, the spawn watchdog) can be torture-tested.
+//
+// Every injection decision is a pure function of (spec seed, candidate
+// seed, attempt index) — never of the wall clock, thread schedule, or
+// evaluation order — so a chaos run is exactly reproducible and the
+// determinism-under-failure contract is checkable bit for bit: a run with
+// injected failures and retries must produce the same best point and
+// trial log as a failure-free run.
+
+#include <cstdint>
+
+namespace bayesft::fault {
+
+/// What the chaos hook does to one evaluation attempt.
+enum class ChaosAction {
+    kNone = 0,   ///< evaluate normally
+    kCrash = 1,  ///< die (isolated child: abort(); in-process: failed trial)
+    kHang = 2,   ///< block past the trial deadline
+    kNaN = 3     ///< evaluate, then replace the objective with NaN
+};
+
+/// Per-action injection probabilities, parsed from the environment.
+struct ChaosSpec {
+    double crash = 0.0;  ///< P(kCrash) per attempt
+    double hang = 0.0;   ///< P(kHang) per attempt
+    double nan = 0.0;    ///< P(kNaN) per attempt
+    /// P(simulated spawn failure) per isolated attempt, exercising the
+    /// watchdog that degrades isolation back to in-process evaluation.
+    double spawn = 0.0;
+    /// Stream selector: two chaos runs with different seeds inject into
+    /// different candidates.
+    std::uint64_t seed = 0;
+
+    bool any() const {
+        return crash > 0.0 || hang > 0.0 || nan > 0.0 || spawn > 0.0;
+    }
+
+    /// Parses `BAYESFT_CHAOS` ("crash:0.3,hang:0.1,nan:0.05,spawn:0.2";
+    /// unknown/malformed entries are ignored) and `BAYESFT_CHAOS_SEED`.
+    /// An unset variable yields an all-zero spec (chaos off).
+    static ChaosSpec from_env();
+};
+
+/// The injection decision for one evaluation attempt.  Pure: identical
+/// (spec, candidate_seed, attempt) always decide identically, and the
+/// attempt index is folded in so a retried attempt rolls fresh dice — an
+/// injected failure with p < 1 is recoverable, while p == 1 fails every
+/// attempt and exercises quarantine.
+ChaosAction chaos_decide(const ChaosSpec& spec, std::uint64_t candidate_seed,
+                         std::uint64_t attempt);
+
+/// Whether to simulate a child-spawn failure for this isolated attempt
+/// (decided on an independent stream from chaos_decide, so spawn chaos
+/// composes with the others).
+bool chaos_spawn_failure(const ChaosSpec& spec, std::uint64_t candidate_seed,
+                         std::uint64_t attempt);
+
+}  // namespace bayesft::fault

@@ -243,11 +243,23 @@ TEST(BayesOpt, ObserveValidatesInput) {
     BayesOpt bo(BoxBounds::uniform(2, 0.0, 1.0),
                 std::make_shared<ArdSquaredExponential>(2, 1.0),
                 std::make_unique<PosteriorMean>(), config, Rng(4));
+    // Structural errors still throw (wrong dimension is a caller bug) ...
     EXPECT_THROW(bo.observe({0.5}, 1.0), std::invalid_argument);
-    EXPECT_THROW(bo.observe({0.5, 0.5},
-                            std::numeric_limits<double>::quiet_NaN()),
-                 std::invalid_argument);
     EXPECT_FALSE(bo.best().has_value());
+    // ... but a non-finite objective is an evaluation failure, not a bug:
+    // the trial is quarantined at the fail penalty instead of aborting the
+    // search (docs/robustness.md).
+    bo.observe({0.5, 0.5}, std::numeric_limits<double>::quiet_NaN());
+    ASSERT_EQ(bo.trials().size(), 1U);
+    EXPECT_EQ(bo.trials()[0].status, TrialStatus::kFailedNaN);
+    EXPECT_EQ(bo.trials()[0].y, config.fail_penalty);
+    ASSERT_TRUE(bo.best().has_value());
+    EXPECT_EQ(bo.best()->status, TrialStatus::kFailedNaN);
+    // A later successful trial displaces the quarantined incumbent even at
+    // a lower objective than the penalty would suggest.
+    bo.observe({0.25, 0.25}, -1.0);
+    EXPECT_EQ(bo.best()->status, TrialStatus::kOk);
+    EXPECT_EQ(bo.best()->y, -1.0);
 }
 
 TEST(BayesOpt, SuggestBatchOfOneMatchesSuggest) {
@@ -331,13 +343,20 @@ TEST(BayesOpt, ObserveBatchValidatesInput) {
     EXPECT_THROW(bo.observe_batch({{0.5, 0.5}}, {1.0, 2.0}),
                  std::invalid_argument);
     EXPECT_THROW(bo.observe_batch({{0.5}}, {1.0}), std::invalid_argument);
-    EXPECT_THROW(
-        bo.observe_batch({{0.5, 0.5}},
-                         {std::numeric_limits<double>::infinity()}),
-        std::invalid_argument);
+    // Non-finite objectives no longer throw: the trial is quarantined with
+    // a failure status and the penalty value (see observe()'s contract).
+    bo.observe_batch({{0.5, 0.5}},
+                     {std::numeric_limits<double>::infinity()});
+    ASSERT_EQ(bo.trials().size(), 1U);
+    EXPECT_EQ(bo.trials()[0].status, TrialStatus::kFailedNaN);
     bo.observe_batch({{0.2, 0.2}, {0.8, 0.8}}, {0.0, 1.0});
-    EXPECT_EQ(bo.trials().size(), 2U);
+    EXPECT_EQ(bo.trials().size(), 3U);
     EXPECT_TRUE(bo.surrogate().fitted());
+    // A caller-supplied status wins over the finiteness check.
+    bo.observe_batch({{0.6, 0.6}}, {0.25}, {TrialStatus::kFailedTimeout});
+    ASSERT_EQ(bo.trials().size(), 4U);
+    EXPECT_EQ(bo.trials()[3].status, TrialStatus::kFailedTimeout);
+    EXPECT_EQ(bo.trials()[3].y, config.fail_penalty);
 }
 
 TEST(BayesOpt, DuplicateObservationsMergeIntoOneGpRow) {
