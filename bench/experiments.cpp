@@ -64,7 +64,10 @@ void print_usage() {
         "  --max-retries <n> re-attempts before a failing trial is\n"
         "                    quarantined (default 2)\n"
         "  --fail-policy <p> how quarantined trials reach the GP:\n"
-        "                    penalize (default) | exclude\n";
+        "                    penalize (default) | exclude\n"
+        "  --inference <m>   fixed-point forward mode for the quantized-\n"
+        "                    inference scenarios: float32 (default) | int8 |\n"
+        "                    int12 (docs/performance.md)\n";
 }
 
 struct JsonRecord {
@@ -298,6 +301,16 @@ int main(int argc, char** argv) {
                 options.fail_policy != "exclude") {
                 std::cerr << "experiments: --fail-policy needs 'penalize' "
                              "or 'exclude', got '" << options.fail_policy
+                          << "'\n";
+                return 2;
+            }
+        } else if (arg == "--inference") {
+            options.inference = need_value(i, "--inference");
+            if (options.inference != "float32" &&
+                options.inference != "int8" &&
+                options.inference != "int12") {
+                std::cerr << "experiments: --inference needs 'float32', "
+                             "'int8' or 'int12', got '" << options.inference
                           << "'\n";
                 return 2;
             }

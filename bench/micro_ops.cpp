@@ -6,11 +6,20 @@
 // mixed search spaces (suggest_throughput_vs_dims).
 //
 // Results are printed as a human-readable table AND emitted as
-// machine-readable JSON — one record per (op, shape, threads) with ns/iter
-// and GFLOP/s — so successive PRs can track a perf trajectory in
-// BENCH_*.json files.  Usage:
+// machine-readable JSON — one record per (op, shape, threads) with ns/iter,
+// GFLOP/s, and (for the bandwidth-bound injection ops) GB/s — so successive
+// PRs can track a perf trajectory in BENCH_*.json files.  Usage:
 //
-//   micro_ops [output.json]     (default: BENCH_micro_ops.json)
+//   micro_ops [output.json] [--filter <op-substring>]
+//
+// Default output: BENCH_micro_ops.json.  --filter runs only the ops whose
+// name contains the substring (e.g. --filter matmul, --filter injection).
+//
+// Timing discipline: every op gets one untimed warmup call (pages the
+// buffers in, settles the lazily initialized SIMD dispatch), then samples
+// until ~200 ms accumulate and reports the median iteration — robust to
+// scheduler noise in both directions, unlike best-of (optimistic) or mean
+// (tail-sensitive).
 
 #include <algorithm>
 #include <chrono>
@@ -53,43 +62,57 @@ struct Record {
     std::size_t threads = 1;
     double ns_per_iter = 0.0;
     double gflops = 0.0;  // 0 when FLOP count is not meaningful
+    double gbps = 0.0;    // 0 when a bytes count is not meaningful
 };
 
 std::vector<Record> g_records;
+std::string g_filter;  // --filter: run only ops containing this substring
 
-/// Times `fn` adaptively: repeats until ~200ms of samples, reports the best
-/// iteration (least noisy on a shared machine).
+/// True when `op` passes the --filter substring (empty filter = run all).
+bool want(const std::string& op) {
+    return g_filter.empty() || op.find(g_filter) != std::string::npos;
+}
+
+/// Times `fn` adaptively: one untimed warmup call, then repeats until
+/// ~200ms of samples (at least `min_iters`), reporting the median
+/// iteration — robust against scheduler noise in either direction.
 template <typename Fn>
 double time_ns(Fn&& fn, std::size_t min_iters = 3) {
     using clock = std::chrono::steady_clock;
-    double best = 1e300;
+    fn();  // warmup: fault pages in, settle lazy SIMD dispatch / scratch
+    std::vector<double> samples;
     double total = 0.0;
-    std::size_t iters = 0;
-    while (iters < min_iters || total < 2e8) {
+    while (samples.size() < min_iters || total < 2e8) {
         const auto t0 = clock::now();
         fn();
         const auto t1 = clock::now();
         const double ns =
             std::chrono::duration<double, std::nano>(t1 - t0).count();
-        best = std::min(best, ns);
+        samples.push_back(ns);
         total += ns;
-        ++iters;
-        if (iters > 200) break;
+        if (samples.size() > 200) break;
     }
-    return best;
+    std::nth_element(samples.begin(),
+                     samples.begin() +
+                         static_cast<std::ptrdiff_t>(samples.size() / 2),
+                     samples.end());
+    return samples[samples.size() / 2];
 }
 
 void report(const std::string& op, const std::string& shape,
-            std::size_t threads, double ns, double flops) {
+            std::size_t threads, double ns, double flops,
+            double bytes = 0.0) {
     Record r;
     r.op = op;
     r.shape = shape;
     r.threads = threads;
     r.ns_per_iter = ns;
     r.gflops = flops > 0.0 ? flops / ns : 0.0;  // FLOP/ns == GFLOP/s
+    r.gbps = bytes > 0.0 ? bytes / ns : 0.0;    // byte/ns == GB/s
     g_records.push_back(r);
-    std::printf("%-28s %-16s threads=%-2zu %12.0f ns/iter %8.2f GFLOP/s\n",
-                op.c_str(), shape.c_str(), threads, ns, r.gflops);
+    std::printf("%-28s %-16s threads=%-2zu %12.0f ns/iter %8.2f GFLOP/s"
+                " %8.2f GB/s\n",
+                op.c_str(), shape.c_str(), threads, ns, r.gflops, r.gbps);
 }
 
 /// The seed repository's scalar i-k-j matmul kernel, kept verbatim as the
@@ -121,23 +144,32 @@ void bench_gemm() {
     const std::string shape = "256x256x256";
 
     volatile float sink = 0.0F;
-    const double seed_ns = time_ns([&] {
-        Tensor c = seed_matmul(a, b);
-        sink = sink + c[0];
-    });
-    report("matmul_seed_ikj", shape, 1, seed_ns, flops);
+    double seed_ns = 0.0;
+    if (want("matmul_seed_ikj")) {
+        seed_ns = time_ns([&] {
+            Tensor c = seed_matmul(a, b);
+            sink = sink + c[0];
+        });
+        report("matmul_seed_ikj", shape, 1, seed_ns, flops);
+    }
 
-    // Single-threaded blocked kernel (direct call, bypassing the pool).
-    Tensor c({n, n});
-    const double blocked_ns = time_ns([&] {
-        c.fill(0.0F);
-        detail::gemm_block(a.data(), n, b.data(), n, c.data(), n, n, n, n);
-        sink = sink + c[0];
-    });
-    report("matmul_blocked_1t", shape, 1, blocked_ns, flops);
-    std::printf("  -> blocked vs seed single-thread speedup: %.2fx\n",
-                seed_ns / blocked_ns);
+    if (want("matmul_blocked_1t")) {
+        // Single-threaded blocked kernel (direct call, bypassing the pool).
+        Tensor c({n, n});
+        const double blocked_ns = time_ns([&] {
+            c.fill(0.0F);
+            detail::gemm_block(a.data(), n, b.data(), n, c.data(), n, n, n,
+                               n);
+            sink = sink + c[0];
+        });
+        report("matmul_blocked_1t", shape, 1, blocked_ns, flops);
+        if (seed_ns > 0.0) {
+            std::printf("  -> blocked vs seed single-thread speedup: %.2fx\n",
+                        seed_ns / blocked_ns);
+        }
+    }
 
+    if (!want("matmul")) return;
     // Pool-parallel entry point the library actually uses.
     const double pool_ns = time_ns([&] {
         Tensor out = matmul(a, b);
@@ -168,24 +200,29 @@ void bench_conv() {
     // FLOPs: 2 * N * OC * OH * OW * (IC * KH * KW)
     const double flops = 2.0 * 16 * 32 * 16 * 16 * (16 * 9);
     volatile float sink = 0.0F;
-    const double fwd_ns = time_ns([&] {
-        Tensor out = conv.forward(input);
-        sink = sink + out[0];
-    });
-    report("conv2d_forward", "n16c16->32k3s1p1x16", parallel_thread_count(),
-           fwd_ns, flops);
+    if (want("conv2d_forward")) {
+        const double fwd_ns = time_ns([&] {
+            Tensor out = conv.forward(input);
+            sink = sink + out[0];
+        });
+        report("conv2d_forward", "n16c16->32k3s1p1x16",
+               parallel_thread_count(), fwd_ns, flops);
+    }
 
-    const Tensor out = conv.forward(input);
-    const Tensor grad = Tensor::randn(out.shape(), rng);
-    const double bwd_ns = time_ns([&] {
-        Tensor gin = conv.backward(grad);
-        sink = sink + gin[0];
-    });
-    report("conv2d_backward", "n16c16->32k3s1p1x16", parallel_thread_count(),
-           bwd_ns, 3.0 * flops);
+    if (want("conv2d_backward")) {
+        const Tensor out = conv.forward(input);
+        const Tensor grad = Tensor::randn(out.shape(), rng);
+        const double bwd_ns = time_ns([&] {
+            Tensor gin = conv.backward(grad);
+            sink = sink + gin[0];
+        });
+        report("conv2d_backward", "n16c16->32k3s1p1x16",
+               parallel_thread_count(), bwd_ns, 3.0 * flops);
+    }
 }
 
 void bench_gp() {
+    if (!want("gp_fit")) return;
     Rng rng(6);
     std::vector<bayesopt::Point> xs;
     std::vector<double> ys;
@@ -202,10 +239,16 @@ void bench_gp() {
 }
 
 void bench_fault_injection() {
+    // Bytes per injection: the elementwise kernels stream the span once —
+    // one 4-byte read and one 4-byte write per weight.  (The composed
+    // chain touches the span once per stage, so its GB/s understates the
+    // raw traffic; records stay comparable as "useful bytes per second".)
+    constexpr double kBytesPerWeight = 2.0 * sizeof(float);
+
     // Historical drift_injection record, timed region unchanged since PR1
     // (perturb only, constant-ones initial buffer) so the ns/iter
     // trajectory in BENCH_micro_ops.json stays comparable across PRs.
-    {
+    if (want("drift_injection")) {
         Rng rng(8);
         std::vector<float> weights(1 << 16, 1.0F);
         const fault::LogNormalDrift drift(0.5);
@@ -214,8 +257,11 @@ void bench_fault_injection() {
             drift.apply(weights, rng);
             sink = sink + weights[0];
         });
-        report("drift_injection", "65536", 1, ns, 0.0);
+        report("drift_injection", "65536", 1, ns, 0.0,
+               kBytesPerWeight * 65536.0);
     }
+
+    if (!want("fault_injection")) return;
 
     // Per-model injection throughput over the rest of the fault zoo: one
     // `fault_injection` record per FaultModel on a 64K-weight buffer.
@@ -259,11 +305,13 @@ void bench_fault_injection() {
             c.model->perturb(weights, rng);
             sink = sink + weights[0];
         });
-        report("fault_injection", c.shape, 1, ns, 0.0);
+        report("fault_injection", c.shape, 1, ns, 0.0,
+               kBytesPerWeight * static_cast<double>(base.size()));
     }
 }
 
 void bench_mc_evaluation() {
+    if (!want("mc_drift_eval")) return;
     // Monte-Carlo drift evaluation: same seed at 1/2/4 threads must give
     // identical reports, and wall time should scale down with real cores.
     Rng rng(12);
@@ -306,6 +354,7 @@ void bench_mc_evaluation() {
 }
 
 void bench_search_throughput() {
+    if (!want("search_throughput")) return;
     // Candidate-evaluation engine throughput vs batch size q: every
     // candidate trains a replica of a small MLP for one epoch and scores
     // the drift-marginalized utility — the BayesFT inner loop.  Each q
@@ -375,6 +424,7 @@ void bench_search_throughput() {
 }
 
 void bench_suggest_throughput() {
+    if (!want("suggest_throughput_vs_dims")) return;
     // GP proposal cost over typed mixed spaces: one BayesOpt per dimension
     // count (continuous + integer + categorical mix), seeded with 12
     // observations of a cheap synthetic objective, then ns per suggest()
@@ -450,7 +500,8 @@ void write_json(const std::string& path) {
         out << "  {\"op\": \"" << r.op << "\", \"shape\": \"" << r.shape
             << "\", \"threads\": " << r.threads << ", \"ns_per_iter\": "
             << std::llround(r.ns_per_iter) << ", \"gflops\": " << r.gflops
-            << "}" << (i + 1 < g_records.size() ? "," : "") << "\n";
+            << ", \"gbps\": " << r.gbps << "}"
+            << (i + 1 < g_records.size() ? "," : "") << "\n";
     }
     out << "]\n";
 }
@@ -458,8 +509,24 @@ void write_json(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-    const std::string json_path =
-        argc > 1 ? argv[1] : std::string("BENCH_micro_ops.json");
+    std::string json_path = "BENCH_micro_ops.json";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--filter") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "micro_ops: --filter needs an op substring\n");
+                return 2;
+            }
+            g_filter = argv[++i];
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf(
+                "usage: micro_ops [output.json] [--filter <op-substring>]\n");
+            return 0;
+        } else {
+            json_path = arg;
+        }
+    }
     std::printf("pool width: %zu threads (override with BAYESFT_NUM_THREADS)\n",
                 parallel_thread_count());
     bench_gemm();

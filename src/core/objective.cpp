@@ -15,6 +15,10 @@ double fault_utility(nn::Module& model, const Tensor& images,
         config.mc_samples == 0) {
         throw std::invalid_argument("fault_utility: empty configuration");
     }
+    // Fixed-point deployment view: switch the capable layers for the
+    // duration of the scoring; the per-thread replicas the evaluator
+    // clones inherit the mode.  No-op for kFloat32.
+    const nn::ScopedInferenceMode scoped_mode(model, config.inference);
     // The metric scores the module it is handed, so the Monte-Carlo loop
     // can fan out over per-thread replicas (num_threads 0 = pool width).
     const auto score = [&](const fault::FaultModel& fault) {
@@ -58,6 +62,13 @@ std::uint64_t objective_digest(const ObjectiveConfig& config) {
     std::uint64_t key =
         mix_key(0, static_cast<std::uint64_t>(config.mc_samples));
     key = mix_key(key, static_cast<std::uint64_t>(config.metric));
+    // The fixed-point mode changes every scored forward, so it must key
+    // the engine's memoization and RNG-derivation context.  Folded only
+    // when non-default so every float32 configuration keeps the digest it
+    // had before the mode existed (checkpoint / RNG-stream compatibility).
+    if (config.inference != nn::InferenceMode::kFloat32) {
+        key = mix_key(key, static_cast<std::uint64_t>(config.inference));
+    }
     if (config.faults.empty()) {
         key = mix_key(key, config.sigmas.data(), config.sigmas.size());
     } else {

@@ -17,6 +17,7 @@
 #include "fault/evaluator.hpp"
 #include "fault/model.hpp"
 #include "models/zoo.hpp"
+#include "nn/quant.hpp"
 
 namespace bayesft::core {
 
@@ -46,6 +47,12 @@ struct ObjectiveConfig {
     /// Monte-Carlo samples T per fault scenario (Eq. 4).
     std::size_t mc_samples = 4;
     ObjectiveMetric metric = ObjectiveMetric::kAccuracy;
+    /// Numeric mode of the forward passes scored under faults: kFloat32
+    /// (default, the paper's setting) or a fixed-point deployment view
+    /// (kInt8 / kInt12 — see nn/quant.hpp).  Applied to the model for the
+    /// duration of the evaluation and restored afterwards; per-thread
+    /// replicas inherit it through clone().
+    nn::InferenceMode inference = nn::InferenceMode::kFloat32;
 };
 
 /// Estimates u(alpha, theta) for the model's *current* weights: perturb

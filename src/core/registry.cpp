@@ -23,6 +23,7 @@
 #include "fault/model.hpp"
 #include "fault/zoo.hpp"
 #include "models/zoo.hpp"
+#include "nn/quant.hpp"
 #include "nn/trainer.hpp"
 #include "utils/stopwatch.hpp"
 
@@ -839,6 +840,124 @@ RegistryResult run_composed_deploy(const RunOptions& options) {
     return result;
 }
 
+/// Fixed-point inference mode (nn/quant.hpp): the same trained dropout MLP
+/// swept across drift levels with the float32 forward and with the int8
+/// (default; --inference int12 switches the width) integer forward.  The
+/// gap between the curves is the cost of deploying the network through
+/// b-bit DAC words on top of drift.
+RegistryResult run_fixed_point_inference(const RunOptions& options) {
+    Stopwatch watch;
+    const std::uint64_t seed = options.seed;
+    nn::InferenceMode mode = nn::parse_inference_mode(options.inference);
+    if (mode == nn::InferenceMode::kFloat32) {
+        mode = nn::InferenceMode::kInt8;  // the scenario's default width
+    }
+
+    Rng data_rng(191 + seed);
+    data::DigitConfig digit_config;
+    digit_config.samples = scaled(1000, options.quick);
+    digit_config.image_size = 16;
+    const data::Dataset full = data::synthetic_digits(digit_config, data_rng);
+    Rng split_rng(192 + seed);
+    const data::TrainTestSplit parts = data::split(full, 0.25, split_rng);
+
+    Rng rng(193 + seed);
+    models::MlpOptions model_options = base_mlp_options();
+    model_options.dropout = models::DropoutKind::kStandard;
+    model_options.initial_dropout_rate = 0.3;
+    models::ModelHandle model = models::make_mlp(model_options, rng);
+    nn::TrainConfig train_config;
+    train_config.epochs = options.quick ? 3 : 10;
+    nn::train_classifier(*model.net, parts.train.images, parts.train.labels,
+                         train_config, rng);
+
+    RegistryResult result;
+    result.experiment = "faults_int8_inference";
+    result.x_label = "sigma";
+    result.xs = {0.0, 0.3, 0.6, 0.9};
+    result.annotation =
+        std::string("fixed-point mode: ") + nn::inference_mode_name(mode);
+    NamedCurve float_curve{"Float32 fwd", {}};
+    NamedCurve fixed_curve{
+        std::string(nn::inference_mode_name(mode)) + " fwd", {}};
+    const std::size_t mc_samples = options.quick ? 2 : 5;
+    Rng eval_rng(194 + seed);
+    for (double sigma : result.xs) {
+        const fault::LogNormalDrift drift(sigma);
+        float_curve.values.push_back(
+            fault::evaluate_under_faults(*model.net, parts.test.images,
+                                         parts.test.labels, drift,
+                                         mc_samples, eval_rng)
+                .mean_accuracy);
+        const nn::ScopedInferenceMode scoped(*model.net, mode);
+        fixed_curve.values.push_back(
+            fault::evaluate_under_faults(*model.net, parts.test.images,
+                                         parts.test.labels, drift,
+                                         mc_samples, eval_rng)
+                .mean_accuracy);
+    }
+    result.curves.push_back(std::move(float_curve));
+    result.curves.push_back(std::move(fixed_curve));
+    result.seconds = watch.seconds();
+    return result;
+}
+
+/// DAC'12-profile deployment: the fault::dac12_deploy chain (12-bit
+/// quantization -> variation -> drift) swept over drift, scored once with
+/// the float32 forward and once with the matching int12 fixed-point
+/// forward — the self-consistent "weights and arithmetic share the 12-bit
+/// grid" deployment view.
+RegistryResult run_dac12_deploy(const RunOptions& options) {
+    Stopwatch watch;
+    const std::uint64_t seed = options.seed;
+    Rng data_rng(201 + seed);
+    data::DigitConfig digit_config;
+    digit_config.samples = scaled(1000, options.quick);
+    digit_config.image_size = 16;
+    const data::Dataset full = data::synthetic_digits(digit_config, data_rng);
+    Rng split_rng(202 + seed);
+    const data::TrainTestSplit parts = data::split(full, 0.25, split_rng);
+
+    Rng rng(203 + seed);
+    models::MlpOptions model_options = base_mlp_options();
+    model_options.dropout = models::DropoutKind::kStandard;
+    model_options.initial_dropout_rate = 0.3;
+    models::ModelHandle model = models::make_mlp(model_options, rng);
+    nn::TrainConfig train_config;
+    train_config.epochs = options.quick ? 3 : 10;
+    nn::train_classifier(*model.net, parts.train.images, parts.train.labels,
+                         train_config, rng);
+
+    RegistryResult result;
+    result.experiment = "faults_dac12_deploy";
+    result.x_label = "sigma";
+    result.xs = {0.0, 0.3, 0.6, 0.9};
+    NamedCurve float_curve{"DAC12 chain, float32 fwd", {}};
+    NamedCurve fixed_curve{"DAC12 chain, int12 fwd", {}};
+    const std::size_t mc_samples = options.quick ? 2 : 5;
+    Rng eval_rng(204 + seed);
+    for (double sigma : result.xs) {
+        const std::unique_ptr<fault::FaultModel> deploy =
+            fault::dac12_deploy(sigma);
+        float_curve.values.push_back(
+            fault::evaluate_under_faults(*model.net, parts.test.images,
+                                         parts.test.labels, *deploy,
+                                         mc_samples, eval_rng)
+                .mean_accuracy);
+        const nn::ScopedInferenceMode scoped(*model.net,
+                                             nn::InferenceMode::kInt12);
+        fixed_curve.values.push_back(
+            fault::evaluate_under_faults(*model.net, parts.test.images,
+                                         parts.test.labels, *deploy,
+                                         mc_samples, eval_rng)
+                .mean_accuracy);
+    }
+    result.curves.push_back(std::move(float_curve));
+    result.curves.push_back(std::move(fixed_curve));
+    result.seconds = watch.seconds();
+    return result;
+}
+
 // ------------------------------------------- archsearch scenarios ----
 // Typed mixed-space architecture search (core::arch_search): the axes
 // Fig. 2 enumerates by hand — normalization, depth, activation — plus
@@ -1277,6 +1396,12 @@ ExperimentRegistry make_builtin_registry() {
     registry.add({"faults_composed_deploy", "faults",
                   "quantize->variation->drift deployment chain vs drift",
                   run_composed_deploy});
+    registry.add({"faults_int8_inference", "faults",
+                  "float32 vs int8/int12 fixed-point forward under drift",
+                  run_fixed_point_inference});
+    registry.add({"faults_dac12_deploy", "faults",
+                  "DAC12 12-bit deployment chain, float32 vs int12 forward",
+                  run_dac12_deploy});
     registry.add({"archsearch_fig2_mlp", "archsearch",
                   "joint norm/activation/depth/dropout MLP search vs drift",
                   run_archsearch_mlp, /*checkpointable=*/true});

@@ -52,6 +52,11 @@ struct RunOptions {
     /// knobs above this one shapes the proposal stream, so it is part of
     /// the scenario digest.
     std::string fail_policy = "penalize";
+    /// Numeric mode of the fixed-point inference scenarios
+    /// ("float32" | "int8" | "int12"; nn/quant.hpp, docs/performance.md).
+    /// Scenarios that compare against a fixed-point forward use it to pick
+    /// the word width; "float32" means "the scenario's default width".
+    std::string inference = "float32";
 };
 
 /// One labeled series of an experiment (method or model variant).

@@ -3,6 +3,15 @@
 #include <cmath>
 #include <sstream>
 
+#include "simd/kernels.hpp"
+
+// All perturb() bodies route through the runtime-dispatched SIMD kernel
+// layer (src/simd/kernels.hpp).  The kernels consume randomness through 16
+// deterministic logical lanes derived from the caller's Rng (weight i
+// draws from lane i % 16), advancing the caller's Rng exactly once per
+// perturb — the layout is identical on every dispatch tier, so results
+// are bit-identical whether the scalar, AVX2, AVX-512, or NEON tier runs.
+
 namespace bayesft::fault {
 
 using detail::check_nonneg;
@@ -14,9 +23,8 @@ LogNormalDrift::LogNormalDrift(double sigma) : sigma_(sigma) {
 
 void LogNormalDrift::perturb(std::span<float> weights, Rng& rng) const {
     if (sigma_ == 0.0) return;
-    for (float& w : weights) {
-        w *= static_cast<float>(rng.log_normal(0.0, sigma_));
-    }
+    simd::kernels().lognormal_mul(weights.data(), weights.size(), rng, 0.0F,
+                                  static_cast<float>(sigma_));
 }
 
 std::unique_ptr<FaultModel> LogNormalDrift::clone() const {
@@ -38,9 +46,8 @@ GaussianAdditiveDrift::GaussianAdditiveDrift(double sigma) : sigma_(sigma) {
 void GaussianAdditiveDrift::perturb(std::span<float> weights,
                                     Rng& rng) const {
     if (sigma_ == 0.0) return;
-    for (float& w : weights) {
-        w += static_cast<float>(rng.normal(0.0, sigma_));
-    }
+    simd::kernels().gaussian_add(weights.data(), weights.size(), rng,
+                                 static_cast<float>(sigma_));
 }
 
 std::unique_ptr<FaultModel> GaussianAdditiveDrift::clone() const {
@@ -63,9 +70,9 @@ UniformScaleDrift::UniformScaleDrift(double delta) : delta_(delta) {
 
 void UniformScaleDrift::perturb(std::span<float> weights, Rng& rng) const {
     if (delta_ == 0.0) return;
-    for (float& w : weights) {
-        w *= static_cast<float>(rng.uniform(1.0 - delta_, 1.0 + delta_));
-    }
+    simd::kernels().uniform_scale(weights.data(), weights.size(), rng,
+                                  static_cast<float>(1.0 - delta_),
+                                  static_cast<float>(1.0 + delta_));
 }
 
 std::unique_ptr<FaultModel> UniformScaleDrift::clone() const {
@@ -87,9 +94,8 @@ StuckAtZeroDrift::StuckAtZeroDrift(double probability)
 
 void StuckAtZeroDrift::perturb(std::span<float> weights, Rng& rng) const {
     if (probability_ == 0.0) return;
-    for (float& w : weights) {
-        if (rng.bernoulli(probability_)) w = 0.0F;
-    }
+    simd::kernels().stuck_zero(weights.data(), weights.size(), rng,
+                               probability_);
 }
 
 std::unique_ptr<FaultModel> StuckAtZeroDrift::clone() const {
@@ -112,9 +118,8 @@ SignFlipDrift::SignFlipDrift(double probability) : probability_(probability) {
 
 void SignFlipDrift::perturb(std::span<float> weights, Rng& rng) const {
     if (probability_ == 0.0) return;
-    for (float& w : weights) {
-        if (rng.bernoulli(probability_)) w = -w;
-    }
+    simd::kernels().sign_flip(weights.data(), weights.size(), rng,
+                              probability_);
 }
 
 std::unique_ptr<FaultModel> SignFlipDrift::clone() const {

@@ -33,6 +33,18 @@ namespace bayesft::fault {
 ///    debug builds on every Monte-Carlo evaluation.
 ///  - All randomness comes from the `Rng&` argument; `perturb` is safe to
 ///    call concurrently as long as each thread owns its weights and Rng.
+///  - Draw-stream layout: the stochastic models consume randomness through
+///    the SIMD kernel layer's 16-lane scheme (simd::kLanes) — one split()
+///    of the caller's Rng seeds 16 forked lane streams, and weight i draws
+///    from lane i % 16.  The number of draws per weight is fixed by the
+///    model's parameters, never by the data: 1 round per 16 weights for the
+///    single-draw models, 2 for StuckAt (faulted?, sa1? — always both), 2
+///    per 32 weights for the Box-Muller normal/lognormal models, `bits`
+///    rounds per 16 weights for BitFlip.  This data-independence plus the
+///    per-lane ordering is what keeps results bit-identical across SIMD
+///    dispatch tiers (scalar/AVX2/AVX-512/NEON) and thread counts.  The
+///    identity early-outs (p == 0, sigma == 0, empty span) consume no
+///    draws on every tier.
 /// Thread safety: const member functions are safe to call from multiple
 /// threads simultaneously (the object carries only immutable parameters).
 class FaultModel {

@@ -6,6 +6,13 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "fault/drift.hpp"
+#include "simd/kernels.hpp"
+
+// All perturb() bodies route through the runtime-dispatched SIMD kernel
+// layer (src/simd/kernels.hpp); see src/fault/drift.cpp for the lane
+// layout that keeps results bit-identical across dispatch tiers.
+
 namespace bayesft::fault {
 
 using detail::check_nonneg;
@@ -22,9 +29,7 @@ void check_bits(int bits, const char* who) {
 }
 
 float max_abs(std::span<const float> weights) {
-    float maxabs = 0.0F;
-    for (float w : weights) maxabs = std::max(maxabs, std::fabs(w));
-    return maxabs;
+    return simd::kernels().max_abs(weights.data(), weights.size());
 }
 
 /// Largest positive code of a signed `bits`-bit word.
@@ -58,12 +63,11 @@ void StuckAtFault::perturb(std::span<float> weights, Rng& rng) const {
     if (fraction_ == 0.0) return;
     float magnitude = static_cast<float>(sa1_magnitude_);
     if (magnitude == 0.0F) magnitude = max_abs(weights);
-    for (float& w : weights) {
-        if (!rng.bernoulli(fraction_)) continue;
-        // Faulted cell: SA1 keeps the sign at full-scale conductance, SA0
-        // reads as an open (zero) cell.
-        w = rng.bernoulli(sa1_share_) ? std::copysign(magnitude, w) : 0.0F;
-    }
+    // Faulted cell: SA1 keeps the sign at full-scale conductance, SA0
+    // reads as an open (zero) cell.  Every weight consumes two draws
+    // (faulted?, sa1?) so the stream layout is data-independent.
+    simd::kernels().stuck_at(weights.data(), weights.size(), rng, fraction_,
+                             sa1_share_, magnitude);
 }
 
 std::unique_ptr<FaultModel> StuckAtFault::clone() const {
@@ -91,28 +95,11 @@ BitFlipFault::BitFlipFault(double flip_probability, int bits)
 
 void BitFlipFault::perturb(std::span<float> weights, Rng& rng) const {
     if (flip_probability_ == 0.0) return;
-    const std::int64_t qmax = quant_max(bits_);
-    const std::int64_t qmin = -qmax - 1;
-    const std::uint32_t mask = (std::uint32_t{1} << bits_) - 1;
+    // Quantized two's-complement view; scale == 0 (all-zero span) keeps q
+    // at 0 but still draws, so the stream layout stays span-shaped.
     const float scale = quant_scale(weights, bits_);
-    for (float& w : weights) {
-        // Quantized two's-complement view; scale == 0 (all-zero span) keeps
-        // q at 0 but still draws, so the stream layout stays span-shaped.
-        std::int64_t q =
-            scale > 0.0F ? std::llround(static_cast<double>(w) / scale) : 0;
-        q = std::clamp(q, qmin, qmax);
-        auto u = static_cast<std::uint32_t>(q) & mask;
-        for (int b = 0; b < bits_; ++b) {
-            if (rng.bernoulli(flip_probability_)) {
-                u ^= std::uint32_t{1} << b;
-            }
-        }
-        const std::int64_t flipped =
-            (u >> (bits_ - 1)) != 0
-                ? static_cast<std::int64_t>(u) - (std::int64_t{1} << bits_)
-                : static_cast<std::int64_t>(u);
-        w = scale * static_cast<float>(flipped);
-    }
+    simd::kernels().bit_flip(weights.data(), weights.size(), rng,
+                             flip_probability_, bits_, scale);
 }
 
 std::unique_ptr<FaultModel> BitFlipFault::clone() const {
@@ -141,9 +128,9 @@ void GaussianVariationFault::perturb(std::span<float> weights,
     // mu = -sigma^2/2 makes E[exp(N(mu, sigma^2))] = 1: variation spreads
     // the devices without biasing the mean conductance.
     const double mu = -0.5 * sigma_ * sigma_;
-    for (float& w : weights) {
-        w *= static_cast<float>(rng.log_normal(mu, sigma_));
-    }
+    simd::kernels().lognormal_mul(weights.data(), weights.size(), rng,
+                                  static_cast<float>(mu),
+                                  static_cast<float>(sigma_));
 }
 
 std::unique_ptr<FaultModel> GaussianVariationFault::clone() const {
@@ -169,14 +156,10 @@ QuantizationFault::QuantizationFault(int bits) : bits_(bits) {
 void QuantizationFault::perturb(std::span<float> weights, Rng&) const {
     const float scale = quant_scale(weights, bits_);
     if (scale == 0.0F) return;
-    const std::int64_t qmax = quant_max(bits_);
-    for (float& w : weights) {
-        const std::int64_t q = std::clamp(
-            static_cast<std::int64_t>(
-                std::llround(static_cast<double>(w) / scale)),
-            -qmax, qmax);
-        w = scale * static_cast<float>(q);
-    }
+    // The same rounding/saturation kernel backs the fixed-point forward
+    // pass (nn/quant.hpp), which is what makes the int8/int12 inference
+    // path bit-identical to this fault's quantized view.
+    simd::kernels().quantize(weights.data(), weights.size(), bits_, scale);
 }
 
 std::unique_ptr<FaultModel> QuantizationFault::clone() const {
@@ -191,6 +174,18 @@ std::string QuantizationFault::describe() const {
 
 std::vector<double> QuantizationFault::params() const {
     return {static_cast<double>(bits_)};
+}
+
+// ------------------------------------------------- deployment presets ----
+
+std::unique_ptr<FaultModel> dac12_deploy(double drift_sigma,
+                                         double variation_sigma) {
+    std::vector<std::unique_ptr<FaultModel>> stages;
+    stages.push_back(std::make_unique<QuantizationFault>(12));
+    stages.push_back(
+        std::make_unique<GaussianVariationFault>(variation_sigma));
+    stages.push_back(std::make_unique<LogNormalDrift>(drift_sigma));
+    return std::make_unique<ComposedFault>(std::move(stages));
 }
 
 }  // namespace bayesft::fault

@@ -130,4 +130,17 @@ private:
     int bits_;
 };
 
+/// DAC'12-profile deployment preset: the composed chain
+///   Quantization(12) -> GaussianVariation(variation_sigma)
+///                    -> LogNormalDrift(drift_sigma)
+/// modeling a memristor crossbar programmed through 12-bit DAC/ADC words
+/// (the resolution the paper's hardware model assumes), then subject to
+/// programming variation and memristance drift.  The 12-bit grid is the
+/// same one nn::InferenceMode::kInt12 computes in, so a model evaluated
+/// under this preset with the int12 forward sees a self-consistent
+/// deployment: weights quantized exactly as the fixed-point engine reads
+/// them.  See docs/performance.md and docs/fault-models.md.
+std::unique_ptr<FaultModel> dac12_deploy(double drift_sigma,
+                                         double variation_sigma = 0.2);
+
 }  // namespace bayesft::fault

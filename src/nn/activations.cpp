@@ -1,7 +1,5 @@
 #include "nn/activations.hpp"
 
-#include <cmath>
-#include <numbers>
 #include <sstream>
 #include <stdexcept>
 
@@ -10,7 +8,8 @@ namespace bayesft::nn {
 Tensor Activation::forward(const Tensor& input) {
     cached_input_ = input;
     Tensor out = input;
-    for (float& v : out.values()) v = apply(v);
+    simd::kernels().act_fwd(kind(), out.data(), out.data(), out.size(),
+                            param());
     return out;
 }
 
@@ -19,20 +18,12 @@ Tensor Activation::backward(const Tensor& grad_output) {
         throw std::invalid_argument("Activation::backward: shape mismatch");
     }
     Tensor grad = grad_output;
-    const float* x = cached_input_.data();
-    float* g = grad.data();
-    for (std::size_t i = 0; i < grad.size(); ++i) g[i] *= derivative(x[i]);
+    simd::kernels().act_bwd(kind(), cached_input_.data(), grad.data(),
+                            grad.size(), param());
     return grad;
 }
 
-float ReLU::apply(float x) const { return x > 0.0F ? x : 0.0F; }
-float ReLU::derivative(float x) const { return x > 0.0F ? 1.0F : 0.0F; }
-
 LeakyReLU::LeakyReLU(float negative_slope) : slope_(negative_slope) {}
-float LeakyReLU::apply(float x) const { return x > 0.0F ? x : slope_ * x; }
-float LeakyReLU::derivative(float x) const {
-    return x > 0.0F ? 1.0F : slope_;
-}
 std::string LeakyReLU::name() const {
     std::ostringstream os;
     os << "LeakyReLU(" << slope_ << ")";
@@ -40,42 +31,10 @@ std::string LeakyReLU::name() const {
 }
 
 ELU::ELU(float alpha) : alpha_(alpha) {}
-float ELU::apply(float x) const {
-    return x > 0.0F ? x : alpha_ * (std::exp(x) - 1.0F);
-}
-float ELU::derivative(float x) const {
-    return x > 0.0F ? 1.0F : alpha_ * std::exp(x);
-}
 std::string ELU::name() const {
     std::ostringstream os;
     os << "ELU(" << alpha_ << ")";
     return os.str();
-}
-
-float GELU::apply(float x) const {
-    const float cdf =
-        0.5F * (1.0F + std::erf(x / std::numbers::sqrt2_v<float>));
-    return x * cdf;
-}
-float GELU::derivative(float x) const {
-    const float cdf =
-        0.5F * (1.0F + std::erf(x / std::numbers::sqrt2_v<float>));
-    const float pdf =
-        std::exp(-0.5F * x * x) /
-        std::sqrt(2.0F * std::numbers::pi_v<float>);
-    return cdf + x * pdf;
-}
-
-float Sigmoid::apply(float x) const { return 1.0F / (1.0F + std::exp(-x)); }
-float Sigmoid::derivative(float x) const {
-    const float s = apply(x);
-    return s * (1.0F - s);
-}
-
-float Tanh::apply(float x) const { return std::tanh(x); }
-float Tanh::derivative(float x) const {
-    const float t = std::tanh(x);
-    return 1.0F - t * t;
 }
 
 std::unique_ptr<Module> make_activation(const std::string& kind) {

@@ -4,20 +4,24 @@
 // analytic derivatives.
 
 #include "nn/module.hpp"
+#include "simd/kernels.hpp"
 
 namespace bayesft::nn {
 
-/// Common base: caches the forward input for the backward pass.
+/// Common base: caches the forward input for the backward pass.  The
+/// elementwise loops run through the runtime-dispatched SIMD kernels
+/// (simd::kernels().act_fwd / act_bwd); a subclass only names its kernel
+/// via kind() and supplies the scalar parameter via param().
 class Activation : public Module {
 public:
     Tensor forward(const Tensor& input) final;
     Tensor backward(const Tensor& grad_output) final;
 
 protected:
-    /// f(x), applied elementwise.
-    virtual float apply(float x) const = 0;
-    /// f'(x), applied elementwise.
-    virtual float derivative(float x) const = 0;
+    /// Which elementwise kernel implements this activation.
+    virtual simd::Act kind() const = 0;
+    /// The kernel's scalar parameter (leaky slope / ELU alpha).
+    virtual float param() const { return 0.0F; }
 
     /// Helper for subclass clone(): carries the train/eval flag over.
     std::unique_ptr<Module> copy_flags(std::unique_ptr<Activation> c) const {
@@ -37,8 +41,7 @@ public:
     std::string name() const override { return "ReLU"; }
 
 protected:
-    float apply(float x) const override;
-    float derivative(float x) const override;
+    simd::Act kind() const override { return simd::Act::kRelu; }
 };
 
 class LeakyReLU : public Activation {
@@ -50,8 +53,8 @@ public:
     std::string name() const override;
 
 protected:
-    float apply(float x) const override;
-    float derivative(float x) const override;
+    simd::Act kind() const override { return simd::Act::kLeakyRelu; }
+    float param() const override { return slope_; }
 
 private:
     float slope_;
@@ -66,8 +69,8 @@ public:
     std::string name() const override;
 
 protected:
-    float apply(float x) const override;
-    float derivative(float x) const override;
+    simd::Act kind() const override { return simd::Act::kElu; }
+    float param() const override { return alpha_; }
 
 private:
     float alpha_;
@@ -82,8 +85,7 @@ public:
     std::string name() const override { return "GELU"; }
 
 protected:
-    float apply(float x) const override;
-    float derivative(float x) const override;
+    simd::Act kind() const override { return simd::Act::kGelu; }
 };
 
 class Sigmoid : public Activation {
@@ -94,8 +96,7 @@ public:
     std::string name() const override { return "Sigmoid"; }
 
 protected:
-    float apply(float x) const override;
-    float derivative(float x) const override;
+    simd::Act kind() const override { return simd::Act::kSigmoid; }
 };
 
 class Tanh : public Activation {
@@ -106,8 +107,7 @@ public:
     std::string name() const override { return "Tanh"; }
 
 protected:
-    float apply(float x) const override;
-    float derivative(float x) const override;
+    simd::Act kind() const override { return simd::Act::kTanh; }
 };
 
 /// Names usable from configuration strings: "relu", "leaky_relu", "elu",

@@ -1,7 +1,10 @@
 #pragma once
 // Convolution and pooling layers for [N, C, H, W] tensors.
 
+#include <cstdint>
+
 #include "nn/module.hpp"
+#include "nn/quant.hpp"
 #include "tensor/ops.hpp"
 #include "utils/rng.hpp"
 
@@ -9,7 +12,13 @@ namespace bayesft::nn {
 
 /// 2-d convolution via im2col + matrix product.
 /// Weight layout: [out_channels, in_channels * kh * kw]; bias: [out_channels].
-class Conv2d : public Module {
+///
+/// Fixed-point capable: under InferenceMode::kInt8 / kInt12 the forward
+/// quantizes the weights and the input per-tensor to signed codes, unfolds
+/// the code image (im2col_into<int16_t>), and accumulates the products in
+/// integers (simd qgemm_nt); see nn/quant.hpp.  Backward always
+/// differentiates the float path.
+class Conv2d : public Module, public FixedPointCapable {
 public:
     Conv2d(std::size_t in_channels, std::size_t out_channels,
            std::size_t kernel, std::size_t stride, std::size_t pad, Rng& rng);
@@ -19,6 +28,9 @@ public:
     void collect_parameters(std::vector<Parameter*>& out) override;
     std::unique_ptr<Module> clone() const override;
     std::string name() const override;
+
+    void set_inference_mode(InferenceMode mode) override { mode_ = mode; }
+    InferenceMode inference_mode() const override { return mode_; }
 
     Parameter& weight() { return weight_; }
     Parameter& bias() { return bias_; }
@@ -31,6 +43,7 @@ private:
     Conv2d(const Conv2d& other, CloneTag);
 
     ConvGeometry geometry_for(const Tensor& input) const;
+    Tensor forward_fixed_point(const Tensor& input);
 
     std::size_t in_channels_;
     std::size_t out_channels_;
@@ -40,12 +53,19 @@ private:
     Parameter weight_;
     Parameter bias_;
     Tensor cached_input_;
+    InferenceMode mode_ = InferenceMode::kFloat32;
     // Persistent batched-im2col/GEMM scratch, grown on demand and reused
     // across calls so the hot path allocates nothing per batch.
     std::vector<float> cols_scratch_;    // [patch, group*positions]
     std::vector<float> gemm_scratch_;    // [out_channels, group*positions]
     std::vector<float> grad_scratch_;    // backward: grad slab [OC, group*P]
     std::vector<float> colsT_scratch_;   // backward: cols^T [group*P, patch]
+    // Fixed-point scratch: per-tensor codes of W and the input image, plus
+    // the unfolded / transposed code matrices.
+    std::vector<std::int16_t> weight_codes_;   // [OC, patch]
+    std::vector<std::int16_t> input_codes_;    // [N, C, H, W]
+    std::vector<std::int16_t> cols_codes_;     // [patch, group*positions]
+    std::vector<std::int16_t> colsT_codes_;    // [group*positions, patch]
 };
 
 /// Max pooling with square window; stores argmax indices for backward.

@@ -1,9 +1,11 @@
 #include "nn/linear.hpp"
 
+#include <cstdint>
 #include <sstream>
 #include <stdexcept>
 
 #include "nn/init.hpp"
+#include "simd/kernels.hpp"
 #include "tensor/ops.hpp"
 
 namespace bayesft::nn {
@@ -26,8 +28,50 @@ Tensor Linear::forward(const Tensor& input) {
                                     shape_to_string(input.shape()));
     }
     cached_input_ = input;
+    if (mode_ != InferenceMode::kFloat32) return forward_fixed_point(input);
     Tensor out = matmul_nt(input, weight_.value);  // [N, out]
     const std::size_t n = out.dim(0);
+    for (std::size_t i = 0; i < n; ++i) {
+        float* row = out.data() + i * out_features_;
+        for (std::size_t j = 0; j < out_features_; ++j) {
+            row[j] += bias_.value[j];
+        }
+    }
+    return out;
+}
+
+Tensor Linear::forward_fixed_point(const Tensor& input) {
+    const auto& kt = simd::kernels();
+    const int bits = inference_bits(mode_);
+    const float qmax =
+        static_cast<float>((std::int32_t{1} << (bits - 1)) - 1);
+    // Dynamic per-tensor symmetric scales: the weight grid is exactly
+    // QuantizationFault(bits)'s view of W (same max|.| / quantize kernel).
+    const float s_w =
+        kt.max_abs(weight_.value.data(), weight_.value.size()) / qmax;
+    const float s_x = kt.max_abs(input.data(), input.size()) / qmax;
+    const std::size_t n = input.dim(0);
+    Tensor out({n, out_features_});
+    if (s_w == 0.0F || s_x == 0.0F) {
+        // An all-zero operand quantizes to all-zero codes: y = b.
+        for (std::size_t i = 0; i < n; ++i) {
+            float* row = out.data() + i * out_features_;
+            for (std::size_t j = 0; j < out_features_; ++j) {
+                row[j] = bias_.value[j];
+            }
+        }
+        return out;
+    }
+    weight_codes_.resize(weight_.value.size());
+    input_codes_.resize(input.size());
+    kt.quantize_codes(weight_.value.data(), weight_codes_.data(),
+                      weight_.value.size(), bits, s_w);
+    kt.quantize_codes(input.data(), input_codes_.data(), input.size(), bits,
+                      s_x);
+    // y = (s_w * s_x) * codes(x) @ codes(W)^T — W:[out, in] is already the
+    // transposed operand qgemm_nt expects.
+    kt.qgemm_nt(input_codes_.data(), weight_codes_.data(), out.data(), n,
+                in_features_, out_features_, s_w * s_x);
     for (std::size_t i = 0; i < n; ++i) {
         float* row = out.data() + i * out_features_;
         for (std::size_t j = 0; j < out_features_; ++j) {
@@ -64,7 +108,8 @@ Linear::Linear(const Linear& other, CloneTag)
     : in_features_(other.in_features_),
       out_features_(other.out_features_),
       weight_(other.weight_),
-      bias_(other.bias_) {
+      bias_(other.bias_),
+      mode_(other.mode_) {
     training_ = other.training_;
 }
 

@@ -1,13 +1,22 @@
 #pragma once
 // Fully-connected layer.
 
+#include <cstdint>
+#include <vector>
+
 #include "nn/module.hpp"
+#include "nn/quant.hpp"
 #include "utils/rng.hpp"
 
 namespace bayesft::nn {
 
 /// y = x W^T + b for x:[N, in], W:[out, in], b:[out].
-class Linear : public Module {
+///
+/// Fixed-point capable: under InferenceMode::kInt8 / kInt12 the forward
+/// quantizes W and x per-tensor to signed codes and accumulates the
+/// product in integers (simd qgemm_nt); see nn/quant.hpp for the exact
+/// semantics.  Backward always differentiates the float path.
+class Linear : public Module, public FixedPointCapable {
 public:
     /// Xavier-uniform initialized weights, zero bias.
     Linear(std::size_t in_features, std::size_t out_features, Rng& rng);
@@ -17,6 +26,9 @@ public:
     void collect_parameters(std::vector<Parameter*>& out) override;
     std::unique_ptr<Module> clone() const override;
     std::string name() const override;
+
+    void set_inference_mode(InferenceMode mode) override { mode_ = mode; }
+    InferenceMode inference_mode() const override { return mode_; }
 
     std::size_t in_features() const { return in_features_; }
     std::size_t out_features() const { return out_features_; }
@@ -29,11 +41,18 @@ private:
     struct CloneTag {};
     Linear(const Linear& other, CloneTag);
 
+    Tensor forward_fixed_point(const Tensor& input);
+
     std::size_t in_features_;
     std::size_t out_features_;
     Parameter weight_;
     Parameter bias_;
     Tensor cached_input_;
+    InferenceMode mode_ = InferenceMode::kFloat32;
+    // Fixed-point scratch (codes of W and x), grown on demand and reused
+    // across calls.
+    std::vector<std::int16_t> weight_codes_;
+    std::vector<std::int16_t> input_codes_;
 };
 
 }  // namespace bayesft::nn

@@ -1,0 +1,138 @@
+// Runtime tier selection for the SIMD kernel layer: one dispatch point,
+// consulted lazily on first use, overridable via BAYESFT_SIMD (see
+// kernels.hpp and docs/performance.md).
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "simd/kernels.hpp"
+
+namespace bayesft::simd {
+
+// Per-tier table getters, defined in the per-ISA translation units.
+// A getter returns nullptr when its tier was not compiled in.
+const KernelTable* tier_table_scalar();
+const KernelTable* tier_table_avx2();
+const KernelTable* tier_table_avx512();
+const KernelTable* tier_table_neon();
+
+namespace {
+
+bool cpu_supports(Tier tier) {
+    switch (tier) {
+        case Tier::kScalar:
+            return true;
+#if defined(__x86_64__) || defined(_M_X64)
+        case Tier::kAvx2:
+            return __builtin_cpu_supports("avx2") &&
+                   __builtin_cpu_supports("fma");
+        case Tier::kAvx512:
+            return __builtin_cpu_supports("avx512f") &&
+                   __builtin_cpu_supports("avx512bw") &&
+                   __builtin_cpu_supports("avx512dq");
+#endif
+#if defined(__aarch64__)
+        case Tier::kNeon:
+            return true;  // aarch64 mandates Advanced SIMD
+#endif
+        default:
+            return false;
+    }
+}
+
+const KernelTable* table_if_available(Tier tier) {
+    if (!cpu_supports(tier)) return nullptr;
+    switch (tier) {
+        case Tier::kScalar:
+            return tier_table_scalar();
+        case Tier::kAvx2:
+            return tier_table_avx2();
+        case Tier::kAvx512:
+            return tier_table_avx512();
+        case Tier::kNeon:
+            return tier_table_neon();
+    }
+    return nullptr;
+}
+
+Tier best_tier() {
+    if (table_if_available(Tier::kAvx512) != nullptr) return Tier::kAvx512;
+    if (table_if_available(Tier::kAvx2) != nullptr) return Tier::kAvx2;
+    if (table_if_available(Tier::kNeon) != nullptr) return Tier::kNeon;
+    return Tier::kScalar;
+}
+
+Tier parse_env_tier(const std::string& value) {
+    if (value == "native") return best_tier();
+    if (value == "scalar") return Tier::kScalar;
+    if (value == "avx2") return Tier::kAvx2;
+    if (value == "avx512") return Tier::kAvx512;
+    if (value == "neon") return Tier::kNeon;
+    throw std::invalid_argument(
+        "BAYESFT_SIMD: unknown tier '" + value +
+        "' (expected scalar|avx2|avx512|neon|native)");
+}
+
+Tier select_initial_tier() {
+    const char* env = std::getenv("BAYESFT_SIMD");
+    if (env != nullptr && *env != '\0') {
+        const Tier tier = parse_env_tier(env);
+        if (table_if_available(tier) == nullptr) {
+            throw std::runtime_error(
+                std::string("BAYESFT_SIMD=") + env +
+                ": tier unavailable on this build/CPU");
+        }
+        return tier;
+    }
+    return best_tier();
+}
+
+Tier& current_tier() {
+    static Tier tier = select_initial_tier();
+    return tier;
+}
+
+}  // namespace
+
+const KernelTable& kernels() { return *table_if_available(current_tier()); }
+
+const KernelTable* kernels_for(Tier tier) {
+    return table_if_available(tier);
+}
+
+Tier active_tier() { return current_tier(); }
+
+bool tier_available(Tier tier) {
+    return table_if_available(tier) != nullptr;
+}
+
+const char* tier_name(Tier tier) {
+    switch (tier) {
+        case Tier::kScalar:
+            return "scalar";
+        case Tier::kAvx2:
+            return "avx2";
+        case Tier::kAvx512:
+            return "avx512";
+        case Tier::kNeon:
+            return "neon";
+    }
+    return "?";
+}
+
+TierOverride::TierOverride(Tier tier) {
+    if (table_if_available(tier) == nullptr) {
+        throw std::runtime_error(std::string("TierOverride: tier '") +
+                                 tier_name(tier) +
+                                 "' unavailable on this build/CPU");
+    }
+    previous_ = current_tier();
+    had_previous_ = true;
+    current_tier() = tier;
+}
+
+TierOverride::~TierOverride() {
+    if (had_previous_) current_tier() = previous_;
+}
+
+}  // namespace bayesft::simd

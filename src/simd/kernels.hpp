@@ -1,0 +1,146 @@
+#pragma once
+// Runtime-dispatched SIMD kernel layer (docs/performance.md).
+//
+// Every hot elementwise / GEMM loop in the library routes through the
+// function-pointer table returned by `kernels()`.  The table is selected
+// once per process from the CPU's capabilities, overridable with
+//   BAYESFT_SIMD = scalar | avx2 | avx512 | neon | native
+// ("native" = best tier this build + CPU supports; unknown values and
+// tiers the CPU cannot run raise std::invalid_argument / runtime_error).
+//
+// Bit-exactness contract: for identical inputs (including the Rng state),
+// every kernel produces bit-identical results on every tier.  This holds
+// by construction — all tiers instantiate the same generic kernel
+// templates (simd/kernels_generic.inc) over a backend description
+// (simd/vec_backends.inc) whose operations are all correctly-rounded IEEE
+// ops (add/sub/mul/div/fma/sqrt), and every SIMD translation unit is
+// compiled with -ffp-contract=off so the scalar tier fuses exactly where
+// the vector tiers do (explicit std::fma) and nowhere else.
+// tests/test_simd.cpp pins the contract for every fault model, every
+// activation, and GEMM tail shapes.
+//
+// RNG stream layout: the fault kernels consume randomness through
+// kLanes = 16 deterministic logical lanes derived from the caller's Rng
+// (see LaneStates in vec_backends.inc); weight i draws from lane i % 16.
+// The layout is part of each fault model's documented determinism
+// contract (src/fault/model.hpp) and is identical on every tier — the
+// scalar tier simulates the same 16 lanes round-robin.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "utils/rng.hpp"
+
+namespace bayesft::simd {
+
+/// Dispatch tiers, ordered by preference ("native" picks the highest
+/// available).  kNeon only exists on aarch64 builds, kAvx2/kAvx512 only
+/// on x86-64 builds; kScalar always exists.
+enum class Tier { kScalar = 0, kAvx2 = 1, kAvx512 = 2, kNeon = 3 };
+
+/// Activation kinds understood by the elementwise activation kernels
+/// (mirrors the nn:: activation classes; `param` carries the leaky slope
+/// or the ELU alpha, 0 otherwise).
+enum class Act { kRelu = 0, kLeakyRelu, kElu, kGelu, kSigmoid, kTanh };
+
+/// Number of logical RNG lanes every fault kernel uses, on every tier.
+/// Fixed so the draw layout (and therefore every perturbation) is
+/// independent of the vector width actually executing.
+inline constexpr std::size_t kLanes = 16;
+
+/// The dispatch table.  All pointers are non-null in a constructed table.
+struct KernelTable {
+    const char* name;  ///< "scalar" | "avx2" | "avx512" | "neon"
+
+    // -- fault / drift elementwise kernels (w[i] updated in place) -------
+    /// w *= exp(mu + sigma * z), z ~ N(0,1) (lognormal factor).
+    void (*lognormal_mul)(float* w, std::size_t n, Rng& rng, float mu,
+                          float sigma);
+    /// w += sigma * z, z ~ N(0,1).
+    void (*gaussian_add)(float* w, std::size_t n, Rng& rng, float sigma);
+    /// w *= lo + (hi - lo) * u, u ~ U[0,1).
+    void (*uniform_scale)(float* w, std::size_t n, Rng& rng, float lo,
+                          float hi);
+    /// With prob `fraction`: stuck-at-one (prob `sa1_share`: w =
+    /// copysign(magnitude, w)) else stuck-at-zero (w = 0).
+    void (*stuck_at)(float* w, std::size_t n, Rng& rng, double fraction,
+                     double sa1_share, float magnitude);
+    /// Quantize to `bits` signed symmetric grid with step `scale`, flip
+    /// each of the low `bits` code bits independently with prob `p`,
+    /// sign-extend, dequantize.
+    void (*bit_flip)(float* w, std::size_t n, Rng& rng, double p, int bits,
+                     float scale);
+    /// With prob p: w = 0.
+    void (*stuck_zero)(float* w, std::size_t n, Rng& rng, double p);
+    /// With prob p: w = -w.
+    void (*sign_flip)(float* w, std::size_t n, Rng& rng, double p);
+
+    // -- deterministic quantization kernels ------------------------------
+    /// w = scale * clamp(round_half_away(w / scale), -qmax, qmax),
+    /// qmax = 2^(bits-1) - 1.  scale > 0.
+    void (*quantize)(float* w, std::size_t n, int bits, float scale);
+    /// Same rounding/saturation, but emits the integer codes instead of
+    /// dequantizing — the fixed-point forward pass input (nn/quant.hpp).
+    void (*quantize_codes)(const float* w, std::int16_t* codes,
+                           std::size_t n, int bits, float scale);
+    /// max |w[i]| (0 for empty spans).
+    float (*max_abs)(const float* w, std::size_t n);
+
+    // -- elementwise activations ----------------------------------------
+    /// y[i] = f(x[i]); in-place (y == x) allowed.
+    void (*act_fwd)(Act kind, const float* x, float* y, std::size_t n,
+                    float param);
+    /// g[i] *= f'(x[i]).
+    void (*act_bwd)(Act kind, const float* x, float* g, std::size_t n,
+                    float param);
+
+    // -- GEMM ------------------------------------------------------------
+    /// C (+)= A · B on row-major blocks: A is m×k (leading dim lda), B is
+    /// k×n (ldb), C is m×n (ldc).  `accumulate` false overwrites C (no
+    /// pre-zero needed).  Per-element summation order is fixed (ascending
+    /// k within kGemmKc panels) and identical across tiers.
+    void (*gemm_f32)(const float* a, std::size_t lda, const float* b,
+                     std::size_t ldb, float* c, std::size_t ldc,
+                     std::size_t m, std::size_t k, std::size_t n,
+                     bool accumulate);
+    /// Fixed-point GEMM on quantized codes: c[i*n+j] =
+    /// float(sum_k a[i*k..]·b[j*k..]) * scale (B is pre-transposed —
+    /// rows of B are the n dot-product operands, matmul_nt layout).
+    /// Integer accumulation is exact, so all tiers agree bit-exactly.
+    void (*qgemm_nt)(const std::int16_t* a, const std::int16_t* b,
+                     float* c, std::size_t m, std::size_t k, std::size_t n,
+                     float scale);
+};
+
+/// The active table (env/CPU selected, cached after the first call).
+/// Throws std::invalid_argument for an unparsable BAYESFT_SIMD value and
+/// std::runtime_error when the requested tier is unavailable.
+const KernelTable& kernels();
+
+/// A specific tier's table, or nullptr when this build/CPU lacks it.
+const KernelTable* kernels_for(Tier tier);
+
+/// Tier backing `kernels()` right now.
+Tier active_tier();
+
+/// True when `kernels_for(tier)` would be non-null.
+bool tier_available(Tier tier);
+
+const char* tier_name(Tier tier);
+
+/// Test hook: forces `kernels()` to the given tier until the override is
+/// destroyed (throws std::runtime_error if unavailable).  Not thread-safe
+/// against concurrent kernel lookups — tests only.
+class TierOverride {
+public:
+    explicit TierOverride(Tier tier);
+    ~TierOverride();
+    TierOverride(const TierOverride&) = delete;
+    TierOverride& operator=(const TierOverride&) = delete;
+
+private:
+    Tier previous_;
+    bool had_previous_;
+};
+
+}  // namespace bayesft::simd

@@ -1,29 +1,37 @@
 #pragma once
-// Register-blocked, cache-tiled, thread-parallel GEMM kernel shared by the
-// float tensor ops (tensor/ops.cpp) and the double GP linear algebra
-// (linalg/matrix.cpp).
+// Cache-tiled, thread-parallel GEMM shared by the float tensor ops
+// (tensor/ops.cpp) and the double GP linear algebra (linalg/matrix.cpp).
 //
 // Layout: all operands are dense row-major with explicit leading dimensions.
-// The kernel computes C += A @ B.  The micro-kernel keeps a kGemmMr x kGemmNr
-// accumulator tile in registers (the compiler fully unrolls the fixed-bound
-// loops and maps the tile to vector registers), streams a k-panel of B
-// through it, and writes C back once per panel — O(k / kGemmKc) C traffic
-// instead of the O(k) of a naive saxpy formulation.
 //
-// Tile geometry is chosen per ISA so the accumulator tile fits the register
-// file: 8x32 floats is 16 zmm on AVX-512, 6x16 floats is 12 ymm on AVX2,
-// 4x16 floats is 16 xmm on baseline x86-64 / other targets.  (Geometry only
-// affects speed; results are identical.)
+// Two paths share the blocked/tiled outer structure:
+//   float  — the register-tile microkernel lives in the runtime-dispatched
+//            SIMD layer (src/simd/kernels.hpp, gemm_f32).  The tier is
+//            picked per process (BAYESFT_SIMD=scalar|avx2|avx512|neon|
+//            native); explicit-intrinsic tiles are 8x32 floats in 16 zmm
+//            on AVX-512, 6x16 in 12 ymm on AVX2, 6x8 on NEON, and a 4x2
+//            std::fma tile on the scalar reference tier.  gemm_f32 also
+//            takes an `accumulate` flag: false overwrites C in the first
+//            k-panel, so callers producing a fresh output skip the
+//            pre-zero pass entirely.
+//   double — the portable gemm_block template below; the compiler unrolls
+//            the fixed-bound kGemmMr x kGemmNr accumulator tile.
+//
+// Both stream k-panels of depth kGemmKc through the accumulators and write
+// C back once per panel — O(k / kGemmKc) C traffic instead of the O(k) of
+// a naive saxpy formulation.
 //
 // Determinism: for every element C[i][j] the k-summation order is fixed
-// (ascending within a panel, panels ascending) no matter how the i/j ranges
-// are split across threads, and the parallel driver below splits only on
-// kGemmMr/kGemmNr-aligned boundaries so each element always takes the same
-// code path.  Results are therefore bit-identical for any thread count.
+// (ascending within a panel, panels ascending) and, on the float path,
+// every product-add is exactly one fma on every tier — so results are
+// bit-identical for any thread count, any split, and any dispatch tier
+// (tile geometry never affects the per-element operation sequence).
 
 #include <algorithm>
 #include <cstddef>
+#include <type_traits>
 
+#include "simd/kernels.hpp"
 #include "utils/parallel.hpp"
 
 namespace bayesft::detail {
@@ -141,34 +149,75 @@ inline std::size_t round_up(std::size_t value, std::size_t unit) {
     return ((value + unit - 1) / unit) * unit;
 }
 
-/// C[0:m, 0:n] += A[0:m, 0:k] @ B[0:k, 0:n] using the global thread pool.
-/// Splits C into row panels (or column panels when the matrix is wide and
-/// short, as in the batched-conv GEMM) on tile-aligned boundaries.
-template <typename T>
-void gemm_parallel(const T* a, std::size_t lda, const T* b, std::size_t ldb,
-                   T* c, std::size_t ldc, std::size_t m, std::size_t k,
-                   std::size_t n) {
-    if (m == 0 || n == 0 || k == 0) return;
+/// Float driver over the SIMD-dispatched microkernel: C (+)= A @ B using
+/// the global thread pool.  `accumulate` false overwrites C (including
+/// zero-filling it when k == 0).  Splits are pure row/column partitions of
+/// C, so the per-element arithmetic — and therefore the result bits — are
+/// independent of the thread count.
+inline void gemm_parallel_f32(const float* a, std::size_t lda, const float* b,
+                              std::size_t ldb, float* c, std::size_t ldc,
+                              std::size_t m, std::size_t k, std::size_t n,
+                              bool accumulate) {
+    if (m == 0 || n == 0) return;
+    const auto& kt = simd::kernels();
     const std::size_t threads = parallel_thread_count();
     // Below ~64^3 fused multiply-adds the dispatch overhead dominates.
     if (threads == 1 || m * n * k < (std::size_t{1} << 18)) {
-        gemm_block(a, lda, b, ldb, c, ldc, m, k, n);
+        kt.gemm_f32(a, lda, b, ldb, c, ldc, m, k, n, accumulate);
         return;
     }
     if (m >= n) {
         const std::size_t grain = round_up(
             std::max<std::size_t>(kGemmMr, m / (threads * 4)), kGemmMr);
         parallel_for(0, m, grain, [&](std::size_t lo, std::size_t hi) {
-            gemm_block(a + lo * lda, lda, b, ldb, c + lo * ldc, ldc, hi - lo,
-                       k, n);
+            kt.gemm_f32(a + lo * lda, lda, b, ldb, c + lo * ldc, ldc,
+                        hi - lo, k, n, accumulate);
         });
     } else {
-        constexpr std::size_t kNr = kGemmNr<T>;
+        constexpr std::size_t kNr = kGemmNr<float>;
         const std::size_t grain =
             round_up(std::max<std::size_t>(kNr, n / (threads * 4)), kNr);
         parallel_for(0, n, grain, [&](std::size_t lo, std::size_t hi) {
-            gemm_block(a, lda, b + lo, ldb, c + lo, ldc, m, k, hi - lo);
+            kt.gemm_f32(a, lda, b + lo, ldb, c + lo, ldc, m, k, hi - lo,
+                        accumulate);
         });
+    }
+}
+
+/// C[0:m, 0:n] += A[0:m, 0:k] @ B[0:k, 0:n] using the global thread pool.
+/// Splits C into row panels (or column panels when the matrix is wide and
+/// short, as in the batched-conv GEMM) on tile-aligned boundaries.  The
+/// float instantiation routes to the SIMD-dispatched microkernel.
+template <typename T>
+void gemm_parallel(const T* a, std::size_t lda, const T* b, std::size_t ldb,
+                   T* c, std::size_t ldc, std::size_t m, std::size_t k,
+                   std::size_t n) {
+    if constexpr (std::is_same_v<T, float>) {
+        gemm_parallel_f32(a, lda, b, ldb, c, ldc, m, k, n, true);
+        return;
+    } else {
+        if (m == 0 || n == 0 || k == 0) return;
+        const std::size_t threads = parallel_thread_count();
+        // Below ~64^3 fused multiply-adds the dispatch overhead dominates.
+        if (threads == 1 || m * n * k < (std::size_t{1} << 18)) {
+            gemm_block(a, lda, b, ldb, c, ldc, m, k, n);
+            return;
+        }
+        if (m >= n) {
+            const std::size_t grain = round_up(
+                std::max<std::size_t>(kGemmMr, m / (threads * 4)), kGemmMr);
+            parallel_for(0, m, grain, [&](std::size_t lo, std::size_t hi) {
+                gemm_block(a + lo * lda, lda, b, ldb, c + lo * ldc, ldc,
+                           hi - lo, k, n);
+            });
+        } else {
+            constexpr std::size_t kNr = kGemmNr<T>;
+            const std::size_t grain =
+                round_up(std::max<std::size_t>(kNr, n / (threads * 4)), kNr);
+            parallel_for(0, n, grain, [&](std::size_t lo, std::size_t hi) {
+                gemm_block(a, lda, b + lo, ldb, c + lo, ldc, m, k, hi - lo);
+            });
+        }
     }
 }
 

@@ -40,6 +40,17 @@ void gemm_accumulate(const float* a, const float* b, float* c, std::size_t m,
     detail::gemm_parallel(a, k, b, n, c, n, m, k, n);
 }
 
+namespace {
+
+/// C = A @ B (overwrite): skips the read-modify-write of the accumulate
+/// form for ops that produce a fresh output.
+void gemm_overwrite(const float* a, const float* b, float* c, std::size_t m,
+                    std::size_t k, std::size_t n) {
+    detail::gemm_parallel_f32(a, k, b, n, c, n, m, k, n, false);
+}
+
+}  // namespace
+
 Tensor matmul(const Tensor& a, const Tensor& b) {
     require_rank2(a, "matmul(a)");
     require_rank2(b, "matmul(b)");
@@ -50,7 +61,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
                                     shape_to_string(b.shape()));
     }
     Tensor c({m, n});
-    gemm_accumulate(a.data(), b.data(), c.data(), m, k, n);
+    gemm_overwrite(a.data(), b.data(), c.data(), m, k, n);
     return c;
 }
 
@@ -68,7 +79,7 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
     Tensor at({m, k});
     transpose_into(a.data(), k, m, at.data());
     Tensor c({m, n});
-    gemm_accumulate(at.data(), b.data(), c.data(), m, k, n);
+    gemm_overwrite(at.data(), b.data(), c.data(), m, k, n);
     return c;
 }
 
@@ -84,7 +95,7 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
     Tensor bt({k, n});
     transpose_into(b.data(), n, k, bt.data());
     Tensor c({m, n});
-    gemm_accumulate(a.data(), bt.data(), c.data(), m, k, n);
+    gemm_overwrite(a.data(), bt.data(), c.data(), m, k, n);
     return c;
 }
 
@@ -112,37 +123,7 @@ void im2col(const float* image, const ConvGeometry& g, float* out) {
 
 void im2col(const float* image, const ConvGeometry& g, float* out,
             std::size_t out_stride) {
-    const std::size_t oh = g.out_h(), ow = g.out_w();
-    const std::size_t cols = out_stride;
-    std::size_t row = 0;
-    for (std::size_t c = 0; c < g.channels; ++c) {
-        const float* plane = image + c * g.in_h * g.in_w;
-        for (std::size_t ky = 0; ky < g.kernel_h; ++ky) {
-            for (std::size_t kx = 0; kx < g.kernel_w; ++kx, ++row) {
-                float* dst = out + row * cols;
-                for (std::size_t oy = 0; oy < oh; ++oy) {
-                    // Signed because padding can place the window off-image.
-                    const std::ptrdiff_t iy =
-                        static_cast<std::ptrdiff_t>(oy * g.stride + ky) -
-                        static_cast<std::ptrdiff_t>(g.pad);
-                    const bool y_ok =
-                        iy >= 0 && iy < static_cast<std::ptrdiff_t>(g.in_h);
-                    for (std::size_t ox = 0; ox < ow; ++ox) {
-                        const std::ptrdiff_t ix =
-                            static_cast<std::ptrdiff_t>(ox * g.stride + kx) -
-                            static_cast<std::ptrdiff_t>(g.pad);
-                        const bool x_ok =
-                            ix >= 0 && ix < static_cast<std::ptrdiff_t>(g.in_w);
-                        dst[oy * ow + ox] =
-                            (y_ok && x_ok)
-                                ? plane[static_cast<std::size_t>(iy) * g.in_w +
-                                        static_cast<std::size_t>(ix)]
-                                : 0.0F;
-                    }
-                }
-            }
-        }
-    }
+    im2col_into(image, g, out, out_stride);
 }
 
 void col2im(const float* cols_mat, const ConvGeometry& g, float* image_grad) {

@@ -3,7 +3,9 @@
 // (the workhorses behind Conv2d), and row-wise reductions used by losses and
 // accuracy computation.
 
+#include <algorithm>
 #include <cstddef>
+#include <cstring>
 #include <vector>
 
 #include "tensor/tensor.hpp"
@@ -34,6 +36,24 @@ Tensor transpose(const Tensor& a);
 /// Cache-blocked raw-buffer transpose: dst[j, i] = src[i, j] for src:[m,n].
 void transpose_into(const float* src, std::size_t m, std::size_t n,
                     float* dst);
+
+/// Element-type-generic variant of transpose_into (same tiling); used by
+/// the fixed-point conv path to transpose int16 code matrices.
+template <typename T>
+void transpose_into_t(const T* src, std::size_t m, std::size_t n, T* dst) {
+    constexpr std::size_t kTile = 32;
+    for (std::size_t i0 = 0; i0 < m; i0 += kTile) {
+        const std::size_t i1 = std::min(m, i0 + kTile);
+        for (std::size_t j0 = 0; j0 < n; j0 += kTile) {
+            const std::size_t j1 = std::min(n, j0 + kTile);
+            for (std::size_t i = i0; i < i1; ++i) {
+                for (std::size_t j = j0; j < j1; ++j) {
+                    dst[j * m + i] = src[i * n + j];
+                }
+            }
+        }
+    }
+}
 
 /// Geometry of a 2-d convolution / pooling window sweep.
 struct ConvGeometry {
@@ -66,6 +86,83 @@ void im2col(const float* image, const ConvGeometry& g, float* out);
 /// sample s occupying the column slice starting at s*out_h*out_w.
 void im2col(const float* image, const ConvGeometry& g, float* out,
             std::size_t out_stride);
+
+/// Generic unfold behind both im2col overloads, templated on the element
+/// type so the fixed-point forward pass (nn/quant.hpp) can unfold int16
+/// quantized codes with the same geometry.  For stride == 1 the valid
+/// input columns of each output row form one contiguous span, so the
+/// inner loop collapses to zero-fill / memcpy / zero-fill — this is the
+/// vectorized packing path; stride > 1 falls back to the gather loop.
+template <typename T>
+void im2col_into(const T* image, const ConvGeometry& g, T* out,
+                 std::size_t out_stride) {
+    const std::size_t oh = g.out_h(), ow = g.out_w();
+    const std::ptrdiff_t in_h = static_cast<std::ptrdiff_t>(g.in_h);
+    const std::ptrdiff_t in_w = static_cast<std::ptrdiff_t>(g.in_w);
+    std::size_t row = 0;
+    for (std::size_t c = 0; c < g.channels; ++c) {
+        const T* plane = image + c * g.in_h * g.in_w;
+        for (std::size_t ky = 0; ky < g.kernel_h; ++ky) {
+            for (std::size_t kx = 0; kx < g.kernel_w; ++kx, ++row) {
+                T* dst = out + row * out_stride;
+                if (g.stride == 1) {
+                    // ix = ox + kx - pad: valid ox span is [x_lo, x_hi).
+                    const std::ptrdiff_t x_off =
+                        static_cast<std::ptrdiff_t>(kx) -
+                        static_cast<std::ptrdiff_t>(g.pad);
+                    const std::size_t x_lo = std::min(
+                        ow, x_off < 0 ? static_cast<std::size_t>(-x_off)
+                                      : std::size_t{0});
+                    const std::ptrdiff_t hi = in_w - x_off;
+                    const std::size_t x_hi =
+                        hi <= static_cast<std::ptrdiff_t>(x_lo)
+                            ? x_lo
+                            : std::min(ow, static_cast<std::size_t>(hi));
+                    for (std::size_t oy = 0; oy < oh; ++oy) {
+                        const std::ptrdiff_t iy =
+                            static_cast<std::ptrdiff_t>(oy + ky) -
+                            static_cast<std::ptrdiff_t>(g.pad);
+                        T* drow = dst + oy * ow;
+                        if (iy < 0 || iy >= in_h) {
+                            std::fill(drow, drow + ow, T{});
+                            continue;
+                        }
+                        std::fill(drow, drow + x_lo, T{});
+                        if (x_hi > x_lo) {
+                            std::memcpy(
+                                drow + x_lo,
+                                plane + static_cast<std::size_t>(iy) * g.in_w +
+                                    static_cast<std::size_t>(
+                                        static_cast<std::ptrdiff_t>(x_lo) +
+                                        x_off),
+                                (x_hi - x_lo) * sizeof(T));
+                        }
+                        std::fill(drow + x_hi, drow + ow, T{});
+                    }
+                    continue;
+                }
+                for (std::size_t oy = 0; oy < oh; ++oy) {
+                    // Signed because padding can place the window off-image.
+                    const std::ptrdiff_t iy =
+                        static_cast<std::ptrdiff_t>(oy * g.stride + ky) -
+                        static_cast<std::ptrdiff_t>(g.pad);
+                    const bool y_ok = iy >= 0 && iy < in_h;
+                    for (std::size_t ox = 0; ox < ow; ++ox) {
+                        const std::ptrdiff_t ix =
+                            static_cast<std::ptrdiff_t>(ox * g.stride + kx) -
+                            static_cast<std::ptrdiff_t>(g.pad);
+                        const bool x_ok = ix >= 0 && ix < in_w;
+                        dst[oy * ow + ox] =
+                            (y_ok && x_ok)
+                                ? plane[static_cast<std::size_t>(iy) * g.in_w +
+                                        static_cast<std::size_t>(ix)]
+                                : T{};
+                    }
+                }
+            }
+        }
+    }
+}
 
 /// Adjoint of im2col: folds the column matrix back, accumulating into
 /// `image_grad` (which must be pre-zeroed by the caller when appropriate).

@@ -450,7 +450,7 @@ TEST(FaultRegistry, EveryFaultsScenarioRunsQuick) {
             }
         }
     }
-    EXPECT_EQ(found, 8U);  // the registered fault-family scenarios
+    EXPECT_EQ(found, 10U);  // the registered fault-family scenarios
 }
 
 }  // namespace

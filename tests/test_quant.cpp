@@ -1,0 +1,377 @@
+// The fixed-point inference path (nn/quant.hpp): the int8/int12 forward of
+// Linear and Conv2d must be bit-identical to an integer reference built on
+// QuantizationFault's quantized view — same grid, same rounding, same
+// saturation — plus the mode plumbing around it (tree walker, scoped
+// restore, clone inheritance, objective digest compatibility, registry
+// scenarios, CLI name parsing).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "core/objective.hpp"
+#include "core/registry.hpp"
+#include "fault/zoo.hpp"
+#include "nn/activations.hpp"
+#include "nn/conv.hpp"
+#include "nn/linear.hpp"
+#include "nn/module.hpp"
+#include "nn/quant.hpp"
+#include "simd/kernels.hpp"
+#include "tensor/tensor.hpp"
+#include "utils/rng.hpp"
+
+namespace bayesft::nn {
+namespace {
+
+float qmax_of(int bits) {
+    return static_cast<float>((std::int64_t{1} << (bits - 1)) - 1);
+}
+
+/// Quantized codes of a float span on the QuantizationFault grid.
+std::vector<std::int16_t> codes_of(const std::vector<float>& v, int bits,
+                                   float* scale_out) {
+    const auto& kt = simd::kernels();
+    const float scale = kt.max_abs(v.data(), v.size()) / qmax_of(bits);
+    *scale_out = scale;
+    std::vector<std::int16_t> codes(v.size());
+    if (scale != 0.0F) {
+        kt.quantize_codes(v.data(), codes.data(), v.size(), bits, scale);
+    }
+    return codes;
+}
+
+bool bits_equal(const std::vector<float>& a, const std::vector<float>& b) {
+    return a.size() == b.size() &&
+           (a.empty() ||
+            std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0);
+}
+
+// ----------------------------------------------------- mode name round ----
+
+TEST(InferenceMode, NamesBitsAndParsingRoundTrip) {
+    for (const InferenceMode m : {InferenceMode::kFloat32,
+                                  InferenceMode::kInt8,
+                                  InferenceMode::kInt12}) {
+        EXPECT_EQ(parse_inference_mode(inference_mode_name(m)), m);
+    }
+    EXPECT_EQ(inference_bits(InferenceMode::kFloat32), 0);
+    EXPECT_EQ(inference_bits(InferenceMode::kInt8), 8);
+    EXPECT_EQ(inference_bits(InferenceMode::kInt12), 12);
+    EXPECT_THROW(parse_inference_mode("int7"), std::invalid_argument);
+    EXPECT_THROW(parse_inference_mode(""), std::invalid_argument);
+}
+
+// ------------------------------------- quantized view == fault's view ----
+
+/// The load-bearing identity: dequantized weight codes (codes * scale) are
+/// bit-identical to the weights QuantizationFault produces.  This is what
+/// makes "run the int-b forward" the same experiment as "evaluate the
+/// b-bit quantized deployment".
+TEST(QuantView, DequantizedCodesMatchQuantizationFaultBitExactly) {
+    Rng rng(11);
+    for (const int bits : {8, 12}) {
+        std::vector<float> w(257);
+        for (auto& v : w) v = static_cast<float>(rng.uniform(-1.5, 1.5));
+        w[0] = 0.0F;
+
+        std::vector<float> faulted = w;
+        Rng fault_rng(0);
+        fault::QuantizationFault(bits).perturb(faulted, fault_rng);
+
+        float scale = 0.0F;
+        const auto codes = codes_of(w, bits, &scale);
+        std::vector<float> dequant(w.size());
+        for (std::size_t i = 0; i < w.size(); ++i) {
+            dequant[i] = static_cast<float>(codes[i]) * scale;
+        }
+        EXPECT_TRUE(bits_equal(faulted, dequant)) << "bits=" << bits;
+    }
+}
+
+// -------------------------------------------------------- Linear path ----
+
+TEST(QuantLinear, FixedPointForwardMatchesIntegerReference) {
+    Rng rng(21);
+    Linear layer(7, 5, rng);
+    Rng data_rng(22);
+    const Tensor input = Tensor::randn({3, 7}, data_rng);
+
+    for (const InferenceMode mode :
+         {InferenceMode::kInt8, InferenceMode::kInt12}) {
+        const int bits = inference_bits(mode);
+        const std::vector<float> w(
+            layer.weight().value.data(),
+            layer.weight().value.data() + layer.weight().value.size());
+        const std::vector<float> x(input.data(),
+                                   input.data() + input.size());
+
+        float s_w = 0.0F, s_x = 0.0F;
+        const auto wc = codes_of(w, bits, &s_w);
+        const auto xc = codes_of(x, bits, &s_x);
+        const float scale = s_w * s_x;
+
+        // Reference mirrors the layer exactly: one float rounding per
+        // output from the int64 dot product, then the bias add.
+        std::vector<float> ref(3 * 5);
+        for (std::size_t i = 0; i < 3; ++i) {
+            for (std::size_t j = 0; j < 5; ++j) {
+                std::int64_t acc = 0;
+                for (std::size_t kk = 0; kk < 7; ++kk) {
+                    acc += static_cast<std::int64_t>(xc[i * 7 + kk]) *
+                           static_cast<std::int64_t>(wc[j * 7 + kk]);
+                }
+                float v = static_cast<float>(acc) * scale;
+                v += layer.bias().value.data()[j];
+                ref[i * 5 + j] = v;
+            }
+        }
+
+        layer.set_inference_mode(mode);
+        const Tensor out = layer.forward(input);
+        ASSERT_EQ(out.size(), ref.size());
+        const std::vector<float> got(out.data(), out.data() + out.size());
+        EXPECT_TRUE(bits_equal(ref, got)) << inference_mode_name(mode);
+    }
+    layer.set_inference_mode(InferenceMode::kFloat32);
+}
+
+TEST(QuantLinear, Int12TracksFloatCloserThanInt8) {
+    Rng rng(31);
+    Linear layer(16, 8, rng);
+    Rng data_rng(32);
+    const Tensor input = Tensor::randn({10, 16}, data_rng);
+
+    const Tensor f32 = layer.forward(input);
+    layer.set_inference_mode(InferenceMode::kInt8);
+    const Tensor i8 = layer.forward(input);
+    layer.set_inference_mode(InferenceMode::kInt12);
+    const Tensor i12 = layer.forward(input);
+
+    double err8 = 0.0, err12 = 0.0;
+    for (std::size_t i = 0; i < f32.size(); ++i) {
+        err8 = std::max(err8,
+                        std::abs(double(i8.data()[i]) - f32.data()[i]));
+        err12 = std::max(err12,
+                         std::abs(double(i12.data()[i]) - f32.data()[i]));
+    }
+    EXPECT_GT(err8, 0.0);  // quantization really happened
+    EXPECT_LE(err12, err8);
+}
+
+TEST(QuantLinear, AllZeroWeightsFallBackToBias) {
+    Rng rng(41);
+    Linear layer(4, 3, rng);
+    std::fill_n(layer.weight().value.data(), layer.weight().value.size(),
+                0.0F);
+    layer.bias().value.data()[0] = 0.5F;
+    layer.bias().value.data()[1] = -0.25F;
+    layer.bias().value.data()[2] = 2.0F;
+
+    layer.set_inference_mode(InferenceMode::kInt8);
+    Rng data_rng(42);
+    const Tensor out = layer.forward(Tensor::randn({2, 4}, data_rng));
+    for (std::size_t i = 0; i < 2; ++i) {
+        EXPECT_EQ(out.data()[i * 3 + 0], 0.5F);
+        EXPECT_EQ(out.data()[i * 3 + 1], -0.25F);
+        EXPECT_EQ(out.data()[i * 3 + 2], 2.0F);
+    }
+}
+
+// -------------------------------------------------------- Conv2d path ----
+
+TEST(QuantConv, FixedPointForwardMatchesIntegerReference) {
+    Rng rng(51);
+    const std::size_t C = 2, OC = 3, K = 3, H = 5, W = 5, N = 2;
+    Conv2d conv(C, OC, K, /*stride=*/1, /*pad=*/1, rng);
+    Rng data_rng(52);
+    const Tensor input = Tensor::randn({N, C, H, W}, data_rng);
+
+    const int bits = 8;
+    const std::vector<float> w(
+        conv.weight().value.data(),
+        conv.weight().value.data() + conv.weight().value.size());
+    const std::vector<float> x(input.data(), input.data() + input.size());
+    float s_w = 0.0F, s_x = 0.0F;
+    const auto wc = codes_of(w, bits, &s_w);
+    const auto xc = codes_of(x, bits, &s_x);
+    const float scale = s_w * s_x;
+
+    // Direct convolution over the integer codes (padding reads code 0).
+    std::vector<float> ref(N * OC * H * W);
+    for (std::size_t s = 0; s < N; ++s) {
+        for (std::size_t oc = 0; oc < OC; ++oc) {
+            for (std::size_t oy = 0; oy < H; ++oy) {
+                for (std::size_t ox = 0; ox < W; ++ox) {
+                    std::int64_t acc = 0;
+                    for (std::size_t c = 0; c < C; ++c) {
+                        for (std::size_t ky = 0; ky < K; ++ky) {
+                            for (std::size_t kx = 0; kx < K; ++kx) {
+                                const std::ptrdiff_t iy =
+                                    std::ptrdiff_t(oy + ky) - 1;
+                                const std::ptrdiff_t ix =
+                                    std::ptrdiff_t(ox + kx) - 1;
+                                if (iy < 0 || iy >= std::ptrdiff_t(H) ||
+                                    ix < 0 || ix >= std::ptrdiff_t(W)) {
+                                    continue;
+                                }
+                                const std::size_t xi =
+                                    ((s * C + c) * H + iy) * W + ix;
+                                const std::size_t wi =
+                                    ((oc * C + c) * K + ky) * K + kx;
+                                acc += std::int64_t(xc[xi]) *
+                                       std::int64_t(wc[wi]);
+                            }
+                        }
+                    }
+                    float v = static_cast<float>(acc) * scale;
+                    v += conv.bias().value.data()[oc];
+                    ref[((s * OC + oc) * H + oy) * W + ox] = v;
+                }
+            }
+        }
+    }
+
+    conv.set_inference_mode(InferenceMode::kInt8);
+    const Tensor out = conv.forward(input);
+    ASSERT_EQ(out.size(), ref.size());
+    const std::vector<float> got(out.data(), out.data() + out.size());
+    EXPECT_TRUE(bits_equal(ref, got));
+}
+
+// --------------------------------------------------- mode plumbing ----
+
+std::unique_ptr<Sequential> small_mlp(Rng& rng) {
+    auto net = std::make_unique<Sequential>();
+    net->emplace<Linear>(6, 8, rng);
+    net->emplace<ReLU>();
+    net->emplace<Linear>(8, 3, rng);
+    return net;
+}
+
+TEST(QuantMode, WalkerSetsEveryCapableLayer) {
+    Rng rng(61);
+    auto net = small_mlp(rng);
+    EXPECT_EQ(set_inference_mode(*net, InferenceMode::kInt8), 2U);
+
+    std::vector<Module*> children;
+    net->collect_children(children);
+    std::size_t capable = 0;
+    for (Module* m : children) {
+        if (auto* fp = dynamic_cast<FixedPointCapable*>(m)) {
+            ++capable;
+            EXPECT_EQ(fp->inference_mode(), InferenceMode::kInt8);
+        }
+    }
+    EXPECT_EQ(capable, 2U);
+    set_inference_mode(*net, InferenceMode::kFloat32);
+}
+
+TEST(QuantMode, ScopedModeRestoresPreviousPerLayerModes) {
+    Rng rng(62);
+    auto net = small_mlp(rng);
+    std::vector<Module*> children;
+    net->collect_children(children);
+    auto* first = dynamic_cast<FixedPointCapable*>(children.front());
+    ASSERT_NE(first, nullptr);
+    first->set_inference_mode(InferenceMode::kInt12);  // heterogeneous
+
+    {
+        ScopedInferenceMode scoped(*net, InferenceMode::kInt8);
+        for (Module* m : children) {
+            if (auto* fp = dynamic_cast<FixedPointCapable*>(m)) {
+                EXPECT_EQ(fp->inference_mode(), InferenceMode::kInt8);
+            }
+        }
+    }
+    EXPECT_EQ(first->inference_mode(), InferenceMode::kInt12);
+    auto* last = dynamic_cast<FixedPointCapable*>(children.back());
+    ASSERT_NE(last, nullptr);
+    EXPECT_EQ(last->inference_mode(), InferenceMode::kFloat32);
+}
+
+TEST(QuantMode, CloneCarriesInferenceMode) {
+    Rng rng(63);
+    Linear layer(5, 4, rng);
+    layer.set_inference_mode(InferenceMode::kInt12);
+    const auto copy = layer.clone();
+    auto* fp = dynamic_cast<FixedPointCapable*>(copy.get());
+    ASSERT_NE(fp, nullptr);
+    EXPECT_EQ(fp->inference_mode(), InferenceMode::kInt12);
+
+    Conv2d conv(1, 2, 3, 1, 1, rng);
+    conv.set_inference_mode(InferenceMode::kInt8);
+    const auto conv_copy = conv.clone();
+    auto* conv_fp = dynamic_cast<FixedPointCapable*>(conv_copy.get());
+    ASSERT_NE(conv_fp, nullptr);
+    EXPECT_EQ(conv_fp->inference_mode(), InferenceMode::kInt8);
+}
+
+TEST(QuantMode, SequentialForwardUsesFixedPointLayers) {
+    // End to end: the quantized net's output differs from float32 but by
+    // no more than the quantization grid would suggest.
+    Rng rng(64);
+    auto net = small_mlp(rng);
+    Rng data_rng(65);
+    const Tensor input = Tensor::randn({4, 6}, data_rng);
+    const Tensor f32 = net->forward(input);
+    ScopedInferenceMode scoped(*net, InferenceMode::kInt8);
+    const Tensor i8 = net->forward(input);
+    ASSERT_EQ(i8.size(), f32.size());
+    bool any_diff = false;
+    for (std::size_t i = 0; i < f32.size(); ++i) {
+        const double d = std::abs(double(i8.data()[i]) - f32.data()[i]);
+        EXPECT_LT(d, 0.15) << "int8 output drifted implausibly far";
+        any_diff = any_diff || d > 0.0;
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+// ----------------------------------------- objective digest + registry ----
+
+TEST(QuantObjective, DigestUnchangedForFloat32AndForksForFixedPoint) {
+    core::ObjectiveConfig base;
+    const std::uint64_t d_default = core::objective_digest(base);
+
+    core::ObjectiveConfig f32 = base;
+    f32.inference = InferenceMode::kFloat32;
+    EXPECT_EQ(core::objective_digest(f32), d_default)
+        << "float32 must not perturb pre-existing digests";
+
+    core::ObjectiveConfig i8 = base;
+    i8.inference = InferenceMode::kInt8;
+    core::ObjectiveConfig i12 = base;
+    i12.inference = InferenceMode::kInt12;
+    EXPECT_NE(core::objective_digest(i8), d_default);
+    EXPECT_NE(core::objective_digest(i12), d_default);
+    EXPECT_NE(core::objective_digest(i8), core::objective_digest(i12));
+}
+
+TEST(QuantRegistry, FixedPointScenariosAreRegistered) {
+    const auto& registry = core::ExperimentRegistry::instance();
+    for (const char* name :
+         {"faults_int8_inference", "faults_dac12_deploy"}) {
+        const auto* spec = registry.find(name);
+        ASSERT_NE(spec, nullptr) << name;
+        EXPECT_EQ(spec->family, "faults");
+        EXPECT_FALSE(spec->description.empty());
+    }
+}
+
+TEST(QuantFault, Dac12DeployIsComposedQuantizeVariationDrift) {
+    const auto model = fault::dac12_deploy(0.4);
+    ASSERT_NE(model, nullptr);
+    const std::string desc = model->describe();
+    EXPECT_NE(desc.find("Quantization(bits=12)"), std::string::npos) << desc;
+    EXPECT_NE(desc.find("GaussianVariation"), std::string::npos) << desc;
+    // Drift sigma is the composed chain's last stage parameter.
+    EXPECT_NE(desc.find("0.4"), std::string::npos) << desc;
+}
+
+}  // namespace
+}  // namespace bayesft::nn
