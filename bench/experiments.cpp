@@ -45,6 +45,10 @@ void print_usage() {
         "  --quick           shrink datasets/epochs for a smoke run\n"
         "  --batch <q>       BayesFT candidate batch size (default 1)\n"
         "  --threads <n>     thread budget (sets BAYESFT_NUM_THREADS)\n"
+        "  --workers <n>     farm candidate evaluations to n forked worker\n"
+        "                    processes (self-contained searches only:\n"
+        "                    archsearch_* and toy_arch_blobs; result-\n"
+        "                    invariant; docs/distributed.md)\n"
         "  --seed <s>        override the scenario base seed\n"
         "  --repeat <n>      re-run each scenario with n distinct seeds and\n"
         "                    add mean/stddev aggregate records to the JSON\n"
@@ -137,6 +141,7 @@ void append_to_store(const std::string& runs_dir,
     base.build = core::build_stamp();
     base.batch = std::max<std::size_t>(1, options.batch);
     base.threads = parallel_thread_count();
+    base.workers = options.workers;
     base.quick = options.quick;
 
     std::set<std::uint64_t> stored_trials;
@@ -271,6 +276,8 @@ int main(int argc, char** argv) {
             options.batch = need_number(i, "--batch");
         } else if (arg == "--threads") {
             options.threads = need_number(i, "--threads");
+        } else if (arg == "--workers") {
+            options.workers = need_number(i, "--workers");
         } else if (arg == "--seed") {
             options.seed = need_number(i, "--seed");
         } else if (arg == "--repeat") {
@@ -421,6 +428,35 @@ int main(int argc, char** argv) {
                          "supported by the fig3 classification panels, "
                          "faults_fig3a_*, archsearch_*, and toy\n";
             return 2;
+        }
+    }
+
+    if (options.workers != 0) {
+        // Fail-fast probes for --workers (docs/distributed.md): the flag
+        // must never be a silent no-op or silently change semantics.
+        if (repeat > 1) {
+            std::cerr << "experiments: --workers cannot be combined with "
+                         "--repeat (one worker pool per search; repeated "
+                         "seeds would interleave their pools)\n";
+            return 2;
+        }
+        if (options.isolate) {
+            std::cerr << "experiments: --workers cannot be combined with "
+                         "--isolate (workers already run in child "
+                         "processes; pick one execution model)\n";
+            return 2;
+        }
+        for (const std::string& name : names) {
+            const core::ExperimentSpec* spec = registry.find(name);
+            if (spec != nullptr && !spec->distributable) {
+                std::cerr << "experiments: scenario '" << name
+                          << "' cannot be distributed (its search evolves "
+                             "model weights that cannot cross the worker "
+                             "pipe); --workers is supported by the "
+                             "self-contained searches: archsearch_* and "
+                             "toy_arch_blobs\n";
+                return 2;
+            }
         }
     }
 

@@ -423,6 +423,66 @@ void bench_search_throughput() {
     }
 }
 
+void bench_search_distributed() {
+    if (!want("search_distributed")) return;
+    // Self-contained candidate evaluation vs worker count: the coordinator
+    // farms evaluate_points batches to w forked workers over the pipe
+    // protocol (docs/distributed.md); w=0 is the in-process path.  Every
+    // worker count evaluates the same candidates, so ns/candidate directly
+    // shows the fork/pipe overhead against the parallel win.  The engine
+    // (and so its worker pool) lives across the timing iterations — a real
+    // search forks its workers once, not per batch.
+    Rng data_rng(31);
+    const auto blobs = data::make_blobs(192, 3, 4.0, 0.4, data_rng);
+    Rng split_rng(32);
+    const auto parts = data::split(blobs, 0.3, split_rng);
+
+    nn::TrainConfig epoch_config;
+    epoch_config.epochs = 1;
+    core::ObjectiveConfig objective;
+    objective.sigmas = {0.4};
+    objective.mc_samples = 1;
+    const core::PointEvaluator evaluator = [&](const core::Alpha& encoded,
+                                               Rng& r) {
+        models::MlpOptions options;
+        options.input_features = 2;
+        options.hidden = 24;
+        options.hidden_layers = 2;
+        options.classes = 3;
+        options.dropout = models::DropoutKind::kStandard;
+        options.initial_dropout_rate =
+            encoded.empty() ? 0.0 : encoded.front();
+        models::ModelHandle model = models::make_mlp(options, r);
+        nn::train_classifier(*model.net, parts.train.images,
+                             parts.train.labels, epoch_config, r);
+        return core::drift_utility(*model.net, parts.test.images,
+                                   parts.test.labels, objective, r);
+    };
+
+    constexpr std::size_t kCandidates = 8;
+    std::vector<core::Alpha> points;
+    Rng point_rng(33);
+    for (std::size_t i = 0; i < kCandidates; ++i) {
+        points.push_back({point_rng.uniform(0.0, 0.5)});
+    }
+    core::EvalContext context;
+    context.key = 34;
+
+    for (const std::size_t w : {0UL, 1UL, 2UL, 4UL}) {
+        core::EngineConfig config;
+        // The memo cache would serve every iteration after the first from
+        // memory; the point here is the live evaluation path.
+        config.cache = false;
+        config.workers = w;
+        core::EvaluationEngine engine(config);
+        const double ns = time_ns(
+            [&] { engine.evaluate_points(points, evaluator, context); }, 2);
+        report("search_distributed", "w" + std::to_string(w),
+               parallel_thread_count(),
+               ns / static_cast<double>(kCandidates), 0.0);
+    }
+}
+
 void bench_suggest_throughput() {
     if (!want("suggest_throughput_vs_dims")) return;
     // GP proposal cost over typed mixed spaces: one BayesOpt per dimension
@@ -535,6 +595,7 @@ int main(int argc, char** argv) {
     bench_fault_injection();
     bench_mc_evaluation();
     bench_search_throughput();
+    bench_search_distributed();
     bench_suggest_throughput();
     write_json(json_path);
     std::cout << "wrote " << json_path << " (" << g_records.size()

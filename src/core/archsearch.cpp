@@ -55,6 +55,7 @@ ArchSearchResult arch_search(const models::ArchFamily& family,
 
     EngineConfig engine_config;
     engine_config.threads = config.eval_threads;
+    engine_config.workers = config.workers;
     engine_config.resilience = config.resilience;
     EvaluationEngine engine(engine_config);
     // The context digests everything a candidate's utility depends on

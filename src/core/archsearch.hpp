@@ -50,6 +50,13 @@ struct ArchSearchConfig {
     std::size_t batch = 1;
     /// Concurrency of the candidate evaluations (0 = pool width).
     std::size_t eval_threads = 0;
+    /// Distributed evaluation (docs/distributed.md): farm candidate
+    /// evaluations to this many forked worker processes (0 = in-process).
+    /// Result-invariant like eval_threads — the search outcome is
+    /// bit-identical for every worker count — and therefore excluded from
+    /// the scenario digest, so a run checkpointed at one worker count
+    /// resumes exactly at another.
+    std::size_t workers = 0;
     /// Fault-tolerant trial execution (docs/robustness.md).  Candidates
     /// are self-contained, so `isolate` forks each live evaluation into a
     /// crash-isolated child here; results are bit-identical with and

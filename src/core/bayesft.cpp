@@ -147,10 +147,12 @@ BayesFTResult run_search(
     EngineConfig engine_config;
     engine_config.threads = config.eval_threads;
     engine_config.resilience = config.resilience;
-    // Crash isolation never applies here (evolving theta cannot cross the
-    // child pipe); the in-process guards — timeout classification, retries
-    // with state rollback, quarantine — carry the fault tolerance.
+    // Crash isolation and distributed workers never apply here (evolving
+    // theta cannot cross a child pipe); the in-process guards — timeout
+    // classification, retries with state rollback, quarantine — carry the
+    // fault tolerance.
     engine_config.resilience.isolate = false;
+    engine_config.workers = 0;
     EvaluationEngine engine(engine_config);
     // Alg. 1 lines 5-9 for one candidate: continue training theta under the
     // candidate dropout configuration, then score the Monte-Carlo

@@ -9,6 +9,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "core/attempt.hpp"
+#include "core/distrib.hpp"
 #include "core/persist.hpp"
 #include "core/runstore.hpp"
 #include "utils/logging.hpp"
@@ -52,11 +54,12 @@ double elapsed_seconds(std::chrono::steady_clock::time_point start) {
         .count();
 }
 
-/// Deterministic retry backoff: a pure function of the candidate seed and
-/// the attempt index (never wall-clock randomness — the delay must not
-/// become a covert source of nondeterminism in the trial log).  Linear in
-/// the attempt number with a +-50% seed-derived jitter so retry storms
-/// across a batch decorrelate.
+}  // namespace
+
+// --- shared attempt/retry policy (core/attempt.hpp) ------------------------
+// Used by all three evaluation paths: in-process here, the crash-isolated
+// children below, and the distributed worker pool (core/distrib.cpp).
+
 std::chrono::microseconds backoff_duration(const ResilienceConfig& resilience,
                                            std::uint64_t candidate_seed,
                                            std::uint64_t attempt) {
@@ -76,23 +79,11 @@ void backoff_sleep(const ResilienceConfig& resilience,
     if (delay.count() > 0) std::this_thread::sleep_for(delay);
 }
 
-struct AttemptResult {
-    double utility = kNaN;
-    TrialStatus status = TrialStatus::kOk;
-};
-
-/// One guarded in-process evaluation attempt: applies the (seeded, pure)
-/// chaos decision, absorbs evaluator exceptions, classifies non-finite
-/// results, and applies the post-hoc wall-clock deadline.  In-process the
-/// deadline cannot preempt a stuck evaluator — that needs --isolate, where
-/// the child is SIGKILLed; here an injected hang sleeps just past the
-/// deadline and is then classified, which is what the timeout tests
-/// exercise without a fork.
-template <typename RunEval>
 AttemptResult guarded_attempt(const fault::ChaosSpec& chaos,
                               const ResilienceConfig& resilience,
                               std::uint64_t candidate_seed,
-                              std::uint64_t attempt, RunEval&& run) {
+                              std::uint64_t attempt,
+                              const std::function<double()>& run) {
     const fault::ChaosAction action =
         fault::chaos_decide(chaos, candidate_seed, attempt);
     if (action == fault::ChaosAction::kCrash) {
@@ -124,18 +115,11 @@ AttemptResult guarded_attempt(const fault::ChaosSpec& chaos,
     return {utility, TrialStatus::kOk};
 }
 
-/// Bounded-retry wrapper around guarded_attempt, starting at
-/// `first_attempt` (> 0 when an isolated attempt already failed and the
-/// spawn watchdog handed the candidate back to in-process execution).
-/// Each retry rolls fresh chaos dice (the attempt index is folded into the
-/// decision) but replays the identical candidate stream, so a recovered
-/// trial is bit-identical to one that never failed.
-template <typename RunEval>
 AttemptResult evaluate_with_retries(const fault::ChaosSpec& chaos,
                                     const ResilienceConfig& resilience,
                                     std::uint64_t candidate_seed,
                                     std::uint64_t first_attempt,
-                                    RunEval&& run) {
+                                    const std::function<double()>& run) {
     AttemptResult result;
     for (std::uint64_t attempt = first_attempt;; ++attempt) {
         result = guarded_attempt(chaos, resilience, candidate_seed, attempt,
@@ -148,8 +132,6 @@ AttemptResult evaluate_with_retries(const fault::ChaosSpec& chaos,
     }
     return result;
 }
-
-}  // namespace
 
 std::uint64_t candidate_seed(const EvalContext& context, const Alpha& point) {
     std::uint64_t h = mix_key(context.key, context.stamp);
@@ -190,6 +172,8 @@ std::size_t EvaluationEngine::CacheKeyHash::operator()(
 }
 
 EvaluationEngine::EvaluationEngine(EngineConfig config) : config_(config) {}
+
+EvaluationEngine::~EvaluationEngine() = default;
 
 BatchOutcome EvaluationEngine::evaluate_batch(
     models::ModelHandle& model, const std::vector<Alpha>& alphas,
@@ -465,6 +449,29 @@ BatchOutcome EvaluationEngine::evaluate_points(
         !live.empty()) {
         evaluate_points_isolated(points, evaluator, context, live, outcome);
         isolated = true;
+    } else if (config_.workers > 0 && !distribution_disabled_ &&
+               !live.empty()) {
+        // Distributed evaluation (docs/distributed.md): the pool forks
+        // once and persists across batches; it binds this call's
+        // evaluator, so callers must keep the evaluator stable for the
+        // engine's lifetime (self-contained searches do).
+        if (!pool_) {
+            WorkerPool::Config pool_config;
+            pool_config.workers = config_.workers;
+            pool_config.resilience = config_.resilience;
+            pool_config.chaos = config_.chaos;
+            pool_ = std::make_unique<WorkerPool>(pool_config, evaluator);
+        }
+        if (pool_->degraded()) {
+            distribution_disabled_ = true;
+        } else {
+            pool_->evaluate(points, live, context, outcome);
+            isolated = true;
+            // A mid-batch watchdog trip still completed this batch (the
+            // pool finishes stranded jobs in-process); later batches skip
+            // the pool entirely.
+            if (pool_->degraded()) distribution_disabled_ = true;
+        }
     }
 #endif
     if (!isolated && !live.empty()) {

@@ -78,6 +78,18 @@ struct EngineConfig {
     /// BAYESFT_CHAOS at config construction (all-zero, i.e. off, when the
     /// variable is unset).
     fault::ChaosSpec chaos = fault::ChaosSpec::from_env();
+    /// Distributed evaluation (docs/distributed.md): fork this many
+    /// persistent worker processes and farm self-contained point
+    /// evaluations to them over the run-store wire protocol.  0 evaluates
+    /// in-process (the default); >= 1 always exercises the worker path,
+    /// so `workers = 1` already proves the pipe protocol.  Like `threads`
+    /// this is result-invariant — the search outcome is bit-identical for
+    /// every worker count.  Only evaluate_points supports it (the
+    /// evaluator must be stable across calls and candidates must be
+    /// self-contained); evaluate_batch ignores it.  Deliberately last: the
+    /// existing aggregate initializations {threads, cache, ...} must keep
+    /// their meaning.
+    std::size_t workers = 0;
 };
 
 /// Identifies the evaluation environment for caching and RNG derivation.
@@ -118,9 +130,13 @@ struct BatchOutcome {
     std::size_t cache_hits = 0;
 };
 
+class WorkerPool;
+
 class EvaluationEngine {
 public:
     explicit EvaluationEngine(EngineConfig config = {});
+    // Out of line: the worker pool is an incomplete type here.
+    ~EvaluationEngine();
 
     /// Evaluates `alphas` against the current state of `model`.
     ///
@@ -171,6 +187,12 @@ public:
     /// (ResilienceConfig::isolate is ignored from then on).
     bool isolation_degraded() const { return isolation_disabled_; }
 
+    /// True once the worker pool's spawn watchdog tripped: repeated
+    /// worker-spawn failures permanently degraded this engine back to
+    /// in-process evaluation (EngineConfig::workers is ignored from then
+    /// on).  Results are unchanged either way.
+    bool distribution_degraded() const { return distribution_disabled_; }
+
 private:
     /// Forked-child evaluation of the `live` candidate indices (the
     /// crash-isolation path of evaluate_points): one child per attempt,
@@ -208,6 +230,13 @@ private:
     // at the threshold, isolation is disabled for the rest of the run.
     std::size_t spawn_failures_ = 0;
     bool isolation_disabled_ = false;
+    // Distributed evaluation (docs/distributed.md): the pool of persistent
+    // forked workers, created lazily on the first distributed
+    // evaluate_points call (binding that call's evaluator) and kept for
+    // the engine's lifetime; disabled for the rest of the run when the
+    // pool's spawn watchdog trips.
+    std::unique_ptr<WorkerPool> pool_;
+    bool distribution_disabled_ = false;
 };
 
 }  // namespace bayesft::core

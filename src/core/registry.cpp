@@ -1001,6 +1001,7 @@ RegistryResult run_archsearch(
 
     search_config.batch = std::max<std::size_t>(1, options.batch);
     search_config.eval_threads = options.threads;
+    search_config.workers = options.workers;
     search_config.checkpoint.path = options.checkpoint;
     search_config.checkpoint.stop_after = options.stop_after;
     search_config.resilience = resilience_from(options);
@@ -1148,6 +1149,42 @@ RegistryResult run_archsearch_stn(const RunOptions& options) {
             return std::make_unique<fault::LogNormalDrift>(level);
         },
         config, options, 212);
+}
+
+/// CI-sized self-contained search: a tiny MLP family on synthetic blobs,
+/// swept over drift.  Seconds-fast even unquick, so the worker-matrix and
+/// chaos smokes (docs/distributed.md) can afford byte-diffing full runs
+/// at several worker counts.
+RegistryResult run_toy_arch(const RunOptions& options) {
+    Rng data_rng(221 + options.seed);
+    const data::Dataset full = data::make_blobs(
+        options.quick ? 180 : 300, 3, 4.0, 0.6, data_rng);
+
+    models::MlpOptions base;
+    base.input_features = 2;
+    base.hidden = 12;
+    base.classes = 3;
+    const models::ArchFamily family =
+        models::mlp_arch_family(base, /*max_hidden_layers=*/2,
+                                /*max_dropout_rate=*/0.5);
+    const auto baseline = [base](Rng& rng) {
+        return models::make_mlp(base, rng);
+    };
+    ArchSearchConfig config;
+    config.iterations = options.quick ? 3 : 6;
+    config.train.epochs = 1;
+    config.train.batch_size = 32;
+    config.train.learning_rate = 0.05;
+    config.objective.sigmas = {0.5};
+    config.objective.mc_samples = 1;
+    config.bo.initial_random_trials = 2;
+    config.final_epochs = 1;
+    return run_archsearch(
+        "toy_arch_blobs", full, family, baseline, "sigma", {0.0, 0.4, 0.8},
+        [](double level) {
+            return std::make_unique<fault::LogNormalDrift>(level);
+        },
+        config, options, 222);
 }
 
 // ------------------------------------------------------ Ablations ----
@@ -1404,13 +1441,16 @@ ExperimentRegistry make_builtin_registry() {
                   run_dac12_deploy});
     registry.add({"archsearch_fig2_mlp", "archsearch",
                   "joint norm/activation/depth/dropout MLP search vs drift",
-                  run_archsearch_mlp, /*checkpointable=*/true});
+                  run_archsearch_mlp, /*checkpointable=*/true,
+                  /*distributable=*/true});
     registry.add({"archsearch_preact_stuckat", "archsearch",
                   "PreAct depth/norm/dropout search under stuck-at faults",
-                  run_archsearch_preact, /*checkpointable=*/true});
+                  run_archsearch_preact, /*checkpointable=*/true,
+                  /*distributable=*/true});
     registry.add({"archsearch_stn_drift", "archsearch",
                   "STN head-width/pool/dropout search under drift",
-                  run_archsearch_stn, /*checkpointable=*/true});
+                  run_archsearch_stn, /*checkpointable=*/true,
+                  /*distributable=*/true});
     registry.add({"ablation_bo_vs_random", "ablation",
                   "GP-guided vs random alpha search, same budget",
                   run_bo_vs_random});
@@ -1420,6 +1460,10 @@ ExperimentRegistry make_builtin_registry() {
     registry.add({"toy_mlp_blobs", "toy",
                   "CI-sized blobs task, ERM vs BayesFT", run_toy,
                   /*checkpointable=*/true});
+    registry.add({"toy_arch_blobs", "toy",
+                  "CI-sized self-contained arch search on blobs vs drift",
+                  run_toy_arch, /*checkpointable=*/true,
+                  /*distributable=*/true});
     return registry;
 }
 

@@ -29,6 +29,12 @@ struct RunOptions {
     std::size_t batch = 1;
     /// Evaluation-engine concurrency (0 = pool width).
     std::size_t threads = 0;
+    /// Distributed evaluation (docs/distributed.md): fork this many
+    /// persistent worker processes and farm self-contained candidate
+    /// evaluations to them (0 = in-process).  Result-invariant like
+    /// `threads`; only scenarios with ExperimentSpec::distributable honour
+    /// it (the CLI rejects it elsewhere).
+    std::size_t workers = 0;
     /// Overrides the scenario's base seed when non-zero.
     std::uint64_t seed = 0;
     /// Checkpoint file path handed to the scenario's search driver
@@ -115,6 +121,12 @@ struct ExperimentSpec {
     /// would silently ignore it (pure sweeps, the hand-rolled fig3j
     /// detection loop, the multi-search ablation).
     bool checkpointable = false;
+    /// True when the scenario's candidate evaluations are self-contained
+    /// (a pure function of the encoded point — the archsearch family) and
+    /// RunOptions::workers is wired into its search driver.  The CLI
+    /// rejects --workers elsewhere: evolving-theta searches cannot ship
+    /// their weights across the worker pipe.
+    bool distributable = false;
 };
 
 /// Name -> scenario lookup over all built-in experiments.

@@ -126,11 +126,13 @@ std::string RunStore::to_json(const RunRecord& r) {
     }
     out += ",\"batch\":" + std::to_string(r.batch);
     if (r.kind != "trial") {
-        // The thread count is the one machine-dependent knob: results are
-        // thread-invariant, so it is provenance (summary-only), never part
-        // of a trial record — those must be byte-identical across a resume
-        // at a different thread count (docs/checkpointing.md).
+        // Thread and worker counts are the machine-dependent knobs:
+        // results are invariant to both, so they are provenance
+        // (summary-only), never part of a trial record — those must be
+        // byte-identical across a resume at a different thread or worker
+        // count (docs/checkpointing.md, docs/distributed.md).
         out += ",\"threads\":" + std::to_string(r.threads);
+        out += ",\"workers\":" + std::to_string(r.workers);
     }
     out += std::string(",\"quick\":") + (r.quick ? "true" : "false");
     out += ",\"build\":\"" + escape(r.build) + "\"}";
@@ -189,9 +191,19 @@ bool RunStore::parse_line(const std::string& line, RunRecord& r) {
     // aggregation and block the resume backfill): the writer always
     // terminates lines with '}', and every kind-specific field below is
     // required.
-    if (line.empty() || line.back() != '}') return false;
+    if (line.empty() || line.front() != '{' || line.back() != '}') {
+        return false;
+    }
     if (!read_string(line, "kind", r.kind) ||
         (r.kind != "trial" && r.kind != "summary")) {
+        return false;
+    }
+    // Two writers interleaving appends (or a partial write completed by a
+    // later line) can weld the head of one record onto another — the
+    // result has a '{', a '}', and plausible fields from both.  A genuine
+    // record carries its "kind" exactly once; a frankenline carries two.
+    if (line.find("\"kind\":", value_offset(line, "kind")) !=
+        std::string::npos) {
         return false;
     }
     if (!read_string(line, "scenario", r.scenario) ||
@@ -202,6 +214,7 @@ bool RunStore::parse_line(const std::string& line, RunRecord& r) {
     read_string(line, "build", r.build);
     read_unsigned(line, "batch", r.batch);
     read_unsigned(line, "threads", r.threads);
+    read_unsigned(line, "workers", r.workers);
     read_bool(line, "quick", r.quick);
     if (r.kind == "trial") {
         if (!read_unsigned(line, "trial", r.trial) ||

@@ -35,6 +35,10 @@ struct RunRecord {
     /// records must stay byte-identical when a checkpoint written at one
     /// thread count is resumed at another.
     std::uint64_t threads = 0;
+    /// Distributed worker count (docs/distributed.md).  Provenance only,
+    /// serialized on summary records alone for the same reason as
+    /// `threads`: trial logs must byte-diff clean across worker counts.
+    std::uint64_t workers = 0;
     bool quick = false;
     // --- trial fields ---
     std::uint64_t trial = 0;   ///< global trial index within the search

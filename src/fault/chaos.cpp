@@ -60,6 +60,7 @@ ChaosSpec ChaosSpec::from_env() {
             else if (key == "hang") spec.hang = p;
             else if (key == "nan") spec.nan = p;
             else if (key == "spawn") spec.spawn = p;
+            else if (key == "worker_crash") spec.worker_crash = p;
         }
         entry.clear();
     }
@@ -89,6 +90,13 @@ bool chaos_spawn_failure(const ChaosSpec& spec, std::uint64_t candidate_seed,
                          std::uint64_t attempt) {
     if (spec.spawn <= 0.0) return false;
     return decision_draw(spec, candidate_seed, attempt, 2) < spec.spawn;
+}
+
+bool chaos_worker_crash(const ChaosSpec& spec, std::uint64_t candidate_seed,
+                        std::uint64_t attempt) {
+    if (spec.worker_crash <= 0.0) return false;
+    return decision_draw(spec, candidate_seed, attempt, 3) <
+           spec.worker_crash;
 }
 
 }  // namespace bayesft::fault

@@ -32,15 +32,23 @@ struct ChaosSpec {
     /// P(simulated spawn failure) per isolated attempt, exercising the
     /// watchdog that degrades isolation back to in-process evaluation.
     double spawn = 0.0;
+    /// P(the whole worker process aborts) per distributed attempt
+    /// (docs/distributed.md).  Unlike `crash` — which a persistent worker
+    /// survives and reports as a failed attempt — this kills the worker
+    /// itself, so the coordinator must detect the death, respawn the
+    /// worker, and re-dispatch the candidate.
+    double worker_crash = 0.0;
     /// Stream selector: two chaos runs with different seeds inject into
     /// different candidates.
     std::uint64_t seed = 0;
 
     bool any() const {
-        return crash > 0.0 || hang > 0.0 || nan > 0.0 || spawn > 0.0;
+        return crash > 0.0 || hang > 0.0 || nan > 0.0 || spawn > 0.0 ||
+               worker_crash > 0.0;
     }
 
-    /// Parses `BAYESFT_CHAOS` ("crash:0.3,hang:0.1,nan:0.05,spawn:0.2";
+    /// Parses `BAYESFT_CHAOS`
+    /// ("crash:0.3,hang:0.1,nan:0.05,spawn:0.2,worker_crash:0.3";
     /// unknown/malformed entries are ignored) and `BAYESFT_CHAOS_SEED`.
     /// An unset variable yields an all-zero spec (chaos off).
     static ChaosSpec from_env();
@@ -59,5 +67,13 @@ ChaosAction chaos_decide(const ChaosSpec& spec, std::uint64_t candidate_seed,
 /// composes with the others).
 bool chaos_spawn_failure(const ChaosSpec& spec, std::uint64_t candidate_seed,
                          std::uint64_t attempt);
+
+/// Whether a distributed worker aborts while evaluating this attempt
+/// (stream 3, independent of the other injections).  Pure in
+/// (spec, candidate_seed, attempt): the same attempt kills its worker in
+/// every run at every worker count, which is what makes the
+/// bit-identical-under-chaos contract of docs/distributed.md checkable.
+bool chaos_worker_crash(const ChaosSpec& spec, std::uint64_t candidate_seed,
+                        std::uint64_t attempt);
 
 }  // namespace bayesft::fault
