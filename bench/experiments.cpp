@@ -71,7 +71,17 @@ void print_usage() {
         "                    penalize (default) | exclude\n"
         "  --inference <m>   fixed-point forward mode for the quantized-\n"
         "                    inference scenarios: float32 (default) | int8 |\n"
-        "                    int12 (docs/performance.md)\n";
+        "                    int12 (docs/performance.md)\n"
+        "  --trust-region    switch proposals to TuRBO-style trust-region\n"
+        "                    local BO once the search has enough history\n"
+        "                    (docs/optimizer-scaling.md); part of the\n"
+        "                    scenario digest when enabled\n"
+        "  --tr-after <n>    observed trials before the trust region\n"
+        "                    activates (default 500; needs --trust-region)\n"
+        "  --checkpoint-info <p>  load the checkpoint at <p>, print its\n"
+        "                    metadata (format version, trial count, trust-\n"
+        "                    region state), and exit; fails on a file this\n"
+        "                    build cannot resume\n";
 }
 
 struct JsonRecord {
@@ -215,6 +225,7 @@ int main(int argc, char** argv) {
     std::vector<std::string> names;
     std::vector<std::string> families;
     std::string json_path;
+    std::string checkpoint_info;
     std::string runs_dir = "runs";
     bool store_runs = true;
     std::size_t repeat = 1;
@@ -311,6 +322,12 @@ int main(int argc, char** argv) {
                           << "'\n";
                 return 2;
             }
+        } else if (arg == "--trust-region") {
+            options.trust_region = true;
+        } else if (arg == "--tr-after") {
+            options.tr_after = need_number(i, "--tr-after");
+        } else if (arg == "--checkpoint-info") {
+            checkpoint_info = need_value(i, "--checkpoint-info");
         } else if (arg == "--inference") {
             options.inference = need_value(i, "--inference");
             if (options.inference != "float32" &&
@@ -329,6 +346,43 @@ int main(int argc, char** argv) {
             print_usage();
             return 2;
         }
+    }
+    if (!checkpoint_info.empty()) {
+        // Inspection mode: prove the file loads under this build's reader
+        // (the CI cross-version smoke), then print what a resume would see.
+        try {
+            const core::SearchCheckpoint ckpt =
+                core::load_checkpoint(checkpoint_info);
+            std::uint64_t version = 0;
+            {
+                std::ifstream in(checkpoint_info);
+                std::string magic;
+                in >> magic >> version;
+            }
+            std::cout << "checkpoint " << checkpoint_info << "\n"
+                      << "  format_version " << version << " (this build reads "
+                      << core::SearchCheckpoint::kOldestReadableVersion << ".."
+                      << core::SearchCheckpoint::kVersion << ", writes "
+                      << core::SearchCheckpoint::kVersion << ")\n"
+                      << "  run_id " << ckpt.run_id << "\n"
+                      << "  build " << ckpt.build << "\n"
+                      << "  trials_done " << ckpt.trials_done << "\n"
+                      << "  initial_used " << ckpt.bo.initial_used << "\n"
+                      << "  trust_region length="
+                      << ckpt.bo.trust_region.length << " successes="
+                      << ckpt.bo.trust_region.successes << " failures="
+                      << ckpt.bo.trust_region.failures << " restarts="
+                      << ckpt.bo.trust_region.restarts << "\n";
+            return 0;
+        } catch (const std::exception& error) {
+            std::cerr << "experiments: " << error.what() << "\n";
+            return 1;
+        }
+    }
+    if (options.tr_after != 500 && !options.trust_region) {
+        std::cerr << "experiments: --tr-after needs --trust-region (it only "
+                     "shapes the trust-region activation point)\n";
+        return 2;
     }
     // Fail fast on an unusable --json target (a directory, a missing or
     // unwritable parent) instead of discovering it after minutes of

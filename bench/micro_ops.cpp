@@ -221,21 +221,118 @@ void bench_conv() {
     }
 }
 
-void bench_gp() {
-    if (!want("gp_fit")) return;
+/// Random d3 design of size n for the GP scaling benches (one shared
+/// generator so every op in the series sees the same kind of data).
+void make_gp_data(std::size_t n, std::vector<bayesopt::Point>& xs,
+                  std::vector<double>& ys) {
     Rng rng(6);
-    std::vector<bayesopt::Point> xs;
-    std::vector<double> ys;
-    for (std::size_t i = 0; i < 128; ++i) {
+    xs.clear();
+    ys.clear();
+    for (std::size_t i = 0; i < n; ++i) {
         xs.push_back({rng.uniform(), rng.uniform(), rng.uniform()});
         ys.push_back(rng.normal());
     }
-    bayesopt::GaussianProcess gp(
+}
+
+bayesopt::GaussianProcess make_gp() {
+    return bayesopt::GaussianProcess(
         std::make_shared<bayesopt::ArdSquaredExponential>(3, 4.0), 1e-4);
-    const double ns = time_ns([&] {
+}
+
+void bench_gp() {
+    // Full refits across the trial-count axis: the O(n^3) wall a
+    // thousand-trial search would hit without the incremental path
+    // (docs/optimizer-scaling.md).  n=4096 is a single timed call — at
+    // tens of seconds per refit, medians of many samples are pointless.
+    if (want("gp_fit")) {
+        std::vector<bayesopt::Point> xs;
+        std::vector<double> ys;
+        for (const std::size_t n : {128UL, 512UL, 1024UL, 4096UL}) {
+            make_gp_data(n, xs, ys);
+            bayesopt::GaussianProcess gp = make_gp();
+            const double ns = time_ns([&] { gp.fit(xs, ys); },
+                                      n >= 4096 ? 1 : 3);
+            report("gp_fit", "n" + std::to_string(n) + "d3",
+                   parallel_thread_count(), ns, 0.0);
+        }
+    }
+
+    // Incremental observe at n=1024: one rank-1 Cholesky append + alpha
+    // recompute (O(n^2)) against the O(n^3) full refit the pre-PR9 code
+    // paid per observation.  Each timed iteration appends one row to a
+    // 1024-row fit and truncates back, so every sample measures the same
+    // n -> n+1 transition.
+    if (want("gp_observe")) {
+        std::vector<bayesopt::Point> xs;
+        std::vector<double> ys;
+        make_gp_data(1024, xs, ys);
+        const bayesopt::Point extra = {0.25, 0.5, 0.75};
+
+        bayesopt::GaussianProcess gp = make_gp();
         gp.fit(xs, ys);
-    });
-    report("gp_fit", "n128d3", parallel_thread_count(), ns, 0.0);
+        if (gp.jitter() != 0.0) {
+            std::fprintf(stderr,
+                         "micro_ops: gp_observe baseline fit needed jitter; "
+                         "incremental path unavailable\n");
+            std::exit(1);
+        }
+        const double inc_ns = time_ns([&] {
+            if (!gp.observe(extra, 0.5)) std::abort();
+            gp.truncate(1024);
+        });
+        report("gp_observe", "n1024d3_incremental", parallel_thread_count(),
+               inc_ns, 0.0);
+
+        // The historical alternative: refit from scratch on n+1 rows.
+        std::vector<bayesopt::Point> xs_plus = xs;
+        std::vector<double> ys_plus = ys;
+        xs_plus.push_back(extra);
+        ys_plus.push_back(0.5);
+        bayesopt::GaussianProcess full = make_gp();
+        const double full_ns =
+            time_ns([&] { full.fit(xs_plus, ys_plus); }, 2);
+        report("gp_observe", "n1024d3_full_refit", parallel_thread_count(),
+               full_ns, 0.0);
+        std::printf("  -> incremental observe speedup over full refit: "
+                    "%.1fx\n",
+                    full_ns / inc_ns);
+    }
+
+    // Acquisition scoring of one proposal pool: m pooled posteriors in one
+    // cross-kernel build + multi-RHS solve vs m per-point calls.
+    if (want("gp_acquisition_pool")) {
+        std::vector<bayesopt::Point> xs;
+        std::vector<double> ys;
+        make_gp_data(512, xs, ys);
+        bayesopt::GaussianProcess gp = make_gp();
+        gp.fit(xs, ys);
+        constexpr std::size_t kPool = 192;
+        std::vector<bayesopt::Point> pool;
+        Rng pool_rng(7);
+        for (std::size_t i = 0; i < kPool; ++i) {
+            pool.push_back({pool_rng.uniform(), pool_rng.uniform(),
+                            pool_rng.uniform()});
+        }
+        volatile double sink = 0.0;
+        const double batched_ns = time_ns([&] {
+            const std::vector<bayesopt::Posterior> posts =
+                gp.posterior_batch(pool);
+            sink = sink + posts.back().mean;
+        });
+        report("gp_acquisition_pool", "n512m192_batched",
+               parallel_thread_count(), batched_ns, 0.0);
+        const double pointwise_ns = time_ns([&] {
+            double acc = 0.0;
+            for (const bayesopt::Point& p : pool) {
+                acc += gp.posterior(p).mean;
+            }
+            sink = sink + acc;
+        });
+        report("gp_acquisition_pool", "n512m192_per_point",
+               parallel_thread_count(), pointwise_ns, 0.0);
+        std::printf("  -> pooled posterior speedup over per-point: %.1fx\n",
+                    pointwise_ns / batched_ns);
+    }
 }
 
 void bench_fault_injection() {

@@ -80,6 +80,18 @@ BayesOpt::BayesOpt(BoxBounds bounds, std::shared_ptr<const Kernel> kernel,
     if (config_.candidates == 0) {
         throw std::invalid_argument("BayesOpt: need at least one candidate");
     }
+    if (config_.trust_region.enabled &&
+        (!(config_.trust_region.initial_length > 0.0) ||
+         !(config_.trust_region.min_length > 0.0) ||
+         config_.trust_region.initial_length <
+             config_.trust_region.min_length ||
+         config_.trust_region.max_length <
+             config_.trust_region.initial_length ||
+         config_.trust_region.success_tolerance == 0 ||
+         config_.trust_region.failure_tolerance == 0)) {
+        throw std::invalid_argument("BayesOpt: malformed trust-region config");
+    }
+    tr_.length = config_.trust_region.initial_length;
     if (config_.latin_hypercube_init && config_.initial_random_trials > 0) {
         initial_plan_ =
             latin_hypercube(config_.initial_random_trials, bounds_, rng_);
@@ -108,7 +120,8 @@ Point BayesOpt::propose(const std::vector<Point>& pending,
         make_feasible(p);
         return p;
     }
-    return maximize_acquisition(pending);
+    return maximize_acquisition(pending,
+                                trust_region_active(real_trial_count));
 }
 
 std::vector<Point> BayesOpt::suggest_batch(std::size_t q) {
@@ -123,24 +136,45 @@ std::vector<Point> BayesOpt::suggest_batch(std::size_t q) {
         return batch;
     }
 
-    const std::vector<Trial> real_trials = trials_;
+    const std::size_t real_count = trials_.size();
     // During the initial space-filling design propose() never consults the
     // GP (or the pending set), so fantasies would only buy wasted refits.
     const bool use_fantasies =
-        real_trials.size() >= config_.initial_random_trials && gp_.fitted();
+        real_count >= config_.initial_random_trials && gp_.fitted();
     // Constant liar at the worst observed value: pessimistic enough that a
     // fantasized point never becomes the incumbent, yet pulls the posterior
     // mean down around already-picked candidates.
     double liar = 0.0;
-    if (!real_trials.empty()) {
-        liar = real_trials.front().y;
-        for (const Trial& t : real_trials) liar = std::min(liar, t.y);
+    if (!trials_.empty()) {
+        liar = trials_.front().y;
+        for (const Trial& t : trials_) liar = std::min(liar, t.y);
     }
+    // Fantasies go through the O(n^2) incremental GP ops (factor append /
+    // running-average target update) with a rollback log, instead of a
+    // full O(n^3) refit per pick plus one per rollback.  When a fantasy
+    // cannot take the incremental path (jittered or degraded factor,
+    // non-positive-definite append), the batch switches to the legacy
+    // full-refit fantasies — which land on the exact factorization the
+    // historical code produced, so both routes stay bit-identical to it.
+    std::vector<FantasyRecord> fantasies;
+    bool legacy = false;
     try {
         for (std::size_t j = 0; j < q; ++j) {
-            Point x = propose(batch, real_trials.size());
+            Point x = propose(batch, real_count);
             batch.push_back(x);
-            if (use_fantasies && j + 1 < q) {
+            if (!use_fantasies || j + 1 >= q) continue;
+            if (!legacy) {
+                if (push_fantasy(x, liar, fantasies)) continue;
+                // Switch over: materialize every pick so far as a legacy
+                // liar trial and refit from scratch (discarding the
+                // incrementally applied fantasies).
+                legacy = true;
+                fantasies.clear();
+                for (std::size_t t = 0; t <= j; ++t) {
+                    trials_.push_back(Trial{batch[t], liar});
+                }
+                refit_gp();
+            } else {
                 trials_.push_back(Trial{std::move(x), liar});
                 refit_gp();
             }
@@ -148,7 +182,7 @@ std::vector<Point> BayesOpt::suggest_batch(std::size_t q) {
     } catch (...) {
         // Never leak fantasies into the real history, even when a refit
         // fails mid-batch.
-        trials_ = real_trials;
+        trials_.resize(real_count);
         try {
             refit_gp();
         } catch (...) {
@@ -157,35 +191,140 @@ std::vector<Point> BayesOpt::suggest_batch(std::size_t q) {
         throw;
     }
     // Roll the fantasies back; the caller reports real outcomes.
-    if (trials_.size() != real_trials.size()) {
-        trials_ = real_trials;
+    if (legacy) {
+        trials_.resize(real_count);
         refit_gp();
+    } else {
+        pop_fantasies(fantasies);
     }
     return batch;
 }
 
-Point BayesOpt::maximize_acquisition(const std::vector<Point>& pending) {
-    const double incumbent = best() ? best()->y
-                                    : -std::numeric_limits<double>::infinity();
+bool BayesOpt::push_fantasy(const Point& x, double y,
+                            std::vector<FantasyRecord>& log) {
+    // The incremental ops are only pinned bit-identical to the full refit
+    // while the GP mirrors the merged rows exactly.
+    if (gp_degraded_ || !gp_.fitted() ||
+        gp_.observation_count() != merged_xs_.size()) {
+        return false;
+    }
+    const std::size_t match = find_merged_row(x);
+    if (match == merged_xs_.size()) {
+        if (!gp_.observe(x, y)) return false;
+        merged_xs_.push_back(x);
+        merged_ys_.push_back(y);
+        merged_counts_.push_back(1.0);
+        log.push_back(FantasyRecord{/*appended=*/true, 0, 0.0, 0.0});
+    } else {
+        log.push_back(FantasyRecord{/*appended=*/false, match,
+                                    merged_ys_[match],
+                                    merged_counts_[match]});
+        merged_counts_[match] += 1.0;
+        merged_ys_[match] += (y - merged_ys_[match]) / merged_counts_[match];
+        gp_.update_target(match, merged_ys_[match]);
+    }
+    return true;
+}
+
+void BayesOpt::pop_fantasies(std::vector<FantasyRecord>& log) {
+    for (auto it = log.rbegin(); it != log.rend(); ++it) {
+        if (it->appended) {
+            merged_xs_.pop_back();
+            merged_ys_.pop_back();
+            merged_counts_.pop_back();
+            // Truncation restores the pre-append factor bit-for-bit
+            // (appends only happen against a jitter-free factor).
+            gp_.truncate(gp_.observation_count() - 1);
+        } else {
+            merged_ys_[it->index] = it->old_y;
+            merged_counts_[it->index] = it->old_count;
+            gp_.update_target(it->index, it->old_y);
+        }
+    }
+    log.clear();
+}
+
+Point BayesOpt::maximize_acquisition(const std::vector<Point>& pending,
+                                     bool use_trust_region) {
+    const std::optional<Trial> incumbent = best();
+    const double incumbent_y =
+        incumbent ? incumbent->y : -std::numeric_limits<double>::infinity();
+
+    // Sampling box: the whole space or, under the trust-region regime, the
+    // box of edge tr_.length (as a span fraction) around the incumbent
+    // intersected with the global bounds.  With lo/hi at the bounds this
+    // draws the exact RNG stream the historical pool sampler drew.
+    std::vector<double> lo = bounds_.lower;
+    std::vector<double> hi = bounds_.upper;
+    if (use_trust_region && incumbent) {
+        for (std::size_t d = 0; d < lo.size(); ++d) {
+            const double half =
+                0.5 * tr_.length * (bounds_.upper[d] - bounds_.lower[d]);
+            lo[d] = std::max(bounds_.lower[d], incumbent->x[d] - half);
+            hi[d] = std::min(bounds_.upper[d], incumbent->x[d] + half);
+        }
+    }
 
     std::vector<Point> pool;
     pool.reserve(config_.candidates + config_.local_candidates);
     for (std::size_t i = 0; i < config_.candidates; ++i) {
-        Point p = bounds_.sample(rng_);
+        Point p(lo.size());
+        for (std::size_t d = 0; d < p.size(); ++d) {
+            p[d] = rng_.uniform(lo[d], hi[d]);
+        }
         make_feasible(p);
         pool.push_back(std::move(p));
     }
-    if (best()) {
+    if (incumbent) {
         for (std::size_t i = 0; i < config_.local_candidates; ++i) {
-            Point p = best()->x;
+            Point p = incumbent->x;
             for (std::size_t d = 0; d < p.size(); ++d) {
-                const double edge = bounds_.upper[d] - bounds_.lower[d];
+                const double edge = hi[d] - lo[d];
                 p[d] += rng_.normal(0.0,
                                     config_.local_sigma_fraction * edge);
+                p[d] = std::clamp(p[d], lo[d], hi[d]);
             }
-            bounds_.clamp(p);
             make_feasible(p);
             pool.push_back(std::move(p));
+        }
+    }
+
+    // Trust-region scoring uses a local model: the newest in-region merged
+    // rows, capped at max_local_trials, refit fresh — so the per-proposal
+    // surrogate cost stays bounded however long the history grows.  An
+    // empty region or a failed local fit falls back to the global
+    // surrogate for this round.
+    GaussianProcess local(kernel_, config_.noise_variance);
+    const GaussianProcess* scorer = &gp_;
+    if (use_trust_region && incumbent) {
+        std::vector<Point> local_xs;
+        std::vector<double> local_ys;
+        for (std::size_t i = 0; i < merged_xs_.size(); ++i) {
+            bool inside = true;
+            for (std::size_t d = 0; d < lo.size() && inside; ++d) {
+                inside = merged_xs_[i][d] >= lo[d] &&
+                         merged_xs_[i][d] <= hi[d];
+            }
+            if (inside) {
+                local_xs.push_back(merged_xs_[i]);
+                local_ys.push_back(merged_ys_[i]);
+            }
+        }
+        const std::size_t cap = std::max<std::size_t>(
+            1, config_.trust_region.max_local_trials);
+        if (local_xs.size() > cap) {
+            const auto extra =
+                static_cast<std::ptrdiff_t>(local_xs.size() - cap);
+            local_xs.erase(local_xs.begin(), local_xs.begin() + extra);
+            local_ys.erase(local_ys.begin(), local_ys.begin() + extra);
+        }
+        if (!local_xs.empty()) {
+            try {
+                local.fit(std::move(local_xs), std::move(local_ys));
+                scorer = &local;
+            } catch (const std::exception&) {
+                // Ill-conditioned local Gram: global scoring this round.
+            }
         }
     }
 
@@ -203,12 +342,18 @@ Point BayesOpt::maximize_acquisition(const std::vector<Point>& pending) {
         return true;
     };
 
+    // One pooled posterior evaluation over the whole candidate set —
+    // bit-identical to per-point posterior() calls (pinned in
+    // tests/test_gp_scaling.cpp) at a fraction of the cost.
+    const std::vector<Posterior> posteriors = scorer->posterior_batch(pool);
+
     double best_score = -std::numeric_limits<double>::infinity();
     const Point* best_point = &pool.front();
     double best_far_score = -std::numeric_limits<double>::infinity();
     const Point* best_far_point = nullptr;
-    for (const Point& p : pool) {
-        const double score = acquisition_->score(gp_.posterior(p), incumbent);
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+        const Point& p = pool[i];
+        const double score = acquisition_->score(posteriors[i], incumbent_y);
         if (score > best_score) {
             best_score = score;
             best_point = &p;
@@ -227,15 +372,7 @@ void BayesOpt::observe(Point x, double y, TrialStatus status) {
     if (x.size() != bounds_.dims()) {
         throw std::invalid_argument("BayesOpt::observe: dimension mismatch");
     }
-    // A non-finite objective is a diverged trial, never an abort: the
-    // point is quarantined at the finite fail penalty (so checkpoints and
-    // run-store lines stay parseable) with its failure class recorded.
-    if (!std::isfinite(y) && status == TrialStatus::kOk) {
-        status = TrialStatus::kFailedNaN;
-    }
-    if (status != TrialStatus::kOk) y = config_.fail_penalty;
-    trials_.push_back(Trial{std::move(x), y, status});
-    refit_gp();
+    observe_one(std::move(x), y, status);
 }
 
 void BayesOpt::observe_batch(const std::vector<Point>& xs,
@@ -252,60 +389,121 @@ void BayesOpt::observe_batch(const std::vector<Point>& xs,
         }
     }
     for (std::size_t i = 0; i < xs.size(); ++i) {
-        TrialStatus status =
-            statuses.empty() ? TrialStatus::kOk : statuses[i];
-        double y = ys[i];
-        if (!std::isfinite(y) && status == TrialStatus::kOk) {
-            status = TrialStatus::kFailedNaN;
-        }
-        if (status != TrialStatus::kOk) y = config_.fail_penalty;
-        trials_.push_back(Trial{xs[i], y, status});
+        observe_one(xs[i], ys[i],
+                    statuses.empty() ? TrialStatus::kOk : statuses[i]);
     }
-    refit_gp();
+}
+
+void BayesOpt::observe_one(Point x, double y, TrialStatus status) {
+    // A non-finite objective is a diverged trial, never an abort: the
+    // point is quarantined at the finite fail penalty (so checkpoints and
+    // run-store lines stay parseable) with its failure class recorded.
+    if (!std::isfinite(y) && status == TrialStatus::kOk) {
+        status = TrialStatus::kFailedNaN;
+    }
+    if (status != TrialStatus::kOk) y = config_.fail_penalty;
+    // Trust-region bookkeeping gates on the history size *before* this
+    // trial (the same count that decided how it was proposed) and compares
+    // against the pre-trial incumbent — pure functions of the observation
+    // order, so counters replay identically across threads and resume.
+    const bool adapt = trust_region_active(trials_.size());
+    bool improved = false;
+    if (adapt && status == TrialStatus::kOk) {
+        const std::optional<Trial> before = best();
+        improved = !before || y > before->y;
+    }
+    trials_.push_back(Trial{std::move(x), y, status});
+    absorb_trial(trials_.back());
+    if (adapt) update_trust_region(improved);
+}
+
+std::size_t BayesOpt::find_merged_row(const Point& x) const {
+    for (std::size_t i = 0; i < merged_xs_.size(); ++i) {
+        if (normalized_distance(merged_xs_[i], x) <=
+            config_.duplicate_tolerance) {
+            return i;
+        }
+    }
+    return merged_xs_.size();
+}
+
+void BayesOpt::absorb_trial(const Trial& t) {
+    // Failed trials reach the surrogate only under kPenalize (at their
+    // stored penalty value); kExclude keeps it blind to them — and a
+    // skipped trial leaves the merged rows, hence the fit, untouched.
+    if (t.status != TrialStatus::kOk &&
+        config_.fail_policy == FailPolicy::kExclude) {
+        return;
+    }
+    // The O(n^2) incremental ops only apply while the GP mirrors the
+    // merged rows exactly; a degraded or out-of-sync surrogate takes the
+    // full-refit path, which re-establishes the invariant on success.
+    const bool fast = !gp_degraded_ && gp_.fitted() &&
+                      gp_.observation_count() == merged_xs_.size();
+    const std::size_t match = find_merged_row(t.x);
+    if (match == merged_xs_.size()) {
+        merged_xs_.push_back(t.x);
+        merged_ys_.push_back(t.y);
+        merged_counts_.push_back(1.0);
+        if (fast && gp_.observe(t.x, t.y)) return;
+        fit_merged();
+    } else {
+        // Merge (near-)duplicate trial points into one GP row each,
+        // averaging their objective values, so repeated proposals cannot
+        // make the Gram matrix singular.  Approximation: the merged row
+        // keeps the single-observation noise variance (posterior
+        // uncertainty does not shrink with the repeat count as exact
+        // 1/k-noise weighting would).
+        merged_counts_[match] += 1.0;
+        merged_ys_[match] +=
+            (t.y - merged_ys_[match]) / merged_counts_[match];
+        if (fast) {
+            gp_.update_target(match, merged_ys_[match]);
+            return;
+        }
+        fit_merged();
+    }
 }
 
 void BayesOpt::refit_gp() {
-    // Merge (near-)duplicate trial points into one GP row each, averaging
-    // their objective values, so repeated proposals cannot make the Gram
-    // matrix singular.  Approximation: the merged row keeps the
-    // single-observation noise variance (posterior uncertainty does not
-    // shrink with the repeat count as exact 1/k-noise weighting would).
-    // Failed trials reach the fit only under kPenalize (at their stored
-    // penalty value); kExclude keeps the surrogate blind to them.
-    std::vector<Point> xs;
-    std::vector<double> ys;
-    std::vector<double> counts;
-    xs.reserve(trials_.size());
-    ys.reserve(trials_.size());
+    // The canonical full path: rebuild the duplicate-merged rows from the
+    // complete trial history (identical running-average updates in
+    // identical trial order to the incremental maintenance) and refit from
+    // scratch.  Used at import_state, on legacy fantasy rollback, and as
+    // the incremental paths' fallback.
+    merged_xs_.clear();
+    merged_ys_.clear();
+    merged_counts_.clear();
+    merged_xs_.reserve(trials_.size());
+    merged_ys_.reserve(trials_.size());
+    merged_counts_.reserve(trials_.size());
     for (const Trial& t : trials_) {
         if (t.status != TrialStatus::kOk &&
             config_.fail_policy == FailPolicy::kExclude) {
             continue;
         }
-        std::size_t match = xs.size();
-        for (std::size_t i = 0; i < xs.size(); ++i) {
-            if (normalized_distance(xs[i], t.x) <=
-                config_.duplicate_tolerance) {
-                match = i;
-                break;
-            }
-        }
-        if (match == xs.size()) {
-            xs.push_back(t.x);
-            ys.push_back(t.y);
-            counts.push_back(1.0);
+        const std::size_t match = find_merged_row(t.x);
+        if (match == merged_xs_.size()) {
+            merged_xs_.push_back(t.x);
+            merged_ys_.push_back(t.y);
+            merged_counts_.push_back(1.0);
         } else {
-            counts[match] += 1.0;
-            ys[match] += (t.y - ys[match]) / counts[match];
+            merged_counts_[match] += 1.0;
+            merged_ys_[match] +=
+                (t.y - merged_ys_[match]) / merged_counts_[match];
         }
     }
-    if (xs.empty()) {
+    fit_merged();
+}
+
+void BayesOpt::fit_merged() {
+    if (merged_xs_.empty()) {
         gp_ = GaussianProcess(kernel_, config_.noise_variance);
         gp_degraded_ = false;
         return;
     }
     try {
-        gp_.fit(std::move(xs), std::move(ys));
+        gp_.fit(merged_xs_, merged_ys_);
         gp_degraded_ = false;
     } catch (const std::exception& error) {
         // Ill-conditioned even after the Cholesky jitter retries: keep the
@@ -319,12 +517,44 @@ void BayesOpt::refit_gp() {
     }
 }
 
+bool BayesOpt::trust_region_active(std::size_t real_trial_count) const {
+    return config_.trust_region.enabled &&
+           real_trial_count >= config_.trust_region.activate_after;
+}
+
+void BayesOpt::update_trust_region(bool success) {
+    const TrustRegionConfig& tc = config_.trust_region;
+    if (success) {
+        ++tr_.successes;
+        tr_.failures = 0;
+    } else {
+        ++tr_.failures;
+        tr_.successes = 0;
+    }
+    if (tr_.successes >= tc.success_tolerance) {
+        tr_.length = std::min(2.0 * tr_.length, tc.max_length);
+        tr_.successes = 0;
+    } else if (tr_.failures >= tc.failure_tolerance) {
+        tr_.length *= 0.5;
+        tr_.failures = 0;
+    }
+    if (tr_.length < tc.min_length) {
+        // Restart: the region collapsed around a local optimum; reopen it
+        // at the initial edge (still centered on the incumbent).
+        tr_.length = tc.initial_length;
+        tr_.successes = 0;
+        tr_.failures = 0;
+        ++tr_.restarts;
+    }
+}
+
 BayesOptState BayesOpt::export_state() const {
     BayesOptState state;
     state.trials = trials_;
     state.initial_plan = initial_plan_;
     state.initial_used = initial_used_;
     state.rng = rng_.state();
+    state.trust_region = tr_;
     return state;
 }
 
@@ -349,6 +579,10 @@ void BayesOpt::import_state(const BayesOptState& state) {
     initial_plan_ = state.initial_plan;
     initial_used_ = state.initial_used;
     rng_.set_state(state.rng);
+    tr_ = state.trust_region;
+    // A checkpoint written before trust regions existed (format v2) carries
+    // no state; a non-positive edge means "freshly initialized".
+    if (!(tr_.length > 0.0)) tr_.length = config_.trust_region.initial_length;
     refit_gp();
 }
 

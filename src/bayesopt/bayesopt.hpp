@@ -52,6 +52,47 @@ struct Trial {
 /// in-box point is feasible (the historical all-continuous behaviour).
 using Projection = std::function<void(Point&)>;
 
+/// TuRBO-style local trust region (docs/optimizer-scaling.md): once the
+/// history passes `activate_after` trials, proposals come from a local GP
+/// fit on the trials inside a box around the incumbent — intersected with
+/// the global bounds and snapped feasible through the same Projection as
+/// every other candidate — instead of the ever-growing global surrogate.
+/// The box edge (as a fraction of each dimension's span) expands after
+/// consecutive improvements and shrinks after consecutive failures;
+/// collapsing below `min_length` resets it to `initial_length` (a
+/// restart).  Off by default: enabling it changes the proposal stream, so
+/// it is folded into the scenario digest only when enabled and existing
+/// checkpoints stay valid.
+struct TrustRegionConfig {
+    bool enabled = false;
+    /// Real trials observed before the local regime takes over proposals.
+    std::size_t activate_after = 500;
+    /// Box edge as a fraction of each dimension's span.
+    double initial_length = 0.4;
+    /// Edge below this triggers a restart back to `initial_length`.
+    double min_length = 0.025;
+    /// Expansion ceiling (1.0 = the whole box).
+    double max_length = 1.0;
+    /// Consecutive incumbent improvements before the edge doubles.
+    std::size_t success_tolerance = 3;
+    /// Consecutive non-improvements before the edge halves.
+    std::size_t failure_tolerance = 8;
+    /// Newest in-region GP rows kept in the local model: bounds the local
+    /// fit at O(max_local_trials^3) however long the search runs.
+    std::size_t max_local_trials = 256;
+};
+
+/// Mutable trust-region state: part of the optimizer's canonical form
+/// (persisted in checkpoint v3), since the counters are a function of the
+/// whole observation order and cannot be rebuilt from the trial list
+/// without replaying it.
+struct TrustRegionState {
+    double length = 0.0;  ///< current edge; <= 0 means "use initial_length"
+    std::size_t successes = 0;  ///< consecutive improvements
+    std::size_t failures = 0;   ///< consecutive non-improvements
+    std::size_t restarts = 0;   ///< times the edge collapsed and reset
+};
+
 /// Configuration of the proposal step.
 struct BayesOptConfig {
     /// Trials drawn before the surrogate is trusted.
@@ -88,6 +129,8 @@ struct BayesOptConfig {
     /// maximizes; tune it below the plausible objective range for other
     /// objectives.
     double fail_penalty = 0.0;
+    /// Opt-in local-BO regime for thousand-trial searches.
+    TrustRegionConfig trust_region;
 };
 
 /// The Cholesky-free canonical state of a BayesOpt instance: the real trial
@@ -101,6 +144,9 @@ struct BayesOptState {
     std::vector<Point> initial_plan;
     std::size_t initial_used = 0;
     RngState rng;
+    /// Trust-region counters (unused — all defaults — unless the regime is
+    /// enabled; a default state asks the importer for the initial edge).
+    TrustRegionState trust_region;
 };
 
 /// Maximizes an expensive black-box function over a box.
@@ -157,6 +203,8 @@ public:
     const std::vector<Trial>& trials() const { return trials_; }
     const GaussianProcess& surrogate() const { return gp_; }
     const BoxBounds& bounds() const { return bounds_; }
+    /// Live trust-region state (meaningful when the regime is enabled).
+    const TrustRegionState& trust_region() const { return tr_; }
 
     /// Snapshot of the canonical state (see BayesOptState).  Safe to call
     /// at any trial boundary; never call mid-suggest_batch (fantasies would
@@ -169,20 +217,66 @@ public:
     void import_state(const BayesOptState& state);
 
 private:
+    /// Rollback record of one constant-liar fantasy applied incrementally:
+    /// either a GP row was appended (undone by truncation) or an existing
+    /// merged row's running-average target moved (undone by restoring it).
+    struct FantasyRecord {
+        bool appended = false;
+        std::size_t index = 0;
+        double old_y = 0.0;
+        double old_count = 0.0;
+    };
+
     /// Argmax of the acquisition over the candidate pool; points closer than
     /// the batch separation to any entry of `pending` are skipped (with a
     /// fallback to the unfiltered argmax when everything is too close).
-    Point maximize_acquisition(const std::vector<Point>& pending);
+    /// With `use_trust_region`, the pool is sampled from the trust-region
+    /// box around the incumbent and scored by a local GP fit on the
+    /// in-region rows (falling back to the global surrogate when the local
+    /// fit is impossible).
+    Point maximize_acquisition(const std::vector<Point>& pending,
+                               bool use_trust_region);
     /// One proposal, honouring the initial design and `pending` exclusions.
     /// `real_trial_count` is the history size excluding fantasy trials.
     Point propose(const std::vector<Point>& pending,
                   std::size_t real_trial_count);
-    /// Refits the GP on the trial history with near-duplicate points merged
-    /// (objective values averaged) and failed trials fed per the fail
-    /// policy; resets the GP when no trials qualify.  A fit failure is
-    /// absorbed (last-good posterior retained, surrogate_degraded() set)
-    /// instead of propagating out of the observe path.
+    /// The shared observe core: quarantine classification, trust-region
+    /// bookkeeping, history append, and the incremental GP update.
+    void observe_one(Point x, double y, TrialStatus status);
+    /// Rebuilds the duplicate-merged GP rows from the full trial history
+    /// and refits from scratch — the canonical reference the incremental
+    /// path is pinned against, used at import and as the fallback.  A fit
+    /// failure is absorbed (last-good posterior retained,
+    /// surrogate_degraded() set) instead of propagating out of the observe
+    /// path.
     void refit_gp();
+    /// Full GP fit on the current merged rows (shared tail of refit_gp and
+    /// the incremental fallbacks).
+    void fit_merged();
+    /// Folds one just-recorded trial into the merged rows and the GP —
+    /// O(n^2) via GaussianProcess::observe / update_target when the fast
+    /// path holds, full fit_merged() otherwise.  Bit-identical to a full
+    /// re-merge + refit either way.
+    void absorb_trial(const Trial& t);
+    /// Index of the merged row within duplicate_tolerance of `x` (first
+    /// match in row order, exactly refit_gp's merge scan), or
+    /// merged_xs_.size() when none.
+    std::size_t find_merged_row(const Point& x) const;
+    /// Applies one constant-liar fantasy through the incremental GP ops,
+    /// recording how to undo it.  Returns false (state untouched) when the
+    /// incremental path cannot represent it — the caller replays the batch
+    /// through the legacy full-refit route.
+    bool push_fantasy(const Point& x, double y,
+                      std::vector<FantasyRecord>& log);
+    /// Rolls back push_fantasy records in reverse order, restoring the
+    /// pre-batch GP state bit-for-bit.
+    void pop_fantasies(std::vector<FantasyRecord>& log);
+
+    /// True when the trust-region regime drives proposals/adaptation at a
+    /// history of `real_trial_count` trials.
+    bool trust_region_active(std::size_t real_trial_count) const;
+    /// Success/failure-driven radius adaptation (one observed trial).
+    void update_trust_region(bool success);
 
     /// Applies the feasibility projection (no-op when none was given).
     void make_feasible(Point& p) const;
@@ -201,6 +295,14 @@ private:
     std::vector<Trial> trials_;
     std::vector<Point> initial_plan_;  // Latin hypercube initial design
     std::size_t initial_used_ = 0;
+    /// Duplicate-merged view of trials_ — the rows the GP is fit on —
+    /// maintained incrementally with exactly the running-average updates
+    /// (in trial order) that refit_gp's full re-merge applies, so both
+    /// paths hold identical bits.
+    std::vector<Point> merged_xs_;
+    std::vector<double> merged_ys_;
+    std::vector<double> merged_counts_;
+    TrustRegionState tr_;
 };
 
 }  // namespace bayesft::bayesopt

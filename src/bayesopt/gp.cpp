@@ -1,8 +1,11 @@
 #include "bayesopt/gp.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 #include <stdexcept>
+
+#include "utils/parallel.hpp"
 
 namespace bayesft::bayesopt {
 
@@ -13,6 +16,19 @@ GaussianProcess::GaussianProcess(std::shared_ptr<const Kernel> kernel,
     if (!(noise_variance >= 0.0)) {
         throw std::invalid_argument("GaussianProcess: negative noise");
     }
+}
+
+void GaussianProcess::refresh_targets() {
+    double y_mean = 0.0;
+    for (double y : ys_) y_mean += y;
+    y_mean /= static_cast<double>(ys_.size());
+    linalg::Vector centered(ys_.size());
+    for (std::size_t i = 0; i < ys_.size(); ++i) {
+        centered[i] = ys_[i] - y_mean;
+    }
+    y_mean_ = y_mean;
+    alpha_ = linalg::cholesky_solve(chol_, centered);
+    centered_ = std::move(centered);
 }
 
 void GaussianProcess::fit(std::vector<Point> xs, std::vector<double> ys) {
@@ -30,25 +46,66 @@ void GaussianProcess::fit(std::vector<Point> xs, std::vector<double> ys) {
     // step succeeded: a failed fit (ill-conditioned Gram) must leave the
     // previous posterior fully intact, so callers can degrade gracefully
     // by keeping the last-good fit (docs/robustness.md).
-    double y_mean = 0.0;
-    for (double y : ys) y_mean += y;
-    y_mean /= static_cast<double>(ys.size());
-
     linalg::Matrix k = kernel_->gram(xs);
     k.add_diagonal(noise_variance_);
-    linalg::Matrix chol = linalg::cholesky_with_jitter(std::move(k));
-
-    linalg::Vector centered(ys.size());
-    for (std::size_t i = 0; i < ys.size(); ++i) {
-        centered[i] = ys[i] - y_mean;
-    }
-    linalg::Vector alpha = linalg::cholesky_solve(chol, centered);
+    double jitter = 0.0;
+    linalg::Matrix chol =
+        linalg::cholesky_with_jitter_info(std::move(k), jitter);
 
     xs_ = std::move(xs);
     ys_ = std::move(ys);
-    y_mean_ = y_mean;
     chol_ = std::move(chol);
-    alpha_ = std::move(alpha);
+    jitter_ = jitter;
+    refresh_targets();
+}
+
+bool GaussianProcess::observe(const Point& x, double y) {
+    if (!fitted()) return false;
+    if (x.size() != xs_.front().size()) {
+        throw std::invalid_argument(
+            "GaussianProcess::observe: dimension mismatch");
+    }
+    // The append recurrence reproduces cholesky()'s last row against the
+    // *unjittered* Gram; a factor that needed jitter has no O(n^2) path
+    // that stays bit-identical to the canonical fit() — fall back.
+    if (jitter_ != 0.0) return false;
+    const linalg::Vector kx = kernel_->cross(x, xs_);
+    const double diag = (*kernel_)(x, x) + noise_variance_;
+    if (!linalg::cholesky_append_row(chol_, kx, diag)) return false;
+    xs_.push_back(x);
+    ys_.push_back(y);
+    refresh_targets();
+    return true;
+}
+
+void GaussianProcess::update_target(std::size_t i, double y) {
+    if (!fitted()) {
+        throw std::logic_error("GaussianProcess::update_target: not fitted");
+    }
+    if (i >= ys_.size()) {
+        throw std::out_of_range(
+            "GaussianProcess::update_target: index out of range");
+    }
+    // The factorization depends only on the xs; a refit with the updated
+    // targets would rebuild the identical factor, so only the target side
+    // is recomputed.  Valid at any jitter level for the same reason.
+    ys_[i] = y;
+    refresh_targets();
+}
+
+void GaussianProcess::truncate(std::size_t n) {
+    if (n == 0 || n > xs_.size()) {
+        throw std::invalid_argument("GaussianProcess::truncate: bad size");
+    }
+    if (jitter_ != 0.0) {
+        throw std::logic_error(
+            "GaussianProcess::truncate: factor carries jitter");
+    }
+    if (n == xs_.size()) return;
+    xs_.resize(n);
+    ys_.resize(n);
+    linalg::cholesky_truncate(chol_, n);
+    refresh_targets();
 }
 
 Posterior GaussianProcess::posterior(const Point& x) const {
@@ -65,16 +122,47 @@ Posterior GaussianProcess::posterior(const Point& x) const {
     return post;
 }
 
+std::vector<Posterior> GaussianProcess::posterior_batch(
+    const std::vector<Point>& queries) const {
+    if (!fitted()) {
+        throw std::logic_error("GaussianProcess::posterior_batch: not fitted");
+    }
+    const std::size_t m = queries.size();
+    std::vector<Posterior> out(m);
+    if (m == 0) return out;
+    const std::size_t n = xs_.size();
+    linalg::Matrix kq = kernel_->cross_matrix(queries, xs_);
+    // Means before the in-place solve consumes the cross block.  Each row
+    // is the exact dot(kx, alpha) loop of the per-point path.
+    const std::size_t grain = std::max<std::size_t>(1, 1024 / (n + 1));
+    parallel_for(0, m, grain, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t r = lo; r < hi; ++r) {
+            const double* row = kq.data() + r * n;
+            double acc = 0.0;
+            for (std::size_t i = 0; i < n; ++i) acc += row[i] * alpha_[i];
+            out[r].mean = y_mean_ + acc;
+        }
+    });
+    // One multi-RHS forward solve for every candidate's v = L^-1 kx.
+    linalg::solve_lower_multi_inplace(chol_, kq);
+    parallel_for(0, m, grain, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t r = lo; r < hi; ++r) {
+            const double* row = kq.data() + r * n;
+            double vv = 0.0;
+            for (std::size_t i = 0; i < n; ++i) vv += row[i] * row[i];
+            const double prior_var = (*kernel_)(queries[r], queries[r]);
+            out[r].variance = std::max(0.0, prior_var - vv);
+        }
+    });
+    return out;
+}
+
 double GaussianProcess::log_marginal_likelihood() const {
     if (!fitted()) {
         throw std::logic_error(
             "GaussianProcess::log_marginal_likelihood: not fitted");
     }
-    linalg::Vector centered(ys_.size());
-    for (std::size_t i = 0; i < ys_.size(); ++i) {
-        centered[i] = ys_[i] - y_mean_;
-    }
-    const double fit_term = -0.5 * linalg::dot(centered, alpha_);
+    const double fit_term = -0.5 * linalg::dot(centered_, alpha_);
     const double det_term = -0.5 * linalg::log_det_from_cholesky(chol_);
     const double norm_term = -0.5 * static_cast<double>(ys_.size()) *
                              std::log(2.0 * std::numbers::pi);

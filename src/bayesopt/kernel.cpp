@@ -1,21 +1,43 @@
 #include "bayesopt/kernel.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
+
+#include "utils/parallel.hpp"
 
 namespace bayesft::bayesopt {
 
 linalg::Matrix Kernel::gram(const std::vector<Point>& xs) const {
     const std::size_t n = xs.size();
     linalg::Matrix k(n, n);
-    for (std::size_t i = 0; i < n; ++i) {
-        for (std::size_t j = 0; j <= i; ++j) {
-            const double v = (*this)(xs[i], xs[j]);
-            k(i, j) = v;
-            k(j, i) = v;
+    if (n < 128) {
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = 0; j <= i; ++j) {
+                const double v = (*this)(xs[i], xs[j]);
+                k(i, j) = v;
+                k(j, i) = v;
+            }
         }
+        return k;
     }
+    // Pool-parallel fill: each chunk owns whole rows of the lower
+    // triangle (disjoint outputs), then a second pass mirrors it.  Every
+    // element is the same single kernel evaluation the serial loop makes,
+    // so the matrix is bit-identical at every thread count.
+    parallel_for(0, n, 8, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+            for (std::size_t j = 0; j <= i; ++j) {
+                k(i, j) = (*this)(xs[i], xs[j]);
+            }
+        }
+    });
+    parallel_for(0, n, 8, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+            for (std::size_t j = i + 1; j < n; ++j) k(i, j) = k(j, i);
+        }
+    });
     return k;
 }
 
@@ -24,6 +46,24 @@ linalg::Vector Kernel::cross(const Point& x,
     linalg::Vector v(xs.size());
     for (std::size_t i = 0; i < xs.size(); ++i) v[i] = (*this)(x, xs[i]);
     return v;
+}
+
+linalg::Matrix Kernel::cross_matrix(const std::vector<Point>& queries,
+                                    const std::vector<Point>& xs) const {
+    const std::size_t m = queries.size();
+    const std::size_t n = xs.size();
+    linalg::Matrix c(m, n);
+    // Row r is exactly cross(queries[r], xs); rows have disjoint outputs,
+    // so the split over the pool is bit-deterministic.
+    const std::size_t grain = std::max<std::size_t>(1, 1024 / (n + 1));
+    parallel_for(0, m, grain, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t r = lo; r < hi; ++r) {
+            for (std::size_t i = 0; i < n; ++i) {
+                c(r, i) = (*this)(queries[r], xs[i]);
+            }
+        }
+    });
+    return c;
 }
 
 ArdSquaredExponential::ArdSquaredExponential(

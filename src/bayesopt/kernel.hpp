@@ -26,11 +26,23 @@ public:
     virtual double operator()(const Point& a, const Point& b) const = 0;
     virtual std::string describe() const = 0;
 
-    /// Gram matrix K[i][j] = k(xs[i], xs[j]).
+    /// Gram matrix K[i][j] = k(xs[i], xs[j]).  Large matrices fill their
+    /// lower triangle with the rows split over the global thread pool and
+    /// mirror it afterwards; every element is the same single kernel
+    /// evaluation either way, so the result is bit-identical at every
+    /// thread count.
     linalg::Matrix gram(const std::vector<Point>& xs) const;
 
     /// Cross-covariance vector k(x, xs[i]).
     linalg::Vector cross(const Point& x, const std::vector<Point>& xs) const;
+
+    /// Cross-covariance matrix C[r][i] = k(queries[r], xs[i]): one cross()
+    /// row per query, rows split over the global thread pool (disjoint
+    /// outputs, so bit-identical to per-query cross() calls at every
+    /// thread count).  The batched-acquisition path builds the whole
+    /// candidate pool's cross-kernel block in one pass through this.
+    linalg::Matrix cross_matrix(const std::vector<Point>& queries,
+                                const std::vector<Point>& xs) const;
 };
 
 /// Paper Eq. 9: k0 * exp(-sum_i k_i (a_i - b_i)^2).

@@ -204,6 +204,11 @@ void save_checkpoint(const SearchCheckpoint& checkpoint,
         write_rng(out, "run_rng", checkpoint.run_rng);
         write_rng(out, "bo_rng", checkpoint.bo.rng);
         out << "initial_used " << checkpoint.bo.initial_used << '\n';
+        out << "trust_region "
+            << hex64(double_bits(checkpoint.bo.trust_region.length)) << ' '
+            << checkpoint.bo.trust_region.successes << ' '
+            << checkpoint.bo.trust_region.failures << ' '
+            << checkpoint.bo.trust_region.restarts << '\n';
         write_points(out, "initial_plan", checkpoint.bo.initial_plan,
                      nullptr);
         {
@@ -272,9 +277,11 @@ SearchCheckpoint load_checkpoint(const std::string& path) {
     const std::vector<std::string> header = reader.record(kMagic);
     if (header.size() != 2) fail("malformed header", path);
     const std::uint64_t version = reader.number(header[1]);
-    if (version != SearchCheckpoint::kVersion) {
+    if (version < SearchCheckpoint::kOldestReadableVersion ||
+        version > SearchCheckpoint::kVersion) {
         fail("unsupported format version " + header[1] + " (this build reads "
-                 + std::to_string(SearchCheckpoint::kVersion) + ")",
+                 + std::to_string(SearchCheckpoint::kOldestReadableVersion) +
+                 ".." + std::to_string(SearchCheckpoint::kVersion) + ")",
              path);
     }
 
@@ -293,6 +300,16 @@ SearchCheckpoint load_checkpoint(const std::string& path) {
     checkpoint.bo.rng = reader.rng("bo_rng");
     checkpoint.bo.initial_used =
         reader.number(reader.record("initial_used").at(1));
+    if (version >= 3) {
+        const std::vector<std::string> tr = reader.record("trust_region");
+        if (tr.size() != 5) fail("malformed trust_region record", path);
+        checkpoint.bo.trust_region.length = bits_double(reader.hex(tr[1]));
+        checkpoint.bo.trust_region.successes = reader.number(tr[2]);
+        checkpoint.bo.trust_region.failures = reader.number(tr[3]);
+        checkpoint.bo.trust_region.restarts = reader.number(tr[4]);
+    }
+    // v2: no record — bo.trust_region keeps its default (length 0), which
+    // BayesOpt::import_state treats as "use the configured initial edge".
 
     reader.points("initial_plan", checkpoint.bo.initial_plan, nullptr);
     {
@@ -430,7 +447,23 @@ std::uint64_t mix_bo_config(std::uint64_t key,
     // unlike the resilience knobs (isolate/timeout/retries), which are
     // result-invariant and deliberately NOT digested (like thread count).
     key = mix_key(key, static_cast<std::uint64_t>(config.fail_policy));
-    return mix_key(key, &config.fail_penalty, 1);
+    key = mix_key(key, &config.fail_penalty, 1);
+    // Trust-region knobs are folded ONLY when the feature is on, so every
+    // pre-existing (trust-region-off) scenario digest — and with it every
+    // v2 checkpoint in the wild — stays valid under this build.
+    if (config.trust_region.enabled) {
+        const bayesopt::TrustRegionConfig& tr = config.trust_region;
+        key = mix_key(key, std::string_view("trust-region"));
+        key = mix_key(key, static_cast<std::uint64_t>(tr.activate_after));
+        const double tr_reals[] = {tr.initial_length, tr.min_length,
+                                   tr.max_length};
+        key = mix_key(key, tr_reals, 3);
+        key = mix_key(key, static_cast<std::uint64_t>(tr.success_tolerance));
+        key = mix_key(key, static_cast<std::uint64_t>(tr.failure_tolerance));
+        key = mix_key(key,
+                      static_cast<std::uint64_t>(tr.max_local_trials));
+    }
+    return key;
 }
 
 std::uint64_t mix_rng_state(std::uint64_t key, const RngState& state) {

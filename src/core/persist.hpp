@@ -52,12 +52,17 @@ struct CheckpointOptions {
 
 /// One serialized search snapshot.  See the header comment for semantics.
 struct SearchCheckpoint {
-    /// Format version written by this build; load_checkpoint rejects
-    /// anything else.  v2 added the per-trial status record
-    /// (docs/robustness.md) — quarantined trials must survive a resume, or
-    /// a resumed run would feed a failure's penalty y to the GP as a real
-    /// observation under FailPolicy::kExclude.
-    static constexpr std::uint32_t kVersion = 2;
+    /// Format version written by this build.  v2 added the per-trial
+    /// status record (docs/robustness.md) — quarantined trials must
+    /// survive a resume, or a resumed run would feed a failure's penalty y
+    /// to the GP as a real observation under FailPolicy::kExclude.  v3
+    /// added the trust-region record (docs/optimizer-scaling.md); v2 files
+    /// still load, with the trust region freshly initialized — exactly the
+    /// state a v2 writer (which could not have had trust regions enabled)
+    /// would resume into.  Anything else is rejected.
+    static constexpr std::uint32_t kVersion = 3;
+    /// Oldest format version load_checkpoint still accepts.
+    static constexpr std::uint32_t kOldestReadableVersion = 2;
 
     std::string run_id;             ///< free-form label (scenario name)
     std::string build;              ///< git-describe stamp of the writer

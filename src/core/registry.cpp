@@ -120,6 +120,8 @@ ExperimentConfig default_config(const RunOptions& options) {
     config.bayesft.checkpoint.stop_after = options.stop_after;
     config.bayesft.resilience = resilience_from(options);
     config.bayesft.bo.fail_policy = fail_policy_from(options);
+    config.bayesft.bo.trust_region.enabled = options.trust_region;
+    config.bayesft.bo.trust_region.activate_after = options.tr_after;
 
     config.reram_v.adapt_epochs = 2;
     config.reram_v.device_sigma = 0.3;
@@ -679,6 +681,8 @@ RegistryResult run_fault_search(const std::string& name,
     config.checkpoint.stop_after = options.stop_after;
     config.resilience = resilience_from(options);
     config.bo.fail_policy = fail_policy_from(options);
+    config.bo.trust_region.enabled = options.trust_region;
+    config.bo.trust_region.activate_after = options.tr_after;
     const BayesFTResult search =
         bayesft_search(bft, parts.train, parts.test, config, bft_rng);
 
@@ -1006,6 +1010,8 @@ RegistryResult run_archsearch(
     search_config.checkpoint.stop_after = options.stop_after;
     search_config.resilience = resilience_from(options);
     search_config.bo.fail_policy = fail_policy_from(options);
+    search_config.bo.trust_region.enabled = options.trust_region;
+    search_config.bo.trust_region.activate_after = options.tr_after;
     Rng search_rng(seed_base + 1 + seed);
     const ArchSearchResult search = arch_search(
         family, parts.train, parts.test, search_config, search_rng);

@@ -63,6 +63,14 @@ struct RunOptions {
     /// Scenarios that compare against a fixed-point forward use it to pick
     /// the word width; "float32" means "the scenario's default width".
     std::string inference = "float32";
+    /// TuRBO-style trust-region local BO (docs/optimizer-scaling.md):
+    /// past `tr_after` observed trials, proposals come from an adaptive
+    /// box around the incumbent scored by a local surrogate.  Opt-in —
+    /// unlike the engine knobs above it shapes the proposal stream, so it
+    /// is folded into the scenario digest (only when enabled, keeping
+    /// every pre-existing checkpoint valid).
+    bool trust_region = false;
+    std::size_t tr_after = 500;
 };
 
 /// One labeled series of an experiment (method or model variant).

@@ -1,10 +1,12 @@
 #include "linalg/matrix.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
 
 #include "tensor/gemm.hpp"
+#include "utils/parallel.hpp"
 
 namespace bayesft::linalg {
 
@@ -79,47 +81,161 @@ double dot(const Vector& a, const Vector& b) {
 
 double norm(const Vector& a) { return std::sqrt(dot(a, a)); }
 
+namespace {
+
+/// Matrices below this order factorize with the plain serial loop: the
+/// per-column parallel_for barrier costs more than it saves.  Both code
+/// paths compute every element with the identical scalar recurrence, so
+/// the threshold is a pure performance knob, never a results knob.
+constexpr std::size_t kParallelCholeskyMinDim = 192;
+
+[[noreturn]] void cholesky_pivot_failure(std::size_t i) {
+    throw std::runtime_error(
+        "cholesky: matrix not positive definite at pivot " +
+        std::to_string(i));
+}
+
+}  // namespace
+
 Matrix cholesky(const Matrix& a) {
     if (a.rows() != a.cols()) {
         throw std::invalid_argument("cholesky: matrix not square");
     }
     const std::size_t n = a.rows();
     Matrix l(n, n);
-    for (std::size_t i = 0; i < n; ++i) {
-        for (std::size_t j = 0; j <= i; ++j) {
-            double acc = a(i, j);
-            for (std::size_t k = 0; k < j; ++k) acc -= l(i, k) * l(j, k);
-            if (i == j) {
-                if (acc <= 0.0 || !std::isfinite(acc)) {
-                    throw std::runtime_error(
-                        "cholesky: matrix not positive definite at pivot " +
-                        std::to_string(i));
+    if (n < kParallelCholeskyMinDim) {
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = 0; j <= i; ++j) {
+                double acc = a(i, j);
+                for (std::size_t k = 0; k < j; ++k) acc -= l(i, k) * l(j, k);
+                if (i == j) {
+                    if (acc <= 0.0 || !std::isfinite(acc)) {
+                        cholesky_pivot_failure(i);
+                    }
+                    l(i, j) = std::sqrt(acc);
+                } else {
+                    l(i, j) = acc / l(j, j);
                 }
-                l(i, j) = std::sqrt(acc);
-            } else {
-                l(i, j) = acc / l(j, j);
             }
         }
+        return l;
+    }
+    // Column-oriented schedule: finalize pivot j, then fill the rest of
+    // column j with the rows split over the pool.  Every element still
+    // runs the exact scalar recurrence above (ascending-k dot, then one
+    // divide or sqrt) against already-finalized columns, so the factor —
+    // and the index of the first failing pivot — is bit-identical to the
+    // serial row-major loop at every thread count.
+    for (std::size_t j = 0; j < n; ++j) {
+        double pivot = a(j, j);
+        for (std::size_t k = 0; k < j; ++k) pivot -= l(j, k) * l(j, k);
+        if (pivot <= 0.0 || !std::isfinite(pivot)) cholesky_pivot_failure(j);
+        l(j, j) = std::sqrt(pivot);
+        // Per-row work grows with j; keep chunks at ~16k multiply-adds so
+        // early (cheap) columns do not drown in scheduling overhead.
+        const std::size_t grain = std::max<std::size_t>(4, 16384 / (j + 1));
+        parallel_for(j + 1, n, grain, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i) {
+                double acc = a(i, j);
+                for (std::size_t k = 0; k < j; ++k) acc -= l(i, k) * l(j, k);
+                l(i, j) = acc / l(j, j);
+            }
+        });
     }
     return l;
 }
 
 Matrix cholesky_with_jitter(Matrix a, double initial_jitter, int max_tries) {
+    double applied = 0.0;
+    return cholesky_with_jitter_info(std::move(a), applied, initial_jitter,
+                                     max_tries);
+}
+
+Matrix cholesky_with_jitter_info(Matrix a, double& applied_jitter,
+                                 double initial_jitter, int max_tries) {
     // Each retry factors original + jitter*I, not the already-jittered
     // matrix, so the effective regularization is exactly the current jitter
     // level rather than a compounding sum of all previous levels.
     const Matrix original = a;
     double jitter = initial_jitter;
+    applied_jitter = 0.0;
     for (int attempt = 0; attempt < max_tries; ++attempt) {
         try {
             return cholesky(a);
         } catch (const std::runtime_error&) {
             a = original;
             a.add_diagonal(jitter);
+            applied_jitter = jitter;
             jitter *= 10.0;
         }
     }
     return cholesky(a);  // Last attempt: let the failure propagate.
+}
+
+bool cholesky_append_row(Matrix& l, const Vector& k, double diag) {
+    const std::size_t n = l.rows();
+    if (l.cols() != n || k.size() != n) {
+        throw std::invalid_argument("cholesky_append_row: dimension mismatch");
+    }
+    // The new off-diagonal row is the forward substitution L c = k — the
+    // identical recurrence cholesky() runs for its last row, so the grown
+    // factor matches a from-scratch refactorization bit-for-bit.
+    Vector c(n);
+    for (std::size_t j = 0; j < n; ++j) {
+        double acc = k[j];
+        for (std::size_t t = 0; t < j; ++t) acc -= c[t] * l(j, t);
+        c[j] = acc / l(j, j);
+    }
+    double pivot = diag;
+    for (std::size_t t = 0; t < n; ++t) pivot -= c[t] * c[t];
+    // Exactly cholesky()'s pivot test: when this fails, a from-scratch
+    // factorization of the grown matrix fails at the same pivot (its
+    // leading block is this factor, finalized row by row).
+    if (pivot <= 0.0 || !std::isfinite(pivot)) return false;
+    Matrix grown(n + 1, n + 1);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j <= i; ++j) grown(i, j) = l(i, j);
+    }
+    for (std::size_t t = 0; t < n; ++t) grown(n, t) = c[t];
+    grown(n, n) = std::sqrt(pivot);
+    l = std::move(grown);
+    return true;
+}
+
+void cholesky_truncate(Matrix& l, std::size_t n) {
+    if (l.cols() != l.rows() || n > l.rows()) {
+        throw std::invalid_argument("cholesky_truncate: bad target size");
+    }
+    if (n == l.rows()) return;
+    Matrix cut(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j <= i; ++j) cut(i, j) = l(i, j);
+    }
+    l = std::move(cut);
+}
+
+void solve_lower_multi_inplace(const Matrix& l, Matrix& rhs) {
+    const std::size_t n = l.rows();
+    if (l.cols() != n || rhs.cols() != n) {
+        throw std::invalid_argument(
+            "solve_lower_multi_inplace: dimension mismatch");
+    }
+    // Rows are independent right-hand sides with disjoint outputs; each
+    // runs the exact solve_lower() recurrence, so the result is
+    // bit-identical to n_rows separate solve_lower calls at every thread
+    // count.  Grain keeps chunks at ~16k multiply-adds.
+    const std::size_t grain =
+        std::max<std::size_t>(1, 32768 / (n * n + 1));
+    parallel_for(0, rhs.rows(), grain, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t r = lo; r < hi; ++r) {
+            double* y = rhs.data() + r * n;
+            for (std::size_t i = 0; i < n; ++i) {
+                double acc = y[i];
+                for (std::size_t k = 0; k < i; ++k) acc -= l(i, k) * y[k];
+                y[i] = acc / l(i, i);
+            }
+        }
+    });
 }
 
 Vector solve_lower(const Matrix& l, const Vector& b) {

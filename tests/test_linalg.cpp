@@ -132,6 +132,115 @@ TEST(Solve, DimensionMismatchThrows) {
     EXPECT_THROW(solve_lower_transposed(l, {1, 2, 3}), std::invalid_argument);
 }
 
+TEST(Cholesky, ParallelPathMatchesSerialBitwise) {
+    // n = 224 crosses the column-parallel threshold (192); the factor must
+    // be bit-identical to the serial recurrence computed by hand here.
+    Rng rng(11);
+    const std::size_t n = 224;
+    const Matrix a = random_spd(n, rng);
+    const Matrix l = cholesky(a);
+    Matrix ref(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j <= i; ++j) {
+            double sum = a(i, j);
+            for (std::size_t k = 0; k < j; ++k) sum -= ref(i, k) * ref(j, k);
+            ref(i, j) = (i == j) ? std::sqrt(sum) : sum / ref(j, j);
+        }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j <= i; ++j) {
+            EXPECT_EQ(l(i, j), ref(i, j)) << "element " << i << "," << j;
+        }
+    }
+}
+
+TEST(CholeskyAppend, MatchesFromScratchBitwise) {
+    // Growing the factor one row at a time must land on exactly the bits a
+    // from-scratch factorization of each leading block produces — the
+    // incremental-GP contract (docs/optimizer-scaling.md).
+    Rng rng(12);
+    const std::size_t n = 24;
+    const Matrix a = random_spd(n, rng);
+    Matrix grown = cholesky(Matrix(1, 1, {a(0, 0)}));
+    for (std::size_t m = 1; m < n; ++m) {
+        Vector k(m);
+        for (std::size_t j = 0; j < m; ++j) k[j] = a(m, j);
+        ASSERT_TRUE(cholesky_append_row(grown, k, a(m, m)));
+        Matrix block(m + 1, m + 1);
+        for (std::size_t i = 0; i <= m; ++i) {
+            for (std::size_t j = 0; j <= m; ++j) block(i, j) = a(i, j);
+        }
+        const Matrix direct = cholesky(block);
+        for (std::size_t i = 0; i <= m; ++i) {
+            for (std::size_t j = 0; j <= i; ++j) {
+                ASSERT_EQ(grown(i, j), direct(i, j))
+                    << "block " << m << " element " << i << "," << j;
+            }
+        }
+    }
+}
+
+TEST(CholeskyAppend, RejectsNonPositiveDefiniteRow) {
+    // Appending a duplicate of an existing point makes the grown matrix
+    // singular: the append must refuse (false) and leave the factor
+    // untouched, mirroring cholesky()'s throw on the full matrix.
+    // [[1, 1], [1, 1]] — the same singular matrix the Cholesky jitter test
+    // pins as rejected from scratch; the pivot is exactly 0 in doubles.
+    Matrix l = cholesky(Matrix(1, 1, {1.0}));
+    const Matrix before = l;
+    EXPECT_FALSE(cholesky_append_row(l, Vector{1.0}, 1.0));
+    EXPECT_EQ(l(0, 0), before(0, 0));
+    EXPECT_EQ(l.rows(), 1U);
+}
+
+TEST(CholeskyTruncate, IsExactDowndate) {
+    // Rows finalize top-down, so truncating the factor equals factorizing
+    // the leading block — bit-for-bit (the fantasy-rollback contract).
+    Rng rng(13);
+    const Matrix a = random_spd(12, rng);
+    Matrix l = cholesky(a);
+    cholesky_truncate(l, 7);
+    Matrix block(7, 7);
+    for (std::size_t i = 0; i < 7; ++i) {
+        for (std::size_t j = 0; j < 7; ++j) block(i, j) = a(i, j);
+    }
+    const Matrix direct = cholesky(block);
+    ASSERT_EQ(l.rows(), 7U);
+    for (std::size_t i = 0; i < 7; ++i) {
+        for (std::size_t j = 0; j <= i; ++j) {
+            EXPECT_EQ(l(i, j), direct(i, j));
+        }
+    }
+}
+
+TEST(SolveMulti, MatchesPerRowSolvesBitwise) {
+    // Each RHS row of the multi-solve must carry the identical bits the
+    // one-vector solve_lower produces (the pooled-posterior contract).
+    Rng rng(14);
+    const std::size_t n = 9, m = 5;
+    const Matrix l = cholesky(random_spd(n, rng));
+    Matrix rhs(m, n);
+    for (std::size_t r = 0; r < m; ++r) {
+        for (std::size_t i = 0; i < n; ++i) rhs(r, i) = rng.normal();
+    }
+    const Matrix original = rhs;
+    solve_lower_multi_inplace(l, rhs);
+    for (std::size_t r = 0; r < m; ++r) {
+        Vector b(n);
+        for (std::size_t i = 0; i < n; ++i) b[i] = original(r, i);
+        const Vector x = solve_lower(l, b);
+        for (std::size_t i = 0; i < n; ++i) {
+            EXPECT_EQ(rhs(r, i), x[i]) << "row " << r << " col " << i;
+        }
+    }
+}
+
+TEST(SolveMulti, RejectsMismatchedShapes) {
+    const Matrix l = cholesky(Matrix(2, 2, {4, 0, 0, 9}));
+    Matrix rhs(3, 3);
+    EXPECT_THROW(solve_lower_multi_inplace(l, rhs), std::invalid_argument);
+}
+
 TEST(LogDet, MatchesDirectComputation) {
     // diag(4, 9): det = 36, log det = log 36.
     Matrix a(2, 2, {4, 0, 0, 9});

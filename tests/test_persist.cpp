@@ -84,6 +84,10 @@ SearchCheckpoint sample_checkpoint() {
     cp.model_bits = {0u, 0x3F800000u, 0x80000000u, 0x7F7FFFFFu, 1u};
     cp.model_rngs = {Rng(1).state(), Rng(2).state()};
     cp.model_digest = 0xD16E57ULL;
+    cp.bo.trust_region.length = 0.2;
+    cp.bo.trust_region.successes = 1;
+    cp.bo.trust_region.failures = 4;
+    cp.bo.trust_region.restarts = 2;
     return cp;
 }
 
@@ -116,9 +120,87 @@ TEST(CheckpointFileTest, RoundTripIsBitExact) {
         EXPECT_EQ(cp.model_rngs[i], loaded.model_rngs[i]);
     }
     EXPECT_EQ(cp.model_digest, loaded.model_digest);
+    EXPECT_EQ(cp.bo.trust_region.length, loaded.bo.trust_region.length);
+    EXPECT_EQ(cp.bo.trust_region.successes,
+              loaded.bo.trust_region.successes);
+    EXPECT_EQ(cp.bo.trust_region.failures, loaded.bo.trust_region.failures);
+    EXPECT_EQ(cp.bo.trust_region.restarts, loaded.bo.trust_region.restarts);
     // -0.0 must survive as -0.0 (bit pattern, not value, equality).
     EXPECT_TRUE(std::signbit(loaded.bo.initial_plan[0][1]));
     fs::remove(path);
+}
+
+TEST(CheckpointFileTest, LoadsVersion2WithoutTrustRegionRecord) {
+    // A v2 file is a v3 file minus the trust_region record with a v2
+    // header — exactly what the pre-v3 writer produced.  It must load with
+    // the trust region at its "freshly initialized" default (length 0, so
+    // BayesOpt::import_state installs the configured initial edge).
+    const std::string path = temp_path("v2.ckpt");
+    save_checkpoint(sample_checkpoint(), path);
+    std::ifstream in(path);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    in.close();
+    const std::string header = "bayesft-checkpoint 3\n";
+    ASSERT_EQ(text.rfind(header, 0), 0U);
+    text.replace(0, header.size(), "bayesft-checkpoint 2\n");
+    const std::size_t tr_start = text.find("trust_region ");
+    ASSERT_NE(tr_start, std::string::npos);
+    const std::size_t tr_end = text.find('\n', tr_start);
+    text.erase(tr_start, tr_end - tr_start + 1);
+    {
+        std::ofstream out(path);
+        out << text;
+    }
+
+    const SearchCheckpoint loaded = load_checkpoint(path);
+    const SearchCheckpoint cp = sample_checkpoint();
+    EXPECT_EQ(cp.trials_done, loaded.trials_done);
+    EXPECT_EQ(cp.bo.initial_used, loaded.bo.initial_used);
+    EXPECT_EQ(cp.model_bits, loaded.model_bits);
+    EXPECT_EQ(loaded.bo.trust_region.length, 0.0);
+    EXPECT_EQ(loaded.bo.trust_region.successes, 0U);
+    EXPECT_EQ(loaded.bo.trust_region.failures, 0U);
+    EXPECT_EQ(loaded.bo.trust_region.restarts, 0U);
+    fs::remove(path);
+}
+
+TEST(CheckpointFileTest, RejectsVersionsOutsideTheReadableRange) {
+    const std::string path = temp_path("v1.ckpt");
+    {
+        std::ofstream out(path);
+        out << "bayesft-checkpoint 1\n";
+    }
+    EXPECT_THROW(load_checkpoint(path), std::runtime_error);
+    {
+        std::ofstream out(path);
+        out << "bayesft-checkpoint 4\n";
+    }
+    EXPECT_THROW(load_checkpoint(path), std::runtime_error);
+    fs::remove(path);
+}
+
+TEST(ScenarioDigestTest, TrustRegionFoldsOnlyWhenEnabled) {
+    // Disabled trust regions must leave every pre-existing scenario digest
+    // (hence every v2 checkpoint) untouched, whatever the knob values;
+    // enabling folds the knobs, so a resume under different trust-region
+    // settings is rejected.
+    bayesopt::BayesOptConfig base;
+    const std::uint64_t plain = mix_bo_config(7, base);
+
+    bayesopt::BayesOptConfig tweaked = base;
+    tweaked.trust_region.activate_after = 123;
+    tweaked.trust_region.initial_length = 0.7;
+    EXPECT_EQ(mix_bo_config(7, tweaked), plain);
+
+    bayesopt::BayesOptConfig enabled = base;
+    enabled.trust_region.enabled = true;
+    const std::uint64_t on = mix_bo_config(7, enabled);
+    EXPECT_NE(on, plain);
+
+    bayesopt::BayesOptConfig enabled_other = enabled;
+    enabled_other.trust_region.activate_after += 1;
+    EXPECT_NE(mix_bo_config(7, enabled_other), on);
 }
 
 TEST(CheckpointFileTest, SaveIsAtomicViaRename) {
