@@ -1,0 +1,153 @@
+// The robustness-as-a-service evaluation server binary (docs/serving.md):
+// binds a Unix-domain socket and/or a loopback TCP port, registers the
+// built-in target set, and serves `eval` requests until SIGINT/SIGTERM or
+// a client's `shutdown` verb.
+//
+// Usage:
+//   serve --socket /tmp/bayesft.sock [--runs-dir runs] [--cache-entries N]
+//   serve --tcp 7411 --queue-depth 128 --batch 8 --threads 4
+//   serve --list-targets
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "core/runstore.hpp"
+#include "serve/server.hpp"
+#include "utils/logging.hpp"
+
+namespace {
+
+using namespace bayesft;
+
+std::atomic<bool> g_stop{false};
+
+void handle_signal(int) { g_stop.store(true); }
+
+void print_usage() {
+    std::cout <<
+        "usage: serve [options]\n"
+        "  --socket <path>     Unix-domain socket to listen on\n"
+        "  --tcp <port>        TCP port on 127.0.0.1 (0 = ephemeral;\n"
+        "                      the bound port is printed)\n"
+        "  --runs-dir <dir>    persist served trials to this run-store\n"
+        "                      directory (default: no persistence)\n"
+        "  --cache-entries <n> LRU bound on the cross-client result cache\n"
+        "                      (default 1024; 0 disables caching)\n"
+        "  --queue-depth <n>   admission-queue bound; jobs beyond it are\n"
+        "                      answered 'busy' (default 64)\n"
+        "  --batch <n>         max jobs coalesced into one engine batch\n"
+        "                      (default 8)\n"
+        "  --threads <n>       engine evaluation concurrency (0 = pool)\n"
+        "  --trial-timeout <s> per-trial wall-clock deadline (0 = none)\n"
+        "  --max-retries <n>   re-attempts before a trial is quarantined\n"
+        "                      (default 2)\n"
+        "  --quick             register quick-scaled targets (CI size)\n"
+        "  --list-targets      print the target table and exit\n";
+}
+
+void print_targets(const std::vector<serve::ServeTarget>& targets) {
+    for (const serve::ServeTarget& target : targets) {
+        std::cout << target.name << "  digest="
+                  << core::format_hex(target.digest)
+                  << "  dims=" << target.bounds.dims() << "\n";
+        for (const serve::FaultVariant& variant : target.variants) {
+            std::cout << "  " << variant.name << "  digest="
+                      << core::format_hex(variant.digest) << "\n";
+        }
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    serve::ServeConfig config;
+    bool quick = false;
+    bool list_targets = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&](const char* flag) -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "serve: " << flag << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--socket") {
+            config.socket_path = next("--socket");
+        } else if (arg == "--tcp") {
+            config.tcp_port = std::atoi(next("--tcp").c_str());
+        } else if (arg == "--runs-dir") {
+            config.runs_dir = next("--runs-dir");
+        } else if (arg == "--cache-entries") {
+            config.cache_entries = static_cast<std::size_t>(
+                std::atoll(next("--cache-entries").c_str()));
+        } else if (arg == "--queue-depth") {
+            config.queue_depth = static_cast<std::size_t>(
+                std::atoll(next("--queue-depth").c_str()));
+        } else if (arg == "--batch") {
+            config.max_batch = static_cast<std::size_t>(
+                std::atoll(next("--batch").c_str()));
+        } else if (arg == "--threads") {
+            config.threads = static_cast<std::size_t>(
+                std::atoll(next("--threads").c_str()));
+        } else if (arg == "--trial-timeout") {
+            config.resilience.timeout_seconds =
+                std::atof(next("--trial-timeout").c_str());
+        } else if (arg == "--max-retries") {
+            config.resilience.max_retries = static_cast<std::size_t>(
+                std::atoll(next("--max-retries").c_str()));
+        } else if (arg == "--quick") {
+            quick = true;
+        } else if (arg == "--list-targets") {
+            list_targets = true;
+        } else if (arg == "--help" || arg == "-h") {
+            print_usage();
+            return 0;
+        } else {
+            std::cerr << "serve: unknown option '" << arg << "'\n";
+            print_usage();
+            return 2;
+        }
+    }
+
+    std::vector<serve::ServeTarget> targets =
+        serve::builtin_targets(quick);
+    if (list_targets) {
+        print_targets(targets);
+        return 0;
+    }
+
+    serve::EvalServer server(config, std::move(targets));
+    try {
+        server.start();
+    } catch (const std::exception& error) {
+        std::cerr << error.what() << "\n";
+        return 1;
+    }
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+
+    if (!config.socket_path.empty()) {
+        std::cout << "serving on " << config.socket_path << "\n";
+    }
+    if (server.tcp_port() != 0) {
+        std::cout << "serving on 127.0.0.1:" << server.tcp_port() << "\n";
+    }
+    std::cout.flush();
+
+    while (!g_stop.load() && server.running()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    const serve::ServeStats stats = server.stats();
+    server.stop();
+    std::cout << "served " << stats.completed << " evaluations ("
+              << stats.cache_hits << " cache hits, " << stats.busy
+              << " busy, " << stats.failed << " failed, "
+              << stats.protocol_errors << " protocol errors)\n";
+    return 0;
+}

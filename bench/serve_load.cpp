@@ -1,0 +1,495 @@
+// Load generator for the evaluation server (docs/serving.md): spawns K
+// concurrent clients hammering one server with eval requests and emits
+// p50/p99 latency, jobs/sec, and cache-hit-rate per K into
+// BENCH_serve.json — the perf trajectory of the serving story.  Also
+// hosts the byte-diff verifier (--verify: sampled served responses must
+// equal direct in-process evaluation) and the cold-vs-hit cache
+// micro-bench that demonstrates a cross-client memo hit is cheaper than
+// a cold evaluation.
+//
+// Usage:
+//   serve_load --socket /tmp/bayesft.sock --clients 1,2,4,8 --jobs 200 \
+//              --json BENCH_serve.json --verify 16 [--quick] [--shutdown]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "serve/targets.hpp"
+#include "utils/rng.hpp"
+
+namespace {
+
+using namespace bayesft;
+using Clock = std::chrono::steady_clock;
+
+struct Options {
+    std::string socket_path;
+    int tcp_port = 0;
+    std::vector<std::size_t> clients = {1, 2, 4, 8};
+    std::size_t jobs = 200;
+    double repeat_frac = 0.5;
+    std::string target = "quadratic";
+    std::string variant;  ///< default: the target's first variant
+    std::string mode = "float32";
+    std::string json_path;
+    std::size_t verify = 0;
+    std::string cache_target = "toy_mlp";
+    std::size_t cache_points = 6;
+    bool quick = false;
+    bool shutdown = false;
+};
+
+void print_usage() {
+    std::cout <<
+        "usage: serve_load [options]\n"
+        "  --socket <path>    connect to this Unix-domain socket\n"
+        "  --tcp <port>       connect to 127.0.0.1:<port> instead\n"
+        "  --clients <list>   comma-separated client counts (default "
+        "1,2,4,8)\n"
+        "  --jobs <n>         eval requests per client per round "
+        "(default 200)\n"
+        "  --repeat-frac <f>  fraction of requests drawn from a shared\n"
+        "                     hot pool, driving cross-client cache hits\n"
+        "                     (default 0.5)\n"
+        "  --target <name>    served target to load (default quadratic)\n"
+        "  --variant <name>   fault variant (default: first)\n"
+        "  --mode <m>         inference mode: float32|int8|int12\n"
+        "  --json <path>      write BENCH_serve.json records\n"
+        "  --verify <n>       byte-diff n served responses against direct\n"
+        "                     in-process evaluation; exit 1 on mismatch\n"
+        "  --cache-target <t> target for the cold-vs-hit micro-bench\n"
+        "                     (default toy_mlp; 'none' skips it)\n"
+        "  --quick            match a server started with --quick\n"
+        "  --shutdown         send the shutdown verb when done\n";
+}
+
+serve::ServeClient connect(const Options& options) {
+    if (!options.socket_path.empty()) {
+        return serve::ServeClient::connect_unix(options.socket_path);
+    }
+    return serve::ServeClient::connect_tcp(options.tcp_port);
+}
+
+serve::ServeStats fetch_stats(const Options& options) {
+    serve::ServeClient client = connect(options);
+    serve::ServeStats stats;
+    const std::string line = client.request("stats");
+    if (!serve::parse_stats(line, stats)) {
+        throw std::runtime_error("serve_load: bad stats response: " + line);
+    }
+    return stats;
+}
+
+const serve::ServeTarget* pick_target(
+    const std::vector<serve::ServeTarget>& targets,
+    const std::string& name) {
+    for (const serve::ServeTarget& target : targets) {
+        if (target.name == name) return &target;
+    }
+    return nullptr;
+}
+
+const serve::FaultVariant* pick_variant(const serve::ServeTarget& target,
+                                        const std::string& name) {
+    if (name.empty()) {
+        return target.variants.empty() ? nullptr : &target.variants.front();
+    }
+    for (const serve::FaultVariant& variant : target.variants) {
+        if (variant.name == name) return &variant;
+    }
+    return nullptr;
+}
+
+double percentile(std::vector<double> sorted_values, double p) {
+    if (sorted_values.empty()) return 0.0;
+    const double rank =
+        p * static_cast<double>(sorted_values.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi =
+        std::min(lo + 1, sorted_values.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac;
+}
+
+struct RoundResult {
+    std::size_t clients = 0;
+    std::size_t jobs = 0;  ///< total round-trips across all clients
+    double p50_us = 0.0;
+    double p99_us = 0.0;
+    double jobs_per_sec = 0.0;
+    double cache_hit_rate = 0.0;
+    std::uint64_t busy = 0;
+    std::uint64_t errors = 0;
+};
+
+/// One load round: K clients, each running `jobs` request/response round
+/// trips over its own connection against deterministic point streams
+/// (a shared hot pool drives cross-client cache hits).
+RoundResult run_round(const Options& options,
+                      const serve::ServeTarget& target,
+                      const serve::FaultVariant& variant,
+                      nn::InferenceMode mode, std::size_t k) {
+    // The hot pool is identical across rounds and clients: every client
+    // re-requests these points, so K > 1 rounds observe cross-client
+    // cache traffic and later rounds hit the cache warmed by earlier
+    // ones.
+    Rng pool_rng(42);
+    std::vector<core::Alpha> hot_pool;
+    for (std::size_t i = 0; i < 16; ++i) {
+        hot_pool.push_back(target.bounds.sample(pool_rng));
+    }
+
+    const serve::ServeStats before = fetch_stats(options);
+    std::vector<std::vector<double>> latencies(k);
+    std::vector<std::uint64_t> busy_counts(k, 0);
+    std::vector<std::uint64_t> error_counts(k, 0);
+    std::vector<std::thread> threads;
+    const auto round_start = Clock::now();
+    for (std::size_t c = 0; c < k; ++c) {
+        threads.emplace_back([&, c] {
+            serve::ServeClient client = connect(options);
+            Rng rng(1000003 * (k + 1) + 97 * c + 1);
+            serve::EvalRequest request;
+            request.target = target.digest;
+            request.fault = variant.digest;
+            request.inference = mode;
+            for (std::size_t j = 0; j < options.jobs; ++j) {
+                if (rng.uniform() < options.repeat_frac) {
+                    request.point =
+                        hot_pool[rng.uniform_int(hot_pool.size())];
+                } else {
+                    request.point = target.bounds.sample(rng);
+                }
+                const auto start = Clock::now();
+                const std::string response = client.eval(request);
+                const auto stop = Clock::now();
+                latencies[c].push_back(
+                    std::chrono::duration<double, std::micro>(stop - start)
+                        .count());
+                if (response == serve::kBusyResponse) {
+                    ++busy_counts[c];
+                } else if (response.rfind("error", 0) == 0) {
+                    ++error_counts[c];
+                }
+            }
+        });
+    }
+    for (std::thread& thread : threads) thread.join();
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - round_start).count();
+    const serve::ServeStats after = fetch_stats(options);
+
+    RoundResult result;
+    result.clients = k;
+    std::vector<double> all;
+    for (const auto& per_client : latencies) {
+        all.insert(all.end(), per_client.begin(), per_client.end());
+    }
+    result.jobs = all.size();
+    std::sort(all.begin(), all.end());
+    result.p50_us = percentile(all, 0.50);
+    result.p99_us = percentile(all, 0.99);
+    result.jobs_per_sec =
+        seconds > 0.0 ? static_cast<double>(all.size()) / seconds : 0.0;
+    const std::uint64_t completed_delta = after.completed - before.completed;
+    const std::uint64_t hits_delta = after.cache_hits - before.cache_hits;
+    result.cache_hit_rate =
+        completed_delta > 0
+            ? static_cast<double>(hits_delta) /
+                  static_cast<double>(completed_delta)
+            : 0.0;
+    for (std::size_t c = 0; c < k; ++c) {
+        result.busy += busy_counts[c];
+        result.errors += error_counts[c];
+    }
+    return result;
+}
+
+/// Byte-diffs `count` served responses against direct in-process
+/// evaluation (targets.hpp reference_responses).  Returns mismatches.
+std::size_t run_verify(const Options& options,
+                       const serve::ServeTarget& target,
+                       const serve::FaultVariant& variant,
+                       nn::InferenceMode mode, std::size_t count) {
+    Rng rng(7);
+    std::vector<core::Alpha> points;
+    std::vector<std::uint64_t> trials;
+    for (std::size_t i = 0; i < count; ++i) {
+        points.push_back(target.bounds.sample(rng));
+        trials.push_back(i);  // a fresh connection's eval indices
+    }
+    const std::vector<std::string> expected = serve::reference_responses(
+        target, variant, mode, points, trials);
+    serve::ServeClient client = connect(options);
+    std::size_t mismatches = 0;
+    serve::EvalRequest request;
+    request.target = target.digest;
+    request.fault = variant.digest;
+    request.inference = mode;
+    for (std::size_t i = 0; i < count; ++i) {
+        request.point = points[i];
+        const std::string served = client.eval(request, 120.0);
+        if (served != expected[i]) {
+            ++mismatches;
+            std::cerr << "serve_load: verify mismatch at point " << i
+                      << "\n  served:   " << served
+                      << "\n  expected: " << expected[i] << "\n";
+        }
+    }
+    return mismatches;
+}
+
+struct CacheBench {
+    std::string target;
+    double cold_us = 0.0;
+    double hit_us = 0.0;
+};
+
+/// Cold-vs-hit latency: client A evaluates fresh points (cold — the
+/// engine trains/evaluates), then client B re-requests the same points
+/// (cross-client cache hits).  The gap is the cache's value.
+CacheBench run_cache_bench(const Options& options,
+                           const serve::ServeTarget& target,
+                           const serve::FaultVariant& variant,
+                           nn::InferenceMode mode, std::size_t count) {
+    Rng rng(1234567);
+    std::vector<core::Alpha> points;
+    for (std::size_t i = 0; i < count; ++i) {
+        points.push_back(target.bounds.sample(rng));
+    }
+    serve::EvalRequest request;
+    request.target = target.digest;
+    request.fault = variant.digest;
+    request.inference = mode;
+    CacheBench bench;
+    bench.target = target.name;
+    {
+        serve::ServeClient cold = connect(options);
+        const auto start = Clock::now();
+        for (const core::Alpha& point : points) {
+            request.point = point;
+            (void)cold.eval(request, 120.0);
+        }
+        bench.cold_us =
+            std::chrono::duration<double, std::micro>(Clock::now() - start)
+                .count() /
+            static_cast<double>(count);
+    }
+    {
+        serve::ServeClient hot = connect(options);
+        const auto start = Clock::now();
+        for (const core::Alpha& point : points) {
+            request.point = point;
+            (void)hot.eval(request, 120.0);
+        }
+        bench.hit_us =
+            std::chrono::duration<double, std::micro>(Clock::now() - start)
+                .count() /
+            static_cast<double>(count);
+    }
+    return bench;
+}
+
+std::vector<std::size_t> parse_client_list(const std::string& text) {
+    std::vector<std::size_t> counts;
+    std::stringstream in(text);
+    std::string item;
+    while (std::getline(in, item, ',')) {
+        const long long value = std::atoll(item.c_str());
+        if (value > 0) counts.push_back(static_cast<std::size_t>(value));
+    }
+    return counts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    Options options;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&](const char* flag) -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "serve_load: " << flag << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--socket") {
+            options.socket_path = next("--socket");
+        } else if (arg == "--tcp") {
+            options.tcp_port = std::atoi(next("--tcp").c_str());
+        } else if (arg == "--clients") {
+            options.clients = parse_client_list(next("--clients"));
+        } else if (arg == "--jobs") {
+            options.jobs = static_cast<std::size_t>(
+                std::atoll(next("--jobs").c_str()));
+        } else if (arg == "--repeat-frac") {
+            options.repeat_frac = std::atof(next("--repeat-frac").c_str());
+        } else if (arg == "--target") {
+            options.target = next("--target");
+        } else if (arg == "--variant") {
+            options.variant = next("--variant");
+        } else if (arg == "--mode") {
+            options.mode = next("--mode");
+        } else if (arg == "--json") {
+            options.json_path = next("--json");
+        } else if (arg == "--verify") {
+            options.verify = static_cast<std::size_t>(
+                std::atoll(next("--verify").c_str()));
+        } else if (arg == "--cache-target") {
+            options.cache_target = next("--cache-target");
+        } else if (arg == "--cache-points") {
+            options.cache_points = static_cast<std::size_t>(
+                std::atoll(next("--cache-points").c_str()));
+        } else if (arg == "--quick") {
+            options.quick = true;
+        } else if (arg == "--shutdown") {
+            options.shutdown = true;
+        } else if (arg == "--help" || arg == "-h") {
+            print_usage();
+            return 0;
+        } else {
+            std::cerr << "serve_load: unknown option '" << arg << "'\n";
+            print_usage();
+            return 2;
+        }
+    }
+    if (options.socket_path.empty() && options.tcp_port == 0) {
+        std::cerr << "serve_load: --socket or --tcp is required\n";
+        return 2;
+    }
+
+    const std::vector<serve::ServeTarget> targets =
+        serve::builtin_targets(options.quick);
+    const serve::ServeTarget* target =
+        pick_target(targets, options.target);
+    if (target == nullptr) {
+        std::cerr << "serve_load: unknown target '" << options.target
+                  << "'\n";
+        return 2;
+    }
+    const serve::FaultVariant* variant =
+        pick_variant(*target, options.variant);
+    if (variant == nullptr) {
+        std::cerr << "serve_load: unknown variant '" << options.variant
+                  << "'\n";
+        return 2;
+    }
+    nn::InferenceMode mode;
+    try {
+        mode = nn::parse_inference_mode(options.mode);
+    } catch (const std::exception&) {
+        std::cerr << "serve_load: bad --mode '" << options.mode << "'\n";
+        return 2;
+    }
+
+    int exit_code = 0;
+    std::vector<RoundResult> rounds;
+    CacheBench cache_bench;
+    std::size_t verified = 0, mismatches = 0;
+    try {
+        for (const std::size_t k : options.clients) {
+            const RoundResult round =
+                run_round(options, *target, *variant, mode, k);
+            std::cout << "clients=" << round.clients
+                      << " jobs=" << round.jobs << " p50=" << round.p50_us
+                      << "us p99=" << round.p99_us
+                      << "us jobs/sec=" << round.jobs_per_sec
+                      << " hit-rate=" << round.cache_hit_rate
+                      << " busy=" << round.busy
+                      << " errors=" << round.errors << "\n";
+            rounds.push_back(round);
+        }
+        if (options.cache_target != "none") {
+            const serve::ServeTarget* cache_target =
+                pick_target(targets, options.cache_target);
+            if (cache_target != nullptr &&
+                !cache_target->variants.empty()) {
+                cache_bench = run_cache_bench(
+                    options, *cache_target,
+                    cache_target->variants.front(),
+                    nn::InferenceMode::kFloat32, options.cache_points);
+                std::cout << "cache " << cache_bench.target
+                          << ": cold=" << cache_bench.cold_us
+                          << "us hit=" << cache_bench.hit_us
+                          << "us speedup="
+                          << (cache_bench.hit_us > 0.0
+                                  ? cache_bench.cold_us / cache_bench.hit_us
+                                  : 0.0)
+                          << "x\n";
+            }
+        }
+        if (options.verify > 0) {
+            verified = options.verify;
+            mismatches = run_verify(options, *target, *variant, mode,
+                                    options.verify);
+            std::cout << "verify: " << (verified - mismatches) << "/"
+                      << verified << " responses byte-identical to "
+                      << "in-process evaluation\n";
+            if (mismatches > 0) exit_code = 1;
+        }
+        if (options.shutdown) {
+            serve::ServeClient client = connect(options);
+            (void)client.request("shutdown");
+        }
+    } catch (const std::exception& error) {
+        std::cerr << "serve_load: " << error.what() << "\n";
+        return 1;
+    }
+
+    if (!options.json_path.empty()) {
+        std::ofstream out(options.json_path);
+        if (!out) {
+            std::cerr << "serve_load: cannot write " << options.json_path
+                      << "\n";
+            return 1;
+        }
+        out << "[\n";
+        bool first = true;
+        const auto sep = [&]() -> const char* {
+            if (first) {
+                first = false;
+                return "  ";
+            }
+            return ",\n  ";
+        };
+        for (const RoundResult& r : rounds) {
+            out << sep() << "{\"bench\": \"serve_load\", \"target\": \""
+                << target->name << "\", \"variant\": \"" << variant->name
+                << "\", \"mode\": \"" << options.mode
+                << "\", \"clients\": " << r.clients
+                << ", \"jobs\": " << r.jobs << ", \"p50_us\": " << r.p50_us
+                << ", \"p99_us\": " << r.p99_us
+                << ", \"jobs_per_sec\": " << r.jobs_per_sec
+                << ", \"cache_hit_rate\": " << r.cache_hit_rate
+                << ", \"busy\": " << r.busy
+                << ", \"errors\": " << r.errors << "}";
+        }
+        if (!cache_bench.target.empty()) {
+            out << sep() << "{\"bench\": \"serve_cache\", \"target\": \""
+                << cache_bench.target
+                << "\", \"cold_us\": " << cache_bench.cold_us
+                << ", \"hit_us\": " << cache_bench.hit_us
+                << ", \"speedup\": "
+                << (cache_bench.hit_us > 0.0
+                        ? cache_bench.cold_us / cache_bench.hit_us
+                        : 0.0)
+                << "}";
+        }
+        if (verified > 0) {
+            out << sep() << "{\"bench\": \"serve_verify\", \"checked\": "
+                << verified << ", \"mismatches\": " << mismatches << "}";
+        }
+        out << "\n]\n";
+    }
+    return exit_code;
+}

@@ -59,21 +59,18 @@ struct Request {
 };
 
 /// `eval <index> <attempt> <cseed> <n> <hex...>` — coordinates travel as
-/// IEEE-754 bit patterns, so the point reaches the worker bit-exactly
-/// (a decimal round trip would be a covert source of drift).
+/// IEEE-754 bit patterns (runstore format_bits), so the point reaches the
+/// worker bit-exactly (a decimal round trip would be a covert source of
+/// drift).
 std::string build_request(std::size_t index, std::uint64_t attempt,
                           std::uint64_t cseed, const Alpha& point) {
     std::string line = "eval " + std::to_string(index) + ' ' +
                        std::to_string(attempt) + ' ' +
                        std::to_string(cseed) + ' ' +
                        std::to_string(point.size());
-    char hex[24];
     for (const double value : point) {
-        std::uint64_t bits = 0;
-        std::memcpy(&bits, &value, sizeof bits);
-        std::snprintf(hex, sizeof hex, " %016llx",
-                      static_cast<unsigned long long>(bits));
-        line += hex;
+        line += ' ';
+        line += format_bits(value);
     }
     line += '\n';
     return line;
@@ -93,16 +90,7 @@ bool parse_request(const std::string& line, Request& out) {
     out.point.assign(static_cast<std::size_t>(count), 0.0);
     for (double& value : out.point) {
         std::string hex;
-        if (!(in >> hex)) return false;
-        std::uint64_t bits = 0;
-        try {
-            std::size_t used = 0;
-            bits = std::stoull(hex, &used, 16);
-            if (used != hex.size()) return false;
-        } catch (const std::exception&) {
-            return false;
-        }
-        std::memcpy(&value, &bits, sizeof value);
+        if (!(in >> hex) || !parse_bits(hex, value)) return false;
     }
     return true;
 }

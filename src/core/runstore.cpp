@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -405,6 +406,46 @@ std::vector<ScenarioSummary> summarize_runs(
                          std::tie(b.family, b.scenario, b.quick, b.batch);
               });
     return summaries;
+}
+
+std::string format_hex(std::uint64_t value) {
+    char buffer[24];
+    std::snprintf(buffer, sizeof buffer, "%016llx",
+                  static_cast<unsigned long long>(value));
+    return buffer;
+}
+
+bool parse_hex(const std::string& text, std::uint64_t& out) {
+    if (text.empty() || text.size() > 16) return false;
+    std::uint64_t bits = 0;
+    for (char c : text) {
+        int digit = 0;
+        if (c >= '0' && c <= '9') {
+            digit = c - '0';
+        } else if (c >= 'a' && c <= 'f') {
+            digit = c - 'a' + 10;
+        } else if (c >= 'A' && c <= 'F') {
+            digit = c - 'A' + 10;
+        } else {
+            return false;
+        }
+        bits = (bits << 4) | static_cast<std::uint64_t>(digit);
+    }
+    out = bits;
+    return true;
+}
+
+std::string format_bits(double value) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof bits);
+    return format_hex(bits);
+}
+
+bool parse_bits(const std::string& text, double& out) {
+    std::uint64_t bits = 0;
+    if (!parse_hex(text, bits)) return false;
+    std::memcpy(&out, &bits, sizeof out);
+    return true;
 }
 
 void validate_output_file(const std::string& path) {

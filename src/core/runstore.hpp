@@ -154,4 +154,24 @@ std::vector<ScenarioSummary> summarize_runs(
 /// removed again.
 void validate_output_file(const std::string& path);
 
+// ---------------------------------------------------------------------------
+// IEEE-754 wire codec shared by every line protocol that ships doubles
+// between processes — the distributed worker pipe (docs/distributed.md)
+// and the evaluation server (docs/serving.md).  A double travels as the
+// 16 lowercase hex digits of its bit pattern, so values — including NaNs,
+// infinities, and signed zeros — arrive bit-exactly without a decimal
+// round trip (which would be a covert source of drift).
+// ---------------------------------------------------------------------------
+
+/// 64-bit identifier (digest, seed) -> 16 lowercase hex digits.
+std::string format_hex(std::uint64_t value);
+/// Strict inverse of format_hex: accepts 1-16 hex digits (either case)
+/// and nothing else — no sign, no "0x" prefix, no trailing bytes.  False
+/// leaves `out` untouched.
+bool parse_hex(const std::string& text, std::uint64_t& out);
+/// Double -> the 16 hex digits of its IEEE-754 bit pattern.
+std::string format_bits(double value);
+/// Strict inverse of format_bits (same grammar as parse_hex).
+bool parse_bits(const std::string& text, double& out);
+
 }  // namespace bayesft::core

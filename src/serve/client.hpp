@@ -1,0 +1,61 @@
+#pragma once
+// Minimal blocking client for the evaluation server (docs/serving.md):
+// connect, send newline-terminated request lines, read newline-terminated
+// response lines — the whole protocol.  Used by the load generator
+// (bench/serve_load.cpp) and the torture tests; a production client in
+// any language is a dozen lines against the same grammar.
+
+#include <string>
+
+#include "serve/protocol.hpp"
+
+namespace bayesft::serve {
+
+class ServeClient {
+public:
+    ServeClient() = default;
+    ~ServeClient();
+
+    ServeClient(ServeClient&& other) noexcept;
+    ServeClient& operator=(ServeClient&& other) noexcept;
+    ServeClient(const ServeClient&) = delete;
+    ServeClient& operator=(const ServeClient&) = delete;
+
+    /// Connects to a Unix-domain socket; throws std::runtime_error with
+    /// the errno message on failure.
+    static ServeClient connect_unix(const std::string& path);
+    /// Connects to a TCP endpoint on 127.0.0.1.
+    static ServeClient connect_tcp(int port);
+
+    bool connected() const { return fd_ >= 0; }
+
+    /// Sends `line` plus the newline terminator; throws on a broken
+    /// connection.
+    void send_line(const std::string& line);
+
+    /// Blocks for the next response line (without its newline); throws
+    /// std::runtime_error on EOF, error, or after `timeout_seconds`.
+    std::string read_line(double timeout_seconds = 30.0);
+
+    /// send_line + read_line: the one-request round trip.
+    std::string request(const std::string& line,
+                        double timeout_seconds = 30.0);
+
+    /// Round trip of one eval request.
+    std::string eval(const EvalRequest& request,
+                     double timeout_seconds = 30.0);
+
+    /// Sends raw bytes verbatim — no newline appended, no validation —
+    /// for the fuzz suite's malformed-stream torture.
+    void send_raw(const std::string& bytes);
+
+    void close();
+
+private:
+    explicit ServeClient(int fd) : fd_(fd) {}
+
+    int fd_ = -1;
+    std::string buffer_;  ///< bytes read past the last returned line
+};
+
+}  // namespace bayesft::serve

@@ -1,0 +1,150 @@
+#include "serve/protocol.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "core/runstore.hpp"
+
+namespace bayesft::serve {
+
+namespace {
+
+/// Splits on single spaces, rejecting leading/trailing/double separators:
+/// the wire grammar is exact, so "eval  1 ..." (two spaces) is malformed
+/// rather than leniently accepted and silently re-serialized differently.
+bool split_fields(const std::string& line,
+                  std::vector<std::string>& fields) {
+    fields.clear();
+    if (line.empty()) return false;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t space = line.find(' ', start);
+        const std::size_t end =
+            space == std::string::npos ? line.size() : space;
+        if (end == start) return false;  // empty field
+        fields.push_back(line.substr(start, end - start));
+        if (space == std::string::npos) return true;
+        start = space + 1;
+        if (start >= line.size()) return false;  // trailing space
+    }
+}
+
+bool parse_count(const std::string& text, std::size_t& out) {
+    if (text.empty() || text.size() > 6) return false;
+    std::size_t value = 0;
+    for (char c : text) {
+        if (c < '0' || c > '9') return false;
+        value = value * 10 + static_cast<std::size_t>(c - '0');
+    }
+    out = value;
+    return true;
+}
+
+}  // namespace
+
+bool parse_request(const std::string& line, Request& out,
+                   std::string& error) {
+    if (line.size() > kMaxRequestBytes) {
+        error = "request line too long";
+        return false;
+    }
+    // Control bytes (including embedded NUL and CR) never appear in a
+    // well-formed request; rejecting them up front keeps the error
+    // responses — which echo nothing from the line — clean.
+    for (char c : line) {
+        if (static_cast<unsigned char>(c) < 0x20 || c == 0x7f) {
+            error = "control byte in request";
+            return false;
+        }
+    }
+    std::vector<std::string> fields;
+    if (!split_fields(line, fields)) {
+        error = "empty or malformed request";
+        return false;
+    }
+    const std::string& verb = fields[0];
+    if (verb == "ping" || verb == "stats" || verb == "shutdown") {
+        if (fields.size() != 1) {
+            error = "unexpected arguments to '" + verb + "'";
+            return false;
+        }
+        out.kind = verb == "ping" ? Request::Kind::kPing
+                   : verb == "stats" ? Request::Kind::kStats
+                                     : Request::Kind::kShutdown;
+        return true;
+    }
+    if (verb != "eval") {
+        error = "unknown verb";
+        return false;
+    }
+    // eval <target> <fault> <mode> <n> <coord>{n}
+    if (fields.size() < 5) {
+        error = "truncated eval request";
+        return false;
+    }
+    EvalRequest eval;
+    if (!core::parse_hex(fields[1], eval.target)) {
+        error = "bad target digest";
+        return false;
+    }
+    if (!core::parse_hex(fields[2], eval.fault)) {
+        error = "bad fault digest";
+        return false;
+    }
+    try {
+        eval.inference = nn::parse_inference_mode(fields[3]);
+    } catch (const std::exception&) {
+        error = "bad inference mode";
+        return false;
+    }
+    std::size_t count = 0;
+    if (!parse_count(fields[4], count)) {
+        error = "bad coordinate count";
+        return false;
+    }
+    if (count == 0 || count > kMaxPointDims) {
+        error = "coordinate count out of range";
+        return false;
+    }
+    if (fields.size() != 5 + count) {
+        error = "coordinate count mismatch";
+        return false;
+    }
+    eval.point.resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        if (!core::parse_bits(fields[5 + i], eval.point[i])) {
+            error = "bad coordinate encoding";
+            return false;
+        }
+        if (!std::isfinite(eval.point[i])) {
+            error = "non-finite coordinate";
+            return false;
+        }
+    }
+    out.kind = Request::Kind::kEval;
+    out.eval = std::move(eval);
+    return true;
+}
+
+std::string format_eval_request(const EvalRequest& request) {
+    std::string line = "eval " + core::format_hex(request.target) + ' ' +
+                       core::format_hex(request.fault) + ' ' +
+                       nn::inference_mode_name(request.inference) + ' ' +
+                       std::to_string(request.point.size());
+    for (const double value : request.point) {
+        line += ' ';
+        line += core::format_bits(value);
+    }
+    return line;
+}
+
+std::string error_response(const std::string& reason) {
+    std::string out = "error ";
+    for (char c : reason) {
+        const unsigned char byte = static_cast<unsigned char>(c);
+        out.push_back(byte < 0x20 || byte >= 0x7f ? '?' : c);
+    }
+    return out;
+}
+
+}  // namespace bayesft::serve

@@ -1,0 +1,75 @@
+#pragma once
+// Wire protocol of the robustness-as-a-service evaluation server
+// (docs/serving.md): newline-terminated ASCII request lines over a
+// Unix-domain or TCP stream, one response line per request, in request
+// order.  The grammar is deliberately tiny and strict — every violation
+// yields a structured `error <reason>` response (never a crash, never a
+// silent drop, never connection desync), which the fuzz suite in
+// tests/test_serve.cpp tortures.
+//
+//   eval <target-hex16> <fault-hex16> <mode> <n> <coord-hex16>{n}
+//   ping
+//   stats
+//   shutdown
+//
+// Identifiers and coordinates travel as 16-digit hex bit patterns
+// (core/runstore.hpp format_hex / format_bits), the same codec as the
+// distributed worker pipe, so a point reaches the server bit-exactly and
+// the response — a run-store JSONL trial line — is byte-identical to a
+// direct in-process evaluation.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "nn/quant.hpp"
+
+namespace bayesft::serve {
+
+/// Hard bound on one request line (newline excluded): a longer line is
+/// answered with `error` and discarded up to the next newline, so a
+/// hostile client cannot balloon the server's connection buffer.
+inline constexpr std::size_t kMaxRequestBytes = 64 * 1024;
+
+/// Hard bound on the coordinate count of one eval request — far above any
+/// registered search space, low enough to reject absurd allocations.
+inline constexpr std::size_t kMaxPointDims = 256;
+
+/// The backpressure response: the admission queue was full, the request
+/// was read, rejected, and answered — never silently dropped.  The client
+/// owns the retry.
+inline constexpr const char* kBusyResponse = "busy";
+
+/// One parsed `eval` request.
+struct EvalRequest {
+    std::uint64_t target = 0;  ///< ServeTarget digest (targets.hpp)
+    std::uint64_t fault = 0;   ///< fault-variant digest within the target
+    nn::InferenceMode inference = nn::InferenceMode::kFloat32;
+    core::Alpha point;         ///< encoded search-space coordinates
+};
+
+/// One parsed request line of any verb.
+struct Request {
+    enum class Kind { kEval, kPing, kStats, kShutdown };
+    Kind kind = Kind::kPing;
+    EvalRequest eval;  ///< meaningful for kEval only
+};
+
+/// Parses one request line (no trailing newline).  True on success; on
+/// failure fills `error` with a short single-line reason safe to echo in
+/// an `error` response.
+bool parse_request(const std::string& line, Request& out,
+                   std::string& error);
+
+/// Serializes an eval request to its wire line (no trailing newline).
+/// Non-finite coordinates are encoded faithfully — the server rejects
+/// them, which the fuzz suite relies on.
+std::string format_eval_request(const EvalRequest& request);
+
+/// Builds the `error <reason>` response line (no trailing newline),
+/// sanitizing the reason to one printable line.
+std::string error_response(const std::string& reason);
+
+}  // namespace bayesft::serve

@@ -1,0 +1,130 @@
+#pragma once
+// Robustness-as-a-service evaluation server (docs/serving.md): a
+// long-running process that lets many clients share one EvaluationEngine,
+// one cross-client memo cache, and the fault-model zoo over the line
+// protocol in serve/protocol.hpp.
+//
+// Architecture: one poll()-driven I/O thread owns every socket (accept,
+// read, parse, respond) and one dispatch thread owns the engine.  Parsed
+// eval jobs enter a bounded admission queue — a full queue answers `busy`
+// immediately (explicit backpressure, never a silent drop) — and the
+// dispatcher coalesces queued jobs of the same (target, fault, mode)
+// bucket into one evaluate_points batch.  Successful utilities enter an
+// LRU-bounded cross-client cache keyed on (bucket context key, point);
+// hits are answered without touching the engine.  Every served
+// evaluation is persisted through the run store, and the response IS the
+// run-store JSONL trial line, byte-identical to a direct in-process
+// evaluate_points call (targets.hpp, "determinism anchor").
+//
+// Responses are delivered in request order per connection: each request
+// claims a response slot on arrival (error / busy slots are ready
+// immediately, eval slots when their batch completes), and the I/O
+// thread flushes a connection's slots strictly front-first.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/trial.hpp"
+#include "fault/chaos.hpp"
+#include "serve/targets.hpp"
+
+namespace bayesft::serve {
+
+/// Server knobs (bench/serve.cpp maps CLI flags onto these).
+struct ServeConfig {
+    /// Unix-domain socket path; empty disables the Unix endpoint.
+    std::string socket_path;
+    /// TCP port on 127.0.0.1; 0 disables the TCP endpoint.  At least one
+    /// endpoint must be configured.
+    int tcp_port = 0;
+    /// Admission-queue bound: eval jobs waiting for the dispatcher beyond
+    /// this count are answered `busy`.
+    std::size_t queue_depth = 64;
+    /// Largest evaluate_points batch one dispatch cycle coalesces.
+    std::size_t max_batch = 8;
+    /// LRU bound on the cross-client result cache (entries, not bytes).
+    std::size_t cache_entries = 1024;
+    /// Engine evaluation concurrency (0 = thread-pool width).
+    std::size_t threads = 0;
+    /// Fault-tolerant trial execution for served evaluations
+    /// (docs/robustness.md): timeouts, retries, quarantine.
+    ResilienceConfig resilience;
+    /// Chaos injection, read from BAYESFT_CHAOS like every other driver.
+    fault::ChaosSpec chaos = fault::ChaosSpec::from_env();
+    /// Run-store root directory; empty disables persistence.
+    std::string runs_dir;
+};
+
+/// Monotonic service counters (the `stats` verb serializes these).
+struct ServeStats {
+    std::uint64_t connections = 0;      ///< accepted connections
+    std::uint64_t requests = 0;         ///< well-formed requests, any verb
+    std::uint64_t protocol_errors = 0;  ///< `error` responses sent
+    std::uint64_t accepted = 0;         ///< eval jobs admitted to the queue
+    std::uint64_t busy = 0;             ///< eval jobs answered `busy`
+    std::uint64_t completed = 0;        ///< eval responses sent, any status
+    std::uint64_t failed = 0;           ///< completed with failed_* status
+    std::uint64_t batches = 0;          ///< evaluate_points calls issued
+    std::uint64_t cache_hits = 0;       ///< LRU hits + within-batch dedup
+    std::uint64_t cache_evictions = 0;  ///< LRU entries displaced
+    std::uint64_t cache_size = 0;       ///< current LRU entry count
+};
+
+class EvalServer {
+public:
+    /// Validates nothing yet; `start` owns the fail-fast probes.
+    EvalServer(ServeConfig config, std::vector<ServeTarget> targets);
+    ~EvalServer();
+
+    EvalServer(const EvalServer&) = delete;
+    EvalServer& operator=(const EvalServer&) = delete;
+
+    /// Binds the endpoints and launches the I/O and dispatch threads.
+    /// Fails fast with std::runtime_error before serving anything: the
+    /// socket path must be bindable (not a directory, not a live socket,
+    /// parent writable — validate_socket_path) and the run-store root
+    /// must pass its write probe.
+    void start();
+
+    /// Stops both threads, closes every socket, unlinks the Unix socket.
+    /// Idempotent; the destructor calls it.
+    void stop();
+
+    /// False before start(), after stop(), and after a client issued the
+    /// `shutdown` verb (the I/O loop then drains and exits on its own;
+    /// call stop() to join).
+    bool running() const;
+
+    /// Snapshot of the service counters.
+    ServeStats stats() const;
+
+    /// Actual bound TCP port (differs from the configured one when it was
+    /// 0 = ephemeral); 0 when no TCP endpoint is listening.
+    int tcp_port() const;
+
+    const std::vector<ServeTarget>& targets() const { return targets_; }
+
+    /// The fail-fast probe behind `--socket`: throws std::runtime_error
+    /// with a clear message when `path` is empty, too long for sun_path,
+    /// a directory, an existing non-socket file, a live socket another
+    /// server still answers on, or in an unwritable directory.  A stale
+    /// socket file (nothing listening) is unlinked; the writability probe
+    /// never truncates existing data.
+    static void validate_socket_path(const std::string& path);
+
+private:
+    struct Impl;
+    Impl* impl_ = nullptr;
+
+    ServeConfig config_;
+    std::vector<ServeTarget> targets_;
+};
+
+/// One-line JSON rendering of the counters (the `stats` response body)
+/// and its strict inverse, shared by the server, the load generator, and
+/// the tests.
+std::string stats_json(const ServeStats& stats);
+bool parse_stats(const std::string& line, ServeStats& out);
+
+}  // namespace bayesft::serve

@@ -1,0 +1,232 @@
+#include "serve/targets.hpp"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "core/persist.hpp"
+#include "data/dataset.hpp"
+#include "data/toy.hpp"
+#include "fault/zoo.hpp"
+#include "models/zoo.hpp"
+#include "nn/trainer.hpp"
+
+namespace bayesft::serve {
+
+std::uint64_t serve_target_digest(const std::string& name,
+                                  std::size_t dims) {
+    std::uint64_t key =
+        core::mix_key(0, std::string_view("bayesft-serve-target"));
+    key = core::mix_key(key, std::string_view(name));
+    return core::mix_key(key, static_cast<std::uint64_t>(dims));
+}
+
+std::uint64_t fault_variant_digest(std::uint64_t target_digest,
+                                   const std::string& name,
+                                   const core::ObjectiveConfig& objective) {
+    std::uint64_t key = core::mix_key(target_digest, std::string_view(name));
+    return core::mix_key(key, core::objective_digest(objective));
+}
+
+core::EvalContext bucket_context(const ServeTarget& target,
+                                 const FaultVariant& variant,
+                                 nn::InferenceMode mode) {
+    // The requested numeric mode overrides the variant's default; the
+    // digest folds the result, so float32 / int8 / int12 evaluations of
+    // one variant live in distinct buckets with distinct seed streams.
+    core::ObjectiveConfig objective = variant.objective;
+    objective.inference = mode;
+    core::EvalContext context;
+    context.key = core::mix_key(target.digest,
+                                core::objective_digest(objective));
+    context.key =
+        core::mix_key(context.key, std::string_view("bayesft-serve"));
+    context.stamp = 0;  // self-contained evaluations: no evolving weights
+    return context;
+}
+
+const ServeTarget* find_target(const std::vector<ServeTarget>& targets,
+                               std::uint64_t digest) {
+    for (const ServeTarget& target : targets) {
+        if (target.digest == digest) return &target;
+    }
+    return nullptr;
+}
+
+const FaultVariant* find_variant(const ServeTarget& target,
+                                 std::uint64_t digest) {
+    for (const FaultVariant& variant : target.variants) {
+        if (variant.digest == digest) return &variant;
+    }
+    return nullptr;
+}
+
+core::RunRecord make_trial_record(const ServeTarget& target,
+                                  const core::Alpha& point,
+                                  std::uint64_t cseed, std::uint64_t trial,
+                                  double utility,
+                                  TrialStatus status) {
+    core::RunRecord record;
+    record.kind = "trial";
+    record.scenario = target.name;
+    record.family = "serve";
+    // The candidate seed doubles as the record's seed: it digests the
+    // whole (target, variant, mode, point) identity, so stored lines
+    // aggregate per bucket and the response is self-describing.
+    record.seed = cseed;
+    record.trial = trial;
+    std::string encoded;
+    for (const double value : point) {
+        if (!encoded.empty()) encoded += ' ';
+        encoded += core::format_bits(value);
+    }
+    record.point = std::move(encoded);
+    record.objective = utility;
+    record.status = trial_status_name(status);
+    record.build = core::build_stamp();
+    return record;
+}
+
+std::vector<std::string> reference_responses(
+    const ServeTarget& target, const FaultVariant& variant,
+    nn::InferenceMode mode, const std::vector<core::Alpha>& points,
+    const std::vector<std::uint64_t>& trials) {
+    if (points.size() != trials.size()) {
+        throw std::invalid_argument(
+            "reference_responses: points/trials size mismatch");
+    }
+    if (points.empty()) return {};
+    core::ObjectiveConfig objective = variant.objective;
+    objective.inference = mode;
+    core::EngineConfig config;
+    config.cache = false;
+    config.chaos = {};  // the reference is always the clean run
+    core::EvaluationEngine engine(config);
+    const core::EvalContext context = bucket_context(target, variant, mode);
+    const auto evaluator = [&](const core::Alpha& encoded, Rng& rng) {
+        return target.evaluate(objective, encoded, rng);
+    };
+    const core::BatchOutcome outcome =
+        engine.evaluate_points(points, evaluator, context);
+    std::vector<std::string> lines;
+    lines.reserve(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const std::uint64_t cseed = core::candidate_seed(context, points[i]);
+        lines.push_back(core::RunStore::to_json(
+            make_trial_record(target, points[i], cseed, trials[i],
+                              outcome.utilities[i], outcome.statuses[i])));
+    }
+    return lines;
+}
+
+std::vector<ServeTarget> builtin_targets(bool quick) {
+    std::vector<ServeTarget> targets;
+
+    // --- toy_mlp: the CI toy scenario as a served target.  Same scale as
+    // the registry's toy_arch_blobs (blobs data, 12-wide MLP family,
+    // 1-epoch training) but its own fixed data seeds: a serve bucket is a
+    // standing address, not a per-run configuration.
+    {
+        Rng data_rng(221);
+        const data::Dataset full =
+            data::make_blobs(quick ? 180 : 300, 3, 4.0, 0.6, data_rng);
+        Rng split_rng(223);
+        auto data = std::make_shared<const data::TrainTestSplit>(
+            data::split(full, 0.4, split_rng));
+
+        models::MlpOptions base;
+        base.input_features = 2;
+        base.hidden = 12;
+        base.classes = 3;
+        auto family = std::make_shared<const models::ArchFamily>(
+            models::mlp_arch_family(base, /*max_hidden_layers=*/2,
+                                    /*max_dropout_rate=*/0.5));
+        nn::TrainConfig train;
+        train.epochs = 1;
+        train.batch_size = 32;
+        train.learning_rate = 0.05;
+
+        ServeTarget target;
+        target.name = "toy_mlp";
+        target.bounds = family->space.encoded_bounds();
+        target.digest =
+            serve_target_digest(target.name, target.bounds.dims());
+        target.evaluate = [data, family, train](
+                              const core::ObjectiveConfig& objective,
+                              const core::Alpha& encoded, Rng& rng) {
+            const core::ParamPoint point = family->space.decode(encoded);
+            models::ModelHandle model =
+                family->build(family->space, point, rng);
+            nn::train_classifier(*model.net, data->train.images,
+                                 data->train.labels, train, rng);
+            return core::fault_utility(*model.net, data->test.images,
+                                       data->test.labels, objective, rng);
+        };
+
+        core::ObjectiveConfig drift;
+        drift.sigmas = {0.5};
+        drift.mc_samples = 1;
+        target.variants.push_back(
+            {"drift", fault_variant_digest(target.digest, "drift", drift),
+             drift});
+
+        core::ObjectiveConfig stuckat;
+        stuckat.faults = {
+            std::make_shared<const fault::StuckAtFault>(0.05)};
+        stuckat.mc_samples = 1;
+        target.variants.push_back(
+            {"stuckat",
+             fault_variant_digest(target.digest, "stuckat", stuckat),
+             stuckat});
+
+        core::ObjectiveConfig dac12;
+        dac12.faults = {std::shared_ptr<const fault::FaultModel>(
+            fault::dac12_deploy(0.3))};
+        dac12.mc_samples = 1;
+        target.variants.push_back(
+            {"dac12", fault_variant_digest(target.digest, "dac12", dac12),
+             dac12});
+
+        targets.push_back(std::move(target));
+    }
+
+    // --- quadratic: closed-form analytic objective.  An evaluation costs
+    // microseconds, so the fuzz suite and the load generator can push
+    // thousands of jobs without training a single network.
+    {
+        ServeTarget target;
+        target.name = "quadratic";
+        target.bounds = bayesopt::BoxBounds::uniform(3, 0.0, 1.0);
+        target.digest =
+            serve_target_digest(target.name, target.bounds.dims());
+        target.evaluate = [](const core::ObjectiveConfig& objective,
+                             const core::Alpha& p, Rng& rng) {
+            const double noise =
+                objective.sigmas.empty() ? 0.0 : objective.sigmas.front();
+            double value = std::sin(7.0 * p[0]) + 0.5 * p[1] -
+                           0.25 * (p[2] - 0.3) * (p[2] - 0.3);
+            return value + 0.01 * noise * rng.uniform();
+        };
+
+        core::ObjectiveConfig smooth;
+        smooth.sigmas = {0.05};
+        smooth.mc_samples = 1;
+        target.variants.push_back(
+            {"smooth", fault_variant_digest(target.digest, "smooth", smooth),
+             smooth});
+
+        core::ObjectiveConfig noisy;
+        noisy.sigmas = {0.5};
+        noisy.mc_samples = 1;
+        target.variants.push_back(
+            {"noisy", fault_variant_digest(target.digest, "noisy", noisy),
+             noisy});
+
+        targets.push_back(std::move(target));
+    }
+
+    return targets;
+}
+
+}  // namespace bayesft::serve

@@ -1,0 +1,101 @@
+#pragma once
+// The evaluation server's target registry (docs/serving.md): what a
+// client can ask the server to evaluate.  A ServeTarget is one
+// self-contained point-evaluation problem — a search space plus a pure
+// evaluator — and each of its FaultVariants is one fault-model
+// configuration of the objective.  Clients address both by digest, so a
+// request is fully self-describing and the server never trusts a name.
+//
+// The (target, variant, inference mode) triple determines the engine
+// EvalContext, hence candidate_seed, hence every stochastic draw of the
+// evaluation — which is why a served response is byte-identical to a
+// direct in-process evaluate_points call (the determinism contract the
+// tests enforce with plain string compares).
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bayesopt/bayesopt.hpp"
+#include "core/engine.hpp"
+#include "core/objective.hpp"
+#include "core/runstore.hpp"
+#include "core/trial.hpp"
+#include "nn/quant.hpp"
+
+namespace bayesft::serve {
+
+/// One fault-model configuration of a target's objective.
+struct FaultVariant {
+    std::string name;          ///< e.g. "drift", "stuckat", "dac12"
+    std::uint64_t digest = 0;  ///< wire identifier (fault_variant_digest)
+    core::ObjectiveConfig objective;
+};
+
+/// One servable evaluation problem.  `evaluate` must be a pure function
+/// of (objective, encoded point, rng) — called concurrently, touching no
+/// shared mutable state — exactly the PointEvaluator contract.
+struct ServeTarget {
+    std::string name;          ///< run-store scenario id, e.g. "toy_mlp"
+    std::uint64_t digest = 0;  ///< wire identifier (serve_target_digest)
+    bayesopt::BoxBounds bounds;  ///< encoded view, for samplers/validation
+    std::vector<FaultVariant> variants;
+    std::function<double(const core::ObjectiveConfig& objective,
+                         const core::Alpha& encoded, Rng& rng)>
+        evaluate;
+};
+
+/// Digest of a target: a pure function of its name and encoded
+/// dimensionality, so client and server agree on the wire id without
+/// shipping the definition.
+std::uint64_t serve_target_digest(const std::string& name,
+                                  std::size_t dims);
+
+/// Digest of one fault variant within a target: folds the full objective
+/// configuration, so two variants differing in any fault parameter get
+/// distinct wire ids.
+std::uint64_t fault_variant_digest(std::uint64_t target_digest,
+                                   const std::string& name,
+                                   const core::ObjectiveConfig& objective);
+
+/// The engine context of one (target, variant, mode) bucket — THE
+/// determinism anchor: candidate_seed(bucket_context(...), point) decides
+/// every stochastic draw of a served evaluation, so any process building
+/// the same bucket reproduces the same bytes.
+core::EvalContext bucket_context(const ServeTarget& target,
+                                 const FaultVariant& variant,
+                                 nn::InferenceMode mode);
+
+/// nullptr when no target carries `digest`.
+const ServeTarget* find_target(const std::vector<ServeTarget>& targets,
+                               std::uint64_t digest);
+/// nullptr when the target has no variant with `digest`.
+const FaultVariant* find_variant(const ServeTarget& target,
+                                 std::uint64_t digest);
+
+/// The run-store trial record of one served evaluation — the response
+/// line's content and the persisted form, shared so they cannot drift.
+/// `trial` is the per-connection request index; `cseed` the candidate
+/// seed; the point travels as space-separated format_bits coordinates.
+core::RunRecord make_trial_record(const ServeTarget& target,
+                                  const core::Alpha& point,
+                                  std::uint64_t cseed, std::uint64_t trial,
+                                  double utility, TrialStatus status);
+
+/// Reference responses computed directly in-process (no server, no
+/// cache, no chaos): the byte-exact expectation for served responses,
+/// used by the determinism tests and `serve_load --verify`.
+std::vector<std::string> reference_responses(
+    const ServeTarget& target, const FaultVariant& variant,
+    nn::InferenceMode mode, const std::vector<core::Alpha>& points,
+    const std::vector<std::uint64_t>& trials);
+
+/// The built-in target set the `serve` binary registers: "toy_mlp" (the
+/// CI toy scenario — blobs data, 1-epoch MLP training, drift / stuck-at /
+/// DAC12-deployment fault variants) and "quadratic" (a closed-form
+/// analytic objective for protocol fuzzing and load generation, where an
+/// evaluation must cost microseconds, not training runs).
+std::vector<ServeTarget> builtin_targets(bool quick);
+
+}  // namespace bayesft::serve

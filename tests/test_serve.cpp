@@ -1,0 +1,849 @@
+// The evaluation server torture suite (src/serve/*, docs/serving.md).
+// Three fronts, per the robustness-as-a-service contract:
+//
+//   * the wire protocol never crashes, never desyncs, and answers every
+//     violation with a structured `error` line — fuzzed with malformed
+//     tables, a fixed-RNG random-bytes corpus, and overlong lines;
+//   * a served response is byte-identical to a direct in-process
+//     evaluate_points call — under concurrent clients, cache eviction
+//     pressure, backpressure, and chaos injection;
+//   * the server fails fast on bad endpoints (socket path, runs dir)
+//     and persists exactly the trials it evaluated, appending, never
+//     truncating.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/runstore.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/targets.hpp"
+#include "utils/logging.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#define BAYESFT_TEST_POSIX 1
+#endif
+
+namespace bayesft::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_path(const std::string& name) {
+    return (fs::temp_directory_path() / ("bayesft_serve_" + name)).string();
+}
+
+// ------------------------------------------------------------------ //
+// Test targets: analytic evaluators so one request costs microseconds //
+// (or a deliberate sleep, for the backpressure test).                 //
+// ------------------------------------------------------------------ //
+
+ServeTarget cheap_target() {
+    ServeTarget target;
+    target.name = "cheap";
+    target.bounds = bayesopt::BoxBounds::uniform(2, 0.0, 1.0);
+    target.digest = serve_target_digest(target.name, target.bounds.dims());
+    target.evaluate = [](const core::ObjectiveConfig& objective,
+                         const core::Alpha& p, Rng& rng) {
+        const double noise =
+            objective.sigmas.empty() ? 0.0 : objective.sigmas.front();
+        return std::sin(5.0 * p[0]) + 0.25 * p[1] +
+               0.01 * noise * rng.uniform();
+    };
+    core::ObjectiveConfig base;
+    base.sigmas = {0.05};
+    base.mc_samples = 1;
+    target.variants.push_back(
+        {"base", fault_variant_digest(target.digest, "base", base), base});
+    core::ObjectiveConfig noisy;
+    noisy.sigmas = {0.5};
+    noisy.mc_samples = 1;
+    target.variants.push_back(
+        {"noisy", fault_variant_digest(target.digest, "noisy", noisy),
+         noisy});
+    return target;
+}
+
+ServeTarget slow_target(int millis) {
+    ServeTarget target = cheap_target();
+    target.name = "slow";
+    target.digest = serve_target_digest(target.name, target.bounds.dims());
+    target.variants.clear();
+    core::ObjectiveConfig base;
+    base.sigmas = {0.05};
+    base.mc_samples = 1;
+    target.variants.push_back(
+        {"base", fault_variant_digest(target.digest, "base", base), base});
+    target.evaluate = [millis](const core::ObjectiveConfig&,
+                               const core::Alpha& p, Rng&) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(millis));
+        return p[0] + p[1];
+    };
+    return target;
+}
+
+std::vector<core::Alpha> points_for(const bayesopt::BoxBounds& bounds,
+                                    std::size_t n, std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<core::Alpha> points;
+    points.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) points.push_back(bounds.sample(rng));
+    return points;
+}
+
+std::vector<std::uint64_t> iota_trials(std::size_t n,
+                                       std::uint64_t first = 0) {
+    std::vector<std::uint64_t> trials(n);
+    for (std::size_t i = 0; i < n; ++i) trials[i] = first + i;
+    return trials;
+}
+
+EvalRequest make_request(const ServeTarget& target,
+                         const FaultVariant& variant,
+                         const core::Alpha& point,
+                         nn::InferenceMode mode = nn::InferenceMode::kFloat32) {
+    EvalRequest request;
+    request.target = target.digest;
+    request.fault = variant.digest;
+    request.inference = mode;
+    request.point = point;
+    return request;
+}
+
+/// The malformed-request table both the parser unit test and the live
+/// fuzz test chew through.  None may parse; each must explain itself.
+std::vector<std::string> malformed_lines() {
+    const std::string hex0 = "0000000000000000";
+    return {
+        "",
+        " ",
+        "bogus",
+        "evaluate " + hex0,
+        "ping extra",
+        "stats ",
+        " stats",
+        "shutdown now",
+        "eval",
+        "eval " + hex0,
+        "eval " + hex0 + " " + hex0,
+        "eval " + hex0 + " " + hex0 + " float32",
+        "eval " + hex0 + " " + hex0 + " float32 1",
+        "eval " + hex0 + "  " + hex0 + " float32 1 " + hex0,  // double space
+        "eval 0x123 " + hex0 + " float32 1 " + hex0,
+        "eval " + hex0 + "0 " + hex0 + " float32 1 " + hex0,  // 17 digits
+        "eval zzzz " + hex0 + " float32 1 " + hex0,
+        "eval " + hex0 + " " + hex0 + " float64 1 " + hex0,
+        "eval " + hex0 + " " + hex0 + " float32 0",
+        "eval " + hex0 + " " + hex0 + " float32 -1 " + hex0,
+        "eval " + hex0 + " " + hex0 + " float32 257 " + hex0,
+        "eval " + hex0 + " " + hex0 + " float32 abc " + hex0,
+        "eval " + hex0 + " " + hex0 + " float32 2 " + hex0,  // short 1 coord
+        "eval " + hex0 + " " + hex0 + " float32 1 " + hex0 + " " + hex0,
+        "eval " + hex0 + " " + hex0 + " float32 1 " + hex0 + " ",
+        // Non-finite coordinates: NaN and +inf bit patterns.
+        "eval " + hex0 + " " + hex0 + " float32 1 7ff8000000000000",
+        "eval " + hex0 + " " + hex0 + " float32 1 7ff0000000000000",
+        std::string("ping\x01"),
+        std::string("eval\tstats"),
+    };
+}
+
+// ------------------------------------------------------------------ //
+// Protocol unit tests (no sockets needed).                            //
+// ------------------------------------------------------------------ //
+
+TEST(ServeProtocol, EvalRoundTripIsBitExact) {
+    const ServeTarget target = cheap_target();
+    const std::vector<double> tricky = {
+        0.0,
+        -0.0,
+        1.0 / 3.0,
+        -1.0 / 3.0,
+        5e-324,  // smallest denormal
+        std::numeric_limits<double>::max(),
+        -std::numeric_limits<double>::min(),
+    };
+    for (const nn::InferenceMode mode :
+         {nn::InferenceMode::kFloat32, nn::InferenceMode::kInt8,
+          nn::InferenceMode::kInt12}) {
+        for (std::size_t i = 0; i + 1 < tricky.size(); ++i) {
+            EvalRequest request = make_request(
+                target, target.variants[0], {tricky[i], tricky[i + 1]}, mode);
+            const std::string line = format_eval_request(request);
+            Request parsed;
+            std::string error;
+            ASSERT_TRUE(parse_request(line, parsed, error)) << line;
+            ASSERT_EQ(parsed.kind, Request::Kind::kEval);
+            EXPECT_EQ(parsed.eval.target, request.target);
+            EXPECT_EQ(parsed.eval.fault, request.fault);
+            EXPECT_EQ(parsed.eval.inference, mode);
+            ASSERT_EQ(parsed.eval.point.size(), request.point.size());
+            // Bitwise, not value-wise: -0.0 == 0.0 would pass a value
+            // compare and still corrupt the candidate seed.
+            EXPECT_EQ(std::memcmp(parsed.eval.point.data(),
+                                  request.point.data(),
+                                  request.point.size() * sizeof(double)),
+                      0)
+                << line;
+        }
+    }
+    // The trivial verbs parse too, with an optional trailing CR.
+    Request parsed;
+    std::string error;
+    EXPECT_TRUE(parse_request("ping", parsed, error));
+    EXPECT_EQ(parsed.kind, Request::Kind::kPing);
+    EXPECT_TRUE(parse_request("stats", parsed, error));
+    EXPECT_EQ(parsed.kind, Request::Kind::kStats);
+    EXPECT_TRUE(parse_request("shutdown", parsed, error));
+    EXPECT_EQ(parsed.kind, Request::Kind::kShutdown);
+}
+
+TEST(ServeProtocol, MalformedLinesAreRejectedWithReasons) {
+    for (const std::string& line : malformed_lines()) {
+        Request parsed;
+        std::string error;
+        EXPECT_FALSE(parse_request(line, parsed, error))
+            << "parsed: " << line;
+        EXPECT_FALSE(error.empty()) << "no reason for: " << line;
+        // The reason must be safe to echo: one printable line.
+        const std::string response = error_response(error);
+        EXPECT_EQ(response.rfind("error ", 0), 0U);
+        for (const char c : response) {
+            EXPECT_TRUE(c >= 0x20 && c < 0x7f)
+                << "unprintable byte in: " << response;
+        }
+    }
+}
+
+TEST(ServeProtocol, StatsJsonRoundTrips) {
+    ServeStats stats;
+    stats.connections = 3;
+    stats.requests = 101;
+    stats.protocol_errors = 7;
+    stats.accepted = 80;
+    stats.busy = 5;
+    stats.completed = 85;
+    stats.failed = 2;
+    stats.batches = 40;
+    stats.cache_hits = 11;
+    stats.cache_evictions = 6;
+    stats.cache_size = 4;
+    ServeStats parsed;
+    ASSERT_TRUE(parse_stats(stats_json(stats), parsed));
+    EXPECT_EQ(parsed.connections, stats.connections);
+    EXPECT_EQ(parsed.requests, stats.requests);
+    EXPECT_EQ(parsed.protocol_errors, stats.protocol_errors);
+    EXPECT_EQ(parsed.accepted, stats.accepted);
+    EXPECT_EQ(parsed.busy, stats.busy);
+    EXPECT_EQ(parsed.completed, stats.completed);
+    EXPECT_EQ(parsed.failed, stats.failed);
+    EXPECT_EQ(parsed.batches, stats.batches);
+    EXPECT_EQ(parsed.cache_hits, stats.cache_hits);
+    EXPECT_EQ(parsed.cache_evictions, stats.cache_evictions);
+    EXPECT_EQ(parsed.cache_size, stats.cache_size);
+    ServeStats rejected;
+    EXPECT_FALSE(parse_stats("", rejected));
+    EXPECT_FALSE(parse_stats("pong", rejected));
+    EXPECT_FALSE(parse_stats("{\"requests\":1}", rejected));
+}
+
+#ifdef BAYESFT_TEST_POSIX
+
+// ------------------------------------------------------------------ //
+// Live-server fixture.                                                //
+// ------------------------------------------------------------------ //
+
+struct TestServer {
+    std::string socket;
+    ServeConfig config;
+    std::unique_ptr<EvalServer> server;
+
+    explicit TestServer(const std::string& name,
+                        std::vector<ServeTarget> targets,
+                        const std::function<void(ServeConfig&)>& tweak = {}) {
+        set_log_level(LogLevel::Error);
+        socket = temp_path(name + ".sock");
+        fs::remove(socket);
+        config.socket_path = socket;
+        config.chaos = {};  // never inherit ambient chaos by accident
+        if (tweak) tweak(config);
+        server = std::make_unique<EvalServer>(config, std::move(targets));
+        server->start();
+    }
+
+    ~TestServer() {
+        if (server) server->stop();
+        fs::remove(socket);
+    }
+
+    ServeClient connect() const { return ServeClient::connect_unix(socket); }
+};
+
+std::vector<std::string> eval_all(ServeClient& client,
+                                  const ServeTarget& target,
+                                  const FaultVariant& variant,
+                                  const std::vector<core::Alpha>& points,
+                                  nn::InferenceMode mode =
+                                      nn::InferenceMode::kFloat32) {
+    std::vector<std::string> responses;
+    responses.reserve(points.size());
+    for (const core::Alpha& point : points) {
+        responses.push_back(
+            client.eval(make_request(target, variant, point, mode)));
+    }
+    return responses;
+}
+
+// ------------------------------------------------------------------ //
+// Determinism: served bytes == in-process bytes.                      //
+// ------------------------------------------------------------------ //
+
+TEST(ServeDeterminism, ServedBytesMatchInProcessReference) {
+    const ServeTarget target = cheap_target();
+    TestServer fixture("determinism", {target});
+    const std::vector<core::Alpha> points =
+        points_for(target.bounds, 8, 11);
+    const std::vector<std::string> reference = reference_responses(
+        target, target.variants[0], nn::InferenceMode::kFloat32, points,
+        iota_trials(points.size()));
+
+    ServeClient client = fixture.connect();
+    EXPECT_EQ(eval_all(client, target, target.variants[0], points),
+              reference);
+
+    // A fresh connection restarts the per-connection trial index, so the
+    // same points reproduce the same bytes — placement-invariance at the
+    // connection level.
+    ServeClient again = fixture.connect();
+    EXPECT_EQ(eval_all(again, target, target.variants[0], points),
+              reference);
+
+    // The requested inference mode is folded into the bucket: int8
+    // responses match the int8 reference and differ from float32 bytes.
+    const std::vector<std::string> int8_reference = reference_responses(
+        target, target.variants[0], nn::InferenceMode::kInt8, points,
+        iota_trials(points.size()));
+    ServeClient int8_client = fixture.connect();
+    const std::vector<std::string> int8_served =
+        eval_all(int8_client, target, target.variants[0], points,
+                 nn::InferenceMode::kInt8);
+    EXPECT_EQ(int8_served, int8_reference);
+    EXPECT_NE(int8_served, reference);
+}
+
+TEST(ServeDeterminism, ConcurrentClientsByteIdenticalToSerial) {
+    const ServeTarget target = cheap_target();
+    TestServer fixture("concurrent", {target});
+    // Each client owns 3 private points plus 3 points shared by everyone:
+    // the shared tail hits the cross-client cache under full concurrency,
+    // and a hit must replay the same bytes the engine would produce.
+    const std::vector<core::Alpha> shared = points_for(target.bounds, 3, 7);
+    for (const std::size_t clients : {1UL, 4UL, 8UL}) {
+        std::vector<std::vector<std::string>> responses(clients);
+        std::vector<std::vector<core::Alpha>> point_sets(clients);
+        for (std::size_t k = 0; k < clients; ++k) {
+            point_sets[k] = points_for(target.bounds, 3, 100 + k);
+            point_sets[k].insert(point_sets[k].end(), shared.begin(),
+                                 shared.end());
+        }
+        std::vector<std::thread> threads;
+        threads.reserve(clients);
+        for (std::size_t k = 0; k < clients; ++k) {
+            threads.emplace_back([&, k] {
+                ServeClient client = fixture.connect();
+                responses[k] = eval_all(client, target, target.variants[0],
+                                        point_sets[k]);
+            });
+        }
+        for (std::thread& thread : threads) thread.join();
+        for (std::size_t k = 0; k < clients; ++k) {
+            EXPECT_EQ(responses[k],
+                      reference_responses(
+                          target, target.variants[0],
+                          nn::InferenceMode::kFloat32, point_sets[k],
+                          iota_trials(point_sets[k].size())))
+                << "clients=" << clients << " client " << k;
+        }
+    }
+}
+
+TEST(ServeDeterminism, EvictionPressureDoesNotChangeBytes) {
+    const ServeTarget target = cheap_target();
+    TestServer fixture("eviction", {target}, [](ServeConfig& config) {
+        config.cache_entries = 2;  // 6 points thrash a 2-entry LRU
+    });
+    const std::vector<core::Alpha> base = points_for(target.bounds, 6, 31);
+    std::vector<core::Alpha> repeated;
+    for (int round = 0; round < 3; ++round) {
+        repeated.insert(repeated.end(), base.begin(), base.end());
+    }
+    ServeClient client = fixture.connect();
+    EXPECT_EQ(eval_all(client, target, target.variants[0], repeated),
+              reference_responses(target, target.variants[0],
+                                  nn::InferenceMode::kFloat32, repeated,
+                                  iota_trials(repeated.size())));
+    const ServeStats stats = fixture.server->stats();
+    EXPECT_GT(stats.cache_evictions, 0U);
+    EXPECT_LE(stats.cache_size, 2U);
+}
+
+// ------------------------------------------------------------------ //
+// Cache: LRU bound, cross-client hits.                                //
+// ------------------------------------------------------------------ //
+
+TEST(ServeCache, LruBoundHoldsAndHitsServeAcrossClients) {
+    const ServeTarget target = cheap_target();
+    TestServer fixture("cache", {target}, [](ServeConfig& config) {
+        config.cache_entries = 4;
+    });
+    const std::vector<core::Alpha> points = points_for(target.bounds, 6, 51);
+    ServeClient first = fixture.connect();
+    eval_all(first, target, target.variants[0], points);
+    ServeStats stats = fixture.server->stats();
+    EXPECT_LE(stats.cache_size, 4U);
+    EXPECT_GE(stats.cache_evictions, 2U);
+
+    // A second client re-requests the two most recent points: both must be
+    // LRU hits — no new engine batch — and byte-identical to the engine's
+    // answer at this connection's trial indices.
+    const std::vector<core::Alpha> tail(points.end() - 2, points.end());
+    const std::uint64_t hits_before = stats.cache_hits;
+    const std::uint64_t batches_before = stats.batches;
+    ServeClient second = fixture.connect();
+    EXPECT_EQ(eval_all(second, target, target.variants[0], tail),
+              reference_responses(target, target.variants[0],
+                                  nn::InferenceMode::kFloat32, tail,
+                                  iota_trials(tail.size())));
+    stats = fixture.server->stats();
+    EXPECT_EQ(stats.cache_hits, hits_before + 2);
+    EXPECT_EQ(stats.batches, batches_before);
+}
+
+// ------------------------------------------------------------------ //
+// Backpressure: a full queue answers `busy`, never drops.             //
+// ------------------------------------------------------------------ //
+
+TEST(ServeBackpressure, FullQueueAnswersBusyAndNeverDrops) {
+    const ServeTarget target = slow_target(10);
+    TestServer fixture("backpressure", {target}, [](ServeConfig& config) {
+        config.queue_depth = 2;
+        config.max_batch = 1;
+        config.cache_entries = 0;  // no cache: every accept hits the engine
+        config.threads = 1;
+    });
+    const std::vector<core::Alpha> points = points_for(target.bounds, 40, 3);
+    ServeClient client = fixture.connect();
+    // Pipeline everything before reading: the dispatcher is 10ms/job, so
+    // the 2-deep queue overflows almost immediately.
+    for (const core::Alpha& point : points) {
+        client.send_line(
+            format_eval_request(make_request(target, target.variants[0],
+                                             point)));
+    }
+    std::vector<std::string> responses;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        responses.push_back(client.read_line(20.0));
+    }
+    // Exactly one response per request, in request order: nothing dropped,
+    // nothing reordered, nothing crashed.
+    ASSERT_EQ(responses.size(), points.size());
+    std::size_t busy = 0;
+    std::vector<core::Alpha> served_points;
+    std::vector<std::uint64_t> served_trials;
+    std::vector<std::string> served_lines;
+    for (std::size_t i = 0; i < responses.size(); ++i) {
+        if (responses[i] == kBusyResponse) {
+            ++busy;
+            continue;
+        }
+        served_points.push_back(points[i]);
+        // The trial index counts every valid eval request — including the
+        // busy-rejected ones — so response bytes are predictable from the
+        // request position alone.
+        served_trials.push_back(i);
+        served_lines.push_back(responses[i]);
+    }
+    EXPECT_GT(busy, 0U);
+    ASSERT_GT(served_lines.size(), 0U);
+    EXPECT_EQ(served_lines,
+              reference_responses(target, target.variants[0],
+                                  nn::InferenceMode::kFloat32, served_points,
+                                  served_trials));
+    const ServeStats stats = fixture.server->stats();
+    EXPECT_EQ(stats.busy, busy);
+    EXPECT_EQ(stats.busy + stats.accepted, points.size());
+}
+
+// ------------------------------------------------------------------ //
+// Chaos under load: failures propagate, the server survives.          //
+// ------------------------------------------------------------------ //
+
+TEST(ServeChaos, InjectedFailuresPropagateAndServerStaysUp) {
+    // Chaos arrives through the same environment door every driver uses.
+    ::setenv("BAYESFT_CHAOS", "crash:0.3,nan:0.1", 1);
+    ServeConfig ambient;  // default chaos = ChaosSpec::from_env()
+    EXPECT_DOUBLE_EQ(ambient.chaos.crash, 0.3);
+    EXPECT_DOUBLE_EQ(ambient.chaos.nan, 0.1);
+    ::unsetenv("BAYESFT_CHAOS");
+
+    const ServeTarget target = cheap_target();
+    TestServer fixture("chaos", {target}, [&](ServeConfig& config) {
+        config.chaos = ambient.chaos;
+        config.resilience.max_retries = 0;  // no retries: failures surface
+        config.cache_entries = 0;
+    });
+    const std::vector<core::Alpha> points = points_for(target.bounds, 40, 9);
+    const std::vector<std::string> clean = reference_responses(
+        target, target.variants[0], nn::InferenceMode::kFloat32, points,
+        iota_trials(points.size()));
+
+    ServeClient client = fixture.connect();
+    const std::vector<std::string> responses =
+        eval_all(client, target, target.variants[0], points);
+    std::size_t ok = 0;
+    std::size_t failed = 0;
+    for (std::size_t i = 0; i < responses.size(); ++i) {
+        core::RunRecord record;
+        ASSERT_TRUE(core::RunStore::parse_line(responses[i], record))
+            << responses[i];
+        if (record.status == "ok") {
+            ++ok;
+            // A job chaos spared is byte-identical to the clean run: the
+            // injection stream is per-candidate, not per-batch.
+            EXPECT_EQ(responses[i], clean[i]) << "trial " << i;
+        } else {
+            ++failed;
+            EXPECT_EQ(record.status.rfind("failed_", 0), 0U)
+                << record.status;
+            EXPECT_TRUE(std::isnan(record.objective)) << "trial " << i;
+        }
+    }
+    EXPECT_GT(ok, 0U);
+    EXPECT_GT(failed, 0U);
+    EXPECT_EQ(fixture.server->stats().failed, failed);
+
+    // The server survived its own chaos: still running, still answering.
+    EXPECT_TRUE(fixture.server->running());
+    EXPECT_EQ(client.request("ping"), "pong");
+}
+
+// ------------------------------------------------------------------ //
+// Fuzz: malformed requests, random bytes, overlong lines.             //
+// ------------------------------------------------------------------ //
+
+TEST(ServeFuzz, MalformedRequestsGetErrorsAndConnectionSurvives) {
+    const ServeTarget target = cheap_target();
+    TestServer fixture("fuzz_malformed", {target});
+    ServeClient client = fixture.connect();
+    for (const std::string& line : malformed_lines()) {
+        const std::string response = client.request(line);
+        EXPECT_EQ(response.rfind("error ", 0), 0U)
+            << "for request: " << line << " got: " << response;
+    }
+    // Well-formed lines addressing nothing: structured errors too.
+    EvalRequest unknown = make_request(target, target.variants[0],
+                                       {0.5, 0.5});
+    unknown.target = 0xdeadbeefULL;
+    EXPECT_EQ(client.eval(unknown).rfind("error ", 0), 0U);
+    EvalRequest bad_variant = make_request(target, target.variants[0],
+                                           {0.5, 0.5});
+    bad_variant.fault = 0xdeadbeefULL;
+    EXPECT_EQ(client.eval(bad_variant).rfind("error ", 0), 0U);
+    EvalRequest bad_dims =
+        make_request(target, target.variants[0], {0.5, 0.5, 0.5});
+    EXPECT_EQ(client.eval(bad_dims).rfind("error ", 0), 0U);
+
+    // None of that desynced the stream or advanced the trial counter: the
+    // next real evaluation is trial 0, byte-identical to the reference.
+    const std::vector<core::Alpha> points = points_for(target.bounds, 2, 77);
+    EXPECT_EQ(eval_all(client, target, target.variants[0], points),
+              reference_responses(target, target.variants[0],
+                                  nn::InferenceMode::kFloat32, points,
+                                  iota_trials(points.size())));
+    EXPECT_GT(fixture.server->stats().protocol_errors, 0U);
+}
+
+TEST(ServeFuzz, RandomBytesCorpusNeverCrashesOrDesyncs) {
+    const ServeTarget target = cheap_target();
+    TestServer fixture("fuzz_random", {target});
+    ServeClient client = fixture.connect();
+    // Fixed-RNG corpus: 200 lines of raw bytes (anything but '\n', which
+    // terminates a line).  Every line must come back as one structured
+    // error — the stream never desyncs, the server never dies.
+    Rng rng(2026);
+    std::size_t lines = 0;
+    for (int i = 0; i < 200; ++i) {
+        std::string garbage;
+        const std::size_t length = 1 + rng.uniform_int(80);
+        for (std::size_t j = 0; j < length; ++j) {
+            char byte = static_cast<char>(rng.uniform_int(256));
+            if (byte == '\n') byte = ' ';
+            garbage += byte;
+        }
+        garbage += '\n';
+        client.send_raw(garbage);
+        ++lines;
+        if (i % 20 == 0) {
+            // Drain periodically so neither side's socket buffer fills.
+            for (; lines > 0; --lines) {
+                const std::string response = client.read_line(10.0);
+                EXPECT_EQ(response.rfind("error ", 0), 0U) << response;
+            }
+        }
+    }
+    for (; lines > 0; --lines) {
+        EXPECT_EQ(client.read_line(10.0).rfind("error ", 0), 0U);
+    }
+    EXPECT_TRUE(fixture.server->running());
+    EXPECT_EQ(client.request("ping"), "pong");
+    const std::vector<core::Alpha> points = points_for(target.bounds, 2, 13);
+    EXPECT_EQ(eval_all(client, target, target.variants[0], points),
+              reference_responses(target, target.variants[0],
+                                  nn::InferenceMode::kFloat32, points,
+                                  iota_trials(points.size())));
+}
+
+TEST(ServeFuzz, OverlongLineErrorsOnceAndStreamResyncs) {
+    const ServeTarget target = cheap_target();
+    TestServer fixture("fuzz_overlong", {target});
+    ServeClient client = fixture.connect();
+    // One line past the 64KiB bound: a single error response, the excess
+    // discarded to the next newline, and the connection keeps working.
+    std::string overlong(kMaxRequestBytes + 4096, 'a');
+    overlong += '\n';
+    client.send_raw(overlong);
+    EXPECT_EQ(client.read_line(10.0).rfind("error ", 0), 0U);
+    // The oversized line never reached the parser, so it never counted as
+    // an eval: the next evaluation is still trial 0.
+    const std::vector<core::Alpha> points = points_for(target.bounds, 1, 19);
+    EXPECT_EQ(eval_all(client, target, target.variants[0], points),
+              reference_responses(target, target.variants[0],
+                                  nn::InferenceMode::kFloat32, points,
+                                  iota_trials(points.size())));
+}
+
+// ------------------------------------------------------------------ //
+// Fail-fast probes: --socket and --runs-dir.                          //
+// ------------------------------------------------------------------ //
+
+TEST(ServeFailFast, SocketPathValidationRejectsBadTargets) {
+    set_log_level(LogLevel::Error);
+    EXPECT_THROW(EvalServer::validate_socket_path(""), std::runtime_error);
+
+    // sun_path is ~108 bytes: a longer path must be rejected up front,
+    // not silently truncated by bind().
+    EXPECT_THROW(
+        EvalServer::validate_socket_path(temp_path(std::string(200, 'x'))),
+        std::runtime_error);
+
+    const std::string dir = temp_path("socket_dir");
+    fs::create_directories(dir);
+    EXPECT_THROW(EvalServer::validate_socket_path(dir), std::runtime_error);
+    fs::remove_all(dir);
+
+    // An existing regular file is never replaced — and never truncated.
+    const std::string file = temp_path("socket_file");
+    {
+        std::ofstream out(file);
+        out << "precious\n";
+    }
+    EXPECT_THROW(EvalServer::validate_socket_path(file), std::runtime_error);
+    {
+        std::ifstream in(file);
+        std::string content;
+        std::getline(in, content);
+        EXPECT_EQ(content, "precious");
+    }
+    fs::remove(file);
+
+    // A stale socket file (nothing listening) is cleaned up and accepted.
+    const std::string stale = temp_path("stale.sock");
+    fs::remove(stale);
+    {
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        ASSERT_GE(fd, 0);
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, stale.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr),
+                         sizeof addr),
+                  0);
+        ::close(fd);  // bound but never listening: a stale corpse
+    }
+    ASSERT_TRUE(fs::exists(stale));
+    EXPECT_NO_THROW(EvalServer::validate_socket_path(stale));
+    EXPECT_FALSE(fs::exists(stale));
+
+    // A live socket another server answers on is refused — and probing it
+    // must not disturb the running server.
+    const ServeTarget target = cheap_target();
+    TestServer fixture("live_probe", {target});
+    EXPECT_THROW(EvalServer::validate_socket_path(fixture.socket),
+                 std::runtime_error);
+    ServeClient client = fixture.connect();
+    EXPECT_EQ(client.request("ping"), "pong");
+}
+
+TEST(ServeFailFast, RunsDirRejectsFilesAndAppendsNeverTruncate) {
+    set_log_level(LogLevel::Error);
+    const ServeTarget target = cheap_target();
+
+    // --runs-dir pointing at a regular file: start() throws before the
+    // server binds anything.
+    const std::string file = temp_path("runs_file");
+    {
+        std::ofstream out(file);
+        out << "not a directory\n";
+    }
+    {
+        ServeConfig config;
+        config.socket_path = temp_path("runs_reject.sock");
+        config.chaos = {};
+        config.runs_dir = file;
+        EvalServer server(config, {target});
+        EXPECT_THROW(server.start(), std::runtime_error);
+    }
+    fs::remove(file);
+    fs::remove(temp_path("runs_reject.sock"));
+
+    // A pre-existing scenario file survives: the store appends behind the
+    // sentinel line, never over it.
+    const std::string dir = temp_path("runs_append");
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    const std::string sentinel =
+        "{\"kind\":\"note\",\"text\":\"do not truncate\"}";
+    {
+        std::ofstream out(dir + "/cheap.jsonl");
+        out << sentinel << "\n";
+    }
+    std::string response;
+    {
+        TestServer fixture("runs_append", {target},
+                           [&](ServeConfig& config) {
+                               config.runs_dir = dir;
+                           });
+        ServeClient client = fixture.connect();
+        response = client.eval(
+            make_request(target, target.variants[0], {0.25, 0.75}));
+        fixture.server->stop();  // join the dispatcher: appends complete
+    }
+    std::ifstream in(dir + "/cheap.jsonl");
+    std::vector<std::string> stored;
+    for (std::string line; std::getline(in, line);) stored.push_back(line);
+    ASSERT_EQ(stored.size(), 2U);
+    EXPECT_EQ(stored[0], sentinel);
+    EXPECT_EQ(stored[1], response);
+    fs::remove_all(dir);
+}
+
+// ------------------------------------------------------------------ //
+// Persistence: stored lines are the served lines.                     //
+// ------------------------------------------------------------------ //
+
+TEST(ServePersistence, StoreHoldsEachEvaluationOnceHitsAreNotDuplicated) {
+    const ServeTarget target = cheap_target();
+    const std::string dir = temp_path("persist_runs");
+    fs::remove_all(dir);
+    std::vector<std::string> responses;
+    {
+        TestServer fixture("persist", {target}, [&](ServeConfig& config) {
+            config.runs_dir = dir;
+        });
+        ServeClient client = fixture.connect();
+        std::vector<core::Alpha> points = points_for(target.bounds, 3, 41);
+        points.push_back(points[0]);  // the repeat is an LRU hit
+        responses = eval_all(client, target, target.variants[0], points);
+        EXPECT_EQ(fixture.server->stats().cache_hits, 1U);
+        fixture.server->stop();
+    }
+    std::ifstream in(dir + "/cheap.jsonl");
+    std::vector<std::string> stored;
+    for (std::string line; std::getline(in, line);) stored.push_back(line);
+    // Three engine evaluations stored, in dispatch order; the cache hit
+    // was served (responses[3]) but not re-persisted — a hit replays a
+    // stored result under a fresh trial index (docs/serving.md).
+    ASSERT_EQ(stored.size(), 3U);
+    EXPECT_EQ(stored[0], responses[0]);
+    EXPECT_EQ(stored[1], responses[1]);
+    EXPECT_EQ(stored[2], responses[2]);
+    core::RunRecord hit;
+    ASSERT_TRUE(core::RunStore::parse_line(responses[3], hit));
+    EXPECT_EQ(hit.trial, 3U);
+    fs::remove_all(dir);
+}
+
+// ------------------------------------------------------------------ //
+// Transport and service verbs.                                        //
+// ------------------------------------------------------------------ //
+
+TEST(ServeTransport, TcpEndpointServesIdenticalBytes) {
+    set_log_level(LogLevel::Error);
+    const ServeTarget target = cheap_target();
+    ServeConfig config;
+    config.tcp_port = -1;  // bind an ephemeral port, no Unix socket
+    config.chaos = {};
+    EvalServer server(config, {target});
+    server.start();
+    ASSERT_GT(server.tcp_port(), 0);
+    ServeClient client = ServeClient::connect_tcp(server.tcp_port());
+    EXPECT_EQ(client.request("ping"), "pong");
+    const std::vector<core::Alpha> points = points_for(target.bounds, 3, 61);
+    EXPECT_EQ(eval_all(client, target, target.variants[0], points),
+              reference_responses(target, target.variants[0],
+                                  nn::InferenceMode::kFloat32, points,
+                                  iota_trials(points.size())));
+    server.stop();
+}
+
+TEST(ServeTransport, PingStatsAndShutdownVerbs) {
+    const ServeTarget target = cheap_target();
+    TestServer fixture("verbs", {target});
+    ServeClient client = fixture.connect();
+    EXPECT_EQ(client.request("ping"), "pong");
+
+    ServeStats stats;
+    ASSERT_TRUE(parse_stats(client.request("stats"), stats));
+    EXPECT_GE(stats.requests, 2U);  // the ping and this stats call
+    EXPECT_EQ(stats.completed, 0U);
+
+    const std::vector<core::Alpha> points = points_for(target.bounds, 2, 29);
+    eval_all(client, target, target.variants[0], points);
+    ASSERT_TRUE(parse_stats(client.request("stats"), stats));
+    EXPECT_EQ(stats.completed, 2U);
+    EXPECT_EQ(stats.accepted + stats.cache_hits, 2U);
+    EXPECT_EQ(stats.connections, 1U);
+
+    // `shutdown` answers ok, then the server drains and leaves running().
+    EXPECT_EQ(client.request("shutdown"), "ok");
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (fixture.server->running() &&
+           std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    EXPECT_FALSE(fixture.server->running());
+}
+
+#endif  // BAYESFT_TEST_POSIX
+
+}  // namespace
+}  // namespace bayesft::serve
